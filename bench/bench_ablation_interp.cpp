@@ -1,0 +1,93 @@
+// Ablation: sliding-plane interpolation order. Transfers an analytic field
+// across a rotated interface with the first-order donor-cell scheme and the
+// second-order bilinear scheme and measures the L2 transfer error — the
+// design choice behind the paper's "interpolated, after appropriate
+// rotation" step (the paper does not specify its interpolation order; this
+// quantifies the trade).
+#include <cmath>
+#include <numbers>
+
+#include "bench/bench_common.hpp"
+#include "src/jm76/interp.hpp"
+#include "src/rig/annulus.hpp"
+#include "src/rig/interface.hpp"
+
+using namespace vcgt;
+
+namespace {
+
+double transfer_error(const rig::InterfaceSide& donor, const rig::InterfaceSide& target,
+                      jm76::InterpKind kind, double rotation) {
+  // Smooth analytic field in (r, theta), sampled at nominal donor lattice
+  // positions (what a converged donor-side solution represents).
+  const double dr = (donor.r_max - donor.r_min) / donor.nr;
+  auto field = [&](double r, double th) {
+    return std::sin(3.0 * th) * (r - donor.r_min) / (donor.r_max - donor.r_min) +
+           0.5 * std::cos(th);
+  };
+  std::vector<double> values(static_cast<std::size_t>(donor.size()));
+  for (op2::index_t i = 0; i < donor.size(); ++i) {
+    const int j = static_cast<int>(i % donor.nr);
+    const int k = static_cast<int>(i / donor.nr);
+    const double r = donor.r_min + (j + 0.5) * dr;
+    const double th = (k + 0.5) * 2.0 * std::numbers::pi / donor.ntheta;
+    values[static_cast<std::size_t>(i)] = field(r, th);
+  }
+
+  const jm76::Interpolator interp(donor, jm76::SearchKind::Adt, kind);
+  double err2 = 0.0;
+  const double tdr = (target.r_max - target.r_min) / target.nr;
+  for (op2::index_t i = 0; i < target.size(); ++i) {
+    const int j = static_cast<int>(i % target.nr);
+    const int k = static_cast<int>(i / target.nr);
+    const double r = target.r_min + (j + 0.5) * tdr;
+    const double th = (k + 0.5) * 2.0 * std::numbers::pi / target.ntheta;
+    const auto s = interp.stencil(r, th, rotation);
+    double got = 0.0;
+    for (int n = 0; n < s.count; ++n) {
+      got += s.weight[static_cast<std::size_t>(n)] *
+             values[static_cast<std::size_t>(s.face[static_cast<std::size_t>(n)])];
+    }
+    const double want = field(r, th - rotation);
+    err2 += (got - want) * (got - want);
+  }
+  return std::sqrt(err2 / target.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  (void)argc;
+  (void)argv;
+  bench::header("Ablation: sliding-plane interpolation order (donor-cell vs bilinear)",
+                "paper SS II-C interpolation step");
+
+  rig::RowSpec row;
+  row.x_min = 0;
+  row.x_max = 0.08;
+  row.r_hub = 0.28;
+  row.r_casing = 0.40;
+
+  util::Table t({"donor lattice", "rotation", "donor-cell L2 err", "bilinear L2 err",
+                 "improvement"});
+  for (const int scale : {1, 2, 4}) {
+    const rig::MeshResolution res{2, 4 * scale, 24 * scale};
+    const auto mesh = rig::generate_row_mesh(row, res);
+    const auto donor = rig::extract_interface(mesh, row, rig::BoundaryGroup::Outlet);
+    const auto target = rig::extract_interface(mesh, row, rig::BoundaryGroup::Inlet);
+    for (const double rot : {0.13, 0.41}) {
+      const double e1 = transfer_error(donor, target, jm76::InterpKind::DonorCell, rot);
+      const double e2 = transfer_error(donor, target, jm76::InterpKind::Bilinear, rot);
+      t.add_row({util::fmt("{}x{}", res.nr, res.ntheta), util::Table::num(rot, 2),
+                 util::Table::num(e1, 5), util::Table::num(e2, 5),
+                 util::Table::num(e1 / e2, 1)});
+    }
+  }
+  t.print_text(std::cout);
+  util::write_csv(t, "ablation_interp.csv");
+  std::cout << "\nExpected: donor-cell error falls ~1st order with resolution; bilinear\n"
+               "falls ~2nd order, widening the improvement factor as the lattice\n"
+               "refines (and both are exact at zero rotation on matched lattices).\n";
+  return 0;
+}

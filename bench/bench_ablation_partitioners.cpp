@@ -1,0 +1,71 @@
+// Ablation: partitioner choice (Block vs RCB vs greedy k-way) — the design
+// choice behind DESIGN.md's partitioning section and the paper's note that
+// production tools rely on Metis/recursive bisection (§II-C). Measures, on a
+// real distributed row, the quantities a partitioner controls: ownership
+// balance, halo sizes, and the halo traffic a time step generates.
+#include "bench/bench_common.hpp"
+#include "src/hydra/solver.hpp"
+#include "src/minimpi/minimpi.hpp"
+
+using namespace vcgt;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int steps = static_cast<int>(cli.get_int("steps", 3));
+
+  bench::header("Ablation: partitioner quality (Block / RCB / k-way)",
+                "DESIGN.md SS2; paper SS II-C partitioning discussion");
+
+  const auto rig = rig::rig250_spec(1);
+  const auto mesh = rig::generate_row_mesh(rig.rows[0], rig::resolution_tier("coarse"));
+  hydra::FlowConfig flow;
+  flow.inner_iters = 2;
+
+  util::Table t({"partitioner", "ranks", "cell imbalance", "exec halo", "nonexec halo",
+                 "halo MB", "halo msgs"});
+  for (const auto part :
+       {op2::Partitioner::Block, op2::Partitioner::Rcb, op2::Partitioner::Kway}) {
+    for (const int nranks : {4, 8}) {
+      double imbalance = 0;
+      std::uint64_t exec = 0, nonexec = 0, bytes = 0, msgs = 0;
+      minimpi::World::run(nranks, [&](minimpi::Comm& comm) {
+        op2::Context ctx(comm);
+        hydra::RowSolver solver(ctx, mesh, rig.rows[0], rig.omega(), flow);
+        ctx.partition(part, solver.cell_center());
+        solver.initialize();
+        for (int s = 0; s < steps; ++s) {
+          solver.advance_inner(flow.inner_iters);
+          solver.shift_time_levels();
+        }
+        const double mx = comm.allreduce_max(static_cast<double>(solver.cells().n_owned()));
+        const double total = comm.allreduce_sum(static_cast<double>(solver.cells().n_owned()));
+        const auto ex = comm.allreduce_sum_u64(static_cast<std::uint64_t>(solver.cells().n_exec()));
+        const auto ne =
+            comm.allreduce_sum_u64(static_cast<std::uint64_t>(solver.cells().n_nonexec()));
+        const auto hb = comm.allreduce_sum_u64(ctx.total_stats().halo_bytes);
+        const auto hm = comm.allreduce_sum_u64(ctx.total_stats().halo_msgs);
+        if (comm.rank() == 0) {
+          imbalance = mx / (total / comm.size());
+          exec = ex;
+          nonexec = ne;
+          bytes = hb;
+          msgs = hm;
+        }
+      });
+      t.add_row({op2::partitioner_name(part), std::to_string(nranks),
+                 util::Table::num(imbalance, 3), std::to_string(exec),
+                 std::to_string(nonexec), util::Table::num(bytes / 1e6, 3),
+                 std::to_string(msgs)});
+    }
+  }
+  t.print_text(std::cout);
+  util::write_csv(t, "ablation_partitioners.csv");
+  std::cout << "\nReading: on this structured annulus the index order is theta-major, so\n"
+               "Block already produces near-optimal circumferential slabs and RCB matches\n"
+               "it; greedy k-way fragments the subdomains and pays in neighbor/message\n"
+               "count. On genuinely unstructured industrial meshes the ordering is\n"
+               "arbitrary and geometric/graph partitioners are what keep halos this\n"
+               "small — the discretization-focused optimization the paper notes leaves\n"
+               "sliding-plane work 'trapped' on a few ranks (SS II-C).\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: pipelined (overlapped) coupling vs blocking same-step transfer —
+// the paper's claim that the coupler's search "can be overlapped with the
+// work done by the processes dedicated to CFD" (§II-C). Measures the HS
+// coupler-wait on the real system both ways, and the model's projection of
+// the same toggle at paper scale.
+#include "bench/bench_common.hpp"
+#include "src/jm76/coupled.hpp"
+#include "src/perf/costmodel.hpp"
+
+using namespace vcgt;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int steps = static_cast<int>(cli.get_int("steps", 6));
+
+  bench::header("Ablation: pipelined (overlapped) vs blocking coupling",
+                "paper SS II-C overlap discussion");
+
+  bench::section("measured: 3-row coarse rig, max HS coupler wait per step");
+  util::Table t({"mode", "search", "HS wait s/step", "CU search s/step", "CU idle s/step"});
+  for (const bool pipelined : {false, true}) {
+    for (const auto kind : {jm76::SearchKind::BruteForce, jm76::SearchKind::Adt}) {
+      jm76::CoupledConfig cfg;
+      cfg.rig = rig::rig250_spec(3);
+      cfg.res = rig::resolution_tier("coarse");
+      cfg.flow.inner_iters = 3;
+      cfg.hs_ranks = {1, 1, 1};
+      cfg.cus_per_interface = 1;
+      cfg.pipelined = pipelined;
+      cfg.search = kind;
+      double wait = 0, search = 0, idle = 0;
+      minimpi::World::run(cfg.layout().world_size(), [&](minimpi::Comm& world) {
+        jm76::CoupledRig run(world, cfg);
+        run.run(steps);
+        const auto all = jm76::CoupledRig::collect(world, run.stats());
+        if (world.rank() == 0) {
+          for (const auto& s : all) {
+            if (s.is_cu) {
+              search = std::max(search, s.search_seconds);
+              idle = std::max(idle, s.cu_idle_seconds);
+            } else {
+              wait = std::max(wait, s.coupler_wait);
+            }
+          }
+        }
+      });
+      t.add_row({pipelined ? "pipelined" : "blocking", jm76::search_kind_name(kind),
+                 util::Table::num(wait / steps, 5), util::Table::num(search / steps, 5),
+                 util::Table::num(idle / steps, 5)});
+    }
+  }
+  t.print_text(std::cout);
+  util::write_csv(t, "ablation_pipelining.csv");
+  std::cout << "(rank-threads timeshare one physical core, so mini wall times are noisy;\n"
+               " the CU idle column dropping under pipelining shows the overlap working)\n";
+
+  bench::section("model: coupler wait at paper scale (430M, 27 ARCHER2 nodes)");
+  perf::ScalingModel model(perf::archer2(), perf::w430m());
+  util::Table m({"mode", "search", "coupler wait s/step"});
+  for (const bool pipelined : {false, true}) {
+    for (const auto kind : {jm76::SearchKind::BruteForce, jm76::SearchKind::Adt}) {
+      perf::ModelOptions o;
+      o.pipelined = pipelined;
+      o.search = kind;
+      o.grouped_halos = false;
+      m.add_row({pipelined ? "pipelined" : "blocking", jm76::search_kind_name(kind),
+                 util::Table::num(model.step_cost(27, o).coupler_wait, 3)});
+    }
+  }
+  m.print_text(std::cout);
+  util::write_csv(m, "ablation_pipelining_model.csv");
+  std::cout << "\nExpected: pipelining hides most of the search behind the inner\n"
+               "iterations; with the ADT search the residual wait approaches the\n"
+               "transfer/imbalance floor.\n";
+  return 0;
+}

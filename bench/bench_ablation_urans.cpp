@@ -1,0 +1,102 @@
+// Ablation: steady RANS + mixing planes (the industrial standard, paper §I:
+// "circumferential averaging is enforced at the interfaces") vs URANS +
+// sliding planes (the paper's approach). With discrete blade wakes enabled,
+// the blade-passing harmonics that drive unsteady rotor-stator interaction
+// cross the sliding planes but are annihilated by the mixing planes —
+// quantifying WHY virtual certification needs the full-annulus URANS whose
+// cost the paper's coupler+DSL stack makes tractable.
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "src/jm76/monolithic.hpp"
+#include "src/util/spectrum.hpp"
+#include "src/util/timer.hpp"
+
+using namespace vcgt;
+
+namespace {
+
+struct RunResult {
+  std::vector<double> harmonic;  ///< per interface: downstream blade-harmonic amplitude
+  std::vector<double> mean;      ///< per interface: downstream mean (same signal)
+  double seconds = 0.0;
+};
+
+RunResult run(jm76::TransferKind transfer, bool steady, int steps, int nrows,
+              const rig::MeshResolution& res) {
+  jm76::MonolithicConfig cfg;
+  cfg.rig = rig::rig250_spec(nrows);
+  // Blade counts resolvable on the mini lattice.
+  for (auto& row : cfg.rig.rows) row.nblades = row.rotor ? 3 : 4;
+  cfg.res = res;
+  cfg.flow.inner_iters = 3;
+  cfg.flow.dt_phys = steady ? 1e-3 : 5e-5;
+  cfg.flow.steady = steady;
+  cfg.flow.blade_wake_frac = 0.5;
+  cfg.flow.rotor_swirl_frac = 0.3;
+  cfg.flow.stator_swirl_frac = 0.1;
+  cfg.transfer = transfer;
+  cfg.search = jm76::SearchKind::Adt;
+
+  jm76::MonolithicRig rigrun(minimpi::Comm{}, cfg);
+  util::Timer t;
+  rigrun.run(steps);
+  RunResult out;
+  out.seconds = t.elapsed();
+  for (int i = 0; i + 1 < nrows; ++i) {
+    auto& down = rigrun.solver(i + 1);
+    const auto ghost = rigrun.context().fetch_global(down.ghost(rig::BoundaryGroup::Inlet));
+    std::vector<double> ring(static_cast<std::size_t>(res.ntheta));
+    for (int k = 0; k < res.ntheta; ++k) {
+      const int gid = k * res.nr + res.nr / 2;
+      ring[static_cast<std::size_t>(k)] = ghost[static_cast<std::size_t>(gid) * 6 + 2];
+    }
+    const int nb = cfg.rig.rows[static_cast<std::size_t>(i)].nblades;
+    const auto mag = util::theta_harmonics(ring, nb + 1);
+    out.harmonic.push_back(mag[static_cast<std::size_t>(nb)]);
+    out.mean.push_back(mag[0]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int steps = static_cast<int>(cli.get_int("steps", 10));
+  const int nrows = static_cast<int>(cli.get_int("rows", 3));
+  const auto res = rig::resolution_tier(cli.get("tier", "tiny"));
+
+  bench::header(
+      "Ablation: steady RANS + mixing planes vs URANS + sliding planes",
+      "paper SS I-II motivation (rotor-stator interaction, full-annulus URANS)");
+
+  const auto urans = run(jm76::TransferKind::SlidingPlane, false, steps, nrows, res);
+  const auto rans = run(jm76::TransferKind::MixingPlane, true, steps, nrows, res);
+
+  util::Table t({"interface", "upstream blades", "URANS harmonic", "RANS harmonic",
+                 "retained by URANS vs RANS"});
+  const auto rig = rig::rig250_spec(nrows);
+  for (int i = 0; i + 1 < nrows; ++i) {
+    const double u = urans.harmonic[static_cast<std::size_t>(i)];
+    const double m = rans.harmonic[static_cast<std::size_t>(i)];
+    t.add_row({util::fmt("{} -> {}", rig.rows[static_cast<std::size_t>(i)].name,
+                         rig.rows[static_cast<std::size_t>(i) + 1].name),
+               std::to_string(rig.rows[static_cast<std::size_t>(i)].rotor ? 3 : 4),
+               util::Table::num(u, 6), util::Table::num(m, 6),
+               m > 1e-9 * u ? util::Table::num(u / m, 0) + "x"
+                            : std::string("fully removed")});
+  }
+  t.print_text(std::cout, "blade-passing harmonic amplitude in the downstream ghost state");
+  util::write_csv(t, "ablation_urans.csv");
+
+  std::cout << "\nwall seconds: URANS+sliding " << util::Table::num(urans.seconds, 2)
+            << " vs steady RANS+mixing " << util::Table::num(rans.seconds, 2) << "\n";
+  std::cout
+      << "\nReading: the mixing plane removes the blade-passing content entirely\n"
+         "(the steady model cannot represent it by construction), while the sliding\n"
+         "plane transmits it downstream — the unsteady rotor-stator interaction the\n"
+         "paper's URANS exists to capture, at the cost its DSL+coupler stack makes\n"
+         "tractable (~2 orders more mesh for full annulus, SS I).\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+#pragma once
+// Shared helpers for the table/figure reproduction benches. Every bench
+// prints (1) measured numbers from real mini-scale runs of this repository's
+// system and (2) the calibrated scaling model evaluated at the paper's node
+// counts, next to the paper's published values where the paper gives them.
+#include <iostream>
+#include <string>
+
+#include "src/util/cli.hpp"
+#include "src/util/fmt.hpp"
+#include "src/util/table.hpp"
+
+namespace vcgt::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n================================================================\n"
+            << title << "\n(reproduces " << paper_ref << ")\n"
+            << "================================================================\n";
+}
+
+inline void section(const std::string& name) {
+  std::cout << "\n--- " << name << " ---\n";
+}
+
+/// "x.xx (paper y.yy)" cell.
+inline std::string vs_paper(double value, double paper, int precision = 2) {
+  return util::Table::num(value, precision) + " (paper " +
+         util::Table::num(paper, precision) + ")";
+}
+
+}  // namespace vcgt::bench

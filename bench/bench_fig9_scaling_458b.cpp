@@ -1,0 +1,27 @@
+// Figure 9 reproduction: scaling of the grand-challenge 1-10_4.58B mesh on
+// ARCHER2 (the mesh exceeds the Cirrus cluster's total GPU memory; the
+// 122-node Cirrus point is the paper's projection, included via the model).
+#include "bench/fig_scaling_common.hpp"
+
+int main(int argc, char** argv) {
+  const vcgt::util::Cli cli(argc, argv);
+  vcgt::bench::FigureSpec spec;
+  spec.title = "Figure 9: 1-10_4.58B mesh scaling (grand challenge)";
+  spec.paper_ref = "paper Fig. 9, SS IV-B2/4";
+  spec.workload = vcgt::perf::w458b();
+  spec.archer2_nodes = {107, 166, 256, 363, 512};
+  spec.cirrus_nodes = {122};  // projected: minimum node count that fits memory
+  spec.base_node_index = 0;
+  spec.paper_efficiency = 0.82;  // 107 -> 512 nodes
+  spec.mini_rows = 4;
+  vcgt::bench::run_scaling_figure(spec, static_cast<int>(cli.get_int("steps", 3)),
+                                  "fig9");
+
+  vcgt::perf::ScalingModel gpu(vcgt::perf::cirrus(), vcgt::perf::w458b());
+  std::cout << "\nGPU memory gate: minimum Cirrus nodes for 4.58B = " << gpu.min_gpu_nodes()
+            << " (paper: 122; the 36-node cluster cannot hold it)\n";
+  std::cout << "Paper shape check: 82% efficiency 107->512 nodes, coupling overhead\n"
+               "8-15%; 1 revolution in < 6 h at 512 nodes; projected 4.7 h on 122\n"
+               "Cirrus nodes (>3x over the power-equivalent 166 ARCHER2 nodes).\n";
+  return 0;
+}

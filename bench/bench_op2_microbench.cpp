@@ -1,0 +1,179 @@
+// Micro-benchmarks (google-benchmark) of the op2 runtime and coupler
+// primitives: par_loop dispatch, indirect increments, coloring, partitioner
+// cost, ADT build/query vs brute force. These quantify the constants behind
+// the execution plans the paper's OP2 code generator emits.
+#include <benchmark/benchmark.h>
+
+#include "src/jm76/adt.hpp"
+#include "src/op2/op2.hpp"
+#include "src/rig/annulus.hpp"
+#include "src/rig/interface.hpp"
+#include "src/rig/rowspec.hpp"
+#include "src/util/rng.hpp"
+
+using namespace vcgt;
+using op2::Access;
+using op2::index_t;
+
+namespace {
+
+rig::AnnulusMesh bench_mesh(int scale) {
+  rig::RowSpec row;
+  row.x_min = 0;
+  row.x_max = 0.1;
+  row.r_hub = 0.3;
+  row.r_casing = 0.5;
+  return rig::generate_row_mesh(row, {4 * scale, 3 * scale, 12 * scale});
+}
+
+struct LoopFixture {
+  explicit LoopFixture(int scale)
+      : mesh(bench_mesh(scale)),
+        cells(ctx.decl_set("cells", mesh.ncell)),
+        faces(ctx.decl_set("faces", mesh.nface)),
+        f2c(ctx.decl_map("f2c", faces, cells, 2, mesh.face2cell)),
+        x(ctx.decl_dat<double>(cells, 1, "x")),
+        res(ctx.decl_dat<double>(cells, 1, "res")) {
+    op2::par_loop("init", cells, [](double* v) { *v = 1.0; }, op2::arg(x, Access::Write));
+  }
+  op2::Context ctx;
+  rig::AnnulusMesh mesh;
+  op2::Set& cells;
+  op2::Set& faces;
+  op2::Map& f2c;
+  op2::Dat<double>& x;
+  op2::Dat<double>& res;
+};
+
+void BM_ParLoopDirect(benchmark::State& state) {
+  LoopFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    op2::par_loop("direct", f.cells, [](const double* a, double* b) { *b = 2.0 * *a; },
+                  op2::arg(f.x, Access::Read), op2::arg(f.res, Access::Write));
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.ncell);
+}
+BENCHMARK(BM_ParLoopDirect)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ParLoopIndirectInc(benchmark::State& state) {
+  LoopFixture f(static_cast<int>(state.range(0)));
+  op2::par_loop("zero", f.cells, [](double* v) { *v = 0.0; }, op2::arg(f.res, Access::Write));
+  for (auto _ : state) {
+    op2::par_loop("flux", f.faces,
+                  [](const double* a, const double* b, double* ra, double* rb) {
+                    const double fl = 0.5 * (*a + *b);
+                    *ra += fl;
+                    *rb -= fl;
+                  },
+                  op2::arg(f.x, 0, f.f2c, Access::Read), op2::arg(f.x, 1, f.f2c, Access::Read),
+                  op2::arg(f.res, 0, f.f2c, Access::Inc),
+                  op2::arg(f.res, 1, f.f2c, Access::Inc));
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.nface);
+}
+BENCHMARK(BM_ParLoopIndirectInc)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ColoringBuild(benchmark::State& state) {
+  const auto mesh = bench_mesh(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    op2::Config cfg;
+    cfg.force_coloring = true;
+    op2::Context ctx(cfg);
+    auto& cells = ctx.decl_set("cells", mesh.ncell);
+    auto& faces = ctx.decl_set("faces", mesh.nface);
+    auto& f2c = ctx.decl_map("f2c", faces, cells, 2, mesh.face2cell);
+    auto& x = ctx.decl_dat<double>(cells, 1, "x");
+    // First invocation builds and caches the colored plan.
+    op2::par_loop("color_me", faces,
+                  [](double* a, double* b) {
+                    *a += 1;
+                    *b += 1;
+                  },
+                  op2::arg(x, 0, f2c, Access::Inc), op2::arg(x, 1, f2c, Access::Inc));
+    benchmark::DoNotOptimize(ctx);
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.nface);
+}
+BENCHMARK(BM_ColoringBuild)->Arg(1)->Arg(2);
+
+void BM_MeshGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto mesh = bench_mesh(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(mesh.ncell);
+  }
+}
+BENCHMARK(BM_MeshGeneration)->Arg(1)->Arg(2)->Arg(4);
+
+std::vector<double> interface_boxes(int scale) {
+  rig::RowSpec row;
+  row.x_min = 0;
+  row.x_max = 0.1;
+  row.r_hub = 0.3;
+  row.r_casing = 0.5;
+  const auto mesh = rig::generate_row_mesh(row, {2, 4 * scale, 48 * scale});
+  const auto side = rig::extract_interface(mesh, row, rig::BoundaryGroup::Outlet);
+  std::vector<double> boxes;
+  for (index_t i = 0; i < side.size(); ++i) {
+    boxes.insert(boxes.end(), {side.box[static_cast<std::size_t>(i) * 4 + 0],
+                               side.box[static_cast<std::size_t>(i) * 4 + 1],
+                               side.box[static_cast<std::size_t>(i) * 4 + 2],
+                               side.box[static_cast<std::size_t>(i) * 4 + 3]});
+  }
+  return boxes;
+}
+
+void BM_AdtBuild(benchmark::State& state) {
+  const auto boxes = interface_boxes(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    jm76::Adt2D adt(boxes);
+    benchmark::DoNotOptimize(adt.size());
+  }
+  state.SetItemsProcessed(state.iterations() * (boxes.size() / 4));
+}
+BENCHMARK(BM_AdtBuild)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_AdtQuery(benchmark::State& state) {
+  const auto boxes = interface_boxes(static_cast<int>(state.range(0)));
+  const jm76::Adt2D adt(boxes);
+  util::Rng rng(1);
+  std::vector<int> hits;
+  for (auto _ : state) {
+    hits.clear();
+    adt.query(rng.uniform(0.3, 0.5), rng.uniform(0.0, 6.28), &hits);
+    benchmark::DoNotOptimize(hits.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdtQuery)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BinsQuery(benchmark::State& state) {
+  const auto boxes = interface_boxes(static_cast<int>(state.range(0)));
+  const jm76::UniformBins2D bins(boxes);
+  util::Rng rng(1);
+  std::vector<int> hits;
+  for (auto _ : state) {
+    hits.clear();
+    bins.query(rng.uniform(0.3, 0.5), rng.uniform(0.0, 6.28), &hits);
+    benchmark::DoNotOptimize(hits.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BinsQuery)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BruteForceQuery(benchmark::State& state) {
+  const auto boxes = interface_boxes(static_cast<int>(state.range(0)));
+  const jm76::BruteForce2D bf(boxes);
+  util::Rng rng(1);
+  std::vector<int> hits;
+  for (auto _ : state) {
+    hits.clear();
+    bf.query(rng.uniform(0.3, 0.5), rng.uniform(0.0, 6.28), &hits);
+    benchmark::DoNotOptimize(hits.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BruteForceQuery)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Table I reproduction: the systems specification table. The machine models
+// in vcgt::perf encode the published ARCHER2/Cirrus parameters (plus the
+// production baselines §IV-B5 references); this bench prints them alongside
+// the paper's numbers so any drift in the presets is visible.
+#include "bench/bench_common.hpp"
+#include "src/perf/costmodel.hpp"
+
+using namespace vcgt;
+
+int main() {
+  bench::header("Table I: systems specifications", "paper Table I, SS IV-A3/4");
+
+  util::Table t({"system", "node", "cores/node", "GPUs/node", "node power W",
+                 "interconnect (model)", "GPU mem GB"});
+  struct Row {
+    perf::MachineSpec m;
+    const char* node_desc;
+    const char* paper_net;
+  };
+  const Row rows[] = {
+      {perf::archer2(), "2x AMD EPYC 7742 (HPE Cray EX)", "Slingshot 2x100 Gb/s"},
+      {perf::cirrus(), "4x NVIDIA V100 16GB + 2x Xeon 6248 (SGI/HPE 8600)",
+       "FDR-class fat tree"},
+      {perf::haswell_production(), "Intel Haswell production cluster", "(baseline)"},
+      {perf::archer1(), "2x 12-core E5-2697v2 (Cray XC30)", "Aries"},
+  };
+  for (const auto& r : rows) {
+    t.add_row({r.m.name, r.node_desc, std::to_string(r.m.cores_per_node),
+               std::to_string(r.m.gpus_per_node), util::Table::num(r.m.node_power_w, 0),
+               util::fmt("{} us + {} GB/s ({})", r.m.net_latency_s * 1e6,
+                         r.m.net_bandwidth_Bps / 1e9, r.paper_net),
+               r.m.gpus_per_node ? util::Table::num(r.m.gpu_mem_gb, 0) : std::string("-")});
+  }
+  t.print_text(std::cout);
+  util::write_csv(t, "table1_systems.csv");
+
+  bench::section("paper anchors encoded in the presets");
+  std::cout << "ARCHER2 node power 660 W (slurm-measured, SS IV-A4)        -> "
+            << perf::archer2().node_power_w << " W\n";
+  std::cout << "Cirrus node power ~900 W (4x182 W GPU + ~172 W host)       -> "
+            << perf::cirrus().node_power_w << " W\n";
+  std::cout << "power ratio Cirrus/ARCHER2 = 1.36 (node-equivalence basis) -> "
+            << util::Table::num(perf::cirrus().node_power_w / perf::archer2().node_power_w, 2)
+            << "\n";
+  std::cout << "ARCHER2 cores/node = 128; full machine 5,860 nodes (750,080 cores);\n"
+               "benchmarks scale to 512 nodes / 65,536 cores (paper SS IV-A3).\n";
+  return 0;
+}

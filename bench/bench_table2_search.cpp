@@ -1,0 +1,131 @@
+// Table II reproduction: brute-force vs binary-tree (ADT) donor search in
+// the JM76 coupler as a function of the coupler-unit count.
+//
+// Layer 1 (measured): the real DonorLocator over a sliding-plane interface
+// at a host-feasible size — per-CU search time and candidate counts for the
+// paper's 10..90 CU grid, both search kinds, including the rotation sweep a
+// full revolution performs.
+// Layer 2 (model): the calibrated ScalingModel evaluated at the paper's
+// configuration (1-10_430M on ARCHER2, 27 nodes), printed next to the
+// published Table II values.
+#include <numbers>
+
+#include "bench/bench_common.hpp"
+#include "src/jm76/search.hpp"
+#include "src/perf/costmodel.hpp"
+#include "src/rig/annulus.hpp"
+#include "src/rig/interface.hpp"
+#include "src/util/timer.hpp"
+
+using namespace vcgt;
+using jm76::DonorLocator;
+using jm76::SearchKind;
+
+namespace {
+
+struct MeasuredRow {
+  int cus;
+  double bf_seconds;
+  double adt_seconds;
+  double bins_seconds;
+  std::uint64_t bf_candidates;
+  std::uint64_t adt_candidates;
+};
+
+MeasuredRow measure(const rig::InterfaceSide& donor, const rig::InterfaceSide& target,
+                    int cus, int steps, double omega_dt) {
+  MeasuredRow row{cus, 0, 0, 0, 0, 0};
+  const auto n_targets = static_cast<std::size_t>(target.size());
+  const std::size_t per_cu = (n_targets + static_cast<std::size_t>(cus) - 1) /
+                             static_cast<std::size_t>(cus);
+  // Time the busiest CU (the paper's wait is set by the slowest unit).
+  // Bins (uniform hashing) is our extra data point beyond the paper's
+  // BF-vs-ADT pair.
+  for (const auto kind : {SearchKind::BruteForce, SearchKind::Adt, SearchKind::Bins}) {
+    const DonorLocator loc(donor, kind);
+    util::Timer t;
+    for (int s = 0; s < steps; ++s) {
+      const double rot = omega_dt * (s + 1);
+      for (std::size_t i = 0; i < per_cu && i < n_targets; ++i) {
+        const double r = target.rtheta[i * 2];
+        const double th = target.rtheta[i * 2 + 1];
+        if (loc.locate(r, th, rot) < 0) std::abort();
+      }
+    }
+    const double secs = t.elapsed();
+    if (kind == SearchKind::BruteForce) {
+      row.bf_seconds = secs;
+      row.bf_candidates = loc.candidates_tested();
+    } else if (kind == SearchKind::Adt) {
+      row.adt_seconds = secs;
+      row.adt_candidates = loc.candidates_tested();
+    } else {
+      row.bins_seconds = secs;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int steps = static_cast<int>(cli.get_int("steps", 20));
+
+  bench::header("Table II: Brute Force vs Binary Tree (ADT) coupler search",
+                "paper Table II, SS III-B / IV-A5");
+
+  // Measured layer: one Rig250 interface at a dense host-feasible
+  // resolution (the paper's interfaces hold ~1e5-1e6 faces; shape, not
+  // absolute seconds, is the reproduction target).
+  const auto rig = rig::rig250_spec(2);
+  rig::MeshResolution res{4, 24, 384};  // 9216 faces per interface side
+  const auto mesh_u = rig::generate_row_mesh(rig.rows[0], res);
+  const auto mesh_d = rig::generate_row_mesh(rig.rows[1], res);
+  const auto donor = rig::extract_interface(mesh_u, rig.rows[0], rig::BoundaryGroup::Outlet);
+  const auto target = rig::extract_interface(mesh_d, rig.rows[1], rig::BoundaryGroup::Inlet);
+  const double omega_dt = rig.omega() * 2.75e-6;
+
+  bench::section(util::fmt("measured: per-CU search seconds for {} steps, {} donor faces",
+                           steps, donor.size()));
+  util::Table meas({"CUs", "BF s", "ADT s", "bins s", "BF/ADT", "BF cand/locate",
+                    "ADT cand/locate"});
+  for (const int cus : {10, 20, 30, 40, 50, 60, 70, 80, 90}) {
+    const auto row = measure(donor, target, cus, steps, omega_dt);
+    const double locates =
+        static_cast<double>(steps) *
+        static_cast<double>((target.size() + cus - 1) / cus);
+    meas.add_row({std::to_string(row.cus), util::Table::num(row.bf_seconds, 3),
+                  util::Table::num(row.adt_seconds, 4),
+                  util::Table::num(row.bins_seconds, 4),
+                  util::Table::num(row.bf_seconds / row.adt_seconds, 1),
+                  util::Table::num(static_cast<double>(row.bf_candidates) / locates, 0),
+                  util::Table::num(static_cast<double>(row.adt_candidates) / locates, 1)});
+  }
+  meas.print_text(std::cout);
+  util::write_csv(meas, "table2_measured.csv");
+
+  // Model layer at the paper's configuration.
+  bench::section("model: 1-10_430M on 27 ARCHER2 nodes, un-overlapped coupler seconds/step");
+  perf::ScalingModel model(perf::archer2(), perf::w430m());
+  util::Table proj({"CUs", "BF s/step", "ADT s/step", "BF/ADT"});
+  for (const int cus : {10, 20, 30, 40, 50, 60, 70, 80, 90}) {
+    perf::ModelOptions bf, adt;
+    bf.search = SearchKind::BruteForce;
+    adt.search = SearchKind::Adt;
+    bf.cus_per_interface = adt.cus_per_interface = cus;
+    bf.pipelined = adt.pipelined = false;  // Table II exposes the raw search
+    bf.grouped_halos = adt.grouped_halos = false;
+    const double tb = model.step_cost(27, bf).coupler_wait;
+    const double ta = model.step_cost(27, adt).coupler_wait;
+    proj.add_row({std::to_string(cus), util::Table::num(tb, 2), util::Table::num(ta, 2),
+                  util::Table::num(tb / ta, 1)});
+  }
+  proj.print_text(std::cout);
+  util::write_csv(proj, "table2_model.csv");
+
+  std::cout << "\nPaper shape check: BF cost falls steeply from 10 to 40-50 CUs and the\n"
+               "binary tree search removes the bulk of it (paper: 35% total coupler\n"
+               "improvement at 30-40 CUs, enabling fewer CUs and more HS ranks).\n";
+  return 0;
+}

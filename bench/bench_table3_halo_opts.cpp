@@ -1,0 +1,224 @@
+// Table III reproduction: OP2 communication optimizations — partial halo
+// exchanges (PH), grouped halo messages (GH) and the staged/GPU-side gather
+// for coupler payloads (GG).
+//
+// Layer 1 (measured): a distributed hydra row over minimpi rank-threads with
+// each optimization toggled, metering exchanged halo bytes and message
+// counts (the quantities the optimizations exist to reduce), plus the
+// coupled staged-gather message shape.
+// Layer 2 (model): projected per-step runtimes at the paper's ARCHER2 and
+// Cirrus configurations next to the published Table III values.
+#include "bench/bench_common.hpp"
+#include "src/hydra/solver.hpp"
+#include "src/jm76/coupled.hpp"
+#include "src/minimpi/minimpi.hpp"
+#include "src/perf/costmodel.hpp"
+
+using namespace vcgt;
+
+namespace {
+
+struct HaloMeasurement {
+  std::uint64_t bytes = 0;
+  std::uint64_t msgs = 0;
+};
+
+HaloMeasurement run_row(bool partial, bool grouped, int nranks, int steps) {
+  HaloMeasurement out;
+  const auto rig = rig::rig250_spec(1);
+  const auto res = rig::resolution_tier("coarse");
+  const auto mesh = rig::generate_row_mesh(rig.rows[0], res);
+  hydra::FlowConfig flow;
+  flow.inner_iters = 3;
+  minimpi::World::run(nranks, [&](minimpi::Comm& comm) {
+    op2::Config cfg;
+    cfg.partial_halos = partial;
+    cfg.grouped_halos = grouped;
+    op2::Context ctx(comm, cfg);
+    hydra::RowSolver solver(ctx, mesh, rig.rows[0], rig.omega(), flow);
+    ctx.partition(op2::Partitioner::Rcb, solver.cell_center());
+    solver.initialize();
+    for (int t = 0; t < steps; ++t) {
+      solver.advance_inner(flow.inner_iters);
+      solver.shift_time_levels();
+    }
+    if (comm.rank() == 0) {
+      const auto s = ctx.total_stats();
+      out.bytes = s.halo_bytes;
+      out.msgs = s.halo_msgs;
+    }
+    // Meters are per-rank; aggregate across ranks.
+    const auto bytes = comm.allreduce_sum_u64(ctx.total_stats().halo_bytes);
+    const auto msgs = comm.allreduce_sum_u64(ctx.total_stats().halo_msgs);
+    if (comm.rank() == 0) {
+      out.bytes = bytes;
+      out.msgs = msgs;
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int nranks = static_cast<int>(cli.get_int("ranks", 8));
+  const int steps = static_cast<int>(cli.get_int("steps", 4));
+
+  bench::header("Table III: OP2 communication optimizations (PH / GH / GG)",
+                "paper Table III, SS IV-A5");
+
+  bench::section(util::fmt(
+      "measured: one coarse Rig250 row on {} rank-threads, {} steps — halo traffic", nranks,
+      steps));
+  util::Table meas({"config", "halo MB", "halo msgs", "bytes vs default", "msgs vs default"});
+  const auto base = run_row(false, false, nranks, steps);
+  struct Case {
+    const char* name;
+    bool ph, gh;
+  };
+  for (const Case c : {Case{"default", false, false}, Case{"+PH", true, false},
+                       Case{"+GH", false, true}, Case{"+PH+GH", true, true}}) {
+    const auto m = run_row(c.ph, c.gh, nranks, steps);
+    meas.add_row({c.name, util::Table::num(m.bytes / 1e6, 3), std::to_string(m.msgs),
+                  util::Table::num(static_cast<double>(m.bytes) / base.bytes, 3),
+                  util::Table::num(static_cast<double>(m.msgs) / base.msgs, 3)});
+  }
+  meas.print_text(std::cout);
+  util::write_csv(meas, "table3_measured_halo.csv");
+
+  // PH's motivating pattern (paper SS IV-A5): "sets representing the
+  // boundary of the mesh ... only have connectivity with a few internal
+  // mesh elements", so when a boundary loop is the first reader of a dirty
+  // dat, only those few halo elements need exchanging. The full hydra step
+  // above refreshes halos via interior loops first, which masks PH; this
+  // micro-sequence isolates it: write a cell dat, then read it only through
+  // a boundary-face map.
+  bench::section("measured: boundary-only reader micro-sequence (PH's motivating case)");
+  util::Table phm({"config", "halo bytes", "halo msgs"});
+  for (const bool partial : {false, true}) {
+    const auto rig1 = rig::rig250_spec(1);
+    const auto mesh1 = rig::generate_row_mesh(rig1.rows[0], rig::resolution_tier("coarse"));
+    std::uint64_t bytes = 0, msgs = 0;
+    minimpi::World::run(nranks, [&](minimpi::Comm& comm) {
+      op2::Config ocfg;
+      ocfg.partial_halos = partial;
+      op2::Context ctx(comm, ocfg);
+      auto& cells = ctx.decl_set("cells", mesh1.ncell);
+      auto& hub = ctx.decl_set("hub", mesh1.group_size(rig::BoundaryGroup::Hub));
+      // Two entries per boundary face: its own cell plus the next face's
+      // cell around the annulus — the second hop crosses partitions and is
+      // what creates (small) halo demand.
+      std::vector<op2::index_t> b2c;
+      const auto hb = mesh1.group_begin[static_cast<std::size_t>(rig::BoundaryGroup::Hub)];
+      const auto nhub = hub.global_size();
+      for (op2::index_t b = 0; b < nhub; ++b) {
+        b2c.push_back(mesh1.bface2cell[static_cast<std::size_t>(hb + b)]);
+        b2c.push_back(mesh1.bface2cell[static_cast<std::size_t>(hb + (b + 1) % nhub)]);
+      }
+      auto& map = ctx.decl_map("b2c", hub, cells, 2, std::move(b2c));
+      auto& cc = ctx.decl_dat<double>(cells, 3, "cc", mesh1.cell_center);
+      auto& v = ctx.decl_dat<double>(cells, 5, "v");
+      auto& acc = ctx.decl_dat<double>(hub, 1, "acc");
+      ctx.partition(op2::Partitioner::Rcb, cc);
+      for (int t = 0; t < steps; ++t) {
+        op2::par_loop("write_v", cells,
+                      [](double* x) {
+                        for (int c = 0; c < 5; ++c) x[c] = 1.0;
+                      },
+                      op2::arg(v, op2::Access::Write));
+        op2::par_loop("read_boundary", hub,
+                      [](const double* x, const double* y, double* a) { *a = x[0] + y[0]; },
+                      op2::arg(v, 0, map, op2::Access::Read),
+                      op2::arg(v, 1, map, op2::Access::Read),
+                      op2::arg(acc, op2::Access::Write));
+      }
+      const auto b = comm.allreduce_sum_u64(ctx.total_stats().halo_bytes);
+      const auto mm = comm.allreduce_sum_u64(ctx.total_stats().halo_msgs);
+      if (comm.rank() == 0) {
+        bytes = b;
+        msgs = mm;
+      }
+    });
+    phm.add_row({partial ? "+PH" : "default", std::to_string(bytes), std::to_string(msgs)});
+  }
+  phm.print_text(std::cout);
+  util::write_csv(phm, "table3_measured_ph_micro.csv");
+
+  // Staged gather (GG): message count per coupled step with the toggle.
+  bench::section("measured: coupler payload messages per interface step (GG toggle)");
+  util::Table gg({"staged_gather", "world msgs", "world bytes"});
+  for (const bool staged : {false, true}) {
+    jm76::CoupledConfig ccfg;
+    ccfg.rig = rig::rig250_spec(2);
+    ccfg.res = rig::resolution_tier("coarse");
+    ccfg.flow.inner_iters = 1;
+    ccfg.hs_ranks = {2, 2};
+    ccfg.cus_per_interface = 2;
+    ccfg.staged_gather = staged;
+    ccfg.pipelined = false;
+    std::uint64_t msgs = 0, bytes = 0;
+    minimpi::World::run(ccfg.layout().world_size(), [&](minimpi::Comm& world) {
+      jm76::CoupledRig rigrun(world, ccfg);
+      world.barrier();
+      if (world.rank() == 0) world.reset_traffic();  // ignore setup traffic
+      world.barrier();
+      rigrun.run(3);
+      world.barrier();
+      if (world.rank() == 0) {
+        const auto t = world.traffic();
+        msgs = t.messages;
+        bytes = t.bytes;
+      }
+    });
+    gg.add_row({staged ? "on (GG)" : "off", std::to_string(msgs), std::to_string(bytes)});
+  }
+  gg.print_text(std::cout);
+  util::write_csv(gg, "table3_measured_gg.csv");
+
+  // Model layer: communication cost (halo + coupler transfer) per step at
+  // the paper's configs. The paper's Table III runtimes cover an unspecified
+  // iteration count, so the reproduction target is the *ordering and
+  // relative gains* of the optimization ladder, not absolute seconds.
+  bench::section("model: projected communication s/step at the paper's node counts");
+  util::Table proj({"system", "mesh", "nodes", "default comm", "+PH", "+GG+GH+PH",
+                    "best/default", "paper best/default"});
+  struct PaperRow {
+    const char* system;
+    perf::MachineSpec machine;
+    perf::WorkloadSpec wl;
+    int nodes;
+    double paper_default, paper_best;
+  };
+  const PaperRow rows[] = {
+      {"ARCHER2", perf::archer2(), perf::w430m(), 27, 41.62, 39.87},
+      {"ARCHER2", perf::archer2(), perf::w458b(), 288, 41.24, 18.19},
+      {"Cirrus", perf::cirrus(), perf::w430m(), 25, 19.07, 5.09},
+      {"Cirrus", perf::cirrus(), perf::w653m(), 29, 23.79, 6.74},
+  };
+  auto comm_cost = [](const perf::StepCost& c) { return c.halo + c.coupler_wait; };
+  for (const auto& r : rows) {
+    perf::ScalingModel model(r.machine, r.wl);
+    perf::ModelOptions def, ph, all;
+    def.partial_halos = ph.partial_halos = all.partial_halos = false;
+    def.grouped_halos = ph.grouped_halos = all.grouped_halos = false;
+    def.staged_gather = ph.staged_gather = all.staged_gather = false;
+    ph.partial_halos = true;
+    all.partial_halos = all.grouped_halos = all.staged_gather = true;
+    const double cd = comm_cost(model.step_cost(r.nodes, def));
+    const double cp = comm_cost(model.step_cost(r.nodes, ph));
+    const double ca = comm_cost(model.step_cost(r.nodes, all));
+    proj.add_row({r.system, r.wl.name, std::to_string(r.nodes), util::Table::num(cd, 3),
+                  util::Table::num(cp, 3), util::Table::num(ca, 3),
+                  util::Table::num(ca / cd, 2),
+                  util::Table::num(r.paper_best / r.paper_default, 2)});
+  }
+  proj.print_text(std::cout);
+  util::write_csv(proj, "table3_model.csv");
+
+  std::cout << "\nPaper shape check: PH trims a few percent of halo bytes on CPU; grouping\n"
+               "plus the staged gather removes most per-message device-copy overhead on\n"
+               "GPU nodes (paper: 60-70% runtime reduction on Cirrus, modest on ARCHER2\n"
+               "where packing outweighs latency).\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+#pragma once
+// Shared generator for the Figure 7/8/9 scaling reproductions: model curves
+// (runtime/timestep, parallel efficiency, coupling overhead fraction) at the
+// paper's node counts for ARCHER2 and power-equivalent Cirrus points, plus a
+// measured mini-scale sweep of the real coupled system over increasing rank
+// counts (load balance and communication metrics, which — not wall time —
+// are the meaningful scaling signals when every rank-thread shares one
+// physical core).
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/jm76/coupled.hpp"
+#include "src/perf/costmodel.hpp"
+
+namespace vcgt::bench {
+
+struct FigureSpec {
+  std::string title;
+  std::string paper_ref;
+  perf::WorkloadSpec workload;
+  std::vector<int> archer2_nodes;   ///< paper's x axis
+  std::vector<int> cirrus_nodes;    ///< physical Cirrus nodes (may be empty)
+  int base_node_index = 0;          ///< efficiency reference point
+  double paper_efficiency = 0.0;    ///< quoted end-to-end efficiency
+  int mini_rows = 3;                ///< rows in the measured mini sweep
+};
+
+inline void run_scaling_figure(const FigureSpec& spec, int steps,
+                               const std::string& csv_prefix) {
+  header(spec.title, spec.paper_ref);
+
+  // --- model curves ---------------------------------------------------------
+  section("model: ARCHER2 scaling");
+  perf::ModelOptions cpu;
+  cpu.grouped_halos = false;
+  perf::ScalingModel a2(perf::archer2(), spec.workload);
+  util::Table ta({"nodes", "s/step", "h/rev", "efficiency", "coupling %"});
+  const int base = spec.archer2_nodes[static_cast<std::size_t>(spec.base_node_index)];
+  for (const int n : spec.archer2_nodes) {
+    const auto c = a2.step_cost(n, cpu);
+    ta.add_row({std::to_string(n), util::Table::num(c.total(), 2),
+                util::Table::num(a2.hours_per_rev(n, cpu), 2),
+                util::Table::num(a2.efficiency(base, n, cpu), 3),
+                util::Table::num(100.0 * c.coupling_fraction(), 1)});
+  }
+  ta.print_text(std::cout);
+  util::write_csv(ta, csv_prefix + "_archer2_model.csv");
+  std::cout << "paper quotes " << util::Table::num(100.0 * spec.paper_efficiency, 1)
+            << "% parallel efficiency over this range\n";
+
+  if (!spec.cirrus_nodes.empty()) {
+    section("model: Cirrus (GPU) scaling, with power-equivalent ARCHER2 nodes");
+    perf::ModelOptions gpu;
+    gpu.cus_per_interface = 40;
+    perf::ScalingModel cir(perf::cirrus(), spec.workload);
+    util::Table tc({"Cirrus nodes", "ARCHER2-equiv", "s/step", "coupling %",
+                    "speedup vs A2 (power-equiv)"});
+    for (const int n : spec.cirrus_nodes) {
+      const auto c = cir.step_cost(n, gpu);
+      const double eq = cir.power_equivalent_nodes(n, perf::archer2());
+      const double ta2 = a2.step_cost(static_cast<int>(eq + 0.5), cpu).total();
+      tc.add_row({std::to_string(n), util::Table::num(eq, 0),
+                  util::Table::num(c.total(), 2),
+                  util::Table::num(100.0 * c.coupling_fraction(), 1),
+                  util::Table::num(ta2 / c.total(), 2)});
+    }
+    tc.print_text(std::cout);
+    util::write_csv(tc, csv_prefix + "_cirrus_model.csv");
+  }
+
+  // --- measured mini sweep ----------------------------------------------------
+  section("measured: real coupled system over increasing rank counts");
+  util::Table tm({"HS ranks/row", "world", "max/min owned cells", "halo MB/rank",
+                  "coupler wait s/step", "CU search s/step"});
+  for (const int rpr : {1, 2, 3}) {
+    jm76::CoupledConfig cfg;
+    cfg.rig = rig::rig250_spec(spec.mini_rows);
+    cfg.res = rig::resolution_tier("coarse");
+    cfg.flow.inner_iters = 2;
+    cfg.hs_ranks.assign(static_cast<std::size_t>(spec.mini_rows), rpr);
+    cfg.cus_per_interface = 1;
+    minimpi::World::run(cfg.layout().world_size(), [&](minimpi::Comm& world) {
+      jm76::CoupledRig run(world, cfg);
+      run.run(steps);
+      const auto all = jm76::CoupledRig::collect(world, run.stats());
+      if (world.rank() == 0) {
+        std::uint64_t mx = 0, mn = ~0ull, bytes = 0;
+        double wait = 0, search = 0;
+        int hs = 0;
+        for (const auto& s : all) {
+          if (s.is_cu) {
+            search = std::max(search, s.search_seconds);
+            continue;
+          }
+          ++hs;
+          mx = std::max(mx, s.owned_cells);
+          mn = std::min(mn, s.owned_cells);
+          bytes += s.halo_bytes;
+          wait = std::max(wait, s.coupler_wait);
+        }
+        tm.add_row({std::to_string(rpr), std::to_string(world.size()),
+                    util::Table::num(static_cast<double>(mx) / static_cast<double>(mn), 3),
+                    util::Table::num(static_cast<double>(bytes) / hs / 1e6, 3),
+                    util::Table::num(wait / steps, 4),
+                    util::Table::num(search / steps, 4)});
+      }
+    });
+  }
+  tm.print_text(std::cout);
+  util::write_csv(tm, csv_prefix + "_measured_mini.csv");
+}
+
+}  // namespace vcgt::bench

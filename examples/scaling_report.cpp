@@ -1,0 +1,78 @@
+// Scaling-projection tool: evaluate the calibrated machine models at
+// arbitrary node counts — the "how many nodes do I need for one revolution
+// in N hours" question virtual-certification planning asks.
+//
+//   ./scaling_report --mesh=458b --machine=archer2 --nodes=128,256,512,1024
+#include <iostream>
+#include <sstream>
+
+#include "src/perf/costmodel.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+using namespace vcgt;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string mesh = cli.get("mesh", "458b");
+  const std::string machine_name = cli.get("machine", "archer2");
+
+  perf::WorkloadSpec wl = mesh == "430m"   ? perf::w430m()
+                          : mesh == "653m" ? perf::w653m()
+                                           : perf::w458b();
+  perf::MachineSpec machine = machine_name == "cirrus"    ? perf::cirrus()
+                              : machine_name == "haswell" ? perf::haswell_production()
+                              : machine_name == "archer1" ? perf::archer1()
+                                                          : perf::archer2();
+
+  std::vector<int> nodes;
+  std::stringstream ss(cli.get("nodes", "64,128,256,512,1024"));
+  for (std::string item; std::getline(ss, item, ',');) nodes.push_back(std::stoi(item));
+
+  perf::ModelOptions opt;
+  opt.monolithic = cli.get_bool("monolithic", false);
+  opt.search = cli.get("search", "adt") == "bf" ? jm76::SearchKind::BruteForce
+                                                : jm76::SearchKind::Adt;
+  opt.cus_per_interface = static_cast<int>(cli.get_int("cus", machine.is_gpu() ? 40 : 30));
+  opt.pipelined = cli.get_bool("pipelined", true);
+  opt.grouped_halos = machine.is_gpu();
+  opt.staged_gather = machine.is_gpu();
+
+  perf::ScalingModel model(machine, wl);
+  std::cout << wl.name << " on " << machine.name
+            << (opt.monolithic ? " (monolithic)" : " (coupled)") << ", "
+            << opt.cus_per_interface << " CUs/interface, "
+            << jm76::search_kind_name(opt.search) << " search\n";
+  if (const int min_nodes = model.min_gpu_nodes(); min_nodes > 0) {
+    std::cout << "GPU memory requires >= " << min_nodes << " nodes\n";
+  }
+
+  util::Table t({"nodes", "s/step", "hours/rev", "efficiency", "coupling %",
+                 "node-hours/rev", "MWh/rev"});
+  const int base = nodes.front();
+  for (const int n : nodes) {
+    const auto c = model.step_cost(n, opt);
+    t.add_row({std::to_string(n), util::Table::num(c.total(), 2),
+               util::Table::num(model.hours_per_rev(n, opt), 2),
+               util::Table::num(model.efficiency(base, n, opt), 3),
+               util::Table::num(100.0 * c.coupling_fraction(), 1),
+               util::Table::num(model.hours_per_rev(n, opt) * n, 0),
+               util::Table::num(model.energy_mwh_per_rev(n, opt), 2)});
+  }
+  t.print_text(std::cout);
+
+  if (cli.has("target-hours")) {
+    const double target = cli.get_double("target-hours", 6.0);
+    const int need = model.nodes_for_target_hours(target, opt);
+    if (need > 0) {
+      std::cout << "\n1 revolution in <= " << target << " h needs " << need << " "
+                << machine.name << " nodes ("
+                << util::Table::num(model.energy_mwh_per_rev(need, opt), 2)
+                << " MWh/rev)\n";
+    } else {
+      std::cout << "\ntarget " << target << " h is unreachable (overheads flatten the "
+                << "speedup before the target)\n";
+    }
+  }
+  return 0;
+}

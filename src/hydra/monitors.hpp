@@ -1,0 +1,76 @@
+#pragma once
+// Time-series convergence/operating-point monitors for a RowSolver — the
+// run-history bookkeeping every production CFD campaign keeps (residual
+// traces, mass-flow balance, shaft power) with CSV export for plotting.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/hydra/solver.hpp"
+#include "src/util/table.hpp"
+
+namespace vcgt::hydra {
+
+class MonitorRecorder {
+ public:
+  struct Record {
+    int step = 0;
+    double time = 0.0;      ///< physical time [s]
+    double rms = 0.0;       ///< residual rms
+    double mdot_in = 0.0;   ///< inlet mass flow (negative = entering)
+    double mdot_out = 0.0;  ///< outlet mass flow
+    double mean_p = 0.0;    ///< volume-mean static pressure
+    double power = 0.0;     ///< shaft power [W]
+  };
+
+  explicit MonitorRecorder(RowSolver& solver) : solver_(&solver) {}
+
+  /// Samples every monitor (collective — all ranks of the session call).
+  const Record& sample(int step) {
+    Record r;
+    r.step = step;
+    r.time = solver_->physical_time();
+    r.rms = solver_->residual_rms();
+    r.mdot_in = solver_->mass_flow(rig::BoundaryGroup::Inlet);
+    r.mdot_out = solver_->mass_flow(rig::BoundaryGroup::Outlet);
+    r.mean_p = solver_->mean_pressure();
+    r.power = solver_->shaft_power();
+    history_.push_back(r);
+    return history_.back();
+  }
+
+  [[nodiscard]] const std::vector<Record>& history() const { return history_; }
+
+  /// Relative mass-flow imbalance |in + out| / |out| of the latest sample —
+  /// the conservation health check.
+  [[nodiscard]] double mass_imbalance() const {
+    if (history_.empty()) return 0.0;
+    const auto& r = history_.back();
+    const double denom = std::max(std::fabs(r.mdot_out), 1e-300);
+    return std::fabs(r.mdot_in + r.mdot_out) / denom;
+  }
+
+  /// Residual drop of the latest sample relative to the first.
+  [[nodiscard]] double convergence_ratio() const {
+    if (history_.size() < 2) return 1.0;
+    return history_.back().rms / std::max(history_.front().rms, 1e-300);
+  }
+
+  /// Writes the history as CSV (call on one rank).
+  bool write_csv(const std::string& path) const {
+    util::Table t({"step", "time", "rms", "mdot_in", "mdot_out", "mean_p", "power"});
+    for (const auto& r : history_) {
+      t.add_row({std::to_string(r.step), util::Table::num(r.time, 8),
+                 util::Table::num(r.rms, 4), util::Table::num(r.mdot_in, 4),
+                 util::Table::num(r.mdot_out, 4), util::Table::num(r.mean_p, 2),
+                 util::Table::num(r.power, 1)});
+    }
+    return util::write_csv(t, path);
+  }
+
+ private:
+  RowSolver* solver_;
+  std::vector<Record> history_;
+};
+
+}  // namespace vcgt::hydra

@@ -1,0 +1,170 @@
+#include "src/jm76/adt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vcgt::jm76 {
+
+Adt2D::Adt2D(std::vector<double> boxes) : boxes_(std::move(boxes)) {
+  if (boxes_.size() % 4 != 0) {
+    throw std::invalid_argument("Adt2D: boxes must hold 4 doubles per item");
+  }
+  const auto n = boxes_.size() / 4;
+  nodes_.reserve(n);
+  // 4D hyperspace bounds from the data.
+  for (int d = 0; d < 4; ++d) {
+    lo_[d] = 1e300;
+    hi_[d] = -1e300;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < 4; ++d) {
+      lo_[d] = std::min(lo_[d], boxes_[i * 4 + static_cast<std::size_t>(d)]);
+      hi_[d] = std::max(hi_[d], boxes_[i * 4 + static_cast<std::size_t>(d)]);
+    }
+  }
+  for (int d = 0; d < 4; ++d) {
+    if (hi_[d] <= lo_[d]) hi_[d] = lo_[d] + 1e-12;
+  }
+  for (std::size_t i = 0; i < n; ++i) insert(static_cast<int>(i));
+}
+
+void Adt2D::insert(int item) {
+  if (root_ == -1) {
+    root_ = 0;
+    nodes_.push_back({item, -1, -1});
+    max_depth_ = 1;
+    return;
+  }
+  double lo[4], hi[4];
+  std::copy(lo_, lo_ + 4, lo);
+  std::copy(hi_, hi_ + 4, hi);
+  int cur = root_;
+  int depth = 1;
+  const double* key = boxes_.data() + static_cast<std::size_t>(item) * 4;
+  for (;;) {
+    const int dim = depth % 4;
+    const double mid = 0.5 * (lo[dim] + hi[dim]);
+    const bool go_left = key[dim] < mid;
+    int& child = go_left ? nodes_[static_cast<std::size_t>(cur)].left
+                         : nodes_[static_cast<std::size_t>(cur)].right;
+    (go_left ? hi[dim] : lo[dim]) = mid;
+    ++depth;
+    if (child == -1) {
+      child = static_cast<int>(nodes_.size());
+      nodes_.push_back({item, -1, -1});
+      max_depth_ = std::max(max_depth_, depth);
+      return;
+    }
+    cur = child;
+  }
+}
+
+UniformBins2D::UniformBins2D(std::vector<double> boxes, int cells_per_axis)
+    : boxes_(std::move(boxes)) {
+  if (boxes_.size() % 4 != 0) {
+    throw std::invalid_argument("UniformBins2D: boxes must hold 4 doubles per item");
+  }
+  const auto n = boxes_.size() / 4;
+  if (cells_per_axis <= 0) {
+    cells_per_axis = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(n))));
+  }
+  nx_ = ny_ = cells_per_axis;
+  double hi[2] = {-1e300, -1e300};
+  lo_[0] = lo_[1] = 1e300;
+  for (std::size_t i = 0; i < n; ++i) {
+    lo_[0] = std::min(lo_[0], boxes_[i * 4 + 0]);
+    hi[0] = std::max(hi[0], boxes_[i * 4 + 1]);
+    lo_[1] = std::min(lo_[1], boxes_[i * 4 + 2]);
+    hi[1] = std::max(hi[1], boxes_[i * 4 + 3]);
+  }
+  if (n == 0) {
+    lo_[0] = lo_[1] = 0.0;
+    hi[0] = hi[1] = 1.0;
+  }
+  for (int d = 0; d < 2; ++d) {
+    const double w = std::max(1e-300, hi[d] - lo_[d]);
+    inv_w_[d] = (d == 0 ? nx_ : ny_) / w;
+  }
+  bins_.resize(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_));
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cx0 = cell_of(boxes_[i * 4 + 0], lo_[0], inv_w_[0], nx_);
+    const int cx1 = cell_of(boxes_[i * 4 + 1], lo_[0], inv_w_[0], nx_);
+    const int cy0 = cell_of(boxes_[i * 4 + 2], lo_[1], inv_w_[1], ny_);
+    const int cy1 = cell_of(boxes_[i * 4 + 3], lo_[1], inv_w_[1], ny_);
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      for (int cy = cy0; cy <= cy1; ++cy) {
+        bins_[static_cast<std::size_t>(cy) * nx_ + static_cast<std::size_t>(cx)].push_back(
+            static_cast<int>(i));
+      }
+    }
+  }
+}
+
+void UniformBins2D::query(double x, double y, std::vector<int>* out,
+                          std::uint64_t* candidates) const {
+  if (boxes_.empty()) return;
+  if (x < lo_[0] - 1e-12 || y < lo_[1] - 1e-12) {
+    // Outside the indexed region entirely (the clamped cell would be wrong
+    // only for containment, which the per-box test below rejects anyway).
+  }
+  const int cx = cell_of(x, lo_[0], inv_w_[0], nx_);
+  const int cy = cell_of(y, lo_[1], inv_w_[1], ny_);
+  const auto& bin = bins_[static_cast<std::size_t>(cy) * nx_ + static_cast<std::size_t>(cx)];
+  if (candidates) *candidates += bin.size();
+  for (const int i : bin) {
+    const double* b = boxes_.data() + static_cast<std::size_t>(i) * 4;
+    if (x >= b[0] && x <= b[1] && y >= b[2] && y <= b[3]) out->push_back(i);
+  }
+}
+
+void Adt2D::query(double x, double y, std::vector<int>* out,
+                  std::uint64_t* candidates) const {
+  if (root_ == -1) return;
+  // Iterative DFS with the per-node 4D region on an explicit stack.
+  struct Frame {
+    int node;
+    int depth;
+    double lo[4];
+    double hi[4];
+  };
+  std::vector<Frame> stack;
+  Frame f0;
+  f0.node = root_;
+  f0.depth = 1;
+  std::copy(lo_, lo_ + 4, f0.lo);
+  std::copy(hi_, hi_ + 4, f0.hi);
+  stack.push_back(f0);
+
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    // Prune: a containing box needs x_lo <= x (dim 0), x_hi >= x (dim 1),
+    // y_lo <= y (dim 2), y_hi >= y (dim 3).
+    if (f.lo[0] > x || f.hi[1] < x || f.lo[2] > y || f.hi[3] < y) continue;
+    if (candidates) ++*candidates;
+
+    const Node& nd = nodes_[static_cast<std::size_t>(f.node)];
+    const double* b = boxes_.data() + static_cast<std::size_t>(nd.item) * 4;
+    if (x >= b[0] && x <= b[1] && y >= b[2] && y <= b[3]) out->push_back(nd.item);
+
+    const int dim = f.depth % 4;
+    const double mid = 0.5 * (f.lo[dim] + f.hi[dim]);
+    if (nd.left != -1) {
+      Frame fl = f;
+      fl.node = nd.left;
+      fl.depth = f.depth + 1;
+      fl.hi[dim] = mid;
+      stack.push_back(fl);
+    }
+    if (nd.right != -1) {
+      Frame fr = f;
+      fr.node = nd.right;
+      fr.depth = f.depth + 1;
+      fr.lo[dim] = mid;
+      stack.push_back(fr);
+    }
+  }
+}
+
+}  // namespace vcgt::jm76

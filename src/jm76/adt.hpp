@@ -1,0 +1,98 @@
+#pragma once
+// Alternating Digital Tree (Bonet & Peraire 1991) over 2D boxes — the
+// binary-tree donor search that replaced JM76's brute-force routine and cut
+// coupler overhead by ~35% at 30-40 CUs (paper §III-B, Table II).
+//
+// Each 2D box (x_lo, x_hi, y_lo, y_hi) is a point in the 4D hyperspace; the
+// tree alternates the split dimension with depth. A containment query for a
+// point (x, y) prunes subtrees whose 4D region cannot contain any box with
+// x_lo <= x <= x_hi and y_lo <= y <= y_hi.
+#include <cstdint>
+#include <vector>
+
+namespace vcgt::jm76 {
+
+class Adt2D {
+ public:
+  /// boxes: 4 doubles per item (x_lo, x_hi, y_lo, y_hi), x_lo <= x_hi and
+  /// y_lo <= y_hi required (wrapping is the caller's concern).
+  explicit Adt2D(std::vector<double> boxes);
+
+  /// Appends the indices of all boxes containing (x, y) to *out (not
+  /// cleared). `candidates` (optional) accumulates the number of nodes
+  /// visited — the work metric compared against brute force.
+  void query(double x, double y, std::vector<int>* out,
+             std::uint64_t* candidates = nullptr) const;
+
+  [[nodiscard]] std::size_t size() const { return boxes_.size() / 4; }
+  [[nodiscard]] int depth() const { return max_depth_; }
+
+ private:
+  struct Node {
+    int item = -1;
+    int left = -1;
+    int right = -1;
+  };
+
+  void insert(int item);
+
+  std::vector<double> boxes_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int max_depth_ = 0;
+  double lo_[4] = {0, 0, 0, 0};  ///< 4D hyperspace bounds
+  double hi_[4] = {0, 0, 0, 0};
+};
+
+/// Uniform-grid binning: boxes are registered in every grid cell they
+/// overlap; a query tests only its cell's list. O(1) expected for
+/// well-distributed boxes — the classic alternative to tree searches for
+/// near-uniform interface lattices (provided for the search ablation; the
+/// paper's JM76 went brute force -> ADT).
+class UniformBins2D {
+ public:
+  /// `boxes` as for Adt2D; `cells_per_axis` <= 0 picks ~sqrt(n) per axis.
+  explicit UniformBins2D(std::vector<double> boxes, int cells_per_axis = 0);
+
+  void query(double x, double y, std::vector<int>* out,
+             std::uint64_t* candidates = nullptr) const;
+
+  [[nodiscard]] std::size_t size() const { return boxes_.size() / 4; }
+
+ private:
+  [[nodiscard]] int cell_of(double v, double lo, double inv_width, int n) const {
+    int c = static_cast<int>((v - lo) * inv_width);
+    return c < 0 ? 0 : (c >= n ? n - 1 : c);
+  }
+
+  std::vector<double> boxes_;
+  int nx_ = 1, ny_ = 1;
+  double lo_[2] = {0, 0};
+  double inv_w_[2] = {1, 1};
+  std::vector<std::vector<int>> bins_;  ///< nx*ny lists of box indices
+};
+
+/// Brute-force baseline: scans every box (JM76's original routine).
+class BruteForce2D {
+ public:
+  explicit BruteForce2D(std::vector<double> boxes) : boxes_(std::move(boxes)) {}
+
+  void query(double x, double y, std::vector<int>* out,
+             std::uint64_t* candidates = nullptr) const {
+    const auto n = boxes_.size() / 4;
+    if (candidates) *candidates += n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* b = boxes_.data() + i * 4;
+      if (x >= b[0] && x <= b[1] && y >= b[2] && y <= b[3]) {
+        out->push_back(static_cast<int>(i));
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return boxes_.size() / 4; }
+
+ private:
+  std::vector<double> boxes_;
+};
+
+}  // namespace vcgt::jm76

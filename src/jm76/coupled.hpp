@@ -1,0 +1,116 @@
+#pragma once
+// jm76::CoupledRig — the full coupled solver of the paper: one hydra
+// RowSolver per blade row running on its Hydra Session's sub-communicator,
+// JM76 Coupler Units on dedicated ranks performing the sliding-plane donor
+// search and interpolation, with the search overlapped with the CFD inner
+// iterations (pipelined mode; §II-C "rendezvous" strategy).
+//
+// Instantiate one CoupledRig inside every rank of a minimpi::World and call
+// run(); roles are derived from the Layout.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/hydra/solver.hpp"
+#include "src/jm76/interp.hpp"
+#include "src/jm76/mixing.hpp"
+#include "src/jm76/layout.hpp"
+#include "src/jm76/search.hpp"
+#include "src/minimpi/minimpi.hpp"
+#include "src/op2/op2.hpp"
+#include "src/rig/interface.hpp"
+#include "src/rig/rowspec.hpp"
+
+namespace vcgt::jm76 {
+
+struct CoupledConfig {
+  rig::RigSpec rig;
+  rig::MeshResolution res;
+  hydra::FlowConfig flow;
+
+  std::vector<int> hs_ranks;    ///< ranks per row (size == rig.nrows())
+  int cus_per_interface = 1;
+  SearchKind search = SearchKind::Adt;
+  InterpKind interp = InterpKind::DonorCell;
+  /// SlidingPlane (URANS, default) or MixingPlane (steady-RANS averaging).
+  TransferKind transfer = TransferKind::SlidingPlane;
+  /// How an interface's target faces are divided among its CUs: contiguous
+  /// circumferential sectors (paper's description) or round-robin
+  /// interleaving of theta columns (better balanced when flow features
+  /// cluster circumferentially).
+  enum class CuPartition { Sector, RoundRobin };
+  CuPartition cu_partition = CuPartition::Sector;
+  /// Overlap the CU search with the HS inner iterations by consuming ghosts
+  /// with a one-step lag (the paper's overlap claim, §II-C); off = HS blocks
+  /// for the same-step transfer.
+  bool pipelined = true;
+  /// GG optimization (Table III): pack gids+payload into one message per
+  /// (HS rank, CU) instead of one message per field component.
+  bool staged_gather = true;
+
+  op2::Config op2cfg;
+  op2::Partitioner partitioner = op2::Partitioner::Rcb;
+
+  [[nodiscard]] Layout layout() const { return Layout(hs_ranks, cus_per_interface); }
+};
+
+/// Per-rank timing/metering snapshot collected after run().
+struct RankStats {
+  int world_rank = 0;
+  std::int32_t is_cu = 0;
+  std::int32_t row_or_iface = 0;
+  double step_seconds = 0.0;    ///< HS: wall time in the step loop
+  double coupler_wait = 0.0;    ///< HS: blocked receiving ghosts
+  double search_seconds = 0.0;  ///< CU: donor search + interpolation
+  double cu_idle_seconds = 0.0; ///< CU: blocked receiving donor data
+  std::uint64_t candidates = 0; ///< CU: donor boxes tested
+  std::uint64_t halo_bytes = 0; ///< HS: op2 halo traffic
+  std::uint64_t halo_msgs = 0;
+  double halo_seconds = 0.0;
+  std::uint64_t owned_cells = 0;
+};
+
+class CoupledRig {
+ public:
+  CoupledRig(minimpi::Comm& world, const CoupledConfig& cfg);
+  ~CoupledRig();
+
+  /// Runs `nsteps` physical time steps with `inner` pseudo-time iterations
+  /// each (inner defaults to the FlowConfig value). Collective over the
+  /// world.
+  void run(int nsteps, int inner = -1);
+
+  [[nodiscard]] const RankStats& stats() const { return stats_; }
+  /// Gathers every rank's stats to world rank 0 (empty elsewhere).
+  static std::vector<RankStats> collect(minimpi::Comm& world, const RankStats& mine);
+
+  /// HS-only access for examples/tests (null on CU ranks).
+  [[nodiscard]] hydra::RowSolver* solver() { return solver_.get(); }
+  [[nodiscard]] const Role& role() const { return role_; }
+
+  /// Checkpoints every row's flow state under `prefix` (one file set per
+  /// row). Collective over the world; CU ranks participate as no-ops.
+  bool save_state(const std::string& prefix);
+  /// Restores a checkpoint written by save_state (any rank layout).
+  bool load_state(const std::string& prefix);
+
+ private:
+  void run_hs(int nsteps, int inner);
+  void run_cu(int nsteps);
+
+  minimpi::Comm& world_;
+  CoupledConfig cfg_;
+  Layout layout_;
+  Role role_;
+
+  // HS state.
+  std::unique_ptr<op2::Context> ctx_;
+  std::unique_ptr<hydra::RowSolver> solver_;
+  /// Physical time at the start of the next run() segment (kept on every
+  /// rank — the CUs need it for the interface rotation).
+  double base_time_ = 0.0;
+
+  RankStats stats_;
+};
+
+}  // namespace vcgt::jm76

@@ -1,0 +1,77 @@
+#include "src/jm76/interp.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vcgt::jm76 {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+const char* interp_kind_name(InterpKind k) {
+  return k == InterpKind::DonorCell ? "donor-cell" : "bilinear";
+}
+
+Interpolator::Interpolator(const rig::InterfaceSide& donor, SearchKind search,
+                           InterpKind interp)
+    : donor_(donor), interp_(interp) {
+  if (interp_ == InterpKind::DonorCell) {
+    locator_ = std::make_unique<DonorLocator>(donor, search);
+  } else {
+    if (donor.nr <= 0 || donor.ntheta <= 0) {
+      throw std::invalid_argument(
+          "Interpolator: bilinear mode needs the interface's lattice hints");
+    }
+    dr_ = (donor.r_max - donor.r_min) / donor.nr;
+    dth_ = kTwoPi / donor.ntheta;
+  }
+}
+
+Stencil Interpolator::stencil(double r, double theta, double rotation) const {
+  Stencil s;
+  if (interp_ == InterpKind::DonorCell) {
+    const int don = locator_->locate(r, theta, rotation);
+    if (don < 0) throw std::runtime_error("Interpolator: donor search failed");
+    s.count = 1;
+    s.face[0] = don;
+    s.weight[0] = 1.0;
+    return s;
+  }
+
+  // Bilinear on the (r, theta) face-center lattice; centers sit at
+  // r_min + (j + 0.5) dr and (k + 0.5) dth in the donor frame.
+  double th = std::fmod(theta - rotation, kTwoPi);
+  if (th < 0) th += kTwoPi;
+
+  const double jr = (r - donor_.r_min) / dr_ - 0.5;
+  int j0 = static_cast<int>(std::floor(jr));
+  double fj = jr - j0;
+  if (j0 < 0) {  // below the innermost centers: constant extrapolation
+    j0 = 0;
+    fj = 0.0;
+  } else if (j0 >= donor_.nr - 1) {
+    j0 = donor_.nr - 1;
+    fj = 0.0;  // j1 collapses onto j0
+  }
+  const int j1 = std::min(j0 + 1, donor_.nr - 1);
+
+  const double kt = th / dth_ - 0.5;
+  int k0 = static_cast<int>(std::floor(kt));
+  const double fk = kt - k0;  // theta wraps, no clamping
+  const int k1 = k0 + 1;
+
+  s.count = 4;
+  s.face[0] = donor_.face_at(j0, k0);
+  s.weight[0] = (1 - fj) * (1 - fk);
+  s.face[1] = donor_.face_at(j1, k0);
+  s.weight[1] = fj * (1 - fk);
+  s.face[2] = donor_.face_at(j0, k1);
+  s.weight[2] = (1 - fj) * fk;
+  s.face[3] = donor_.face_at(j1, k1);
+  s.weight[3] = fj * fk;
+  return s;
+}
+
+}  // namespace vcgt::jm76

@@ -1,0 +1,54 @@
+#pragma once
+// Sliding-plane interpolation schemes. The transfer writes, for each target
+// face, a payload combined from donor faces at the rotated position:
+//
+//  * DonorCell — piecewise-constant: the containing donor quad's value,
+//    found with the (brute-force or ADT) search. First order, fully general
+//    (works for any unstructured interface), and the configuration whose
+//    search cost Table II studies.
+//  * Bilinear — second-order: the four donor face centers surrounding the
+//    rotated point in the (r, theta) lattice, bilinear weights, periodic in
+//    theta and constant-extrapolated at hub/casing. Exploits the structured
+//    annulus layout (no search needed); exact for fields linear in r and
+//    theta, which the tests verify.
+#include <array>
+
+#include "src/jm76/search.hpp"
+#include "src/rig/interface.hpp"
+
+namespace vcgt::jm76 {
+
+enum class InterpKind { DonorCell, Bilinear };
+
+const char* interp_kind_name(InterpKind k);
+
+/// A target point's donor stencil: up to 4 (face, weight) pairs.
+struct Stencil {
+  int count = 0;
+  std::array<op2::index_t, 4> face{};
+  std::array<double, 4> weight{};
+};
+
+class Interpolator {
+ public:
+  Interpolator(const rig::InterfaceSide& donor, SearchKind search, InterpKind interp);
+
+  /// Stencil for the target point (r, theta) given the donor rotation angle
+  /// (as DonorLocator::locate). Throws std::runtime_error when the
+  /// donor-cell search fails.
+  [[nodiscard]] Stencil stencil(double r, double theta, double rotation) const;
+
+  [[nodiscard]] InterpKind kind() const { return interp_; }
+  [[nodiscard]] std::uint64_t candidates_tested() const {
+    return locator_ ? locator_->candidates_tested() : 0;
+  }
+
+ private:
+  rig::InterfaceSide donor_;  ///< owned copy: callers may move/destroy theirs
+  InterpKind interp_;
+  std::unique_ptr<DonorLocator> locator_;  ///< DonorCell mode only
+  double dr_ = 0.0;
+  double dth_ = 0.0;
+};
+
+}  // namespace vcgt::jm76

@@ -1,0 +1,78 @@
+#pragma once
+// Rank layout of a coupled run (paper Fig. 5): the world communicator is
+// carved into Hydra Sessions (HS) — one group of ranks per blade row, each
+// with its own sub-communicator — and Coupler Units (CU) — one rank each,
+// several per sliding-plane interface, partitioning the interface's target
+// faces into circumferential sectors.
+//
+// World rank order: [row0 HS ranks][row1 HS ranks]...[iface0 CUs][iface1
+// CUs]... This mirrors JM76's decentralized client-server scheme.
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace vcgt::jm76 {
+
+struct Role {
+  enum class Kind { HydraSession, CouplerUnit };
+  Kind kind = Kind::HydraSession;
+  int row = -1;          ///< HS: blade row index
+  int rank_in_row = -1;  ///< HS: rank within the row's sub-communicator
+  int iface = -1;        ///< CU: interface index (between row i and i+1)
+  int unit = -1;         ///< CU: unit index within the interface
+};
+
+class Layout {
+ public:
+  Layout(std::vector<int> hs_ranks, int cus_per_interface)
+      : hs_ranks_(std::move(hs_ranks)), cus_(cus_per_interface) {
+    if (hs_ranks_.empty()) throw std::invalid_argument("Layout: no rows");
+    for (const int n : hs_ranks_) {
+      if (n < 1) throw std::invalid_argument("Layout: each row needs >= 1 rank");
+    }
+    if (nrows() > 1 && cus_ < 1) {
+      throw std::invalid_argument("Layout: coupled runs need >= 1 CU per interface");
+    }
+    offsets_.resize(hs_ranks_.size() + 1, 0);
+    std::partial_sum(hs_ranks_.begin(), hs_ranks_.end(), offsets_.begin() + 1);
+  }
+
+  [[nodiscard]] int nrows() const { return static_cast<int>(hs_ranks_.size()); }
+  [[nodiscard]] int ninterfaces() const { return nrows() - 1; }
+  [[nodiscard]] int cus_per_interface() const { return cus_; }
+  [[nodiscard]] int hs_total() const { return offsets_.back(); }
+  [[nodiscard]] int world_size() const { return hs_total() + ninterfaces() * cus_; }
+
+  [[nodiscard]] int hs_count(int row) const { return hs_ranks_[static_cast<std::size_t>(row)]; }
+  [[nodiscard]] int hs_world_rank(int row, int r) const {
+    return offsets_[static_cast<std::size_t>(row)] + r;
+  }
+  [[nodiscard]] int cu_world_rank(int iface, int unit) const {
+    return hs_total() + iface * cus_ + unit;
+  }
+
+  [[nodiscard]] Role role_of(int wrank) const {
+    Role role;
+    if (wrank < hs_total()) {
+      role.kind = Role::Kind::HydraSession;
+      int row = 0;
+      while (offsets_[static_cast<std::size_t>(row + 1)] <= wrank) ++row;
+      role.row = row;
+      role.rank_in_row = wrank - offsets_[static_cast<std::size_t>(row)];
+      return role;
+    }
+    const int c = wrank - hs_total();
+    role.kind = Role::Kind::CouplerUnit;
+    role.iface = c / cus_;
+    role.unit = c % cus_;
+    if (role.iface >= ninterfaces()) throw std::out_of_range("Layout: rank beyond world");
+    return role;
+  }
+
+ private:
+  std::vector<int> hs_ranks_;
+  int cus_;
+  std::vector<int> offsets_;
+};
+
+}  // namespace vcgt::jm76

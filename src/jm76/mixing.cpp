@@ -1,0 +1,56 @@
+#include "src/jm76/mixing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vcgt::jm76 {
+
+const char* transfer_kind_name(TransferKind k) {
+  return k == TransferKind::SlidingPlane ? "sliding-plane" : "mixing-plane";
+}
+
+MixingPlane::MixingPlane(const rig::InterfaceSide& donor) : donor_(donor) {
+  if (donor_.nr <= 0 || donor_.ntheta <= 0) {
+    throw std::invalid_argument("MixingPlane: interface lacks lattice hints");
+  }
+  ring_avg_.assign(static_cast<std::size_t>(donor_.nr) * kPayload, 0.0);
+}
+
+void MixingPlane::average(std::span<const double> donor_payload) {
+  if (donor_payload.size() !=
+      static_cast<std::size_t>(donor_.size()) * static_cast<std::size_t>(kPayload)) {
+    throw std::invalid_argument("MixingPlane::average: payload size mismatch");
+  }
+  std::fill(ring_avg_.begin(), ring_avg_.end(), 0.0);
+  for (op2::index_t i = 0; i < donor_.size(); ++i) {
+    const int j = static_cast<int>(i % donor_.nr);
+    const double th = donor_.rtheta[static_cast<std::size_t>(i) * 2 + 1];
+    const double c = std::cos(th), s = std::sin(th);
+    const double* p = donor_payload.data() + static_cast<std::size_t>(i) * kPayload;
+    double* avg = ring_avg_.data() + static_cast<std::size_t>(j) * kPayload;
+    avg[0] += p[0];
+    avg[1] += p[1];                    // axial momentum
+    avg[2] += c * p[2] + s * p[3];     // radial momentum
+    avg[3] += -s * p[2] + c * p[3];    // tangential momentum
+    avg[4] += p[4];
+    avg[5] += p[5];
+  }
+  const double inv = 1.0 / donor_.ntheta;
+  for (double& v : ring_avg_) v *= inv;
+}
+
+void MixingPlane::evaluate(int ring, double theta, double* out) const {
+  if (ring < 0 || ring >= donor_.nr) {
+    throw std::out_of_range("MixingPlane::evaluate: bad ring index");
+  }
+  const double* avg = ring_avg_.data() + static_cast<std::size_t>(ring) * kPayload;
+  const double c = std::cos(theta), s = std::sin(theta);
+  out[0] = avg[0];
+  out[1] = avg[1];
+  out[2] = c * avg[2] - s * avg[3];  // back to Cartesian y
+  out[3] = s * avg[2] + c * avg[3];  // back to Cartesian z
+  out[4] = avg[4];
+  out[5] = avg[5];
+}
+
+}  // namespace vcgt::jm76

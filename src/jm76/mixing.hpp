@@ -1,0 +1,50 @@
+#pragma once
+// Mixing-plane interface treatment — the steady-RANS industrial standard the
+// paper contrasts with its unsteady sliding planes (§I: "the flow is assumed
+// to be steady, and circumferential averaging is enforced at the interfaces
+// between the blade rows"). Donor payloads are averaged around the annulus
+// per radial ring (momentum in cylindrical components so the average is
+// frame-consistent), and every target face of a ring receives the same
+// averaged state re-projected onto its own circumferential position. All
+// unsteady rotor-stator interaction is destroyed by construction — exactly
+// the limitation that motivates the paper's full-annulus URANS.
+#include <span>
+#include <vector>
+
+#include "src/rig/interface.hpp"
+
+namespace vcgt::jm76 {
+
+/// How an interface couples its two rows.
+enum class TransferKind {
+  SlidingPlane,  ///< unsteady: rotated donor search + interpolation
+  MixingPlane,   ///< steady: circumferential ring averaging
+};
+
+const char* transfer_kind_name(TransferKind k);
+
+class MixingPlane {
+ public:
+  /// Payload layout: [rho, m_x, m_y, m_z, rhoE, nu_tilde] per face.
+  static constexpr int kPayload = 6;
+
+  explicit MixingPlane(const rig::InterfaceSide& donor);
+
+  /// Computes the ring averages from the assembled donor payload
+  /// (donor.size() * kPayload doubles). Momentum is rotated to cylindrical
+  /// (m_x, m_r, m_theta) components per donor face before averaging.
+  void average(std::span<const double> donor_payload);
+
+  /// Writes the averaged payload for radial ring `j`, re-projected to a
+  /// target face at circumferential angle `theta`, into out[kPayload].
+  void evaluate(int ring, double theta, double* out) const;
+
+  [[nodiscard]] int nrings() const { return donor_.nr; }
+
+ private:
+  rig::InterfaceSide donor_;
+  /// nr * kPayload; momentum stored as (m_x, m_r, m_theta).
+  std::vector<double> ring_avg_;
+};
+
+}  // namespace vcgt::jm76

@@ -1,0 +1,182 @@
+#include "src/jm76/monolithic.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/rig/annulus.hpp"
+#include "src/util/timer.hpp"
+
+namespace vcgt::jm76 {
+
+using hydra::RowSolver;
+using op2::index_t;
+using rig::BoundaryGroup;
+
+namespace {
+constexpr int kPayload = RowSolver::kPayload;
+}
+
+MonolithicRig::MonolithicRig(minimpi::Comm comm, const MonolithicConfig& cfg) : cfg_(cfg) {
+  ctx_ = std::make_unique<op2::Context>(std::move(comm), cfg.op2cfg);
+
+  std::vector<const op2::Dat<double>*> primaries;
+  std::vector<rig::AnnulusMesh> meshes;
+  for (int r = 0; r < cfg_.rig.nrows(); ++r) {
+    const auto& row = cfg_.rig.rows[static_cast<std::size_t>(r)];
+    meshes.push_back(rig::generate_row_mesh(row, cfg_.res));
+    solvers_.push_back(std::make_unique<RowSolver>(*ctx_, meshes.back(), row,
+                                                   cfg_.rig.omega(), cfg_.flow));
+    if (r > 0) solvers_.back()->set_coupled(BoundaryGroup::Inlet, true);
+    if (r < cfg_.rig.nrows() - 1) solvers_.back()->set_coupled(BoundaryGroup::Outlet, true);
+    primaries.push_back(&solvers_.back()->cell_center());
+  }
+  ctx_->partition(cfg_.partitioner, primaries);
+  for (auto& s : solvers_) s->initialize();
+
+  for (int i = 0; i + 1 < cfg_.rig.nrows(); ++i) {
+    const auto& row_u = cfg_.rig.rows[static_cast<std::size_t>(i)];
+    const auto& row_d = cfg_.rig.rows[static_cast<std::size_t>(i) + 1];
+    // dir 0: upstream outlet feeds downstream inlet ghosts; dir 1 reversed.
+    Direction d0;
+    d0.iface = i;
+    d0.donor_row = i;
+    d0.target_row = i + 1;
+    d0.donor_group = BoundaryGroup::Outlet;
+    d0.target_group = BoundaryGroup::Inlet;
+    d0.donor_side = rig::extract_interface(meshes[static_cast<std::size_t>(i)], row_u,
+                                           BoundaryGroup::Outlet);
+    d0.target_side = rig::extract_interface(meshes[static_cast<std::size_t>(i) + 1], row_d,
+                                            BoundaryGroup::Inlet);
+    d0.interp = std::make_unique<Interpolator>(d0.donor_side, cfg_.search, cfg_.interp);
+    if (cfg_.transfer == TransferKind::MixingPlane) {
+      d0.mixing = std::make_unique<MixingPlane>(d0.donor_side);
+    }
+    dirs_.push_back(std::move(d0));
+
+    Direction d1;
+    d1.iface = i;
+    d1.donor_row = i + 1;
+    d1.target_row = i;
+    d1.donor_group = BoundaryGroup::Inlet;
+    d1.target_group = BoundaryGroup::Outlet;
+    d1.donor_side = rig::extract_interface(meshes[static_cast<std::size_t>(i) + 1], row_d,
+                                           BoundaryGroup::Inlet);
+    d1.target_side = rig::extract_interface(meshes[static_cast<std::size_t>(i)], row_u,
+                                            BoundaryGroup::Outlet);
+    d1.interp = std::make_unique<Interpolator>(d1.donor_side, cfg_.search, cfg_.interp);
+    if (cfg_.transfer == TransferKind::MixingPlane) {
+      d1.mixing = std::make_unique<MixingPlane>(d1.donor_side);
+    }
+    dirs_.push_back(std::move(d1));
+  }
+}
+
+MonolithicRig::~MonolithicRig() = default;
+
+void MonolithicRig::transfer_interfaces(int step) {
+  (void)step;
+  util::Timer iface_timer;
+  const double omega = cfg_.rig.omega();
+  // The solvers' physical clock survives repeated run() calls and
+  // checkpoint restarts; the interface rotation must follow it.
+  const double time = solvers_.front()->physical_time();
+  double search_elapsed = 0.0;
+
+  std::vector<index_t> gids;
+  std::vector<double> payload;
+  for (auto& dir : dirs_) {
+    RowSolver& donor_solver = *solvers_[static_cast<std::size_t>(dir.donor_row)];
+    RowSolver& target_solver = *solvers_[static_cast<std::size_t>(dir.target_row)];
+
+    // Globally assemble the donor side: every rank contributes its owned
+    // interface faces, every rank receives the full surface. This is the
+    // monolithic "trapped sliding plane" cost the paper describes.
+    donor_solver.gather_owned_face_states(dir.donor_group, &gids, &payload);
+    std::vector<index_t> all_gids;
+    std::vector<double> all_payload;
+    if (ctx_->distributed()) {
+      all_gids = ctx_->comm().allgatherv(std::span<const index_t>(gids));
+      all_payload = ctx_->comm().allgatherv(std::span<const double>(payload));
+    } else {
+      all_gids = gids;
+      all_payload = payload;
+    }
+    std::vector<double> donor_values(
+        static_cast<std::size_t>(dir.donor_side.size()) * kPayload, 0.0);
+    for (std::size_t i = 0; i < all_gids.size(); ++i) {
+      std::memcpy(donor_values.data() + static_cast<std::size_t>(all_gids[i]) * kPayload,
+                  all_payload.data() + i * static_cast<std::size_t>(kPayload),
+                  sizeof(double) * kPayload);
+    }
+
+    // Locate donors for the locally owned target faces; same-step coupling
+    // (no overlap — the search serializes inside the time step).
+    util::Timer search_timer;
+    const double phi_d =
+        cfg_.rig.rows[static_cast<std::size_t>(dir.donor_row)].rotor ? omega * time : 0.0;
+    const double phi_t =
+        cfg_.rig.rows[static_cast<std::size_t>(dir.target_row)].rotor ? omega * time : 0.0;
+    const double rotation = phi_d - phi_t;
+    const double cr = std::cos(rotation), sr = std::sin(rotation);
+
+    const op2::Set& tset = target_solver.group_set(dir.target_group);
+    std::vector<index_t> tgids;
+    std::vector<double> tvalues;
+    if (dir.mixing) {
+      // Mixing plane: circumferential ring averages, rotation-independent.
+      static_assert(MixingPlane::kPayload == kPayload);
+      dir.mixing->average(donor_values);
+      for (index_t b = 0; b < tset.n_owned(); ++b) {
+        const index_t g = tset.global_id(b);
+        const double th = dir.target_side.rtheta[static_cast<std::size_t>(g) * 2 + 1];
+        tgids.push_back(g);
+        const std::size_t off = tvalues.size();
+        tvalues.resize(off + kPayload);
+        dir.mixing->evaluate(static_cast<int>(g % dir.target_side.nr), th,
+                             tvalues.data() + off);
+      }
+    } else {
+      for (index_t b = 0; b < tset.n_owned(); ++b) {
+        const index_t g = tset.global_id(b);
+        const double r = dir.target_side.rtheta[static_cast<std::size_t>(g) * 2 + 0];
+        const double th = dir.target_side.rtheta[static_cast<std::size_t>(g) * 2 + 1];
+        const Stencil st = dir.interp->stencil(r, th, rotation);
+        tgids.push_back(g);
+        const std::size_t off = tvalues.size();
+        tvalues.resize(off + kPayload, 0.0);
+        for (int n = 0; n < st.count; ++n) {
+          const double* src =
+              donor_values.data() +
+              static_cast<std::size_t>(st.face[static_cast<std::size_t>(n)]) * kPayload;
+          for (int c = 0; c < kPayload; ++c) {
+            tvalues[off + static_cast<std::size_t>(c)] +=
+                st.weight[static_cast<std::size_t>(n)] * src[c];
+          }
+        }
+        const double my = tvalues[off + 2], mz = tvalues[off + 3];
+        tvalues[off + 2] = cr * my - sr * mz;
+        tvalues[off + 3] = sr * my + cr * mz;
+      }
+    }
+    target_solver.scatter_ghosts(dir.target_group, tgids, tvalues);
+    search_elapsed += search_timer.elapsed();
+  }
+  stats_.interface_seconds += iface_timer.elapsed();
+  stats_.search_seconds += search_elapsed;
+}
+
+void MonolithicRig::run(int nsteps, int inner) {
+  if (inner < 0) inner = cfg_.flow.inner_iters;
+  util::Timer total;
+  for (int t = 0; t < nsteps; ++t) {
+    if (!dirs_.empty()) transfer_interfaces(t);
+    for (auto& s : solvers_) s->advance_inner(inner);
+    for (auto& s : solvers_) s->shift_time_levels();
+  }
+  stats_.step_seconds += total.elapsed();
+  stats_.candidates = 0;
+  for (const auto& dir : dirs_) stats_.candidates += dir.interp->candidates_tested();
+}
+
+}  // namespace vcgt::jm76

@@ -1,0 +1,82 @@
+#pragma once
+// jm76::MonolithicRig — the "current production" configuration the paper
+// compares against (§II-C, Table IV): every blade row lives in ONE solver
+// context partitioned over ALL ranks, and the sliding-plane search and
+// interpolation run inline inside the time step on the ranks that own
+// interface faces. The donor data must be globally assembled every step
+// (here: an allgather over the whole communicator), and no computation
+// overlaps the search — the sliding planes stay "trapped" on a few ranks,
+// which is exactly the scaling bottleneck the coupler approach removes.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/hydra/solver.hpp"
+#include "src/jm76/interp.hpp"
+#include "src/jm76/mixing.hpp"
+#include "src/jm76/search.hpp"
+#include "src/minimpi/minimpi.hpp"
+#include "src/op2/op2.hpp"
+#include "src/rig/interface.hpp"
+#include "src/rig/rowspec.hpp"
+
+namespace vcgt::jm76 {
+
+struct MonolithicConfig {
+  rig::RigSpec rig;
+  rig::MeshResolution res;
+  hydra::FlowConfig flow;
+  /// Production JM76 used the brute-force routine before the ADT rewrite.
+  SearchKind search = SearchKind::BruteForce;
+  InterpKind interp = InterpKind::DonorCell;
+  /// SlidingPlane (URANS, default) or MixingPlane (steady-RANS averaging).
+  TransferKind transfer = TransferKind::SlidingPlane;
+  op2::Config op2cfg;
+  op2::Partitioner partitioner = op2::Partitioner::Rcb;
+};
+
+class MonolithicRig {
+ public:
+  /// `comm` may be invalid for a purely serial run. Collective.
+  MonolithicRig(minimpi::Comm comm, const MonolithicConfig& cfg);
+  ~MonolithicRig();
+
+  /// Runs physical steps (collective). `inner` < 0 uses the FlowConfig value.
+  void run(int nsteps, int inner = -1);
+
+  struct Stats {
+    double step_seconds = 0.0;       ///< total step-loop wall time
+    double interface_seconds = 0.0;  ///< global gather + search + scatter
+    double search_seconds = 0.0;     ///< donor location + interpolation only
+    std::uint64_t candidates = 0;    ///< donor boxes tested
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] int nrows() const { return static_cast<int>(solvers_.size()); }
+  [[nodiscard]] hydra::RowSolver& solver(int row) { return *solvers_[static_cast<std::size_t>(row)]; }
+  [[nodiscard]] op2::Context& context() { return *ctx_; }
+
+ private:
+  void transfer_interfaces(int step);
+
+  MonolithicConfig cfg_;
+  std::unique_ptr<op2::Context> ctx_;
+  std::vector<std::unique_ptr<hydra::RowSolver>> solvers_;
+
+  struct Direction {
+    int iface = 0;
+    int donor_row = 0;
+    int target_row = 0;
+    rig::BoundaryGroup donor_group{};
+    rig::BoundaryGroup target_group{};
+    rig::InterfaceSide donor_side;
+    rig::InterfaceSide target_side;
+    std::unique_ptr<Interpolator> interp;
+    std::unique_ptr<MixingPlane> mixing;
+  };
+  std::vector<Direction> dirs_;
+
+  Stats stats_;
+};
+
+}  // namespace vcgt::jm76

@@ -1,0 +1,93 @@
+#include "src/jm76/search.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace vcgt::jm76 {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+double wrap_2pi(double th) {
+  th = std::fmod(th, kTwoPi);
+  if (th < 0) th += kTwoPi;
+  return th;
+}
+}  // namespace
+
+const char* search_kind_name(SearchKind k) {
+  switch (k) {
+    case SearchKind::BruteForce: return "brute-force";
+    case SearchKind::Adt: return "adt";
+    case SearchKind::Bins: return "bins";
+  }
+  return "?";
+}
+
+DonorLocator::DonorLocator(const rig::InterfaceSide& donor, SearchKind kind)
+    : kind_(kind), ndonors_(static_cast<std::size_t>(donor.size())) {
+  std::vector<double> boxes;
+  // (r, theta) boxes; quads crossing the 0/2pi seam (th_lo > th_hi) are
+  // registered twice, shifted so both query images land inside one copy.
+  for (std::size_t i = 0; i < ndonors_; ++i) {
+    const double r_lo = donor.box[i * 4 + 0];
+    const double r_hi = donor.box[i * 4 + 1];
+    const double th_lo = donor.box[i * 4 + 2];
+    const double th_hi = donor.box[i * 4 + 3];
+    auto add = [&](double a, double b) {
+      boxes.insert(boxes.end(), {r_lo, r_hi, a, b});
+      item_of_.push_back(static_cast<int>(i));
+    };
+    if (th_lo <= th_hi) {
+      add(th_lo, th_hi);
+    } else {
+      add(th_lo - kTwoPi, th_hi);
+      add(th_lo, th_hi + kTwoPi);
+    }
+  }
+  switch (kind_) {
+    case SearchKind::Adt:
+      adt_ = std::make_unique<Adt2D>(std::move(boxes));
+      break;
+    case SearchKind::Bins:
+      bins_ = std::make_unique<UniformBins2D>(std::move(boxes));
+      break;
+    case SearchKind::BruteForce:
+      bf_ = std::make_unique<BruteForce2D>(std::move(boxes));
+      break;
+  }
+}
+
+int DonorLocator::locate(double r, double theta, double rotation) const {
+  const double th = wrap_2pi(theta - rotation);
+  scratch_.clear();
+  if (adt_) {
+    adt_->query(r, th, &scratch_, &candidates_);
+  } else if (bins_) {
+    bins_->query(r, th, &scratch_, &candidates_);
+  } else {
+    bf_->query(r, th, &scratch_, &candidates_);
+  }
+  if (scratch_.empty()) {
+    // Target exactly on a box edge can fall between open intervals due to
+    // floating point; retry with a tiny inward nudge before giving up.
+    const double eps = 1e-12;
+    if (adt_) {
+      adt_->query(r - eps, th + eps, &scratch_, &candidates_);
+    } else if (bins_) {
+      bins_->query(r - eps, th + eps, &scratch_, &candidates_);
+    } else {
+      bf_->query(r - eps, th + eps, &scratch_, &candidates_);
+    }
+  }
+  if (scratch_.empty()) return -1;
+  // Overlapping boxes at shared edges: any containing quad is acceptable;
+  // pick the lowest index for determinism.
+  int best = item_of_[static_cast<std::size_t>(scratch_[0])];
+  for (const int s : scratch_) {
+    best = std::min(best, item_of_[static_cast<std::size_t>(s)]);
+  }
+  return best;
+}
+
+}  // namespace vcgt::jm76

@@ -1,0 +1,47 @@
+#pragma once
+// Donor location on a sliding-plane interface: given a target face center
+// (r, theta) in the target row's frame and the current relative rotation of
+// the donor row, find the donor quad containing the rotated point. Wraps
+// theta periodically (full annulus) and counts candidate tests so the
+// benchmark harness can compare brute force vs ADT work (Table II).
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/jm76/adt.hpp"
+#include "src/rig/interface.hpp"
+
+namespace vcgt::jm76 {
+
+enum class SearchKind { BruteForce, Adt, Bins };
+
+const char* search_kind_name(SearchKind k);
+
+class DonorLocator {
+ public:
+  DonorLocator(const rig::InterfaceSide& donor, SearchKind kind);
+
+  /// Donor face index containing the target point after removing the donor
+  /// rotation: the point is looked up at theta_donor = theta - rotation
+  /// (mod 2pi). Returns -1 when no quad contains the point (should not
+  /// happen for co-annular interfaces; callers treat it as an error).
+  [[nodiscard]] int locate(double r, double theta, double rotation) const;
+
+  [[nodiscard]] std::uint64_t candidates_tested() const { return candidates_; }
+  [[nodiscard]] SearchKind kind() const { return kind_; }
+  [[nodiscard]] std::size_t ndonors() const { return ndonors_; }
+
+ private:
+  SearchKind kind_;
+  std::size_t ndonors_ = 0;
+  /// Expanded box list: seam-crossing quads are registered twice (shifted by
+  /// -2pi and +2pi); item_of_ maps expanded index -> donor face.
+  std::vector<int> item_of_;
+  std::unique_ptr<Adt2D> adt_;
+  std::unique_ptr<BruteForce2D> bf_;
+  std::unique_ptr<UniformBins2D> bins_;
+  mutable std::uint64_t candidates_ = 0;
+  mutable std::vector<int> scratch_;
+};
+
+}  // namespace vcgt::jm76

@@ -1,0 +1,302 @@
+#include "src/minimpi/minimpi.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "src/util/timer.hpp"
+
+namespace vcgt::minimpi {
+
+namespace detail {
+
+void Mailbox::push(Message msg) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::match_locked(int src, int tag, Message* out) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((src == kAnySource || it->src == src) && it->tag == tag) {
+      *out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Message Mailbox::pop(int src, int tag, double* wait_seconds) {
+  std::unique_lock lock(mutex_);
+  Message msg;
+  if (match_locked(src, tag, &msg)) return msg;
+  util::Timer waited;
+  bool matched = false;
+  cv_.wait(lock, [&] {
+    matched = match_locked(src, tag, &msg);
+    return matched || poisoned_;
+  });
+  if (wait_seconds) *wait_seconds += waited.elapsed();
+  if (!matched) throw WorldAborted("minimpi: world aborted while blocked in recv");
+  return msg;
+}
+
+bool Mailbox::try_pop(int src, int tag, Message* out) {
+  std::scoped_lock lock(mutex_);
+  return match_locked(src, tag, out);
+}
+
+void Mailbox::poison() {
+  {
+    std::scoped_lock lock(mutex_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+/// Shared state of one communicator: mailboxes, barrier, split rendezvous,
+/// traffic meters. Ranks hold it via shared_ptr; child comms register with
+/// the root state so poisoning reaches every mailbox in the world.
+struct CommState {
+  explicit CommState(int n)
+      : size(n),
+        mailboxes(static_cast<std::size_t>(n)),
+        rank_messages(static_cast<std::size_t>(n)),
+        rank_bytes(static_cast<std::size_t>(n)),
+        rank_wait(static_cast<std::size_t>(n)) {
+    for (auto& box : mailboxes) box = std::make_unique<Mailbox>();
+    for (auto& c : rank_messages) c.store(0, std::memory_order_relaxed);
+    for (auto& c : rank_bytes) c.store(0, std::memory_order_relaxed);
+    for (auto& c : rank_wait) c.store(0.0, std::memory_order_relaxed);
+  }
+
+  int size;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+
+  // Barrier (generation counting).
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  int barrier_arrived = 0;
+  std::uint64_t barrier_generation = 0;
+
+  // Split rendezvous: first member of a (epoch, color) group creates the
+  // child state, the rest pick it up.
+  std::mutex split_mutex;
+  std::condition_variable split_cv;
+  std::map<std::pair<std::uint64_t, int>, std::shared_ptr<CommState>> split_children;
+
+  // Traffic meters (atomic so traffic() may be sampled concurrently).
+  std::vector<std::atomic<std::uint64_t>> rank_messages;
+  std::vector<std::atomic<std::uint64_t>> rank_bytes;
+  std::vector<std::atomic<double>> rank_wait;
+
+  // Poison propagation: the world-root state tracks every descendant.
+  CommState* root = nullptr;  // null for the root itself
+  std::mutex registry_mutex;  // root only
+  std::vector<std::weak_ptr<CommState>> registry;  // root only
+
+  void register_child(const std::shared_ptr<CommState>& child) {
+    CommState* r = root ? root : this;
+    child->root = r;
+    std::scoped_lock lock(r->registry_mutex);
+    r->registry.push_back(child);
+  }
+
+  void poison_world() {
+    CommState* r = root ? root : this;
+    for (auto& box : r->mailboxes) box->poison();
+    std::scoped_lock lock(r->registry_mutex);
+    for (auto& weak : r->registry) {
+      if (auto child = weak.lock()) {
+        for (auto& box : child->mailboxes) box->poison();
+      }
+    }
+  }
+};
+
+}  // namespace detail
+
+int Comm::size() const { return state_ ? state_->size : 0; }
+
+void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("minimpi::send: bad destination rank");
+  detail::Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.payload.assign(data.begin(), data.end());
+  const auto r = static_cast<std::size_t>(rank_);
+  state_->rank_messages[r].fetch_add(1, std::memory_order_relaxed);
+  state_->rank_bytes[r].fetch_add(data.size(), std::memory_order_relaxed);
+  state_->mailboxes[static_cast<std::size_t>(dst)]->push(std::move(msg));
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag, int* actual_src) {
+  double waited = 0.0;
+  auto msg = state_->mailboxes[static_cast<std::size_t>(rank_)]->pop(src, tag, &waited);
+  if (waited > 0.0) {
+    state_->rank_wait[static_cast<std::size_t>(rank_)].fetch_add(waited,
+                                                                 std::memory_order_relaxed);
+  }
+  if (actual_src) *actual_src = msg.src;
+  return std::move(msg.payload);
+}
+
+bool Comm::try_recv_bytes(int src, int tag, std::vector<std::byte>* out, int* actual_src) {
+  detail::Message msg;
+  if (!state_->mailboxes[static_cast<std::size_t>(rank_)]->try_pop(src, tag, &msg)) return false;
+  if (actual_src) *actual_src = msg.src;
+  *out = std::move(msg.payload);
+  return true;
+}
+
+Comm::Request Comm::isend_bytes(std::span<const std::byte> data, int dst, int tag) {
+  send_bytes(data, dst, tag);  // buffered send: completes immediately
+  Request req;
+  req.comm_ = *this;
+  req.done_ = true;
+  return req;
+}
+
+Comm::Request Comm::irecv_bytes(int src, int tag) {
+  Request req;
+  req.comm_ = *this;
+  req.is_recv_ = true;
+  req.src_ = src;
+  req.tag_ = tag;
+  return req;
+}
+
+std::vector<std::byte> Comm::Request::wait() {
+  if (done_) return std::move(payload_);
+  done_ = true;
+  if (is_recv_) payload_ = comm_.recv_bytes(src_, tag_, &completed_src_);
+  return std::move(payload_);
+}
+
+void Comm::barrier() {
+  auto& st = *state_;
+  std::unique_lock lock(st.barrier_mutex);
+  const std::uint64_t gen = st.barrier_generation;
+  if (++st.barrier_arrived == st.size) {
+    st.barrier_arrived = 0;
+    ++st.barrier_generation;
+    st.barrier_cv.notify_all();
+  } else {
+    util::Timer waited;
+    st.barrier_cv.wait(lock, [&] { return st.barrier_generation != gen; });
+    st.rank_wait[static_cast<std::size_t>(rank_)].fetch_add(waited.elapsed(),
+                                                            std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::byte> Comm::bcast_bytes(std::vector<std::byte> data, int root) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      send_bytes(data, r, kTagBcast);
+    }
+    return data;
+  }
+  return recv_bytes(root, kTagBcast);
+}
+
+Comm Comm::split(int color, int key) {
+  // Exchange (color, key, parent rank) among all parent ranks.
+  struct Entry {
+    int color, key, parent_rank;
+  };
+  const Entry mine{color, key, rank_};
+  const auto all = allgather_value(mine);
+
+  const std::uint64_t epoch = split_epoch_++;
+  if (color < 0) return Comm{};  // MPI_UNDEFINED
+
+  std::vector<Entry> members;
+  for (const auto& e : all) {
+    if (e.color == color) members.push_back(e);
+  }
+  std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.parent_rank) < std::tie(b.key, b.parent_rank);
+  });
+  int child_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i].parent_rank == rank_) child_rank = static_cast<int>(i);
+  }
+
+  // Rendezvous on the shared child state.
+  std::shared_ptr<detail::CommState> child;
+  {
+    std::unique_lock lock(state_->split_mutex);
+    const auto it_key = std::make_pair(epoch, color);
+    auto it = state_->split_children.find(it_key);
+    if (it == state_->split_children.end()) {
+      child = std::make_shared<detail::CommState>(static_cast<int>(members.size()));
+      state_->split_children.emplace(it_key, child);
+      lock.unlock();
+      state_->register_child(child);
+      state_->split_cv.notify_all();
+    } else {
+      child = it->second;
+    }
+  }
+  return Comm{std::move(child), child_rank};
+}
+
+TrafficStats Comm::traffic() const {
+  TrafficStats out;
+  const auto n = static_cast<std::size_t>(size());
+  out.rank_messages.resize(n);
+  out.rank_bytes.resize(n);
+  out.rank_wait.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    out.rank_messages[r] = state_->rank_messages[r].load(std::memory_order_relaxed);
+    out.rank_bytes[r] = state_->rank_bytes[r].load(std::memory_order_relaxed);
+    out.rank_wait[r] = state_->rank_wait[r].load(std::memory_order_relaxed);
+    out.messages += out.rank_messages[r];
+    out.bytes += out.rank_bytes[r];
+    out.total_rank_wait += out.rank_wait[r];
+    out.max_rank_wait = std::max(out.max_rank_wait, out.rank_wait[r]);
+  }
+  return out;
+}
+
+void Comm::reset_traffic() {
+  const auto n = static_cast<std::size_t>(size());
+  for (std::size_t r = 0; r < n; ++r) {
+    state_->rank_messages[r].store(0, std::memory_order_relaxed);
+    state_->rank_bytes[r].store(0, std::memory_order_relaxed);
+    state_->rank_wait[r].store(0.0, std::memory_order_relaxed);
+  }
+}
+
+void World::run(int nranks, const std::function<void(Comm&)>& fn) {
+  if (nranks <= 0) throw std::invalid_argument("minimpi::World: nranks must be positive");
+  auto state = std::make_shared<detail::CommState>(nranks);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm{state, r};
+      try {
+        fn(comm);
+      } catch (...) {
+        {
+          std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        state->poison_world();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vcgt::minimpi

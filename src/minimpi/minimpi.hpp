@@ -1,0 +1,323 @@
+#pragma once
+// minimpi: an in-process message-passing substrate with MPI semantics.
+//
+// The paper's coupled solver is an SPMD MPI application: Hydra sessions and
+// JM76 coupler units are groups of ranks carved out of MPI_COMM_WORLD with
+// sub-communicators. This repository has no cluster, so ranks are threads
+// inside one process, each with a selective-receive mailbox. The public API
+// deliberately mirrors the MPI calls the paper's software stack uses
+// (send/recv, isend/irecv, barrier, bcast, reduce, allreduce, gather,
+// allgather(v), alltoallv, comm split), so all distributed code in this repo
+// reads exactly like the MPI code it stands in for.
+//
+// Every communicator meters traffic (message count, payload bytes, per-rank
+// receive-wait seconds). The vcgt::perf machine models consume these meters
+// to project wall-clock times on ARCHER2/Cirrus-like clusters; see DESIGN.md.
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vcgt::minimpi {
+
+/// Wildcard source for recv, like MPI_ANY_SOURCE.
+inline constexpr int kAnySource = -1;
+
+/// Thrown in surviving ranks when a peer rank exits with an exception, so a
+/// failing test does not deadlock the whole world.
+class WorldAborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Aggregated communication counters for one communicator.
+struct TrafficStats {
+  std::uint64_t messages = 0;      ///< total point-to-point messages sent
+  std::uint64_t bytes = 0;         ///< total payload bytes sent
+  double max_rank_wait = 0.0;      ///< max over ranks of blocked-receive time
+  double total_rank_wait = 0.0;    ///< sum over ranks of blocked-receive time
+  std::vector<std::uint64_t> rank_messages;  ///< messages sent per rank
+  std::vector<std::uint64_t> rank_bytes;     ///< bytes sent per rank
+  std::vector<double> rank_wait;             ///< wait seconds per rank
+};
+
+namespace detail {
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Selective-receive queue: pop matches on (src, tag) with kAnySource
+/// wildcard, leaving non-matching messages queued (MPI tag-matching rules).
+class Mailbox {
+ public:
+  void push(Message msg);
+  /// Blocks until a matching message arrives; accumulates blocked time into
+  /// *wait_seconds when non-null. Throws WorldAborted if poisoned.
+  Message pop(int src, int tag, double* wait_seconds);
+  bool try_pop(int src, int tag, Message* out);
+  void poison();
+
+ private:
+  bool match_locked(int src, int tag, Message* out);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool poisoned_ = false;
+};
+
+struct CommState;
+
+}  // namespace detail
+
+class Comm;
+
+/// One communicator endpoint, bound to a rank. Cheap to copy (shared state).
+class Comm {
+ public:
+  Comm() = default;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  // --- point to point ------------------------------------------------------
+  void send_bytes(std::span<const std::byte> data, int dst, int tag);
+  /// Receives one message matching (src, tag); returns payload. When
+  /// actual_src is non-null it receives the sender rank (for kAnySource).
+  std::vector<std::byte> recv_bytes(int src, int tag, int* actual_src = nullptr);
+  bool try_recv_bytes(int src, int tag, std::vector<std::byte>* out,
+                      int* actual_src = nullptr);
+
+  template <class T>
+  void send(std::span<const T> data, int dst, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(std::as_bytes(data), dst, tag);
+  }
+  template <class T>
+  std::vector<T> recv(int src, int tag, int* actual_src = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto raw = recv_bytes(src, tag, actual_src);
+    if (raw.size() % sizeof(T) != 0) {
+      throw std::runtime_error("minimpi::recv: payload size not a multiple of element size");
+    }
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+  template <class T>
+  void send_value(const T& v, int dst, int tag) {
+    send(std::span<const T>(&v, 1), dst, tag);
+  }
+  template <class T>
+  T recv_value(int src, int tag, int* actual_src = nullptr) {
+    const auto vec = recv<T>(src, tag, actual_src);
+    if (vec.size() != 1) throw std::runtime_error("minimpi::recv_value: expected 1 element");
+    return vec[0];
+  }
+
+  /// Combined send+receive (MPI_Sendrecv): deadlock-free pairwise exchange
+  /// (the send is buffered, so post-send-then-recv cannot block).
+  template <class T>
+  std::vector<T> sendrecv(std::span<const T> senddata, int dst, int sendtag, int src,
+                          int recvtag) {
+    send(senddata, dst, sendtag);
+    return recv<T>(src, recvtag);
+  }
+
+  // --- nonblocking ---------------------------------------------------------
+  // Sends are buffered, so isend completes immediately; irecv defers the
+  // blocking match to wait(). This preserves MPI overlap semantics: messages
+  // queue in the destination mailbox while the receiver computes.
+  class Request;
+  Request isend_bytes(std::span<const std::byte> data, int dst, int tag);
+  Request irecv_bytes(int src, int tag);
+
+  // --- collectives ---------------------------------------------------------
+  void barrier();
+  /// Broadcast: root's buffer replaces everyone's; returns the data.
+  std::vector<std::byte> bcast_bytes(std::vector<std::byte> data, int root);
+  template <class T>
+  std::vector<T> bcast(std::vector<T> data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> raw(data.size() * sizeof(T));
+    if (rank_ == root) std::memcpy(raw.data(), data.data(), raw.size());
+    raw = bcast_bytes(std::move(raw), root);
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+  template <class T>
+  T bcast_value(T v, int root) {
+    auto vec = bcast(std::vector<T>{v}, root);
+    return vec.at(0);
+  }
+
+  /// Variable-length gather: root receives concatenation ordered by rank and
+  /// per-rank counts. Non-roots receive empty vectors.
+  template <class T>
+  std::vector<T> gatherv(std::span<const T> local, int root,
+                         std::vector<std::size_t>* counts = nullptr) {
+    constexpr int kTag = kTagGather;
+    if (rank_ != root) {
+      send(local, root, kTag);
+      return {};
+    }
+    std::vector<T> all;
+    if (counts) counts->assign(static_cast<std::size_t>(size()), 0);
+    for (int r = 0; r < size(); ++r) {
+      std::vector<T> part;
+      if (r == rank_) {
+        part.assign(local.begin(), local.end());
+      } else {
+        part = recv<T>(r, kTag);
+      }
+      if (counts) (*counts)[static_cast<std::size_t>(r)] = part.size();
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    return all;
+  }
+
+  template <class T>
+  std::vector<T> allgatherv(std::span<const T> local,
+                            std::vector<std::size_t>* counts = nullptr) {
+    std::vector<std::size_t> local_counts;
+    auto all = gatherv(local, 0, &local_counts);
+    all = bcast(std::move(all), 0);
+    if (counts) {
+      *counts = bcast(std::move(local_counts), 0);
+    } else {
+      (void)bcast(std::move(local_counts), 0);
+    }
+    return all;
+  }
+
+  template <class T>
+  std::vector<T> allgather_value(const T& v) {
+    return allgatherv(std::span<const T>(&v, 1));
+  }
+
+  /// Reduction with an arbitrary associative op; deterministic rank order.
+  template <class T, class Op>
+  T reduce(const T& v, Op op, int root) {
+    constexpr int kTag = kTagReduce;
+    if (rank_ != root) {
+      send_value(v, root, kTag);
+      return v;
+    }
+    T acc = v;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      acc = op(acc, recv_value<T>(r, kTag));
+    }
+    return acc;
+  }
+
+  template <class T, class Op>
+  T allreduce(const T& v, Op op) {
+    T acc = reduce(v, op, 0);
+    return bcast_value(acc, 0);
+  }
+
+  double allreduce_sum(double v) {
+    return allreduce(v, [](double a, double b) { return a + b; });
+  }
+  double allreduce_max(double v) {
+    return allreduce(v, [](double a, double b) { return a > b ? a : b; });
+  }
+  std::uint64_t allreduce_sum_u64(std::uint64_t v) {
+    return allreduce(v, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  }
+
+  /// All-to-all with per-destination variable payloads.
+  /// sendbufs[r] goes to rank r; returns recvbufs where [r] came from rank r.
+  template <class T>
+  std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& sendbufs) {
+    constexpr int kTag = kTagAlltoall;
+    if (static_cast<int>(sendbufs.size()) != size()) {
+      throw std::invalid_argument("alltoallv: sendbufs.size() != comm size");
+    }
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      send(std::span<const T>(sendbufs[static_cast<std::size_t>(r)]), r, kTag);
+    }
+    std::vector<std::vector<T>> recvbufs(static_cast<std::size_t>(size()));
+    recvbufs[static_cast<std::size_t>(rank_)] = sendbufs[static_cast<std::size_t>(rank_)];
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      recvbufs[static_cast<std::size_t>(r)] = recv<T>(r, kTag);
+    }
+    return recvbufs;
+  }
+
+  /// Collective split, MPI_Comm_split semantics: ranks with equal color form
+  /// a child comm, ordered by (key, parent rank). color < 0 yields an
+  /// invalid Comm for that rank (like MPI_UNDEFINED).
+  Comm split(int color, int key);
+
+  // --- metering ------------------------------------------------------------
+  [[nodiscard]] TrafficStats traffic() const;
+  /// Zeroes every rank's counters. The communicator must be quiesced (no
+  /// in-flight traffic): reset from a single rank between barriers, or from
+  /// all ranks only when none is communicating.
+  void reset_traffic();
+
+ private:
+  friend class World;
+  Comm(std::shared_ptr<detail::CommState> state, int rank)
+      : state_(std::move(state)), rank_(rank) {}
+
+  // Internal tags for collectives; user tags must be < kTagCollectiveBase.
+  static constexpr int kTagCollectiveBase = 1 << 24;
+  static constexpr int kTagGather = kTagCollectiveBase + 1;
+  static constexpr int kTagReduce = kTagCollectiveBase + 2;
+  static constexpr int kTagBcast = kTagCollectiveBase + 3;
+  static constexpr int kTagAlltoall = kTagCollectiveBase + 4;
+  static constexpr int kTagSplit = kTagCollectiveBase + 5;
+
+  std::shared_ptr<detail::CommState> state_;
+  int rank_ = -1;
+  std::uint64_t split_epoch_ = 0;  ///< local count of split() calls (keys the rendezvous)
+};
+
+/// In-flight nonblocking operation handle (see Comm::isend_bytes/irecv_bytes).
+class Comm::Request {
+ public:
+  /// Completes the operation; for receives, returns the payload.
+  std::vector<std::byte> wait();
+  [[nodiscard]] int source() const { return completed_src_; }
+
+ private:
+  friend class Comm;
+  Comm comm_;
+  bool is_recv_ = false;
+  bool done_ = false;
+  int src_ = 0;
+  int tag_ = 0;
+  int completed_src_ = -1;
+  std::vector<std::byte> payload_;
+};
+
+/// Launches an SPMD world of `nranks` rank-threads, each executing `fn` with
+/// its own world communicator, and joins them. If any rank throws, the world
+/// is poisoned (peers blocked in recv get WorldAborted) and the first
+/// exception is rethrown to the caller.
+class World {
+ public:
+  static void run(int nranks, const std::function<void(Comm&)>& fn);
+};
+
+}  // namespace vcgt::minimpi

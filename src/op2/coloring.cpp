@@ -1,0 +1,87 @@
+// Greedy conflict coloring for shared-memory execution of loops with
+// indirect writes (the data-race handling strategy OP2's OpenMP backend
+// uses). Two iteration elements conflict when they touch the same target
+// element through any indirect Inc/Write/RW argument; elements of one color
+// are race-free and execute concurrently, colors run back to back.
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "src/op2/context.hpp"
+#include "src/op2/internal.hpp"
+
+namespace vcgt::op2::detail {
+
+namespace {
+
+/// Colors `elems` (indices into the iteration set) with the greedy
+/// first-fit heuristic; returns per-color element lists.
+std::vector<std::vector<index_t>> color_elements(
+    const std::vector<index_t>& elems, const std::vector<ArgInfo>& conflict_args) {
+  // Per target set: bitmask of colors already incident on each target.
+  std::unordered_map<const Set*, std::vector<std::uint64_t>> masks;
+  for (const auto& a : conflict_args) {
+    auto& m = masks[&a.map->to()];
+    if (m.empty()) m.assign(static_cast<std::size_t>(a.map->to().total()), 0);
+  }
+
+  std::vector<std::vector<index_t>> colors;
+  for (const index_t e : elems) {
+    std::uint64_t forbidden = 0;
+    for (const auto& a : conflict_args) {
+      const index_t t = (*a.map)(e, a.idx);
+      forbidden |= masks[&a.map->to()][static_cast<std::size_t>(t)];
+    }
+    int color = 0;
+    while (color < 64 && (forbidden >> color) & 1u) ++color;
+    if (color == 64) {
+      throw std::runtime_error("op2: coloring needs more than 64 colors (degenerate mesh?)");
+    }
+    for (const auto& a : conflict_args) {
+      const index_t t = (*a.map)(e, a.idx);
+      masks[&a.map->to()][static_cast<std::size_t>(t)] |= (std::uint64_t{1} << color);
+    }
+    if (static_cast<std::size_t>(color) >= colors.size()) {
+      colors.resize(static_cast<std::size_t>(color) + 1);
+    }
+    colors[static_cast<std::size_t>(color)].push_back(e);
+  }
+  return colors;
+}
+
+}  // namespace
+
+void build_coloring(LoopPlan& plan, const std::vector<ArgInfo>& args) {
+  std::vector<ArgInfo> conflict_args;
+  for (const auto& a : args) {
+    if (a.dat && a.map && access_writes(a.acc)) conflict_args.push_back(a);
+  }
+  if (conflict_args.empty()) {
+    // No races: any schedule works; keep flat lists (chunked in parallel).
+    plan.colored = false;
+    return;
+  }
+  plan.colored = true;
+  // Core and tail run sequentially with respect to each other, so each is
+  // colored independently (fewer colors, better balance).
+  plan.core_colors = color_elements(plan.core, conflict_args);
+  plan.tail_colors = color_elements(plan.tail, conflict_args);
+}
+
+std::uint64_t arg_signature(const std::vector<ArgInfo>& args) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  for (const auto& a : args) {
+    mix(reinterpret_cast<std::uintptr_t>(a.dat));
+    mix(reinterpret_cast<std::uintptr_t>(a.map));
+    mix(static_cast<std::uint64_t>(a.idx));
+    mix(static_cast<std::uint64_t>(a.acc));
+    mix(a.is_global ? 1 : 0);
+  }
+  return h;
+}
+
+}  // namespace vcgt::op2::detail

@@ -1,0 +1,261 @@
+#pragma once
+// op2::Context — the per-rank runtime owning sets, maps, dats and loop plans.
+//
+// Usage (SPMD, one Context per rank; or a single serial Context):
+//
+//   op2::Context ctx(comm, config);
+//   auto& nodes = ctx.decl_set("nodes", nnode);
+//   auto& edges = ctx.decl_set("edges", nedge);
+//   auto& e2n   = ctx.decl_map("e2n", edges, nodes, 2, global_table);
+//   auto& x     = ctx.decl_dat<double>(nodes, 3, "x", coords);
+//   ctx.partition(op2::Partitioner::Rcb, x);     // collective
+//   op2::par_loop("res", edges, kernel, op2::arg(x, 0, e2n, op2::Access::Read), ...);
+//
+// Declarations take *global* data replicated on every rank (the meshes at
+// this repository's scale fit comfortably; the paper's HDF5-parallel load is
+// out of scope — see DESIGN.md). partition() computes element owners, the
+// exec/non-exec halos, localizes every map and dat, and builds the halo
+// exchange schedules. After partition() all par_loops execute distributed
+// with OP2's owner-compute + redundant-computation semantics.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/minimpi/minimpi.hpp"
+#include "src/util/threadpool.hpp"
+#include "src/op2/dat.hpp"
+#include "src/op2/map.hpp"
+#include "src/op2/plan.hpp"
+#include "src/op2/set.hpp"
+#include "src/op2/types.hpp"
+
+namespace vcgt::op2 {
+
+/// Halo exchange schedule for one set (built by partition()).
+struct SetHalo {
+  std::vector<int> nbr_send;                    ///< ranks importing my elements
+  std::vector<std::vector<index_t>> send_idx;   ///< per neighbor: my owned indices
+  std::vector<int> nbr_recv;                    ///< ranks owning my halo
+  std::vector<std::vector<index_t>> recv_slots; ///< per neighbor: my halo slots
+  std::vector<int> slot_src;                    ///< halo slot -> source rank
+};
+
+class Context {
+ public:
+  /// Serial context: single rank, no communication.
+  Context() : Context(minimpi::Comm{}, Config{}) {}
+  explicit Context(Config cfg) : Context(minimpi::Comm{}, cfg) {}
+  /// Distributed context over a (sub-)communicator.
+  explicit Context(minimpi::Comm comm, Config cfg = {});
+  ~Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // --- declaration (pre-partition) ----------------------------------------
+  Set& decl_set(std::string name, index_t global_size);
+  Map& decl_map(std::string name, Set& from, Set& to, int dim,
+                std::vector<index_t> global_table);
+  template <class T>
+  Dat<T>& decl_dat(Set& s, int dim, std::string name, std::vector<T> global_data = {}) {
+    require_not_partitioned("decl_dat");
+    auto dat = std::unique_ptr<Dat<T>>(
+        new Dat<T>(&s, next_dat_id(), std::move(name), dim, std::move(global_data)));
+    auto* ptr = dat.get();
+    register_dat(std::move(dat));
+    return *ptr;
+  }
+  template <class T>
+  Global<T> decl_global(std::string name, int dim, std::vector<T> init = {}) {
+    return Global<T>(std::move(name), dim, std::move(init));
+  }
+
+  // --- mesh renumbering (pre-partition) -------------------------------------
+  // OP2 renumbers meshes (e.g. reverse Cuthill-McKee) to improve locality of
+  // the indirect accesses; the same facility is provided here.
+
+  /// Renumbers the set's global ids: new_id = perm[old_id]. Every dat on
+  /// the set is permuted and every map table touching the set rewritten.
+  /// Must precede partition(); callers holding old global ids (e.g. coupler
+  /// interface registrations) must renumber consistently or avoid the set.
+  void renumber_set(Set& s, std::span<const index_t> perm);
+
+  /// Reverse Cuthill-McKee ordering of `s` over the adjacency induced by
+  /// the declared maps targeting it. Returns the new_of_old permutation.
+  [[nodiscard]] std::vector<index_t> reverse_cuthill_mckee(const Set& s) const;
+
+  /// Adjacency bandwidth of the set's current numbering (locality metric:
+  /// mean and max |i - j| over adjacent pairs).
+  struct BandwidthStats {
+    double mean = 0.0;
+    index_t max = 0;
+  };
+  [[nodiscard]] BandwidthStats numbering_bandwidth(const Set& s) const;
+
+  /// Collective: partitions the primary set (the set `coords` lives on) with
+  /// the chosen strategy, derives ownership of every other set through the
+  /// declared maps, builds halos and localizes all maps and dats.
+  void partition(Partitioner p, const Dat<double>& coords);
+  /// Monolithic variant: several independent primary sets (e.g. one cell set
+  /// per blade row in a single context), each partitioned over all ranks.
+  void partition(Partitioner p, const std::vector<const Dat<double>*>& primaries);
+
+  [[nodiscard]] bool partitioned() const { return partitioned_; }
+  [[nodiscard]] bool distributed() const { return comm_.valid() && comm_.size() > 1; }
+  [[nodiscard]] int rank() const { return comm_.valid() ? comm_.rank() : 0; }
+  [[nodiscard]] int nranks() const { return comm_.valid() ? comm_.size() : 1; }
+  [[nodiscard]] minimpi::Comm& comm() { return comm_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] Config& config() { return cfg_; }
+
+  [[nodiscard]] const SetHalo& halo(const Set& s) const {
+    return halos_[static_cast<std::size_t>(s.id())];
+  }
+
+  /// Shared-memory worker pool (created from config().nthreads).
+  [[nodiscard]] util::ThreadPool& pool() { return *pool_; }
+
+  /// Gathers a dat back to a full global array on every rank (tests, I/O,
+  /// the coupler's interface registration). Collective when distributed.
+  template <class T>
+  std::vector<T> fetch_global(const Dat<T>& d) {
+    const Set& s = d.set();
+    const auto dim = static_cast<std::size_t>(d.dim());
+    std::vector<T> out(static_cast<std::size_t>(s.global_size()) * dim);
+    if (!distributed()) {
+      std::copy_n(d.data(), out.size(), out.begin());
+      return out;
+    }
+    // Pack (gid, values) for owned elements; allgather; scatter into place.
+    std::vector<T> packed;
+    packed.reserve(static_cast<std::size_t>(s.n_owned()) * dim);
+    for (index_t e = 0; e < s.n_owned(); ++e) {
+      for (std::size_t c = 0; c < dim; ++c) packed.push_back(d.elem(e)[c]);
+    }
+    std::vector<index_t> gids(s.local_to_global().begin(),
+                              s.local_to_global().begin() + s.n_owned());
+    const auto all_vals = comm_.allgatherv(std::span<const T>(packed));
+    const auto all_gids = comm_.allgatherv(std::span<const index_t>(gids));
+    for (std::size_t i = 0; i < all_gids.size(); ++i) {
+      const auto g = static_cast<std::size_t>(all_gids[i]);
+      for (std::size_t c = 0; c < dim; ++c) out[g * dim + c] = all_vals[i * dim + c];
+    }
+    return out;
+  }
+
+  // --- par_loop machinery (used by parloop.hpp; stable API for tests) ------
+  /// Handle for an in-flight halo exchange round (latency hiding).
+  struct PendingExchange {
+    struct Recv {
+      std::vector<DatBase*> dats;                 ///< >1 when grouped
+      int from = -1;
+      int tag = 0;
+      const std::vector<index_t>* slots = nullptr;
+    };
+    std::vector<Recv> recvs;
+  };
+
+  LoopPlan& get_plan(const std::string& name, const Set& set,
+                     const std::vector<ArgInfo>& args);
+  /// Posts sends for every dirty dat the loop reads through halos.
+  PendingExchange exchange_begin(LoopPlan& plan, const std::vector<ArgInfo>& args);
+  /// Completes receives, scattering payloads into halo slots.
+  void exchange_end(LoopPlan& plan, PendingExchange& pending);
+  /// Marks written dats dirty; bumps plan metering.
+  void post_loop(LoopPlan& plan, const std::vector<ArgInfo>& args, double seconds);
+
+  // --- reduction helpers for par_loop's typed layer -------------------------
+  template <class T>
+  void finalize_global(Global<T>& g, Access acc, std::span<const T> initial) {
+    if (!distributed()) return;
+    for (int c = 0; c < g.dim(); ++c) {
+      T& v = g.data()[c];
+      switch (acc) {
+        case Access::Inc: {
+          const T local_inc = v - initial[static_cast<std::size_t>(c)];
+          v = initial[static_cast<std::size_t>(c)] +
+              comm_.allreduce(local_inc, [](T a, T b) { return a + b; });
+          break;
+        }
+        case Access::Min:
+          v = comm_.allreduce(v, [](T a, T b) { return a < b ? a : b; });
+          break;
+        case Access::Max:
+          v = comm_.allreduce(v, [](T a, T b) { return a > b ? a : b; });
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // --- metering -------------------------------------------------------------
+  struct LoopStatsView {
+    std::string name;
+    std::uint64_t invocations = 0;
+    double seconds = 0.0;
+    double halo_seconds = 0.0;
+    std::uint64_t halo_bytes = 0;
+    std::uint64_t halo_msgs = 0;
+    std::uint64_t elements = 0;
+  };
+  [[nodiscard]] std::vector<LoopStatsView> loop_stats() const;
+  [[nodiscard]] LoopStatsView total_stats() const;
+  void reset_stats();
+
+  /// Human-readable dump of every cached execution plan (OP2's diagnostic
+  /// output): iteration sizes, core/tail split, color counts, halo sets.
+  [[nodiscard]] std::string describe_plans() const;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Set>>& sets() const { return sets_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Map>>& maps() const { return maps_; }
+
+ private:
+  friend class Set;
+
+  void require_not_partitioned(const char* what) const;
+  int next_dat_id() { return static_cast<int>(dats_.size()); }
+  void register_dat(std::unique_ptr<DatBase> dat);
+
+  // partition internals (partition.cpp / halo.cpp)
+  std::vector<std::vector<int>> compute_owners(
+      Partitioner p, const std::vector<const Dat<double>*>& primaries) const;
+  void build_halos_and_localize(const std::vector<std::vector<int>>& owners);
+
+  // exchange internals (halo.cpp)
+  void build_partial_lists(LoopPlan& plan, const std::vector<ArgInfo>& args);
+  std::vector<index_t> needed_halo_slots(const LoopPlan& plan, const Set& target,
+                                         const std::vector<ArgInfo>& args,
+                                         bool include_exec_direct) const;
+
+  minimpi::Comm comm_;
+  Config cfg_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  bool partitioned_ = false;
+
+  std::vector<std::unique_ptr<Set>> sets_;
+  std::vector<std::unique_ptr<Map>> maps_;
+  std::vector<std::unique_ptr<DatBase>> dats_;
+  std::vector<SetHalo> halos_;  // indexed by set id
+  std::map<std::string, std::unique_ptr<LoopPlan>> plans_;
+
+  // Kept from partitioning for plan construction: per set, global->owner and
+  // per-rank global exec/nonexec import lists are discarded; only the local
+  // views (l2g, halos) are retained. g2l maps survive for coupler lookups.
+  std::vector<std::map<index_t, index_t>> g2l_;  // per set: global -> local
+
+ public:
+  /// Global-to-local lookup (post-partition); returns -1 when the element is
+  /// not present on this rank. Used by the coupler to address interface
+  /// nodes.
+  [[nodiscard]] index_t global_to_local(const Set& s, index_t gid) const {
+    const auto& m = g2l_[static_cast<std::size_t>(s.id())];
+    const auto it = m.find(gid);
+    return it == m.end() ? index_t{-1} : it->second;
+  }
+};
+
+}  // namespace vcgt::op2

@@ -1,0 +1,143 @@
+#pragma once
+// op2::Dat<T> — data defined on a set (dim components per element), plus
+// op2::Global<T> — per-rank global values used for reductions (residual
+// norms, CFL limits) and read-only parameters passed into kernels.
+//
+// Halo coherence uses epochs rather than a single dirty bit so the partial
+// halo exchange optimization (Table III "PH") can track cleanliness per
+// loop plan: every write bumps write_epoch(); an exchange records the epoch
+// it made (a subset of) the halo consistent with.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/op2/set.hpp"
+#include "src/op2/types.hpp"
+
+namespace vcgt::op2 {
+
+/// Type-erased base; the halo machinery moves element payloads as raw bytes.
+class DatBase {
+ public:
+  virtual ~DatBase() = default;
+  DatBase(const DatBase&) = delete;
+  DatBase& operator=(const DatBase&) = delete;
+
+  [[nodiscard]] const Set& set() const { return *set_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int id() const { return id_; }
+  /// Payload bytes per element (dim * sizeof(T)).
+  [[nodiscard]] std::size_t elem_bytes() const { return elem_bytes_; }
+
+  [[nodiscard]] virtual std::byte* raw() = 0;
+  [[nodiscard]] virtual const std::byte* raw() const = 0;
+
+  /// Epoch of the last write (any loop or external writer touching the dat).
+  [[nodiscard]] std::uint64_t write_epoch() const { return write_epoch_; }
+  /// Epoch the *full* halo was last synchronized at.
+  [[nodiscard]] std::uint64_t halo_clean_epoch() const { return halo_clean_epoch_; }
+  [[nodiscard]] bool halo_dirty() const { return write_epoch_ > halo_clean_epoch_; }
+
+  /// External writers (the JM76 coupler scattering interface values, mesh
+  /// deformation, test setup) must call this after mutating owned entries so
+  /// the next reading loop refreshes halo copies.
+  void mark_written() { ++write_epoch_; }
+  void mark_halo_clean() { halo_clean_epoch_ = write_epoch_; }
+
+ protected:
+  DatBase(Set* set, int id, std::string name, int dim, std::size_t elem_bytes)
+      : set_(set), id_(id), name_(std::move(name)), dim_(dim), elem_bytes_(elem_bytes) {}
+
+  friend class Context;
+  /// Re-lays out storage for the local window after partitioning:
+  /// new_local[l] = old_global[l2g[l]] for l in [0, total).
+  virtual void localize(std::span<const index_t> l2g) = 0;
+
+  Set* set_;
+  int id_;
+  std::string name_;
+  int dim_;
+  std::size_t elem_bytes_;
+  std::uint64_t write_epoch_ = 1;       // starts dirty-equal: halo starts clean
+  std::uint64_t halo_clean_epoch_ = 1;  // (localize() copies halo values too)
+};
+
+template <class T>
+class Dat final : public DatBase {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::span<T> span() { return data_; }
+  [[nodiscard]] std::span<const T> span() const { return data_; }
+
+  /// Pointer to element e's components.
+  [[nodiscard]] T* elem(index_t e) {
+    return data_.data() + static_cast<std::size_t>(e) * static_cast<std::size_t>(dim_);
+  }
+  [[nodiscard]] const T* elem(index_t e) const {
+    return data_.data() + static_cast<std::size_t>(e) * static_cast<std::size_t>(dim_);
+  }
+
+  [[nodiscard]] std::byte* raw() override { return reinterpret_cast<std::byte*>(data_.data()); }
+  [[nodiscard]] const std::byte* raw() const override {
+    return reinterpret_cast<const std::byte*>(data_.data());
+  }
+
+ private:
+  friend class Context;
+  Dat(Set* set, int id, std::string name, int dim, std::vector<T> global_data)
+      : DatBase(set, id, std::move(name), dim, sizeof(T) * static_cast<std::size_t>(dim)),
+        data_(std::move(global_data)) {
+    data_.resize(static_cast<std::size_t>(set->global_size()) * static_cast<std::size_t>(dim));
+  }
+
+  void localize(std::span<const index_t> l2g) override {
+    std::vector<T> local(l2g.size() * static_cast<std::size_t>(dim_));
+    for (std::size_t l = 0; l < l2g.size(); ++l) {
+      const auto g = static_cast<std::size_t>(l2g[l]);
+      std::memcpy(local.data() + l * static_cast<std::size_t>(dim_),
+                  data_.data() + g * static_cast<std::size_t>(dim_),
+                  elem_bytes_);
+    }
+    data_ = std::move(local);
+  }
+
+  std::vector<T> data_;
+};
+
+/// Global (per-rank) value participating in loops either read-only or as a
+/// reduction target. par_loop finalizes Inc/Min/Max globals across ranks.
+template <class T>
+class Global {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] T* data() { return value_.data(); }
+  [[nodiscard]] const T* data() const { return value_.data(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] T value(int i = 0) const { return value_[static_cast<std::size_t>(i)]; }
+  void set(std::span<const T> v) {
+    value_.assign(v.begin(), v.end());
+  }
+  void set(T v) { value_.assign(static_cast<std::size_t>(dim_), v); }
+
+ private:
+  friend class Context;
+  Global(std::string name, int dim, std::vector<T> init)
+      : name_(std::move(name)), dim_(dim), value_(std::move(init)) {
+    value_.resize(static_cast<std::size_t>(dim_));
+  }
+
+  std::string name_;
+  int dim_;
+  std::vector<T> value_;
+};
+
+}  // namespace vcgt::op2

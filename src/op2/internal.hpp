@@ -1,0 +1,22 @@
+#pragma once
+// Internal helpers shared between the op2 runtime translation units.
+#include <vector>
+
+#include "src/op2/plan.hpp"
+
+namespace vcgt::op2 {
+class Context;
+}
+
+namespace vcgt::op2::detail {
+
+/// Populates plan.core_colors / plan.tail_colors with conflict-free element
+/// groups (greedy distance-2 coloring over the loop's indirect-write maps)
+/// and sets plan.colored.
+void build_coloring(LoopPlan& plan, const std::vector<ArgInfo>& args);
+
+/// Order-independent hash of the argument metadata, to validate that a loop
+/// name is reused with identical arguments.
+std::uint64_t arg_signature(const std::vector<ArgInfo>& args);
+
+}  // namespace vcgt::op2::detail

@@ -1,0 +1,96 @@
+#include "src/op2/io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "src/util/log.hpp"
+
+namespace vcgt::op2::io {
+
+namespace {
+constexpr char kMagic[8] = {'V', 'C', 'G', 'T', 'D', 'A', 'T', '1'};
+
+struct Header {
+  char magic[8];
+  std::uint32_t dim = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t count = 0;  ///< global element count
+};
+static_assert(sizeof(Header) == 24);
+}  // namespace
+
+bool save(Context& ctx, const Dat<double>& dat, const std::string& path) {
+  const auto global = ctx.fetch_global(dat);  // collective
+  bool ok = true;
+  if (ctx.rank() == 0) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      util::warn("op2::io::save: cannot open '{}'", path);
+      ok = false;
+    } else {
+      Header h;
+      std::memcpy(h.magic, kMagic, sizeof(kMagic));
+      h.dim = static_cast<std::uint32_t>(dat.dim());
+      h.count = static_cast<std::uint64_t>(dat.set().global_size());
+      out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+      out.write(reinterpret_cast<const char*>(global.data()),
+                static_cast<std::streamsize>(global.size() * sizeof(double)));
+      ok = static_cast<bool>(out);
+    }
+  }
+  if (ctx.distributed()) {
+    ok = ctx.comm().bcast_value(ok ? 1 : 0, 0) != 0;
+  }
+  return ok;
+}
+
+bool load(Context& ctx, Dat<double>& dat, const std::string& path) {
+  std::vector<double> global;
+  int status = 1;  // 1 ok, 0 io error, 2 format error
+  if (ctx.rank() == 0) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      status = 0;
+    } else {
+      Header h{};
+      in.read(reinterpret_cast<char*>(&h), sizeof(h));
+      if (!in || std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0 ||
+          h.dim != static_cast<std::uint32_t>(dat.dim()) ||
+          h.count != static_cast<std::uint64_t>(dat.set().global_size())) {
+        status = 2;
+      } else {
+        global.resize(h.count * h.dim);
+        in.read(reinterpret_cast<char*>(global.data()),
+                static_cast<std::streamsize>(global.size() * sizeof(double)));
+        if (!in) status = 0;
+      }
+    }
+  }
+  if (ctx.distributed()) {
+    status = ctx.comm().bcast_value(status, 0);
+    if (status == 1) global = ctx.comm().bcast(std::move(global), 0);
+  }
+  if (status == 2) {
+    throw std::runtime_error("op2::io::load: '" + path + "' does not match the dat");
+  }
+  if (status == 0) {
+    util::warn("op2::io::load: cannot read '{}'", path);
+    return false;
+  }
+
+  // Scatter through the local numbering; halo slots receive owner-consistent
+  // values too, but the dat is marked written so readers re-synchronize.
+  const Set& s = dat.set();
+  const auto dim = static_cast<std::size_t>(dat.dim());
+  for (index_t l = 0; l < s.total(); ++l) {
+    const auto g = static_cast<std::size_t>(s.global_id(l));
+    for (std::size_t c = 0; c < dim; ++c) {
+      dat.elem(l)[c] = global[g * dim + c];
+    }
+  }
+  dat.mark_written();
+  return true;
+}
+
+}  // namespace vcgt::op2::io

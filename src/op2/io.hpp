@@ -1,0 +1,21 @@
+#pragma once
+// Binary dat I/O — the stand-in for OP2's HDF5-based file layer. A dat is
+// written as one flat global array (gathered across ranks) with a small
+// header, and loaded back into any compatible declaration regardless of the
+// partitioning (values are scattered through the local-to-global numbering).
+#include <string>
+
+#include "src/op2/context.hpp"
+
+namespace vcgt::op2::io {
+
+/// Writes the dat's global contents (rank 0 writes; collective when
+/// distributed). Returns false on I/O failure (consistent across ranks).
+bool save(Context& ctx, const Dat<double>& dat, const std::string& path);
+
+/// Loads a file written by save() into `dat` (collective). The set size and
+/// dim must match; throws std::runtime_error on format mismatch and returns
+/// false when the file cannot be read. Marks the dat written.
+bool load(Context& ctx, Dat<double>& dat, const std::string& path);
+
+}  // namespace vcgt::op2::io

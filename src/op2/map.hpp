@@ -1,0 +1,45 @@
+#pragma once
+// op2::Map — explicit connectivity between two sets (e.g. edge -> 2 nodes).
+// Declared with a *global* table; Context::partition() rewrites the table in
+// terms of local indices for all locally executed (owned + exec halo)
+// elements of the from-set. By halo construction, every entry then resolves
+// to a valid local slot.
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/op2/set.hpp"
+#include "src/op2/types.hpp"
+
+namespace vcgt::op2 {
+
+class Map {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Set& from() const { return *from_; }
+  [[nodiscard]] const Set& to() const { return *to_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] int id() const { return id_; }
+
+  /// Target of element `e`'s i-th connection (local indices post-partition).
+  [[nodiscard]] index_t operator()(index_t e, int i) const {
+    return table_[static_cast<std::size_t>(e) * static_cast<std::size_t>(dim_) +
+                  static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::span<const index_t> table() const { return table_; }
+
+ private:
+  friend class Context;
+  Map(int id, std::string name, Set* from, Set* to, int dim, std::vector<index_t> table)
+      : id_(id), name_(std::move(name)), from_(from), to_(to), dim_(dim),
+        table_(std::move(table)) {}
+
+  int id_;
+  std::string name_;
+  Set* from_;
+  Set* to_;
+  int dim_;
+  std::vector<index_t> table_;
+};
+
+}  // namespace vcgt::op2

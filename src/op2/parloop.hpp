@@ -1,0 +1,288 @@
+#pragma once
+// op2::par_loop — the DSL's parallel loop construct (paper Fig. 3).
+//
+//   op2::par_loop("res_calc", edges, kernel,
+//                 op2::arg(x,   0, e2n, Access::Read),
+//                 op2::arg(x,   1, e2n, Access::Read),
+//                 op2::arg(q,   0, e2c, Access::Read),
+//                 op2::arg(res, 0, e2c, Access::Inc));
+//
+// The kernel receives one pointer per argument (T* — kernels declare const
+// T* where they only read). The loop body is written purely element-wise;
+// the runtime supplies the parallelization: distributed halo exchanges with
+// latency hiding, redundant execution over the exec halo for indirect
+// increments, and conflict-free coloring for shared-memory workers —
+// exactly the plan structure OP2's code generator emits.
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/op2/context.hpp"
+#include "src/op2/dat.hpp"
+#include "src/op2/map.hpp"
+#include "src/op2/plan.hpp"
+#include "src/op2/set.hpp"
+#include "src/op2/types.hpp"
+#include "src/util/timer.hpp"
+
+namespace vcgt::op2 {
+
+// --- argument descriptors ---------------------------------------------------
+
+template <class T>
+struct DatArg {
+  Dat<T>* dat;
+  const Map* map;  ///< null for direct access
+  int idx;
+  Access acc;
+};
+
+template <class T>
+struct GblArg {
+  Global<T>* g;
+  Access acc;
+};
+
+/// OP2's op_arg_idx: passes the element's *global* id into the kernel (the
+/// same value on every rank regardless of partitioning) — used for
+/// element-dependent coefficients, deterministic per-element randomness and
+/// debugging output.
+struct IdxArg {
+  const index_t* l2g = nullptr;  ///< filled by par_loop from the iteration set
+};
+
+/// Indirect access: dat[ map(e, idx) ].
+template <class T>
+[[nodiscard]] DatArg<T> arg(Dat<T>& d, int idx, const Map& m, Access a) {
+  return {&d, &m, idx, a};
+}
+/// Direct access: dat[e].
+template <class T>
+[[nodiscard]] DatArg<T> arg(Dat<T>& d, Access a) {
+  return {&d, nullptr, 0, a};
+}
+/// Global parameter (Read) or reduction target (Inc/Min/Max).
+template <class T>
+[[nodiscard]] GblArg<T> arg(Global<T>& g, Access a) {
+  return {&g, a};
+}
+/// Element-id argument: the kernel receives a const index_t* to the
+/// element's global id.
+[[nodiscard]] inline IdxArg arg_idx() { return {}; }
+
+namespace detail {
+
+template <class T>
+ArgInfo to_info(const DatArg<T>& a) {
+  return ArgInfo{a.dat, a.map, a.idx, a.acc, false};
+}
+template <class T>
+ArgInfo to_info(const GblArg<T>& a) {
+  return ArgInfo{nullptr, nullptr, 0, a.acc, true};
+}
+inline ArgInfo to_info(const IdxArg&) {
+  return ArgInfo{nullptr, nullptr, -1, Access::Read, false};
+}
+
+// Bound (per-thread) argument views used in the hot loop: raw pointers only.
+template <class T>
+struct BoundDat {
+  T* base;
+  const index_t* table;  ///< null for direct
+  int mdim;
+  int idx;
+  int ddim;
+};
+template <class T>
+struct BoundGbl {
+  T* ptr;
+};
+
+template <class T>
+[[nodiscard]] inline T* resolve(const BoundDat<T>& b, index_t e) {
+  const index_t t = b.table
+                        ? b.table[static_cast<std::size_t>(e) * static_cast<std::size_t>(b.mdim) +
+                                  static_cast<std::size_t>(b.idx)]
+                        : e;
+  return b.base + static_cast<std::size_t>(t) * static_cast<std::size_t>(b.ddim);
+}
+template <class T>
+[[nodiscard]] inline T* resolve(const BoundGbl<T>& b, index_t) {
+  return b.ptr;
+}
+struct BoundIdx {
+  const index_t* l2g;  ///< local -> global of the iteration set
+};
+[[nodiscard]] inline const index_t* resolve(const BoundIdx& b, index_t e) {
+  return b.l2g + e;
+}
+
+// Per-argument reduction scratch: nthreads copies for writable globals.
+struct NoScratch {};
+template <class T>
+struct GblScratch {
+  std::vector<T> buf;  ///< nthreads * dim, initialized per access mode
+  int dim;
+};
+
+template <class T>
+NoScratch make_scratch(const DatArg<T>&, int) {
+  return {};
+}
+inline NoScratch make_scratch(const IdxArg&, int) { return {}; }
+template <class T>
+auto make_scratch(const GblArg<T>& a, int nthreads) {
+  if (a.acc == Access::Read) return GblScratch<T>{{}, a.g->dim()};
+  GblScratch<T> s{{}, a.g->dim()};
+  s.buf.resize(static_cast<std::size_t>(nthreads) * static_cast<std::size_t>(a.g->dim()));
+  for (int t = 0; t < nthreads; ++t) {
+    for (int c = 0; c < a.g->dim(); ++c) {
+      const std::size_t i =
+          static_cast<std::size_t>(t) * static_cast<std::size_t>(a.g->dim()) +
+          static_cast<std::size_t>(c);
+      // Inc accumulates from zero; Min/Max fold from the current value.
+      s.buf[i] = a.acc == Access::Inc ? T{} : a.g->data()[c];
+    }
+  }
+  return s;
+}
+
+template <class T>
+BoundDat<T> bind(const DatArg<T>& a, NoScratch&, int) {
+  return BoundDat<T>{a.dat->data(), a.map ? a.map->table().data() : nullptr,
+                     a.map ? a.map->dim() : 0, a.idx, a.dat->dim()};
+}
+template <class T>
+BoundGbl<T> bind(const GblArg<T>& a, GblScratch<T>& s, int tid) {
+  if (a.acc == Access::Read) return BoundGbl<T>{a.g->data()};
+  return BoundGbl<T>{s.buf.data() +
+                     static_cast<std::size_t>(tid) * static_cast<std::size_t>(s.dim)};
+}
+inline BoundIdx bind(const IdxArg& a, NoScratch&, int) { return BoundIdx{a.l2g}; }
+
+template <class T>
+void merge_scratch(const GblArg<T>& a, const GblScratch<T>& s, int nthreads) {
+  if (a.acc == Access::Read) return;
+  for (int c = 0; c < s.dim; ++c) {
+    T acc = a.g->data()[c];
+    for (int t = 0; t < nthreads; ++t) {
+      const T v = s.buf[static_cast<std::size_t>(t) * static_cast<std::size_t>(s.dim) +
+                        static_cast<std::size_t>(c)];
+      switch (a.acc) {
+        case Access::Inc: acc += v; break;
+        case Access::Min: acc = v < acc ? v : acc; break;
+        case Access::Max: acc = v > acc ? v : acc; break;
+        default: break;
+      }
+    }
+    a.g->data()[c] = acc;
+  }
+}
+template <class T>
+void merge_scratch(const DatArg<T>&, const NoScratch&, int) {}
+inline void merge_scratch(const IdxArg&, const NoScratch&, int) {}
+
+template <class T>
+void snapshot_global(const GblArg<T>& a, std::vector<double>& out) {
+  for (int c = 0; c < a.g->dim(); ++c) out.push_back(static_cast<double>(a.g->data()[c]));
+}
+template <class T>
+void snapshot_global(const DatArg<T>&, std::vector<double>&) {}
+inline void snapshot_global(const IdxArg&, std::vector<double>&) {}
+
+template <class T>
+void finalize_arg(Context& ctx, const GblArg<T>& a, std::span<const double> initial,
+                  std::size_t& cursor) {
+  std::vector<T> init(static_cast<std::size_t>(a.g->dim()));
+  for (int c = 0; c < a.g->dim(); ++c) init[static_cast<std::size_t>(c)] =
+      static_cast<T>(initial[cursor + static_cast<std::size_t>(c)]);
+  cursor += static_cast<std::size_t>(a.g->dim());
+  ctx.finalize_global(*a.g, a.acc, std::span<const T>(init));
+}
+template <class T>
+void finalize_arg(Context&, const DatArg<T>&, std::span<const double>, std::size_t&) {}
+inline void finalize_arg(Context&, const IdxArg&, std::span<const double>, std::size_t&) {}
+
+// par_loop wires the iteration set's numbering into IdxArgs.
+inline void attach_set(IdxArg& a, const Set& s) { a.l2g = s.local_to_global().data(); }
+template <class A>
+void attach_set(A&, const Set&) {}
+
+}  // namespace detail
+
+/// Executes `kernel` once per element of `set` (owned elements, plus the
+/// exec halo when any argument is an indirect write — OP2's redundant
+/// computation). Collective across the context's communicator.
+template <class Kernel, class... As>
+void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
+  Context& ctx = set.context();
+  const std::vector<ArgInfo> infos{detail::to_info(as)...};
+  util::Timer timer;
+
+  LoopPlan& plan = ctx.get_plan(name, set, infos);
+  auto pending = ctx.exchange_begin(plan, infos);
+
+  const int nthreads = ctx.config().nthreads;
+  auto args = std::forward_as_tuple(as...);
+  std::apply([&](auto&... a) { (detail::attach_set(a, set), ...); }, args);
+  auto scratch = std::apply(
+      [&](auto&... a) { return std::make_tuple(detail::make_scratch(a, nthreads)...); }, args);
+
+  // Snapshot globals for distributed Inc finalization.
+  std::vector<double> initial;
+  std::apply([&](auto&... a) { (detail::snapshot_global(a, initial), ...); }, args);
+
+  constexpr auto idx_seq = std::index_sequence_for<As...>{};
+  auto run_span = [&]<std::size_t... I>(std::span<const index_t> elems, int tid,
+                                        std::index_sequence<I...>) {
+    auto bound = std::make_tuple(
+        detail::bind(std::get<I>(args), std::get<I>(scratch), tid)...);
+    for (const index_t e : elems) {
+      kernel(detail::resolve(std::get<I>(bound), e)...);
+    }
+  };
+
+  auto run_phase = [&](const std::vector<index_t>& flat,
+                       const std::vector<std::vector<index_t>>& colors) {
+    if (!plan.colored) {
+      if (nthreads <= 1) {
+        run_span(std::span<const index_t>(flat), 0, idx_seq);
+      } else {
+        ctx.pool().parallel_for(flat.size(), [&](int tid, std::size_t b, std::size_t e) {
+          run_span(std::span<const index_t>(flat.data() + b, e - b), tid, idx_seq);
+        });
+      }
+      return;
+    }
+    for (const auto& color : colors) {
+      if (nthreads <= 1) {
+        run_span(std::span<const index_t>(color), 0, idx_seq);
+      } else {
+        ctx.pool().parallel_for(color.size(), [&](int tid, std::size_t b, std::size_t e) {
+          run_span(std::span<const index_t>(color.data() + b, e - b), tid, idx_seq);
+        });
+      }
+    }
+  };
+
+  run_phase(plan.core, plan.core_colors);
+  ctx.exchange_end(plan, pending);
+  run_phase(plan.tail, plan.tail_colors);
+
+  [&]<std::size_t... I>(std::index_sequence<I...>) {
+    (detail::merge_scratch(std::get<I>(args), std::get<I>(scratch), nthreads), ...);
+  }(idx_seq);
+
+  std::size_t cursor = 0;
+  [&]<std::size_t... I>(std::index_sequence<I...>) {
+    (detail::finalize_arg(ctx, std::get<I>(args), std::span<const double>(initial), cursor),
+     ...);
+  }(idx_seq);
+
+  ctx.post_loop(plan, infos, timer.elapsed());
+}
+
+}  // namespace vcgt::op2

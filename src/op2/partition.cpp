@@ -1,0 +1,204 @@
+// Set partitioners. The paper (§II-C) notes production tools use Metis or
+// Recursive Bisection; we provide Block (baseline), Recursive Coordinate
+// Bisection and a greedy k-way graph-growing partitioner (Metis-like in
+// spirit). Ownership of the primary set (the one carrying coordinates) is
+// computed directly; every other set inherits ownership through its first
+// declared map (owner of an element = owner of its first map target),
+// matching how OP2 propagates partitions across sets.
+#include <algorithm>
+
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "src/op2/context.hpp"
+#include "src/util/log.hpp"
+
+namespace vcgt::op2 {
+
+namespace {
+
+/// Recursive coordinate bisection: split element ids by median along the
+/// widest axis, dividing the rank range proportionally.
+void rcb_recurse(const Dat<double>& coords, int cdim, std::vector<index_t>& elems,
+                 int rank_begin, int rank_end, std::vector<int>& owner) {
+  const int nranks = rank_end - rank_begin;
+  if (nranks <= 1) {
+    for (const index_t e : elems) owner[static_cast<std::size_t>(e)] = rank_begin;
+    return;
+  }
+  // Widest bounding-box axis.
+  int axis = 0;
+  double best_extent = -1.0;
+  for (int a = 0; a < cdim; ++a) {
+    double lo = 1e300, hi = -1e300;
+    for (const index_t e : elems) {
+      const double v = coords.data()[static_cast<std::size_t>(e) * cdim + a];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_extent) {
+      best_extent = hi - lo;
+      axis = a;
+    }
+  }
+  const int left_ranks = nranks / 2;
+  const auto split = static_cast<std::size_t>(
+      static_cast<double>(elems.size()) * left_ranks / nranks);
+  std::nth_element(elems.begin(), elems.begin() + static_cast<std::ptrdiff_t>(split),
+                   elems.end(), [&](index_t a, index_t b) {
+                     const double va = coords.data()[static_cast<std::size_t>(a) * cdim + axis];
+                     const double vb = coords.data()[static_cast<std::size_t>(b) * cdim + axis];
+                     return va < vb || (va == vb && a < b);
+                   });
+  std::vector<index_t> left(elems.begin(), elems.begin() + static_cast<std::ptrdiff_t>(split));
+  std::vector<index_t> right(elems.begin() + static_cast<std::ptrdiff_t>(split), elems.end());
+  rcb_recurse(coords, cdim, left, rank_begin, rank_begin + left_ranks, owner);
+  rcb_recurse(coords, cdim, right, rank_begin + left_ranks, rank_end, owner);
+}
+
+/// Adjacency of the primary set built from every map targeting it: two
+/// primary elements are adjacent when some element of another set references
+/// both (e.g. the two endpoints of an edge).
+std::vector<std::vector<index_t>> build_adjacency(
+    const Set& primary, const std::vector<std::unique_ptr<Map>>& maps) {
+  std::vector<std::vector<index_t>> adj(static_cast<std::size_t>(primary.global_size()));
+  for (const auto& map : maps) {
+    if (&map->to() != &primary || map->dim() < 2) continue;
+    const auto table = map->table();
+    const auto dim = static_cast<std::size_t>(map->dim());
+    const auto n = static_cast<std::size_t>(map->from().global_size());
+    for (std::size_t e = 0; e < n; ++e) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        for (std::size_t j = i + 1; j < dim; ++j) {
+          const index_t a = table[e * dim + i];
+          const index_t b = table[e * dim + j];
+          if (a == b) continue;
+          adj[static_cast<std::size_t>(a)].push_back(b);
+          adj[static_cast<std::size_t>(b)].push_back(a);
+        }
+      }
+    }
+  }
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adj;
+}
+
+/// Greedy k-way graph growing: seeds a partition at the lowest-numbered
+/// unassigned element and BFS-grows it to the target size.
+std::vector<int> kway_partition(const Set& primary,
+                                const std::vector<std::unique_ptr<Map>>& maps, int nranks) {
+  const auto n = static_cast<std::size_t>(primary.global_size());
+  const auto adj = build_adjacency(primary, maps);
+  std::vector<int> owner(n, -1);
+  std::size_t assigned = 0;
+  std::size_t scan = 0;  // next unassigned candidate seed
+  for (int r = 0; r < nranks; ++r) {
+    const std::size_t target =
+        (n * static_cast<std::size_t>(r + 1)) / static_cast<std::size_t>(nranks) - assigned;
+    std::queue<index_t> frontier;
+    std::size_t grown = 0;
+    while (grown < target && assigned < n) {
+      if (frontier.empty()) {
+        while (scan < n && owner[scan] != -1) ++scan;
+        if (scan >= n) break;
+        frontier.push(static_cast<index_t>(scan));
+        owner[scan] = r;
+        ++assigned;
+        ++grown;
+      }
+      const index_t v = frontier.front();
+      frontier.pop();
+      for (const index_t w : adj[static_cast<std::size_t>(v)]) {
+        if (grown >= target) break;
+        if (owner[static_cast<std::size_t>(w)] == -1) {
+          owner[static_cast<std::size_t>(w)] = r;
+          ++assigned;
+          ++grown;
+          frontier.push(w);
+        }
+      }
+    }
+  }
+  // Anything left (disconnected remnants) goes to the last rank.
+  for (auto& o : owner) {
+    if (o == -1) o = nranks - 1;
+  }
+  return owner;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> Context::compute_owners(
+    Partitioner p, const std::vector<const Dat<double>*>& primaries) const {
+  const int nranks = this->nranks();
+  std::vector<std::vector<int>> owners(sets_.size());
+  std::vector<bool> resolved(sets_.size(), false);
+
+  for (const Dat<double>* coords : primaries) {
+    const Set& primary = coords->set();
+    auto& pown = owners[static_cast<std::size_t>(primary.id())];
+    pown.assign(static_cast<std::size_t>(primary.global_size()), 0);
+    if (nranks > 1) {
+      switch (p) {
+        case Partitioner::Block: {
+          const auto n = static_cast<std::size_t>(primary.global_size());
+          for (std::size_t g = 0; g < n; ++g) {
+            pown[g] = static_cast<int>((g * static_cast<std::size_t>(nranks)) / n);
+          }
+          break;
+        }
+        case Partitioner::Rcb: {
+          std::vector<index_t> elems(static_cast<std::size_t>(primary.global_size()));
+          std::iota(elems.begin(), elems.end(), index_t{0});
+          rcb_recurse(*coords, coords->dim(), elems, 0, nranks, pown);
+          break;
+        }
+        case Partitioner::Kway:
+          pown = kway_partition(primary, maps_, nranks);
+          break;
+      }
+    }
+    resolved[static_cast<std::size_t>(primary.id())] = true;
+  }
+
+  // Propagate to the remaining sets through maps (owner of first target).
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const auto& map : maps_) {
+      const auto from_id = static_cast<std::size_t>(map->from().id());
+      const auto to_id = static_cast<std::size_t>(map->to().id());
+      if (resolved[from_id] || !resolved[to_id]) continue;
+      auto& own = owners[from_id];
+      own.resize(static_cast<std::size_t>(map->from().global_size()));
+      for (index_t e = 0; e < map->from().global_size(); ++e) {
+        own[static_cast<std::size_t>(e)] =
+            owners[to_id][static_cast<std::size_t>((*map)(e, 0))];
+      }
+      resolved[from_id] = true;
+      progressed = true;
+    }
+  }
+
+  // Sets unreachable from the primary set fall back to block partitioning.
+  for (std::size_t s = 0; s < sets_.size(); ++s) {
+    if (resolved[s]) continue;
+    const auto n = static_cast<std::size_t>(sets_[s]->global_size());
+    owners[s].assign(n, 0);
+    if (nranks > 1 && n > 0) {
+      for (std::size_t g = 0; g < n; ++g) {
+        owners[s][g] = static_cast<int>((g * static_cast<std::size_t>(nranks)) / n);
+      }
+      util::warn("op2: set '{}' has no map path to the primary set; block-partitioned",
+                 sets_[s]->name());
+    }
+  }
+  return owners;
+}
+
+}  // namespace vcgt::op2

@@ -1,0 +1,80 @@
+#pragma once
+// Loop execution plans. OP2's code generator emits a "plan" per parallel
+// loop: which elements can run concurrently (coloring), which elements can
+// run while halo messages are in flight (core/tail split for latency
+// hiding), and which halo subsets the loop needs (partial halo exchange).
+// Here the plan is built at first invocation and cached by loop name.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/op2/types.hpp"
+
+namespace vcgt::op2 {
+
+class Set;
+class Map;
+class DatBase;
+
+/// Per-argument metadata extracted from the typed par_loop arguments.
+struct ArgInfo {
+  DatBase* dat = nullptr;   ///< null for globals
+  const Map* map = nullptr; ///< null for direct access
+  int idx = 0;              ///< which map component (0..map.dim-1)
+  Access acc = Access::Read;
+  bool is_global = false;
+};
+
+/// Communication schedule for one set whose halo this loop may read.
+/// When `full` is set the set-wide halo lists are used; otherwise the
+/// loop-specific partial sublists (PH optimization) built collectively at
+/// plan-construction time.
+struct PlanSetComm {
+  const Set* set = nullptr;
+  bool full = true;
+  bool covers_exec_direct = false;  ///< includes iteration set's exec slots
+  /// Partial lists that happen to cover the entire halo: the exchange then
+  /// counts as a full refresh for dat-level dirtiness (avoids re-exchanging
+  /// the same data for every plan touching the dat).
+  bool covers_full = false;
+  std::vector<int> nbr_send;
+  std::vector<std::vector<index_t>> send_idx;   ///< per neighbor: owned local indices
+  std::vector<int> nbr_recv;
+  std::vector<std::vector<index_t>> recv_slots; ///< per neighbor: local halo slots
+};
+
+struct LoopPlan {
+  std::string name;
+  const Set* set = nullptr;
+  std::uint64_t signature = 0;      ///< hash of arg metadata, validated per call
+  bool exec_halo_iterated = false;  ///< loop runs owned + exec (indirect writes)
+  index_t n_executed = 0;           ///< owned (+ exec when iterated)
+
+  // Latency hiding: `core` elements touch no halo slot through any of the
+  // loop's maps and can run while messages are in flight; `tail` must wait.
+  std::vector<index_t> core;
+  std::vector<index_t> tail;
+
+  // Shared-memory coloring (built when the context executes with threads or
+  // force_coloring): elements grouped by conflict-free color, core and tail
+  // colored independently since they never run concurrently.
+  bool colored = false;
+  std::vector<std::vector<index_t>> core_colors;
+  std::vector<std::vector<index_t>> tail_colors;
+
+  std::vector<PlanSetComm> comms;
+
+  /// Partial-halo cleanliness per dat for this plan (write-epoch compared).
+  std::unordered_map<const DatBase*, std::uint64_t> clean_epoch;
+
+  // Metering.
+  std::uint64_t invocations = 0;
+  double seconds = 0.0;        ///< total loop wall time (incl. exchange wait)
+  double halo_seconds = 0.0;   ///< time blocked in halo receive/pack
+  std::uint64_t halo_bytes = 0;
+  std::uint64_t halo_msgs = 0;
+  std::uint64_t elements = 0;  ///< elements executed across invocations
+};
+
+}  // namespace vcgt::op2

@@ -1,0 +1,224 @@
+#include <algorithm>
+
+#include <stdexcept>
+
+#include "src/op2/context.hpp"
+#include "src/op2/internal.hpp"
+#include "src/util/log.hpp"
+
+namespace vcgt::op2 {
+
+Context::Context(minimpi::Comm comm, Config cfg)
+    : comm_(std::move(comm)), cfg_(cfg),
+      pool_(std::make_unique<util::ThreadPool>(cfg.nthreads)) {}
+
+Context::~Context() = default;
+
+void Context::require_not_partitioned(const char* what) const {
+  if (partitioned_) {
+    throw std::logic_error(vcgt::util::fmt("op2: {} after partition() is not supported", what));
+  }
+}
+
+Set& Context::decl_set(std::string name, index_t global_size) {
+  require_not_partitioned("decl_set");
+  if (global_size < 0) throw std::invalid_argument("op2: negative set size");
+  sets_.push_back(std::unique_ptr<Set>(
+      new Set(this, static_cast<int>(sets_.size()), std::move(name), global_size)));
+  return *sets_.back();
+}
+
+Map& Context::decl_map(std::string name, Set& from, Set& to, int dim,
+                       std::vector<index_t> global_table) {
+  require_not_partitioned("decl_map");
+  if (dim <= 0) throw std::invalid_argument("op2: map dim must be positive");
+  if (global_table.size() !=
+      static_cast<std::size_t>(from.global_size()) * static_cast<std::size_t>(dim)) {
+    throw std::invalid_argument(
+        vcgt::util::fmt("op2: map '{}' table size {} != from.size {} * dim {}", name,
+                    global_table.size(), from.global_size(), dim));
+  }
+  for (const index_t t : global_table) {
+    if (t < 0 || t >= to.global_size()) {
+      throw std::out_of_range(vcgt::util::fmt("op2: map '{}' entry {} out of range", name, t));
+    }
+  }
+  maps_.push_back(std::unique_ptr<Map>(new Map(static_cast<int>(maps_.size()),
+                                               std::move(name), &from, &to, dim,
+                                               std::move(global_table))));
+  return *maps_.back();
+}
+
+void Context::register_dat(std::unique_ptr<DatBase> dat) {
+  dats_.push_back(std::move(dat));
+}
+
+void Context::partition(Partitioner p, const Dat<double>& coords) {
+  partition(p, std::vector<const Dat<double>*>{&coords});
+}
+
+void Context::partition(Partitioner p, const std::vector<const Dat<double>*>& primaries) {
+  if (partitioned_) throw std::logic_error("op2: partition() called twice");
+  if (primaries.empty()) throw std::invalid_argument("op2: partition() needs a primary set");
+  const auto owners = compute_owners(p, primaries);
+  build_halos_and_localize(owners);
+  partitioned_ = true;
+}
+
+LoopPlan& Context::get_plan(const std::string& name, const Set& set,
+                            const std::vector<ArgInfo>& args) {
+  if (const auto it = plans_.find(name); it != plans_.end()) {
+    LoopPlan& plan = *it->second;
+    if (plan.signature != detail::arg_signature(args) || plan.set != &set) {
+      throw std::logic_error(
+          vcgt::util::fmt("op2: loop name '{}' reused with different arguments", name));
+    }
+    return plan;
+  }
+
+  if (distributed() && !partitioned_) {
+    throw std::logic_error(
+        vcgt::util::fmt("op2: loop '{}' executed before partition() on a distributed context",
+                    name));
+  }
+
+  auto plan_ptr = std::make_unique<LoopPlan>();
+  LoopPlan& plan = *plan_ptr;
+  plan.name = name;
+  plan.set = &set;
+  plan.signature = detail::arg_signature(args);
+
+  for (const auto& a : args) {
+    if (a.dat && a.map && access_writes(a.acc)) plan.exec_halo_iterated = true;
+    if (a.dat && a.map && &a.map->from() != &set) {
+      throw std::logic_error(vcgt::util::fmt(
+          "op2: loop '{}' uses map '{}' whose from-set is not the iteration set", name,
+          a.map->name()));
+    }
+  }
+  plan.n_executed = set.n_owned() + (plan.exec_halo_iterated ? set.n_exec() : 0);
+
+  // Core/tail split for latency hiding: core elements reference no halo slot
+  // through any of the loop's maps.
+  const bool overlap = cfg_.latency_hiding && distributed();
+  for (index_t e = 0; e < plan.n_executed; ++e) {
+    bool core = overlap && e < set.n_owned();
+    if (core) {
+      for (const auto& a : args) {
+        if (!a.dat || !a.map) continue;
+        if ((*a.map)(e, a.idx) >= a.map->to().n_owned()) {
+          core = false;
+          break;
+        }
+      }
+    }
+    (core ? plan.core : plan.tail).push_back(e);
+  }
+
+  // Communication schedule: one entry per set whose halo the loop reads.
+  if (distributed()) {
+    std::vector<const Set*> comm_sets;
+    bool direct_exec_reads = false;
+    for (const auto& a : args) {
+      if (!a.dat) continue;
+      if (a.map && access_reads(a.acc)) {
+        const Set* t = &a.map->to();
+        if (std::find(comm_sets.begin(), comm_sets.end(), t) == comm_sets.end()) {
+          comm_sets.push_back(t);
+        }
+      }
+      if (!a.map && access_reads(a.acc) && plan.exec_halo_iterated) {
+        direct_exec_reads = true;
+      }
+    }
+    if (direct_exec_reads &&
+        std::find(comm_sets.begin(), comm_sets.end(), &set) == comm_sets.end()) {
+      comm_sets.push_back(&set);
+    }
+    for (const Set* s : comm_sets) {
+      PlanSetComm sc;
+      sc.set = s;
+      sc.covers_exec_direct = (s == &set) && plan.exec_halo_iterated;
+      sc.full = !cfg_.partial_halos;
+      plan.comms.push_back(std::move(sc));
+    }
+    if (cfg_.partial_halos) build_partial_lists(plan, args);
+  }
+
+  if ((cfg_.nthreads > 1 || cfg_.force_coloring)) {
+    detail::build_coloring(plan, args);
+  }
+
+  auto [it, inserted] = plans_.emplace(name, std::move(plan_ptr));
+  (void)inserted;
+  return *it->second;
+}
+
+void Context::post_loop(LoopPlan& plan, const std::vector<ArgInfo>& args, double seconds) {
+  ++plan.invocations;
+  plan.seconds += seconds;
+  plan.elements += static_cast<std::uint64_t>(plan.n_executed);
+  for (const auto& a : args) {
+    if (a.dat && access_writes(a.acc)) a.dat->mark_written();
+  }
+}
+
+std::vector<Context::LoopStatsView> Context::loop_stats() const {
+  std::vector<LoopStatsView> out;
+  out.reserve(plans_.size());
+  for (const auto& [name, plan] : plans_) {
+    out.push_back({name, plan->invocations, plan->seconds, plan->halo_seconds,
+                   plan->halo_bytes, plan->halo_msgs, plan->elements});
+  }
+  return out;
+}
+
+Context::LoopStatsView Context::total_stats() const {
+  LoopStatsView total;
+  total.name = "(all loops)";
+  for (const auto& [name, plan] : plans_) {
+    total.invocations += plan->invocations;
+    total.seconds += plan->seconds;
+    total.halo_seconds += plan->halo_seconds;
+    total.halo_bytes += plan->halo_bytes;
+    total.halo_msgs += plan->halo_msgs;
+    total.elements += plan->elements;
+  }
+  return total;
+}
+
+std::string Context::describe_plans() const {
+  std::string out;
+  for (const auto& [name, plan] : plans_) {
+    out += vcgt::util::fmt(
+        "loop '{}' over '{}': exec {} (core {}, tail {}){}{}", name, plan->set->name(),
+        plan->n_executed, plan->core.size(), plan->tail.size(),
+        plan->exec_halo_iterated ? ", redundant exec halo" : "",
+        plan->colored
+            ? vcgt::util::fmt(", colors {}+{}", plan->core_colors.size(),
+                              plan->tail_colors.size())
+            : "");
+    if (!plan->comms.empty()) {
+      out += ", halo reads:";
+      for (const auto& sc : plan->comms) {
+        out += vcgt::util::fmt(" {}({})", sc.set->name(), sc.full ? "full" : "partial");
+      }
+    }
+    out += vcgt::util::fmt(" [{} calls, {} B exchanged]\n", plan->invocations,
+                           plan->halo_bytes);
+  }
+  return out;
+}
+
+void Context::reset_stats() {
+  for (auto& [name, plan] : plans_) {
+    plan->invocations = 0;
+    plan->seconds = 0.0;
+    plan->halo_seconds = 0.0;
+    plan->halo_bytes = 0;
+    plan->halo_msgs = 0;
+    plan->elements = 0;
+  }
+}
+
+}  // namespace vcgt::op2

@@ -1,0 +1,64 @@
+#pragma once
+// op2::Set — a class of mesh elements (nodes, edges, cells, boundary faces).
+//
+// After Context::partition() each rank holds a window of the global set laid
+// out as   [ owned | imported exec halo | imported non-exec halo ]
+// following OP2's halo taxonomy:
+//   * owned        — elements this rank is responsible for;
+//   * exec halo    — foreign elements this rank must *redundantly execute*
+//                    because they increment locally-owned elements through
+//                    some map (owner-compute with redundant computation);
+//   * non-exec halo— foreign elements that are only ever *read* through maps
+//                    from locally executed elements.
+// Halo regions are grouped by source rank and sorted by global id so that
+// sender and receiver agree on message ordering without negotiation.
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/op2/types.hpp"
+
+namespace vcgt::op2 {
+
+class Context;
+
+class Set {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] index_t global_size() const { return global_size_; }
+
+  /// Locally owned element count (== global_size before partitioning and in
+  /// serial contexts).
+  [[nodiscard]] index_t n_owned() const { return n_owned_; }
+  [[nodiscard]] index_t n_exec() const { return n_exec_; }
+  [[nodiscard]] index_t n_nonexec() const { return n_nonexec_; }
+  /// owned + exec + nonexec; all dats on the set store this many elements.
+  [[nodiscard]] index_t total() const { return n_owned_ + n_exec_ + n_nonexec_; }
+
+  /// local index -> global id (identity before partitioning).
+  [[nodiscard]] std::span<const index_t> local_to_global() const { return l2g_; }
+  [[nodiscard]] index_t global_id(index_t local) const { return l2g_[static_cast<std::size_t>(local)]; }
+
+  [[nodiscard]] Context& context() const { return *ctx_; }
+  [[nodiscard]] int id() const { return id_; }
+
+ private:
+  friend class Context;
+  Set(Context* ctx, int id, std::string name, index_t global_size)
+      : ctx_(ctx), id_(id), name_(std::move(name)), global_size_(global_size),
+        n_owned_(global_size) {
+    l2g_.resize(static_cast<std::size_t>(global_size));
+    for (index_t i = 0; i < global_size; ++i) l2g_[static_cast<std::size_t>(i)] = i;
+  }
+
+  Context* ctx_;
+  int id_;
+  std::string name_;
+  index_t global_size_;
+  index_t n_owned_ = 0;
+  index_t n_exec_ = 0;
+  index_t n_nonexec_ = 0;
+  std::vector<index_t> l2g_;
+};
+
+}  // namespace vcgt::op2

@@ -1,0 +1,71 @@
+#pragma once
+// Core vocabulary types of the op2 embedded DSL (see DESIGN.md §2).
+//
+// The DSL follows the published OP2 model: an unstructured-mesh computation
+// is declared as (1) sets of mesh elements, (2) data on sets ("dats"),
+// (3) connectivity between sets ("maps") and (4) parallel loops over sets
+// with explicit per-argument access descriptors. The access descriptors are
+// what let the runtime build race-free shared-memory plans (coloring) and
+// minimal distributed-memory halo exchanges.
+#include <cstdint>
+#include <string>
+
+namespace vcgt::op2 {
+
+/// Local/global element index. 32-bit is enough for the scaled-down meshes
+/// (the paper's 4.58B-node mesh would need 64-bit; see DESIGN.md §5).
+using index_t = std::int32_t;
+
+/// How a parallel-loop argument accesses its data. Mirrors OP2's
+/// OP_READ / OP_WRITE / OP_RW / OP_INC (+ OP_MIN/OP_MAX for globals).
+enum class Access : std::uint8_t {
+  Read,   ///< read only; halo copies must be current before the loop
+  Write,  ///< overwritten without reading; no halo refresh needed
+  ReadWrite,
+  Inc,    ///< accumulated (+=); resolved via coloring / redundant compute
+  Min,    ///< global reduction: minimum
+  Max,    ///< global reduction: maximum
+};
+
+[[nodiscard]] constexpr bool access_reads(Access a) {
+  return a == Access::Read || a == Access::ReadWrite;
+}
+[[nodiscard]] constexpr bool access_writes(Access a) {
+  return a == Access::Write || a == Access::ReadWrite || a == Access::Inc;
+}
+
+const char* access_name(Access a);
+
+/// Runtime configuration. The three optimization toggles correspond to the
+/// paper's §IV-A5 (Table III) ablation:
+///  - partial_halos (PH): exchange only the halo elements a loop actually
+///    references through its maps, not the full halo of each dirty dat;
+///  - grouped_halos (GH): pack all dats' halo payloads for the same
+///    neighbor rank into one message per neighbor;
+///  - staged_gather (GG): coupler-side single-buffer gather before handing
+///    interface data to JM76 (consumed by vcgt::jm76).
+struct Config {
+  bool partial_halos = false;
+  bool grouped_halos = false;
+  bool staged_gather = false;
+  /// Shared-memory workers per rank for colored execution (1 = sequential
+  /// within a rank; distributed parallelism is independent of this).
+  int nthreads = 1;
+  /// Force colored execution even with nthreads == 1 (used by tests to
+  /// validate coloring correctness on a single worker).
+  bool force_coloring = false;
+  /// Enable communication/computation overlap (latency hiding): execute
+  /// halo-independent "core" elements while halo messages are in flight.
+  bool latency_hiding = true;
+};
+
+/// Partitioning strategy for distributing the primary set across ranks.
+enum class Partitioner {
+  Block,  ///< contiguous index blocks (baseline, poor edge-cut)
+  Rcb,    ///< recursive coordinate bisection on node coordinates
+  Kway,   ///< greedy k-way graph growing on the node adjacency (Metis-like)
+};
+
+const char* partitioner_name(Partitioner p);
+
+}  // namespace vcgt::op2

@@ -1,0 +1,199 @@
+#include "src/perf/costmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vcgt::perf {
+
+namespace {
+
+constexpr double kPayloadBytes = 6 * 8;  ///< 5 conservative + SA, doubles
+
+/// Donor candidates tested per locate() call.
+double candidates_per_locate(jm76::SearchKind kind, double donor_faces) {
+  if (kind == jm76::SearchKind::BruteForce) return donor_faces;
+  // ADT: ~c * log2(n) nodes visited per containment query.
+  return 6.0 * std::log2(std::max(2.0, donor_faces)) + 12.0;
+}
+
+}  // namespace
+
+ScalingModel::ScalingModel(MachineSpec machine, WorkloadSpec workload,
+                           double reference_node_rate)
+    : machine_(std::move(machine)), workload_(std::move(workload)),
+      reference_node_rate_(reference_node_rate) {
+  if (machine_.is_gpu() && reference_node_rate_ <= 0.0) {
+    // Default GPU reference: an ARCHER2 node.
+    const auto ref = archer2();
+    reference_node_rate_ = ref.cores_per_node / ref.cell_step_seconds;
+  }
+}
+
+StepCost ScalingModel::step_cost(int nodes, const ModelOptions& opt) const {
+  if (nodes < 1) throw std::invalid_argument("ScalingModel: nodes must be >= 1");
+  StepCost cost;
+  const WorkloadSpec& w = workload_;
+  const MachineSpec& m = machine_;
+
+  const int ifaces = w.ninterfaces();
+  const double F = w.iface_faces();
+  const int K = opt.monolithic ? 0 : opt.cus_per_interface;
+
+  // Rank accounting. On CPU nodes the CUs consume cores that would
+  // otherwise run HS work (paper §IV-A5: "CUs can only be increased at the
+  // cost of reducing HS processes"); on GPU nodes CUs run on otherwise-idle
+  // host cores.
+  const double ranks_total = static_cast<double>(nodes) * m.cores_per_node;
+  double hs_ranks = ranks_total;
+  if (!m.is_gpu() && !opt.monolithic) {
+    hs_ranks = std::max(1.0, ranks_total - static_cast<double>(K) * ifaces);
+  }
+  if (m.is_gpu()) hs_ranks = static_cast<double>(nodes) * m.gpus_per_node;
+
+  // --- compute ---------------------------------------------------------------
+  const double node_rate = m.node_cellsteps_per_s(reference_node_rate_);
+  const double machine_rate = m.is_gpu()
+                                  ? node_rate * nodes
+                                  : node_rate * nodes * (hs_ranks / ranks_total);
+  cost.compute = w.total_cells / machine_rate;
+
+  // --- halo exchange -----------------------------------------------------------
+  const double cells_per_rank = w.total_cells / hs_ranks;
+  const double halo_faces = 6.0 * std::pow(cells_per_rank, 2.0 / 3.0);
+  const int neighbors = 6;
+  // Ranks on a node share the NIC.
+  const double ranks_per_node = m.is_gpu() ? m.gpus_per_node : m.cores_per_node;
+  const double bw_per_rank = m.net_bandwidth_Bps / ranks_per_node;
+  double bytes_per_exchange = halo_faces * 5 * 8;  // one 5-component dat
+  if (opt.partial_halos) {
+    // The share of halo data that boundary-set loops do not need grows as
+    // subdomains shrink (paper: 5-7% at low node counts, large at scale).
+    const double ph = std::min(
+        0.55, 0.07 * (1.0 + std::log2(std::max(1.0, hs_ranks / 2048.0))));
+    bytes_per_exchange *= 1.0 - ph;
+  }
+  double msgs_per_exchange = neighbors;
+  double msg_cost = m.net_latency_s + m.device_copy_latency_s;
+  // Host-side strided gather/scatter of each message's payload; grouping
+  // amortizes it into one sweep per neighbor at memcpy speed.
+  double stage_Bps = m.is_gpu() ? 1.5e9 : 8.0e9;
+  if (opt.grouped_halos) {
+    // One packed message per neighbor instead of one per dat: fewer
+    // messages and (on GPUs) fewer device copies, at a small pack cost.
+    msgs_per_exchange = neighbors / 3.0;
+    stage_Bps = m.is_gpu() ? 8.0e9 : 6.0e9;  // pack cost slightly hurts CPU
+  }
+  cost.halo = w.exchanges_per_step *
+              (msgs_per_exchange * msg_cost + bytes_per_exchange / bw_per_rank +
+               bytes_per_exchange / stage_Bps);
+
+  // Calibrated per-row synchronization/interpolation floor (constant in
+  // absolute seconds per step per blade row on a given machine; half is
+  // booked as coupling, half as halo/imbalance — see EXPERIMENTS.md).
+  const double floor = m.coupler_row_floor_s * w.nrows;
+  cost.halo += 0.5 * floor;
+
+  // --- sliding planes ----------------------------------------------------------
+  const double cand = candidates_per_locate(opt.search, F);
+  if (opt.monolithic) {
+    // Global assembly of each interface side every step, then an
+    // un-overlapped search on the "trapped" ranks whose subdomains touch
+    // the plane (roughly ranks_per_row^(2/3) of them). The 0.4 factor on
+    // the scan reflects the cache-friendly sequential sweep of the
+    // production brute-force routine (calibrated to Table IV's 8-node
+    // monolithic rows).
+    const double ranks_per_row = std::max(1.0, hs_ranks / w.nrows);
+    const double trapped = std::max(1.0, std::pow(ranks_per_row, 2.0 / 3.0));
+    const double assembly =
+        2.0 * ifaces *
+        (F * kPayloadBytes * std::log2(std::max(2.0, hs_ranks)) / m.net_bandwidth_Bps +
+         hs_ranks * m.net_latency_s);
+    const double search =
+        0.4 * 2.0 * ifaces * (F / trapped) * cand * m.search_candidate_s;
+    cost.sliding_inline = assembly + search + 0.5 * floor;
+    return cost;
+  }
+  cost.coupler_wait += 0.5 * floor;
+
+  // Coupled: CU work per step (both directions of one interface).
+  const double targets_per_cu = 2.0 * F / K;
+  const double search_s = targets_per_cu * cand * m.search_candidate_s;
+  // Each CU receives the full donor sides; each HS interface rank sends its
+  // share to every CU of the interface (the K-fold duplication that turns
+  // the Table II curve back up at large K).
+  const double hs_ranks_per_row = std::max(1.0, hs_ranks / w.nrows);
+  const int msgs_per_payload = opt.staged_gather ? 1 : 7;
+  const double recv_msgs = 2.0 * hs_ranks_per_row * msgs_per_payload;
+  const double recv_bytes = 2.0 * F * kPayloadBytes;
+  const double cu_step = recv_msgs * (m.net_latency_s + m.device_copy_latency_s) +
+                         recv_bytes / m.net_bandwidth_Bps + search_s;
+  // HS-side transfer cost: send its interface share to K CUs + receive the
+  // interpolated ghosts back.
+  const double hs_iface_faces = 2.0 * F / hs_ranks_per_row;
+  // Without the staged gather the HS stages each payload component
+  // separately (slow strided copies on GPU nodes).
+  const double hs_stage_Bps = (m.is_gpu() && !opt.staged_gather) ? 1.0e9 : 8.0e9;
+  const double hs_transfer =
+      K * msgs_per_payload * (m.net_latency_s + m.device_copy_latency_s) +
+      K * hs_iface_faces * kPayloadBytes / m.net_bandwidth_Bps +
+      hs_iface_faces * kPayloadBytes / m.net_bandwidth_Bps +
+      K * hs_iface_faces * kPayloadBytes / hs_stage_Bps;
+  if (opt.pipelined) {
+    // The CU search overlaps the CFD inner iterations; the HS only waits
+    // for whatever the CU could not hide, plus its own transfer cost.
+    const double hidden = cost.compute + cost.halo;
+    cost.coupler_wait += std::max(0.0, cu_step - hidden) + hs_transfer;
+  } else {
+    cost.coupler_wait += cu_step + hs_transfer;
+  }
+  return cost;
+}
+
+double ScalingModel::hours_per_rev(int nodes, const ModelOptions& opt) const {
+  return step_cost(nodes, opt).total() * workload_.steps_per_rev / 3600.0;
+}
+
+double ScalingModel::efficiency(int base_nodes, int nodes, const ModelOptions& opt) const {
+  const double t0 = step_cost(base_nodes, opt).total();
+  const double t1 = step_cost(nodes, opt).total();
+  return (t0 * base_nodes) / (t1 * nodes);
+}
+
+double ScalingModel::power_equivalent_nodes(int nodes, const MachineSpec& ref) const {
+  return nodes * machine_.node_power_w / ref.node_power_w;
+}
+
+int ScalingModel::nodes_for_target_hours(double target_hours, const ModelOptions& opt,
+                                         int max_nodes) const {
+  if (target_hours <= 0) throw std::invalid_argument("nodes_for_target_hours: target <= 0");
+  int lo = std::max(1, min_gpu_nodes());
+  if (hours_per_rev(lo, opt) <= target_hours) return lo;
+  // hours(n) is monotone decreasing until overheads flatten it; find an
+  // upper bracket by doubling, then bisect.
+  int hi = lo;
+  while (hi < max_nodes) {
+    hi = std::min(max_nodes, hi * 2);
+    if (hours_per_rev(hi, opt) <= target_hours) break;
+    // Non-improving growth means the target is unreachable.
+    if (hi == max_nodes) return 0;
+  }
+  if (hours_per_rev(hi, opt) > target_hours) return 0;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    (hours_per_rev(mid, opt) <= target_hours ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+double ScalingModel::energy_mwh_per_rev(int nodes, const ModelOptions& opt) const {
+  return hours_per_rev(nodes, opt) * nodes * machine_.node_power_w / 1e6;
+}
+
+int ScalingModel::min_gpu_nodes(double bytes_per_cell) const {
+  if (!machine_.is_gpu()) return 0;
+  const double node_mem = machine_.gpu_mem_gb * 1e9 * machine_.gpus_per_node;
+  return static_cast<int>(std::ceil(workload_.total_cells * bytes_per_cell / node_mem));
+}
+
+}  // namespace vcgt::perf

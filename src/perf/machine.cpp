@@ -1,0 +1,65 @@
+#include "src/perf/machine.hpp"
+
+namespace vcgt::perf {
+
+MachineSpec archer2() {
+  MachineSpec m;
+  m.name = "ARCHER2";
+  m.cores_per_node = 128;
+  m.gpus_per_node = 0;
+  m.node_power_w = 660.0;
+  m.cell_step_seconds = 1.05e-4;
+  m.net_latency_s = 2.0e-6;
+  m.net_bandwidth_Bps = 12.5e9;
+  m.device_copy_latency_s = 0.0;
+  m.search_candidate_s = 8.0e-9;
+  m.coupler_row_floor_s = 0.25;
+  return m;
+}
+
+MachineSpec cirrus() {
+  MachineSpec m;
+  m.name = "Cirrus";
+  m.cores_per_node = 40;  // 2x Cascade Lake hosts (CUs run here)
+  m.gpus_per_node = 4;
+  m.node_power_w = 900.0;  // 4x182W GPU + ~172W host (paper §IV-A4)
+  m.cell_step_seconds = 2.0e-4;  // host core (CU work only)
+  m.gpu_node_speedup = 5.0;      // node-to-node vs ARCHER2 (paper: 4.5-5.4x)
+  m.net_latency_s = 2.5e-6;
+  m.net_bandwidth_Bps = 6.0e9;   // FDR-class per node
+  m.device_copy_latency_s = 12.0e-6;  // per-message PCIe staging + launch
+  m.search_candidate_s = 8.0e-9;
+  m.coupler_row_floor_s = 0.125;
+  m.gpu_mem_gb = 16.0;
+  return m;
+}
+
+MachineSpec haswell_production() {
+  MachineSpec m;
+  m.name = "Haswell-production";
+  m.cores_per_node = 24;
+  m.gpus_per_node = 0;
+  m.node_power_w = 400.0;
+  m.cell_step_seconds = 3.2e-4;  // prior-generation core (paper: 2-3x slower)
+  m.net_latency_s = 3.0e-6;
+  m.net_bandwidth_Bps = 6.0e9;
+  m.search_candidate_s = 12.0e-9;
+  m.coupler_row_floor_s = 0.6;
+  return m;
+}
+
+MachineSpec archer1() {
+  MachineSpec m;
+  m.name = "ARCHER1";
+  m.cores_per_node = 24;  // 2x 12-core E5-2697v2
+  m.gpus_per_node = 0;
+  m.node_power_w = 450.0;
+  m.cell_step_seconds = 3.0e-4;
+  m.net_latency_s = 2.5e-6;
+  m.net_bandwidth_Bps = 8.0e9;
+  m.search_candidate_s = 11.0e-9;
+  m.coupler_row_floor_s = 0.5;
+  return m;
+}
+
+}  // namespace vcgt::perf

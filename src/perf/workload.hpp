@@ -1,0 +1,42 @@
+#pragma once
+// Paper-scale workload descriptions (§IV-A1): the three Rig250 meshes whose
+// scaling the evaluation studies. Sizes are the paper's; derived quantities
+// (interface faces) follow the annular-row geometry of vcgt::rig.
+#include <cmath>
+#include <string>
+
+namespace vcgt::perf {
+
+struct WorkloadSpec {
+  std::string name;
+  double total_cells = 0;   ///< mesh nodes in the paper's counting
+  int nrows = 10;
+  int steps_per_rev = 2000; ///< outer steps for one revolution (paper §IV-B4)
+  int inner_iters = 10;     ///< pseudo-time iterations per outer step
+  /// Distinct halo-exchange rounds per physical step (dats x RK stages):
+  /// governs message counts in the halo model.
+  int exchanges_per_step = 36;
+
+  [[nodiscard]] double cells_per_row() const { return total_cells / nrows; }
+  [[nodiscard]] int ninterfaces() const { return nrows - 1; }
+  /// Faces per sliding-plane interface side: an annulus cross-section of a
+  /// row scales with the 2/3 power of its cell count (rig geometry).
+  [[nodiscard]] double iface_faces() const {
+    return 2.0 * std::pow(cells_per_row(), 2.0 / 3.0);
+  }
+};
+
+/// 1-10_430M: full 10-row machine on the coarser grid (incl. swan neck).
+inline WorkloadSpec w430m() {
+  return {"1-10_430M", 430e6, 10, 2000, 10, 36};
+}
+/// 1-2_653M: first two rows of the fine grid.
+inline WorkloadSpec w653m() {
+  return {"1-2_653M", 653e6, 2, 2000, 10, 36};
+}
+/// 1-10_4.58B: the grand-challenge full-annulus fine mesh.
+inline WorkloadSpec w458b() {
+  return {"1-10_4.58B", 4.58e9, 10, 2000, 10, 36};
+}
+
+}  // namespace vcgt::perf

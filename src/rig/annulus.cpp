@@ -1,0 +1,250 @@
+#include "src/rig/annulus.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vcgt::rig {
+
+namespace {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+};
+Vec3 operator-(const Vec3& a, const Vec3& b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+Vec3 operator+(const Vec3& a, const Vec3& b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+Vec3 operator*(double s, const Vec3& a) { return {s * a.x, s * a.y, s * a.z}; }
+Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+double dot(const Vec3& a, const Vec3& b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+/// Quad face area vector and centroid from its 4 corners (counter-clockwise
+/// seen from the normal side). The cross-diagonal formula gives the exact
+/// vector area of the (possibly non-planar) quad — it depends only on the
+/// boundary, so summing over a closed cell cancels exactly (free-stream
+/// preservation).
+void quad_geom(const Vec3& p0, const Vec3& p1, const Vec3& p2, const Vec3& p3, Vec3* area,
+               Vec3* center) {
+  *area = 0.5 * cross(p2 - p0, p3 - p1);
+  *center = 0.25 * (p0 + p1 + p2 + p3);
+}
+
+}  // namespace
+
+AnnulusMesh generate_row_mesh(const RowSpec& row, const MeshResolution& res) {
+  const int nx = res.nx, nr = res.nr, nt = res.ntheta;
+  if (nx < 1 || nr < 1 || nt < 3) {
+    throw std::invalid_argument("generate_row_mesh: need nx,nr >= 1 and ntheta >= 3");
+  }
+  if (row.x_max <= row.x_min || row.r_casing <= row.r_hub) {
+    throw std::invalid_argument("generate_row_mesh: degenerate row extents");
+  }
+
+  AnnulusMesh m;
+  m.nx = nx;
+  m.nr = nr;
+  m.ntheta = nt;
+  m.ncell = static_cast<index_t>(nx) * nr * nt;
+
+  const double dx = (row.x_max - row.x_min) / nx;
+  const double dth = 2.0 * std::numbers::pi / nt;
+
+  // Lattice node coordinates: node(i, j, k) with k wrapping mod nt. Hub and
+  // casing radii follow the row's (possibly contracting) flow path.
+  auto node = [&](int i, int j, int k) -> Vec3 {
+    const double x = row.x_min + i * dx;
+    const double rh = row.hub_at(x);
+    const double r = rh + j * (row.casing_at(x) - rh) / nr;
+    const double th = (k % nt) * dth;
+    return {x, r * std::cos(th), r * std::sin(th)};
+  };
+  auto cell_id = [&](int i, int j, int k) -> index_t {
+    return static_cast<index_t>(((k % nt + nt) % nt) * nr + j) * nx + i;
+  };
+
+  // --- cells: centroid (average of 8 corners), volume via divergence thm ---
+  m.cell_center.resize(static_cast<std::size_t>(m.ncell) * 3);
+  m.cell_vol.resize(static_cast<std::size_t>(m.ncell));
+  m.cell_rtheta.resize(static_cast<std::size_t>(m.ncell) * 2);
+  for (int k = 0; k < nt; ++k) {
+    for (int j = 0; j < nr; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const index_t c = cell_id(i, j, k);
+        const Vec3 corners[8] = {node(i, j, k),         node(i + 1, j, k),
+                                 node(i + 1, j + 1, k), node(i, j + 1, k),
+                                 node(i, j, k + 1),     node(i + 1, j, k + 1),
+                                 node(i + 1, j + 1, k + 1), node(i, j + 1, k + 1)};
+        Vec3 centroid{};
+        for (const auto& p : corners) centroid = centroid + p;
+        centroid = (1.0 / 8.0) * centroid;
+
+        // Outward faces of the hex (standard corner ordering above):
+        // indices into `corners`, oriented so the area vector points out.
+        static constexpr int kFaces[6][4] = {
+            {0, 4, 7, 3},  // x-min (outward -x)
+            {1, 2, 6, 5},  // x-max (outward +x)
+            {0, 1, 5, 4},  // r-min (outward -r)
+            {3, 7, 6, 2},  // r-max (outward +r)
+            {0, 3, 2, 1},  // theta-min (outward -theta)
+            {4, 5, 6, 7},  // theta-max (outward +theta)
+        };
+        double vol = 0.0;
+        for (const auto& f : kFaces) {
+          Vec3 area, fc;
+          quad_geom(corners[f[0]], corners[f[1]], corners[f[2]], corners[f[3]], &area, &fc);
+          vol += dot(fc - centroid, area);
+        }
+        vol /= 3.0;
+        m.cell_vol[static_cast<std::size_t>(c)] = vol;
+        m.cell_center[static_cast<std::size_t>(c) * 3 + 0] = centroid.x;
+        m.cell_center[static_cast<std::size_t>(c) * 3 + 1] = centroid.y;
+        m.cell_center[static_cast<std::size_t>(c) * 3 + 2] = centroid.z;
+        m.cell_rtheta[static_cast<std::size_t>(c) * 2 + 0] =
+            std::hypot(centroid.y, centroid.z);
+        double th = std::atan2(centroid.z, centroid.y);
+        if (th < 0) th += 2.0 * std::numbers::pi;
+        m.cell_rtheta[static_cast<std::size_t>(c) * 2 + 1] = th;
+      }
+    }
+  }
+
+  auto push_face = [&](const Vec3& p0, const Vec3& p1, const Vec3& p2, const Vec3& p3,
+                       index_t owner, index_t nbr) {
+    Vec3 area, fc;
+    quad_geom(p0, p1, p2, p3, &area, &fc);
+    m.face2cell.push_back(owner);
+    m.face2cell.push_back(nbr);
+    m.face_normal.insert(m.face_normal.end(), {area.x, area.y, area.z});
+    m.face_center.insert(m.face_center.end(), {fc.x, fc.y, fc.z});
+  };
+
+  // --- interior faces -------------------------------------------------------
+  // x-direction faces between cell(i) and cell(i+1); normal along +x.
+  for (int k = 0; k < nt; ++k) {
+    for (int j = 0; j < nr; ++j) {
+      for (int i = 0; i + 1 < nx; ++i) {
+        push_face(node(i + 1, j, k), node(i + 1, j + 1, k), node(i + 1, j + 1, k + 1),
+                  node(i + 1, j, k + 1), cell_id(i, j, k), cell_id(i + 1, j, k));
+      }
+    }
+  }
+  // r-direction faces; normal along +r.
+  for (int k = 0; k < nt; ++k) {
+    for (int j = 0; j + 1 < nr; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        push_face(node(i, j + 1, k), node(i, j + 1, k + 1), node(i + 1, j + 1, k + 1),
+                  node(i + 1, j + 1, k), cell_id(i, j, k), cell_id(i, j + 1, k));
+      }
+    }
+  }
+  // theta-direction faces (wrapping); normal along +theta.
+  for (int k = 0; k < nt; ++k) {
+    for (int j = 0; j < nr; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        push_face(node(i, j, k + 1), node(i + 1, j, k + 1), node(i + 1, j + 1, k + 1),
+                  node(i, j + 1, k + 1), cell_id(i, j, k), cell_id(i, j, k + 1));
+      }
+    }
+  }
+  m.nface = static_cast<index_t>(m.face2cell.size() / 2);
+
+  // --- boundary faces, group-contiguous ------------------------------------
+  auto push_bface = [&](const Vec3& p0, const Vec3& p1, const Vec3& p2, const Vec3& p3,
+                        index_t cell, BoundaryGroup g) {
+    Vec3 area, fc;
+    quad_geom(p0, p1, p2, p3, &area, &fc);
+    m.bface2cell.push_back(cell);
+    m.bface_normal.insert(m.bface_normal.end(), {area.x, area.y, area.z});
+    m.bface_center.insert(m.bface_center.end(), {fc.x, fc.y, fc.z});
+    const double r = std::hypot(fc.y, fc.z);
+    double th = std::atan2(fc.z, fc.y);
+    if (th < 0) th += 2.0 * std::numbers::pi;
+    m.bface_rtheta.insert(m.bface_rtheta.end(), {r, th});
+    m.bface_group.push_back(static_cast<int>(g));
+  };
+
+  auto begin_group = [&](BoundaryGroup g) {
+    m.group_begin[static_cast<std::size_t>(g)] = static_cast<index_t>(m.bface2cell.size());
+  };
+  auto end_group = [&](BoundaryGroup g) {
+    m.group_end[static_cast<std::size_t>(g)] = static_cast<index_t>(m.bface2cell.size());
+  };
+
+  begin_group(BoundaryGroup::Inlet);  // x-min, outward = -x
+  for (int k = 0; k < nt; ++k) {
+    for (int j = 0; j < nr; ++j) {
+      push_bface(node(0, j, k), node(0, j, k + 1), node(0, j + 1, k + 1), node(0, j + 1, k),
+                 cell_id(0, j, k), BoundaryGroup::Inlet);
+    }
+  }
+  end_group(BoundaryGroup::Inlet);
+
+  begin_group(BoundaryGroup::Outlet);  // x-max, outward = +x
+  for (int k = 0; k < nt; ++k) {
+    for (int j = 0; j < nr; ++j) {
+      push_bface(node(nx, j, k), node(nx, j + 1, k), node(nx, j + 1, k + 1),
+                 node(nx, j, k + 1), cell_id(nx - 1, j, k), BoundaryGroup::Outlet);
+    }
+  }
+  end_group(BoundaryGroup::Outlet);
+
+  begin_group(BoundaryGroup::Hub);  // r-min, outward = -r
+  for (int k = 0; k < nt; ++k) {
+    for (int i = 0; i < nx; ++i) {
+      push_bface(node(i, 0, k), node(i + 1, 0, k), node(i + 1, 0, k + 1), node(i, 0, k + 1),
+                 cell_id(i, 0, k), BoundaryGroup::Hub);
+    }
+  }
+  end_group(BoundaryGroup::Hub);
+
+  begin_group(BoundaryGroup::Casing);  // r-max, outward = +r
+  for (int k = 0; k < nt; ++k) {
+    for (int i = 0; i < nx; ++i) {
+      push_bface(node(i, nr, k), node(i, nr, k + 1), node(i + 1, nr, k + 1),
+                 node(i + 1, nr, k), cell_id(i, nr - 1, k), BoundaryGroup::Casing);
+    }
+  }
+  end_group(BoundaryGroup::Casing);
+
+  m.nbface = static_cast<index_t>(m.bface2cell.size());
+  return m;
+}
+
+double max_closure_error(const AnnulusMesh& mesh) {
+  // Accumulate outward area vectors per cell: interior faces contribute
+  // +A to owner, -A to neighbor; boundary faces +A to their cell.
+  std::vector<double> sum(static_cast<std::size_t>(mesh.ncell) * 3, 0.0);
+  for (index_t f = 0; f < mesh.nface; ++f) {
+    const index_t c0 = mesh.face2cell[static_cast<std::size_t>(f) * 2];
+    const index_t c1 = mesh.face2cell[static_cast<std::size_t>(f) * 2 + 1];
+    for (int d = 0; d < 3; ++d) {
+      const double a = mesh.face_normal[static_cast<std::size_t>(f) * 3 + d];
+      sum[static_cast<std::size_t>(c0) * 3 + d] += a;
+      sum[static_cast<std::size_t>(c1) * 3 + d] -= a;
+    }
+  }
+  for (index_t b = 0; b < mesh.nbface; ++b) {
+    const index_t c = mesh.bface2cell[static_cast<std::size_t>(b)];
+    for (int d = 0; d < 3; ++d) {
+      sum[static_cast<std::size_t>(c) * 3 + d] +=
+          mesh.bface_normal[static_cast<std::size_t>(b) * 3 + d];
+    }
+  }
+  double worst = 0.0;
+  for (index_t c = 0; c < mesh.ncell; ++c) {
+    const double n = std::hypot(sum[static_cast<std::size_t>(c) * 3],
+                                sum[static_cast<std::size_t>(c) * 3 + 1],
+                                sum[static_cast<std::size_t>(c) * 3 + 2]);
+    worst = std::max(worst, n);
+  }
+  return worst;
+}
+
+double total_volume(const AnnulusMesh& mesh) {
+  double v = 0.0;
+  for (const double c : mesh.cell_vol) v += c;
+  return v;
+}
+
+}  // namespace vcgt::rig

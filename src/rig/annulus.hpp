@@ -1,0 +1,73 @@
+#pragma once
+// Annular blade-row mesh generator. Produces a cell-centered unstructured
+// finite-volume mesh of one blade row: hexahedral cells on a structured
+// (axial, radial, circumferential) lattice, emitted as flat unstructured
+// arrays (cells, interior faces, grouped boundary faces) ready for op2
+// declaration. The circumferential direction wraps — full-annulus
+// periodicity is intrinsic to the face connectivity, exactly as a
+// full-annulus URANS model requires (paper §I: full 360-degree domains).
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/op2/types.hpp"
+#include "src/rig/rowspec.hpp"
+
+namespace vcgt::rig {
+
+using op2::index_t;
+
+enum class BoundaryGroup : int {
+  Inlet = 0,   ///< x = x_min annulus face
+  Outlet = 1,  ///< x = x_max annulus face
+  Hub = 2,     ///< r = r_hub (slip wall)
+  Casing = 3,  ///< r = r_casing (slip wall)
+};
+
+/// Flat unstructured view of one blade row's volume mesh. All geometry is
+/// Cartesian (x, y, z) with the machine axis along x; cylindrical helper
+/// coordinates (r, theta) are carried for the sliding-plane machinery.
+struct AnnulusMesh {
+  int nx = 0, nr = 0, ntheta = 0;
+
+  index_t ncell = 0;
+  index_t nface = 0;   ///< interior faces (includes the theta-wrap faces)
+  index_t nbface = 0;  ///< boundary faces, all groups concatenated
+
+  std::vector<index_t> face2cell;   ///< 2 per face (owner, neighbor)
+  std::vector<index_t> bface2cell;  ///< 1 per boundary face (interior cell)
+
+  std::vector<double> cell_center;  ///< 3 per cell (x, y, z)
+  std::vector<double> cell_vol;     ///< 1 per cell
+  std::vector<double> cell_rtheta;  ///< 2 per cell (r, theta in [0, 2pi))
+
+  std::vector<double> face_normal;  ///< 3 per face, area vector owner->neighbor
+  std::vector<double> face_center;  ///< 3 per face
+
+  std::vector<double> bface_normal;  ///< 3 per bface, outward area vector
+  std::vector<double> bface_center;  ///< 3 per bface
+  std::vector<double> bface_rtheta;  ///< 2 per bface (r, theta)
+  std::vector<int> bface_group;      ///< BoundaryGroup per bface
+
+  /// Per-group boundary-face index ranges [begin, end) into the bface set
+  /// (faces are emitted group-contiguously).
+  std::array<index_t, 4> group_begin{};
+  std::array<index_t, 4> group_end{};
+
+  [[nodiscard]] index_t group_size(BoundaryGroup g) const {
+    return group_end[static_cast<std::size_t>(g)] - group_begin[static_cast<std::size_t>(g)];
+  }
+};
+
+/// Generates the row mesh at the given resolution. `ntheta` must be >= 3.
+AnnulusMesh generate_row_mesh(const RowSpec& row, const MeshResolution& res);
+
+/// Geometric closure check: per-cell sum of outward face area vectors; the
+/// max norm over cells (exactly zero in exact arithmetic — used by tests and
+/// as a mesh-quality assertion). Returns the max |sum| over all cells.
+double max_closure_error(const AnnulusMesh& mesh);
+
+/// Total meshed volume (sum of cell volumes).
+double total_volume(const AnnulusMesh& mesh);
+
+}  // namespace vcgt::rig

@@ -1,0 +1,50 @@
+#include "src/rig/interface.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vcgt::rig {
+
+InterfaceSide extract_interface(const AnnulusMesh& mesh, const RowSpec& row,
+                                BoundaryGroup group) {
+  if (group != BoundaryGroup::Inlet && group != BoundaryGroup::Outlet) {
+    throw std::invalid_argument("extract_interface: only Inlet/Outlet groups slide");
+  }
+  InterfaceSide side;
+  // Radii AT the sliding plane (row inlet or exit — they differ when the
+  // flow path contracts).
+  const double plane_x = group == BoundaryGroup::Inlet ? row.x_min : row.x_max;
+  const double r_hub = row.hub_at(plane_x);
+  const double r_casing = row.casing_at(plane_x);
+  const double dr = (r_casing - r_hub) / mesh.nr;
+  const double dth = 2.0 * std::numbers::pi / mesh.ntheta;
+  side.r_min = r_hub;
+  side.r_max = r_casing;
+  side.nr = mesh.nr;
+  side.ntheta = mesh.ntheta;
+
+  const index_t begin = mesh.group_begin[static_cast<std::size_t>(group)];
+  const index_t end = mesh.group_end[static_cast<std::size_t>(group)];
+  for (index_t b = begin; b < end; ++b) {
+    const double r = mesh.bface_rtheta[static_cast<std::size_t>(b) * 2 + 0];
+    const double th = mesh.bface_rtheta[static_cast<std::size_t>(b) * 2 + 1];
+    side.bfaces.push_back(b - begin);  // group-relative: matches the op2 group-set gid
+    side.rtheta.push_back(r);
+    side.rtheta.push_back(th);
+    // Exact lattice extents (faces are emitted k-outer, j-inner): the boxes
+    // tile [r_hub, r_casing] x [0, 2pi] with no gaps, so any annulus point
+    // has a containing donor. Quad centroids (rtheta above) sit slightly
+    // inside due to the chord effect; boxes must not be derived from them.
+    const index_t rel = b - begin;
+    const int j = static_cast<int>(rel % mesh.nr);
+    const int k = static_cast<int>(rel / mesh.nr);
+    side.box.push_back(r_hub + j * dr);
+    side.box.push_back(r_hub + (j + 1) * dr);
+    side.box.push_back(k * dth);
+    side.box.push_back((k + 1) * dth);
+  }
+  return side;
+}
+
+}  // namespace vcgt::rig

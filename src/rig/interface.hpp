@@ -1,0 +1,45 @@
+#pragma once
+// Sliding-plane interface surfaces. An interface couples the Outlet annulus
+// of row k with the Inlet annulus of row k+1: the two surfaces are co-planar
+// annuli whose meshes rotate relative to each other. Each side is extracted
+// into a flat (r, theta) quad list used by the JM76 donor search.
+#include <algorithm>
+#include <vector>
+
+#include "src/rig/annulus.hpp"
+
+namespace vcgt::rig {
+
+/// One side of a sliding-plane interface (either the upstream row's outlet
+/// or the downstream row's inlet), in cylindrical interface coordinates.
+struct InterfaceSide {
+  /// Group-relative face index (== the op2 group-set global id); arrays
+  /// below are indexed in the same order, so bfaces[i] == i by construction.
+  std::vector<index_t> bfaces;
+  std::vector<double> rtheta;   ///< 2 per face: quad center (r, theta in [0,2pi))
+  /// 4 per face: r_min, r_max, theta_min, theta_max of the quad. theta_min
+  /// may exceed theta_max for the face spanning the 0/2pi seam; the search
+  /// handles the wrap by box duplication.
+  std::vector<double> box;
+
+  double r_min = 0.0, r_max = 0.0;
+
+  /// Structured layout hints: faces form an (nr x ntheta) lattice, emitted
+  /// theta-major (face index = k * nr + j). Used by the bilinear
+  /// interpolation mode to find the four surrounding donor centers.
+  int nr = 0;
+  int ntheta = 0;
+
+  [[nodiscard]] index_t size() const { return static_cast<index_t>(bfaces.size()); }
+  [[nodiscard]] index_t face_at(int j, int k) const {
+    return static_cast<index_t>(((k % ntheta + ntheta) % ntheta) * nr +
+                                std::clamp(j, 0, nr - 1));
+  }
+};
+
+/// Extracts the interface quads of the given boundary group (Inlet or
+/// Outlet). Quad extents come from the structured lattice spacing.
+InterfaceSide extract_interface(const AnnulusMesh& mesh, const RowSpec& row,
+                                BoundaryGroup group);
+
+}  // namespace vcgt::rig

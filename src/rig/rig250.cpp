@@ -1,0 +1,100 @@
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/rig/rowspec.hpp"
+
+namespace vcgt::rig {
+
+double RigSpec::omega() const { return rpm * 2.0 * std::numbers::pi / 60.0; }
+
+RigSpec rig250_spec(int nrows, double rpm, bool contraction) {
+  if (nrows < 1 || nrows > 10) {
+    throw std::invalid_argument("rig250_spec: nrows must be in [1, 10]");
+  }
+  // 10 rows: IGV + four rotor/stator stages + OGV (paper §II-C). Blade
+  // counts are plausible stand-ins with co-prime rotor/stator pairs, as in
+  // real rigs. With contraction the flow path narrows linearly through the
+  // machine (density rises through the stages); either way adjacent rows
+  // share their interface-plane radii so the sliding planes overlap exactly.
+  struct RowInit {
+    const char* name;
+    bool rotor;
+    int nblades;
+    double turning;
+  };
+  static constexpr RowInit kRows[10] = {
+      {"IGV", false, 30, -0.15}, {"R1", true, 23, +0.35}, {"S1", false, 38, -0.30},
+      {"R2", true, 29, +0.33},   {"S2", false, 46, -0.29}, {"R3", true, 35, +0.31},
+      {"S3", false, 54, -0.27},  {"R4", true, 41, +0.29}, {"S4", false, 62, -0.26},
+      {"OGV", false, 50, -0.20},
+  };
+
+  constexpr double kRowLength = 0.08;  // axial chord + gap share [m]
+  constexpr double kHub = 0.28;
+  constexpr double kCasing = 0.40;
+  // Machine-exit radii of the contracted flow path.
+  constexpr double kHubExit = 0.31;
+  constexpr double kCasingExit = 0.385;
+
+  // Global flow-path radii at the row-boundary planes (10 rows of the full
+  // machine define the shape; trimming keeps the front portion).
+  auto hub_plane = [&](int plane) {
+    return contraction ? kHub + (kHubExit - kHub) * plane / 10.0 : kHub;
+  };
+  auto casing_plane = [&](int plane) {
+    return contraction ? kCasing + (kCasingExit - kCasing) * plane / 10.0 : kCasing;
+  };
+
+  RigSpec rig;
+  rig.name = "Rig250";
+  rig.rpm = rpm;
+  for (int i = 0; i < nrows; ++i) {
+    RowSpec row;
+    row.name = kRows[i].name;
+    row.rotor = kRows[i].rotor;
+    row.nblades = kRows[i].nblades;
+    row.turning = kRows[i].turning;
+    row.x_min = i * kRowLength;
+    row.x_max = (i + 1) * kRowLength;
+    row.r_hub = hub_plane(i);
+    row.r_casing = casing_plane(i);
+    row.r_hub_out = hub_plane(i + 1);
+    row.r_casing_out = casing_plane(i + 1);
+    rig.rows.push_back(row);
+  }
+  return rig;
+}
+
+RigSpec rig250_with_swan_neck(int nrows, double rpm, bool contraction) {
+  RigSpec rig = rig250_spec(nrows, rpm, contraction);
+  // Prepend the swan-neck inlet duct: force-free, slightly larger annulus
+  // at its own inlet, blending into the IGV inlet plane.
+  const RowSpec& igv = rig.rows.front();
+  RowSpec swan;
+  swan.name = "SWAN";
+  swan.rotor = false;
+  swan.nblades = 0;  // duct: no blade force
+  swan.turning = 0.0;
+  swan.x_min = igv.x_min - 0.10;
+  swan.x_max = igv.x_min;
+  swan.r_hub = std::max(0.05, igv.r_hub - 0.03);
+  swan.r_casing = igv.r_casing + 0.02;
+  swan.r_hub_out = igv.r_hub;
+  swan.r_casing_out = igv.r_casing;
+  rig.rows.insert(rig.rows.begin(), swan);
+  rig.name = "Rig250+swan";
+  return rig;
+}
+
+MeshResolution resolution_tier(const std::string& tier) {
+  // Stand-ins for the paper's 430M ("coarse") and 4.58B ("fine") meshes at
+  // single-machine scale; "tiny" exists for unit tests.
+  if (tier == "tiny") return {4, 3, 12};
+  if (tier == "coarse") return {6, 4, 36};
+  if (tier == "medium") return {10, 6, 60};
+  if (tier == "fine") return {12, 8, 96};
+  throw std::invalid_argument("resolution_tier: unknown tier '" + tier + "'");
+}
+
+}  // namespace vcgt::rig

@@ -1,0 +1,88 @@
+#pragma once
+// Blade-row and compressor-rig specifications.
+//
+// The paper simulates DLR's Rig250: a 4.5-stage axial test compressor —
+// inlet guide vane (IGV), four rotor/stator stages, and an outlet guide vane
+// (OGV), i.e. 10 distinct blade rows / fluid zones with 9 sliding-plane
+// rotor-stator interfaces (§II-C). The proprietary geometry is replaced by a
+// parametric annular duct per row whose blade counts, axial extents and
+// radius distribution mimic the rig's proportions; blade action is modelled
+// with a distributed body force (see hydra::BladeForce) — the substitution
+// table in DESIGN.md explains why this preserves the coupling and scaling
+// behaviour under study.
+#include <string>
+#include <vector>
+
+namespace vcgt::rig {
+
+struct RowSpec {
+  std::string name;        ///< e.g. "IGV", "R1", "S3", "OGV"
+  bool rotor = false;      ///< rotates at the shaft speed
+  int nblades = 30;        ///< blade count (full annulus)
+  double x_min = 0.0;      ///< axial extent [m]
+  double x_max = 0.1;
+  double r_hub = 0.25;     ///< hub radius at the row inlet [m]
+  double r_casing = 0.40;  ///< casing radius at the row inlet [m]
+  /// Exit radii for a contracting/expanding flow path (<= 0: same as the
+  /// inlet values — constant annulus). Radii vary linearly in x; adjacent
+  /// rows of a rig share their interface-plane radii so sliding planes
+  /// overlap exactly.
+  double r_hub_out = 0.0;
+  double r_casing_out = 0.0;
+  /// Design flow turning produced by the row's blade force [rad]; positive
+  /// adds swirl in the rotation direction (rotors), negative removes it
+  /// (stators/vanes).
+  double turning = 0.0;
+
+  [[nodiscard]] double hub_out() const { return r_hub_out > 0 ? r_hub_out : r_hub; }
+  [[nodiscard]] double casing_out() const {
+    return r_casing_out > 0 ? r_casing_out : r_casing;
+  }
+  /// Hub/casing radius at axial position x (linear flow path).
+  [[nodiscard]] double hub_at(double x) const {
+    const double f = (x - x_min) / (x_max - x_min);
+    return r_hub + f * (hub_out() - r_hub);
+  }
+  [[nodiscard]] double casing_at(double x) const {
+    const double f = (x - x_min) / (x_max - x_min);
+    return r_casing + f * (casing_out() - r_casing);
+  }
+};
+
+/// Mesh resolution tiers standing in for the paper's mesh sizes
+/// (1-10_430M coarse grid, 1-10_4.58B fine grid; DESIGN.md §5).
+struct MeshResolution {
+  int nx = 8;      ///< axial cells per row
+  int nr = 6;      ///< radial cells
+  int ntheta = 48; ///< circumferential cells (full annulus)
+};
+
+struct RigSpec {
+  std::string name;
+  double rpm = 11000.0;  ///< shaft speed
+  std::vector<RowSpec> rows;
+
+  [[nodiscard]] int nrows() const { return static_cast<int>(rows.size()); }
+  [[nodiscard]] int ninterfaces() const { return nrows() - 1; }
+  /// Shaft angular velocity [rad/s].
+  [[nodiscard]] double omega() const;
+};
+
+/// The full 10-row Rig250-like spec (IGV + R1..S4 + OGV). `nrows` may trim
+/// it (e.g. 2 for the paper's 1-2 rows study). With `contraction` the flow
+/// path narrows through the machine (hub rising, casing falling), as in the
+/// real rig; adjacent rows always share their interface-plane radii.
+RigSpec rig250_spec(int nrows = 10, double rpm = 11000.0, bool contraction = false);
+
+/// The 1-10_430M variant: a "swan neck" inlet duct row orienting the flow
+/// into the first stage (paper §IV-A1), followed by the `nrows` compressor
+/// rows. The swan-neck is a force-free stator-like duct whose exit plane
+/// matches the IGV inlet.
+RigSpec rig250_with_swan_neck(int nrows = 10, double rpm = 13000.0,
+                              bool contraction = false);
+
+/// Resolution tiers: "coarse" (~1-10_430M stand-in), "medium", "fine"
+/// (~1-10_4.58B stand-in). Throws on unknown names.
+MeshResolution resolution_tier(const std::string& tier);
+
+}  // namespace vcgt::rig

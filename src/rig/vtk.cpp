@@ -1,0 +1,66 @@
+#include "src/rig/vtk.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "src/util/log.hpp"
+
+namespace vcgt::rig {
+
+bool write_vtk_points(const AnnulusMesh& mesh, const std::vector<CellField>& fields,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    util::warn("write_vtk_points: cannot open '{}'", path);
+    return false;
+  }
+  out << "# vtk DataFile Version 3.0\nvcgt cell centers\nASCII\nDATASET POLYDATA\n";
+  out << "POINTS " << mesh.ncell << " double\n";
+  for (index_t c = 0; c < mesh.ncell; ++c) {
+    out << mesh.cell_center[static_cast<std::size_t>(c) * 3 + 0] << ' '
+        << mesh.cell_center[static_cast<std::size_t>(c) * 3 + 1] << ' '
+        << mesh.cell_center[static_cast<std::size_t>(c) * 3 + 2] << '\n';
+  }
+  out << "POINT_DATA " << mesh.ncell << '\n';
+  for (const auto& f : fields) {
+    out << "SCALARS " << f.name << " double 1\nLOOKUP_TABLE default\n";
+    for (index_t c = 0; c < mesh.ncell; ++c) {
+      out << (*f.values)[static_cast<std::size_t>(c)] << '\n';
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_midspan_csv(const AnnulusMesh& mesh, const std::vector<CellField>& fields,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    util::warn("write_midspan_csv: cannot open '{}'", path);
+    return false;
+  }
+  // The mid-radius layer is the radial index nr/2 of the structured lattice;
+  // identify it by closeness to the median radius among distinct r values.
+  double r_lo = 1e300, r_hi = -1e300;
+  for (index_t c = 0; c < mesh.ncell; ++c) {
+    const double r = mesh.cell_rtheta[static_cast<std::size_t>(c) * 2];
+    r_lo = std::min(r_lo, r);
+    r_hi = std::max(r_hi, r);
+  }
+  const double r_mid = 0.5 * (r_lo + r_hi);
+  const double band = (r_hi - r_lo) / std::max(1, mesh.nr - 1) * 0.51;
+
+  out << "x,theta";
+  for (const auto& f : fields) out << ',' << f.name;
+  out << '\n';
+  for (index_t c = 0; c < mesh.ncell; ++c) {
+    const double r = mesh.cell_rtheta[static_cast<std::size_t>(c) * 2];
+    if (std::fabs(r - r_mid) > band) continue;
+    out << mesh.cell_center[static_cast<std::size_t>(c) * 3] << ','
+        << mesh.cell_rtheta[static_cast<std::size_t>(c) * 2 + 1];
+    for (const auto& f : fields) out << ',' << (*f.values)[static_cast<std::size_t>(c)];
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace vcgt::rig

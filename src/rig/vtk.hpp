@@ -1,0 +1,28 @@
+#pragma once
+// Legacy-VTK output of cell-centered fields (as a point cloud of cell
+// centers) plus a structured mid-radius cylindrical cut in CSV, used to
+// reproduce the paper's Fig. 10 contour snapshots.
+#include <string>
+#include <vector>
+
+#include "src/rig/annulus.hpp"
+
+namespace vcgt::rig {
+
+/// One named scalar field per cell.
+struct CellField {
+  std::string name;
+  const std::vector<double>* values;  ///< ncell entries
+};
+
+/// Writes cell centers and fields as VTK legacy POLYDATA points. Returns
+/// false (with a log message) when the file cannot be written.
+bool write_vtk_points(const AnnulusMesh& mesh, const std::vector<CellField>& fields,
+                      const std::string& path);
+
+/// Writes a CSV of the cells closest to mid-radius, as (x, theta, fields...)
+/// rows — the cylindrical mid-span cut of Fig. 10.
+bool write_midspan_csv(const AnnulusMesh& mesh, const std::vector<CellField>& fields,
+                       const std::string& path);
+
+}  // namespace vcgt::rig

@@ -1,0 +1,51 @@
+#include "src/util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace vcgt::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      options_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return options_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+long Cli::get_int(const std::string& key, long fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace vcgt::util

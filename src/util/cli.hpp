@@ -1,0 +1,33 @@
+#pragma once
+// Tiny command-line parser for the examples and bench binaries.
+// Supports --key=value and boolean --flag forms; everything else is
+// positional (the space-separated --key value form is ambiguous and
+// deliberately unsupported).
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vcgt::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Positional (non --key) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vcgt::util

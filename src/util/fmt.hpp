@@ -1,0 +1,50 @@
+#pragma once
+// Minimal "{}"-placeholder formatter (libstdc++ 12 ships no <format>).
+// Supports positional "{}" only; unmatched placeholders are left verbatim.
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vcgt::util {
+
+namespace detail {
+
+template <class T>
+void fmt_one(std::string& out, const T& v) {
+  if constexpr (std::is_same_v<T, std::string> || std::is_same_v<T, std::string_view>) {
+    out.append(v);
+  } else if constexpr (std::is_convertible_v<T, const char*>) {
+    out.append(static_cast<const char*>(v));
+  } else {
+    std::ostringstream ss;
+    ss << v;
+    out.append(ss.str());
+  }
+}
+
+inline void fmt_impl(std::string& out, std::string_view f) { out.append(f); }
+
+template <class T, class... Rest>
+void fmt_impl(std::string& out, std::string_view f, const T& first, const Rest&... rest) {
+  const auto pos = f.find("{}");
+  if (pos == std::string_view::npos) {
+    out.append(f);
+    return;
+  }
+  out.append(f.substr(0, pos));
+  fmt_one(out, first);
+  fmt_impl(out, f.substr(pos + 2), rest...);
+}
+
+}  // namespace detail
+
+/// fmt("x={} y={}", 1, 2.5) -> "x=1 y=2.5"
+template <class... Args>
+[[nodiscard]] std::string fmt(std::string_view f, const Args&... args) {
+  std::string out;
+  out.reserve(f.size() + sizeof...(args) * 8);
+  detail::fmt_impl(out, f, args...);
+  return out;
+}
+
+}  // namespace vcgt::util

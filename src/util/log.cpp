@@ -1,0 +1,50 @@
+#include "src/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace vcgt::util {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("VCGT_LOG");
+  if (env == nullptr) return LogLevel::Info;
+  std::string_view v{env};
+  if (v == "debug") return LogLevel::Debug;
+  if (v == "info") return LogLevel::Info;
+  if (v == "warn") return LogLevel::Warn;
+  if (v == "error") return LogLevel::Error;
+  if (v == "off") return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
+std::mutex g_io_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DBG";
+    case LogLevel::Info: return "INF";
+    case LogLevel::Warn: return "WRN";
+    case LogLevel::Error: return "ERR";
+    default: return "???";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg) {
+  std::scoped_lock lock(g_io_mutex);
+  std::fprintf(stderr, "[%s] %.*s\n", level_tag(level), static_cast<int>(msg.size()),
+               msg.data());
+}
+}  // namespace detail
+
+}  // namespace vcgt::util

@@ -1,0 +1,47 @@
+#pragma once
+// Minimal leveled logger. Thread-safe: each message is formatted into a
+// single string before being written, so lines from concurrent rank-threads
+// never interleave mid-line.
+#include <string>
+#include <string_view>
+
+#include "src/util/fmt.hpp"
+
+namespace vcgt::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to Info and can
+/// be overridden with the VCGT_LOG environment variable (debug/info/warn/
+/// error/off) read on first use.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg);
+}
+
+template <class... Args>
+void log(LogLevel level, std::string_view f, const Args&... args) {
+  if (level < log_level()) return;
+  detail::log_line(level, fmt(f, args...));
+}
+
+template <class... Args>
+void debug(std::string_view f, const Args&... args) {
+  log(LogLevel::Debug, f, args...);
+}
+template <class... Args>
+void info(std::string_view f, const Args&... args) {
+  log(LogLevel::Info, f, args...);
+}
+template <class... Args>
+void warn(std::string_view f, const Args&... args) {
+  log(LogLevel::Warn, f, args...);
+}
+template <class... Args>
+void error(std::string_view f, const Args&... args) {
+  log(LogLevel::Error, f, args...);
+}
+
+}  // namespace vcgt::util

@@ -1,0 +1,44 @@
+#pragma once
+// Deterministic, splittable RNG (SplitMix64 / xoshiro-style). Benchmarks and
+// tests must be reproducible run-to-run, so std::random_device is never used
+// in this codebase; seeds are always explicit.
+#include <cstdint>
+
+namespace vcgt::util {
+
+/// SplitMix64: tiny, fast, good-enough generator for mesh perturbations and
+/// synthetic workloads. Deterministic for a given seed across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t bounded(std::uint64_t n) { return n ? next_u64() % n : 0; }
+
+  /// Derives an independent stream (e.g. one per rank).
+  Rng split(std::uint64_t stream) {
+    Rng child(state_ ^ (0xA5A5A5A5DEADBEEFull + stream * 0x9E3779B97F4A7C15ull));
+    child.next_u64();
+    return child;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace vcgt::util

@@ -1,0 +1,35 @@
+#pragma once
+// Circumferential Fourier analysis of uniformly sampled annulus signals —
+// used to quantify blade-passing unsteadiness (the structures Fig. 10 shows
+// downstream of the stators, and what mixing planes average away).
+#include <cmath>
+#include <numbers>
+#include <span>
+#include <vector>
+
+namespace vcgt::util {
+
+/// Magnitudes of the first `nharmonics` circumferential Fourier modes of a
+/// uniformly sampled periodic signal. Index 0 is the mean |a0|; index k is
+/// the amplitude of the k-th harmonic (2/N normalization, so a pure
+/// cos(k theta) signal of amplitude A reports A at index k).
+inline std::vector<double> theta_harmonics(std::span<const double> samples,
+                                           int nharmonics) {
+  const auto n = samples.size();
+  std::vector<double> out(static_cast<std::size_t>(nharmonics) + 1, 0.0);
+  if (n == 0) return out;
+  for (int k = 0; k <= nharmonics; ++k) {
+    double re = 0.0, im = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double phase =
+          2.0 * std::numbers::pi * k * static_cast<double>(i) / static_cast<double>(n);
+      re += samples[i] * std::cos(phase);
+      im -= samples[i] * std::sin(phase);
+    }
+    const double norm = (k == 0 ? 1.0 : 2.0) / static_cast<double>(n);
+    out[static_cast<std::size_t>(k)] = norm * std::hypot(re, im);
+  }
+  return out;
+}
+
+}  // namespace vcgt::util

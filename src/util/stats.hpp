@@ -1,0 +1,36 @@
+#pragma once
+// Small statistics helpers for benchmark reporting: running accumulator
+// (min/max/mean/stddev) and quantiles over stored samples.
+#include <cstddef>
+#include <vector>
+
+namespace vcgt::util {
+
+/// Streaming accumulator (Welford's algorithm for variance).
+class Accumulator {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Quantile of a sample vector (linear interpolation); q in [0,1].
+double quantile(std::vector<double> samples, double q);
+
+/// Relative difference |a-b| / max(|a|,|b|,eps).
+double rel_diff(double a, double b, double eps = 1e-300);
+
+}  // namespace vcgt::util

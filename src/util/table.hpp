@@ -1,0 +1,39 @@
+#pragma once
+// Tabular report writer. Every bench binary prints its paper-table
+// reproduction through this class so the output format is uniform and can be
+// diffed against EXPERIMENTS.md. Supports aligned-text, markdown and CSV.
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vcgt::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  void print_text(std::ostream& os, const std::string& title = "") const;
+  void print_markdown(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return headers_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes a CSV file next to stdout output so plots can be regenerated.
+/// Returns false (and logs) when the file cannot be opened.
+bool write_csv(const Table& table, const std::string& path);
+
+}  // namespace vcgt::util

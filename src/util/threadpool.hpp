@@ -1,0 +1,99 @@
+#pragma once
+// Persistent thread pool with a fork-join parallel_for, standing in for the
+// OpenMP worksharing OP2's generated CPU code uses. One pool per op2
+// Context; with nthreads == 1 everything runs inline on the caller.
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vcgt::util {
+
+class ThreadPool {
+ public:
+  /// `nthreads` total participants (the caller counts as one); nthreads <= 1
+  /// creates no worker threads.
+  explicit ThreadPool(int nthreads) : nthreads_(nthreads < 1 ? 1 : nthreads) {
+    for (int w = 1; w < nthreads_; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::scoped_lock lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int nthreads() const { return nthreads_; }
+
+  /// Runs chunk_fn(thread_id, begin, end) over [0, n) split into nthreads
+  /// contiguous chunks; blocks until every chunk completes. thread_id is in
+  /// [0, nthreads) and stable within one call (caller gets 0).
+  void parallel_for(std::size_t n,
+                    const std::function<void(int, std::size_t, std::size_t)>& chunk_fn) {
+    if (nthreads_ == 1 || n == 0) {
+      if (n > 0) chunk_fn(0, 0, n);
+      return;
+    }
+    {
+      std::scoped_lock lock(mutex_);
+      job_ = &chunk_fn;
+      job_n_ = n;
+      pending_ = nthreads_ - 1;
+      ++generation_;
+    }
+    cv_.notify_all();
+    run_chunk(0);
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void run_chunk(int tid) {
+    const std::size_t per = (job_n_ + static_cast<std::size_t>(nthreads_) - 1) /
+                            static_cast<std::size_t>(nthreads_);
+    const std::size_t begin = per * static_cast<std::size_t>(tid);
+    const std::size_t end = begin + per < job_n_ ? begin + per : job_n_;
+    if (begin < end) (*job_)(tid, begin, end);
+  }
+
+  void worker_loop(int tid) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+      }
+      run_chunk(tid);
+      {
+        std::scoped_lock lock(mutex_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  int nthreads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int, std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  int pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace vcgt::util

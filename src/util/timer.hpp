@@ -1,0 +1,56 @@
+#pragma once
+// Wall-clock timing helpers used by the op2 runtime, the coupler and the
+// benchmark harness. All durations are reported in seconds as double.
+#include <chrono>
+
+namespace vcgt::util {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals; used for the
+/// per-phase breakdowns (compute vs halo-exchange vs coupler-wait).
+class Stopwatch {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += t_.elapsed();
+    running_ = false;
+  }
+  [[nodiscard]] double total() const { return total_; }
+  void clear() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// RAII interval that adds its lifetime to a Stopwatch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Stopwatch& sw) : sw_(sw) { sw_.start(); }
+  ~ScopedTimer() { sw_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stopwatch& sw_;
+};
+
+}  // namespace vcgt::util

@@ -1,0 +1,339 @@
+// Integration tests of the full coupled system: Hydra Sessions + JM76
+// Coupler Units over minimpi, against the monolithic reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/jm76/coupled.hpp"
+#include "src/jm76/monolithic.hpp"
+
+namespace {
+
+using namespace vcgt;
+using jm76::CoupledConfig;
+using jm76::CoupledRig;
+using jm76::Layout;
+using jm76::MonolithicConfig;
+using jm76::MonolithicRig;
+using jm76::Role;
+using jm76::SearchKind;
+
+/// Gentle forcing for cross-layout equality tests: residual assembly order
+/// differs between rank layouts (floating-point non-associativity, as in
+/// real OP2), and strong transients amplify the round-off differences; mild
+/// blade forces keep the amplification within testable tolerances.
+hydra::FlowConfig test_flow() {
+  hydra::FlowConfig cfg;
+  cfg.inner_iters = 2;
+  cfg.dt_phys = 5e-5;
+  cfg.rotor_swirl_frac = 0.05;
+  cfg.stator_swirl_frac = 0.02;
+  return cfg;
+}
+
+hydra::FlowConfig quiet_flow() {
+  auto cfg = test_flow();
+  cfg.rotor_swirl_frac = 0.0;
+  cfg.stator_swirl_frac = 0.0;
+  cfg.sa_cb1 = 0.0;
+  cfg.sa_cw1 = 0.0;
+  return cfg;
+}
+
+TEST(Layout, RolesAndWorldSize) {
+  const Layout layout({2, 3, 1}, 2);
+  EXPECT_EQ(layout.world_size(), 2 + 3 + 1 + 2 * 2);
+  EXPECT_EQ(layout.hs_total(), 6);
+
+  const auto r0 = layout.role_of(0);
+  EXPECT_EQ(r0.kind, Role::Kind::HydraSession);
+  EXPECT_EQ(r0.row, 0);
+  const auto r4 = layout.role_of(4);
+  EXPECT_EQ(r4.row, 1);
+  EXPECT_EQ(r4.rank_in_row, 2);
+  const auto r5 = layout.role_of(5);
+  EXPECT_EQ(r5.row, 2);
+
+  const auto c0 = layout.role_of(6);
+  EXPECT_EQ(c0.kind, Role::Kind::CouplerUnit);
+  EXPECT_EQ(c0.iface, 0);
+  EXPECT_EQ(c0.unit, 0);
+  const auto c3 = layout.role_of(9);
+  EXPECT_EQ(c3.iface, 1);
+  EXPECT_EQ(c3.unit, 1);
+  EXPECT_EQ(layout.cu_world_rank(1, 1), 9);
+  EXPECT_EQ(layout.hs_world_rank(1, 2), 4);
+}
+
+TEST(Layout, Validation) {
+  EXPECT_THROW(Layout({}, 1), std::invalid_argument);
+  EXPECT_THROW(Layout({2, 0}, 1), std::invalid_argument);
+  EXPECT_THROW(Layout({2, 2}, 0), std::invalid_argument);
+  EXPECT_NO_THROW(Layout({4}, 0));  // single row needs no CUs
+}
+
+/// Uniform flow must pass through a sliding-plane interface unchanged: the
+/// donor search, rotation and interpolation are exact for a uniform state.
+TEST(CoupledRig, UniformFlowCrossesInterfaceExactly) {
+  CoupledConfig cfg;
+  cfg.rig = rig::rig250_spec(2);
+  cfg.res = rig::resolution_tier("tiny");
+  cfg.flow = quiet_flow();
+  cfg.hs_ranks = {1, 1};
+  cfg.cus_per_interface = 1;
+  cfg.pipelined = false;
+
+  minimpi::World::run(cfg.layout().world_size(), [&](minimpi::Comm& world) {
+    CoupledRig rigrun(world, cfg);
+    rigrun.run(3);
+    if (auto* solver = rigrun.solver()) {
+      const auto q = solver->context().fetch_global(solver->q());
+      const auto n = q.size() / 5;
+      for (std::size_t c = 0; c < n; ++c) {
+        EXPECT_NEAR(q[c * 5 + 0], cfg.flow.rho_in, 1e-9);
+        EXPECT_NEAR(q[c * 5 + 1], cfg.flow.rho_in * cfg.flow.u_axial_in, 1e-7);
+        EXPECT_NEAR(q[c * 5 + 2], 0.0, 1e-7);
+        EXPECT_NEAR(q[c * 5 + 3], 0.0, 1e-7);
+      }
+    }
+  });
+}
+
+/// The non-pipelined coupled execution computes exactly the same ghost
+/// transfer as the monolithic configuration: flow fields must agree to
+/// round-off regardless of rank layout or CU count.
+class CoupledEqualsMonolithic
+    : public testing::TestWithParam<std::tuple<int, int, SearchKind>> {};
+
+TEST_P(CoupledEqualsMonolithic, FlowFieldsMatch) {
+  const auto [ranks_per_row, cus, search] = GetParam();
+  const int nrows = 3;
+  const int nsteps = 3;
+
+  CoupledConfig cfg;
+  cfg.rig = rig::rig250_spec(nrows);
+  cfg.res = rig::resolution_tier("tiny");
+  cfg.flow = test_flow();
+  cfg.hs_ranks.assign(nrows, ranks_per_row);
+  cfg.cus_per_interface = cus;
+  cfg.search = search;
+  cfg.pipelined = false;
+
+  // Serial monolithic reference.
+  MonolithicConfig mono;
+  mono.rig = cfg.rig;
+  mono.res = cfg.res;
+  mono.flow = cfg.flow;
+  mono.search = search;
+  std::vector<std::vector<double>> ref(static_cast<std::size_t>(nrows));
+  {
+    MonolithicRig mrig(minimpi::Comm{}, mono);
+    mrig.run(nsteps);
+    for (int r = 0; r < nrows; ++r) {
+      ref[static_cast<std::size_t>(r)] =
+          mrig.context().fetch_global(mrig.solver(r).q());
+    }
+  }
+
+  minimpi::World::run(cfg.layout().world_size(), [&](minimpi::Comm& world) {
+    CoupledRig rigrun(world, cfg);
+    rigrun.run(nsteps);
+    if (auto* solver = rigrun.solver()) {
+      const int row = rigrun.role().row;
+      const auto got = solver->context().fetch_global(solver->q());
+      const auto& expect = ref[static_cast<std::size_t>(row)];
+      ASSERT_EQ(got.size(), expect.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_NEAR(got[i], expect[i], 2e-6 * (std::fabs(expect[i]) + 1.0))
+            << "row " << row << " entry " << i;
+      }
+    }
+  });
+}
+
+std::string coupled_case_name(
+    const testing::TestParamInfo<std::tuple<int, int, SearchKind>>& info) {
+  return std::string("hs") + std::to_string(std::get<0>(info.param)) + "_cu" +
+         std::to_string(std::get<1>(info.param)) +
+         (std::get<2>(info.param) == SearchKind::Adt ? "_adt" : "_bf");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoupledEqualsMonolithic,
+    testing::Values(std::make_tuple(1, 1, SearchKind::Adt),
+                    std::make_tuple(1, 2, SearchKind::Adt),
+                    std::make_tuple(2, 1, SearchKind::Adt),
+                    std::make_tuple(2, 3, SearchKind::Adt),
+                    std::make_tuple(1, 1, SearchKind::BruteForce),
+                    std::make_tuple(2, 2, SearchKind::BruteForce)),
+    coupled_case_name);
+
+TEST(CoupledRig, PipelinedRunsAndReportsStats) {
+  CoupledConfig cfg;
+  cfg.rig = rig::rig250_spec(3);
+  cfg.res = rig::resolution_tier("tiny");
+  cfg.flow = test_flow();
+  cfg.hs_ranks = {1, 2, 1};
+  cfg.cus_per_interface = 2;
+  cfg.pipelined = true;
+
+  minimpi::World::run(cfg.layout().world_size(), [&](minimpi::Comm& world) {
+    CoupledRig rigrun(world, cfg);
+    rigrun.run(4);
+    const auto all = CoupledRig::collect(world, rigrun.stats());
+    if (world.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(world.size()));
+      int cu_count = 0;
+      std::uint64_t candidates = 0;
+      for (const auto& s : all) {
+        if (s.is_cu) {
+          ++cu_count;
+          candidates += s.candidates;
+          EXPECT_GT(s.search_seconds, 0.0);
+        } else {
+          EXPECT_GT(s.step_seconds, 0.0);
+          EXPECT_GT(s.owned_cells, 0u);
+        }
+      }
+      EXPECT_EQ(cu_count, 4);
+      EXPECT_GT(candidates, 0u);
+    }
+  });
+}
+
+TEST(CoupledRig, StagedGatherTogglesMessageShape) {
+  // Both settings must produce identical flow fields; only the message
+  // structure differs (validated further by the Table III bench).
+  auto run_with = [&](bool staged) {
+    CoupledConfig cfg;
+    cfg.rig = rig::rig250_spec(2);
+    cfg.res = rig::resolution_tier("tiny");
+    cfg.flow = test_flow();
+    cfg.hs_ranks = {1, 1};
+    cfg.cus_per_interface = 1;
+    cfg.pipelined = false;
+    cfg.staged_gather = staged;
+    std::vector<double> out;
+    minimpi::World::run(cfg.layout().world_size(), [&](minimpi::Comm& world) {
+      CoupledRig rigrun(world, cfg);
+      rigrun.run(3);
+      if (rigrun.solver() && rigrun.role().row == 1) {
+        out = rigrun.solver()->context().fetch_global(rigrun.solver()->q());
+      }
+    });
+    return out;
+  };
+  const auto a = run_with(true);
+  const auto b = run_with(false);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(CoupledRig, RoundRobinCuPartitionMatchesSector) {
+  // Both CU partitioning strategies must produce identical physics: every
+  // target face is handled by exactly one unit either way.
+  auto run_with = [&](jm76::CoupledConfig::CuPartition part) {
+    jm76::CoupledConfig cfg;
+    cfg.rig = rig::rig250_spec(2);
+    cfg.res = rig::resolution_tier("tiny");
+    cfg.flow = test_flow();
+    cfg.hs_ranks = {1, 1};
+    cfg.cus_per_interface = 3;
+    cfg.pipelined = false;
+    cfg.cu_partition = part;
+    std::vector<double> out;
+    minimpi::World::run(cfg.layout().world_size(), [&](minimpi::Comm& world) {
+      CoupledRig rigrun(world, cfg);
+      rigrun.run(3);
+      if (rigrun.solver() && rigrun.role().row == 1) {
+        out = rigrun.solver()->context().fetch_global(rigrun.solver()->q());
+      }
+    });
+    return out;
+  };
+  const auto sector = run_with(jm76::CoupledConfig::CuPartition::Sector);
+  const auto rr = run_with(jm76::CoupledConfig::CuPartition::RoundRobin);
+  ASSERT_EQ(sector.size(), rr.size());
+  ASSERT_FALSE(sector.empty());
+  for (std::size_t i = 0; i < sector.size(); ++i) EXPECT_DOUBLE_EQ(sector[i], rr[i]);
+}
+
+TEST(CoupledRig, CheckpointRestartContinuesIdentically) {
+  jm76::CoupledConfig cfg;
+  cfg.rig = rig::rig250_spec(2);
+  cfg.res = rig::resolution_tier("tiny");
+  cfg.flow = test_flow();
+  cfg.hs_ranks = {1, 2};
+  cfg.cus_per_interface = 1;
+  cfg.pipelined = false;
+  const std::string prefix = "/tmp/vcgt_coupled_ckpt";
+
+  // Uninterrupted 5-step run, with a checkpoint after step 3.
+  std::vector<double> direct;
+  minimpi::World::run(cfg.layout().world_size(), [&](minimpi::Comm& world) {
+    CoupledRig rigrun(world, cfg);
+    rigrun.run(3);
+    ASSERT_TRUE(rigrun.save_state(prefix));
+    rigrun.run(2);
+    if (rigrun.solver() && rigrun.role().row == 1 && rigrun.role().rank_in_row == 0) {
+      direct = rigrun.solver()->context().fetch_global(rigrun.solver()->q());
+    } else if (rigrun.solver()) {
+      (void)rigrun.solver()->context().fetch_global(rigrun.solver()->q());
+    }
+  });
+
+  // Fresh world resumes from the checkpoint (different rank layout, too).
+  auto cfg2 = cfg;
+  cfg2.hs_ranks = {2, 1};
+  std::vector<double> resumed;
+  minimpi::World::run(cfg2.layout().world_size(), [&](minimpi::Comm& world) {
+    CoupledRig rigrun(world, cfg2);
+    ASSERT_TRUE(rigrun.load_state(prefix));
+    rigrun.run(2);
+    if (rigrun.solver() && rigrun.role().row == 1 && rigrun.role().rank_in_row == 0) {
+      resumed = rigrun.solver()->context().fetch_global(rigrun.solver()->q());
+    } else if (rigrun.solver()) {
+      (void)rigrun.solver()->context().fetch_global(rigrun.solver()->q());
+    }
+  });
+
+  ASSERT_EQ(direct.size(), resumed.size());
+  ASSERT_FALSE(direct.empty());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    // Physical time (and thus the interface rotation) is checkpointed; the
+    // only differences are floating-point summation order from the changed
+    // rank layout.
+    EXPECT_NEAR(direct[i], resumed[i], 2e-6 * (std::fabs(direct[i]) + 1.0)) << i;
+  }
+  for (int r = 0; r < 2; ++r) {
+    for (const char* sfx : {"_q.dat", "_qold.dat", "_qold2.dat", "_nut.dat"}) {
+      std::remove((prefix + "_row" + std::to_string(r) + sfx).c_str());
+    }
+  }
+}
+
+TEST(MonolithicRig, DistributedMatchesSerial) {
+  MonolithicConfig mono;
+  mono.rig = rig::rig250_spec(2);
+  mono.res = rig::resolution_tier("tiny");
+  mono.flow = test_flow();
+
+  std::vector<double> ref;
+  {
+    MonolithicRig mrig(minimpi::Comm{}, mono);
+    mrig.run(3);
+    ref = mrig.context().fetch_global(mrig.solver(1).q());
+  }
+  minimpi::World::run(3, [&](minimpi::Comm& world) {
+    MonolithicRig mrig(world, mono);
+    mrig.run(3);
+    const auto got = mrig.context().fetch_global(mrig.solver(1).q());
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], ref[i], 2e-6 * (std::fabs(ref[i]) + 1.0)) << i;
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Coupler edge cases: configuration validation, single-row worlds, heavy CU
+// counts, mixing-plane coupled equality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/jm76/coupled.hpp"
+#include "src/jm76/monolithic.hpp"
+
+namespace {
+
+using namespace vcgt;
+using jm76::CoupledConfig;
+using jm76::CoupledRig;
+
+CoupledConfig small_cfg(int rows) {
+  CoupledConfig cfg;
+  cfg.rig = rig::rig250_spec(rows);
+  cfg.res = rig::resolution_tier("tiny");
+  cfg.flow.inner_iters = 2;
+  cfg.flow.dt_phys = 5e-5;
+  cfg.flow.rotor_swirl_frac = 0.05;
+  cfg.flow.stator_swirl_frac = 0.02;
+  cfg.hs_ranks.assign(static_cast<std::size_t>(rows), 1);
+  cfg.cus_per_interface = 1;
+  return cfg;
+}
+
+TEST(CoupledEdge, WorldSizeMismatchRejected) {
+  const auto cfg = small_cfg(2);
+  minimpi::World::run(cfg.layout().world_size() + 1, [&](minimpi::Comm& world) {
+    EXPECT_THROW(CoupledRig(world, cfg), std::invalid_argument);
+  });
+}
+
+TEST(CoupledEdge, SingleRowNeedsNoCoupler) {
+  // One row: no interfaces, no CUs — the coupled driver degenerates to a
+  // plain distributed solve.
+  auto cfg = small_cfg(1);
+  cfg.hs_ranks = {3};
+  cfg.cus_per_interface = 0;
+  minimpi::World::run(cfg.layout().world_size(), [&](minimpi::Comm& world) {
+    EXPECT_EQ(world.size(), 3);
+    CoupledRig rigrun(world, cfg);
+    rigrun.run(3);
+    ASSERT_NE(rigrun.solver(), nullptr);
+    EXPECT_TRUE(std::isfinite(rigrun.solver()->mean_pressure()));
+    // No coupled groups: only empty-stopwatch noise can register.
+    EXPECT_LT(rigrun.stats().coupler_wait, 1e-4);
+  });
+}
+
+TEST(CoupledEdge, ManyCusPerTinyInterface) {
+  // More CUs than circumferential cells: some units own zero targets and
+  // must still participate in the protocol without deadlock.
+  auto cfg = small_cfg(2);
+  cfg.cus_per_interface = 16;  // tiny tier has ntheta = 12
+  minimpi::World::run(cfg.layout().world_size(), [&](minimpi::Comm& world) {
+    CoupledRig rigrun(world, cfg);
+    rigrun.run(3);
+    if (rigrun.solver()) {
+      EXPECT_TRUE(std::isfinite(rigrun.solver()->mean_pressure()));
+    }
+  });
+}
+
+TEST(CoupledEdge, MixingPlaneCoupledMatchesMonolithic) {
+  // The mixing-plane transfer must agree between the coupled (CU) and
+  // monolithic implementations, like the sliding-plane one does.
+  auto cfg = small_cfg(3);
+  cfg.hs_ranks = {1, 2, 1};
+  cfg.cus_per_interface = 2;
+  cfg.transfer = jm76::TransferKind::MixingPlane;
+  cfg.pipelined = false;
+
+  jm76::MonolithicConfig mono;
+  mono.rig = cfg.rig;
+  mono.res = cfg.res;
+  mono.flow = cfg.flow;
+  mono.transfer = jm76::TransferKind::MixingPlane;
+  std::vector<std::vector<double>> ref(3);
+  {
+    jm76::MonolithicRig m(minimpi::Comm{}, mono);
+    m.run(3);
+    for (int r = 0; r < 3; ++r) ref[static_cast<std::size_t>(r)] =
+        m.context().fetch_global(m.solver(r).q());
+  }
+  minimpi::World::run(cfg.layout().world_size(), [&](minimpi::Comm& world) {
+    CoupledRig rigrun(world, cfg);
+    rigrun.run(3);
+    if (auto* solver = rigrun.solver()) {
+      const auto got = solver->context().fetch_global(solver->q());
+      const auto& expect = ref[static_cast<std::size_t>(rigrun.role().row)];
+      ASSERT_EQ(got.size(), expect.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_NEAR(got[i], expect[i], 2e-6 * (std::fabs(expect[i]) + 1.0)) << i;
+      }
+    }
+  });
+}
+
+TEST(CoupledEdge, StatsCollectCoversWholeWorld) {
+  auto cfg = small_cfg(2);
+  cfg.hs_ranks = {2, 1};
+  minimpi::World::run(cfg.layout().world_size(), [&](minimpi::Comm& world) {
+    CoupledRig rigrun(world, cfg);
+    rigrun.run(2);
+    const auto all = CoupledRig::collect(world, rigrun.stats());
+    if (world.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(world.size()));
+      // World ranks appear exactly once, in order.
+      for (int r = 0; r < world.size(); ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r)].world_rank, r);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+}  // namespace

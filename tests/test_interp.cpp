@@ -1,0 +1,154 @@
+// Sliding-plane interpolation schemes: donor-cell (first order, search
+// based) and bilinear (second order on the interface lattice).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/jm76/interp.hpp"
+#include "src/rig/annulus.hpp"
+#include "src/rig/interface.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace vcgt;
+using jm76::InterpKind;
+using jm76::Interpolator;
+using jm76::SearchKind;
+using jm76::Stencil;
+
+class InterpFixture : public testing::Test {
+ protected:
+  rig::RowSpec row_ = [] {
+    rig::RowSpec r;
+    r.x_min = 0;
+    r.x_max = 0.1;
+    r.r_hub = 0.3;
+    r.r_casing = 0.5;
+    return r;
+  }();
+  rig::MeshResolution res_{2, 6, 24};
+  rig::AnnulusMesh mesh_ = rig::generate_row_mesh(row_, res_);
+  rig::InterfaceSide side_ =
+      rig::extract_interface(mesh_, row_, rig::BoundaryGroup::Outlet);
+
+  /// Evaluates the stencil against per-face values.
+  double apply(const Stencil& s, const std::vector<double>& values) const {
+    double out = 0.0;
+    for (int n = 0; n < s.count; ++n) {
+      out += s.weight[static_cast<std::size_t>(n)] *
+             values[static_cast<std::size_t>(s.face[static_cast<std::size_t>(n)])];
+    }
+    return out;
+  }
+};
+
+TEST_F(InterpFixture, WeightsFormPartitionOfUnity) {
+  for (const auto kind : {InterpKind::DonorCell, InterpKind::Bilinear}) {
+    const Interpolator interp(side_, SearchKind::Adt, kind);
+    util::Rng rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+      const double r = rng.uniform(row_.r_hub + 1e-9, row_.r_casing - 1e-9);
+      const double th = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const double rot = rng.uniform(-10.0, 10.0);
+      const auto s = interp.stencil(r, th, rot);
+      double wsum = 0.0;
+      for (int n = 0; n < s.count; ++n) {
+        EXPECT_GE(s.weight[static_cast<std::size_t>(n)], -1e-12);
+        wsum += s.weight[static_cast<std::size_t>(n)];
+      }
+      EXPECT_NEAR(wsum, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST_F(InterpFixture, BothKindsExactForConstantFields) {
+  std::vector<double> values(static_cast<std::size_t>(side_.size()), 7.25);
+  for (const auto kind : {InterpKind::DonorCell, InterpKind::Bilinear}) {
+    const Interpolator interp(side_, SearchKind::BruteForce, kind);
+    util::Rng rng(11);
+    for (int trial = 0; trial < 100; ++trial) {
+      const auto s = interp.stencil(rng.uniform(0.31, 0.49),
+                                    rng.uniform(0.0, 2.0 * std::numbers::pi),
+                                    rng.uniform(-5, 5));
+      EXPECT_NEAR(apply(s, values), 7.25, 1e-12);
+    }
+  }
+}
+
+TEST_F(InterpFixture, BilinearExactForLinearRadialField) {
+  // f(r) = 3r + 1 sampled at the *nominal* lattice ring radii (the
+  // coordinates the bilinear lattice is defined on — quad centroids are
+  // chord-shrunk); reproduction must be exact between the innermost and
+  // outermost center rings.
+  const double dr = (row_.r_casing - row_.r_hub) / res_.nr;
+  std::vector<double> values(static_cast<std::size_t>(side_.size()));
+  for (op2::index_t i = 0; i < side_.size(); ++i) {
+    const int j = static_cast<int>(i % res_.nr);
+    values[static_cast<std::size_t>(i)] = 3.0 * (row_.r_hub + (j + 0.5) * dr) + 1.0;
+  }
+  const Interpolator interp(side_, SearchKind::Adt, InterpKind::Bilinear);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double r = rng.uniform(row_.r_hub + 0.5 * dr, row_.r_casing - 0.5 * dr);
+    const double th = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const auto s = interp.stencil(r, th, 0.0);
+    EXPECT_NEAR(apply(s, values), 3.0 * r + 1.0, 1e-9);
+  }
+}
+
+TEST_F(InterpFixture, BilinearExactForSinusoidalThetaAtCenters) {
+  // Sampled at face centers and queried at (rotated) face centers: the
+  // stencil collapses to the exact donor ring positions, periodic wrap
+  // included.
+  std::vector<double> values(static_cast<std::size_t>(side_.size()));
+  for (op2::index_t i = 0; i < side_.size(); ++i) {
+    values[static_cast<std::size_t>(i)] =
+        std::sin(side_.rtheta[static_cast<std::size_t>(i) * 2 + 1]);
+  }
+  const Interpolator interp(side_, SearchKind::Adt, InterpKind::Bilinear);
+  const double dth = 2.0 * std::numbers::pi / res_.ntheta;
+  for (op2::index_t i = 0; i < side_.size(); ++i) {
+    const double r = side_.rtheta[static_cast<std::size_t>(i) * 2 + 0];
+    const double th = side_.rtheta[static_cast<std::size_t>(i) * 2 + 1];
+    // Query at the center, rotated by exactly two lattice pitches.
+    const auto s = interp.stencil(r, th, 2.0 * dth);
+    double expect = std::sin(th - 2.0 * dth);
+    EXPECT_NEAR(apply(s, values), expect, 1e-9) << "face " << i;
+  }
+}
+
+TEST_F(InterpFixture, BilinearClampsRadiallyOutsideCenters) {
+  const double dr = (row_.r_casing - row_.r_hub) / res_.nr;
+  std::vector<double> values(static_cast<std::size_t>(side_.size()));
+  for (op2::index_t i = 0; i < side_.size(); ++i) {
+    const int j = static_cast<int>(i % res_.nr);
+    values[static_cast<std::size_t>(i)] = row_.r_hub + (j + 0.5) * dr;
+  }
+  const Interpolator interp(side_, SearchKind::Adt, InterpKind::Bilinear);
+  // Below the innermost / above the outermost ring of centers: constant
+  // extrapolation to the nearest ring.
+  const auto lo = interp.stencil(row_.r_hub + 0.1 * dr, 1.0, 0.0);
+  EXPECT_NEAR(apply(lo, values), row_.r_hub + 0.5 * dr, 1e-12);
+  const auto hi = interp.stencil(row_.r_casing - 0.1 * dr, 1.0, 0.0);
+  EXPECT_NEAR(apply(hi, values), row_.r_casing - 0.5 * dr, 1e-12);
+}
+
+TEST_F(InterpFixture, DonorCellCountsCandidatesBilinearDoesNot) {
+  const Interpolator dc(side_, SearchKind::Adt, InterpKind::DonorCell);
+  const Interpolator bl(side_, SearchKind::Adt, InterpKind::Bilinear);
+  (void)dc.stencil(0.4, 1.0, 0.0);
+  (void)bl.stencil(0.4, 1.0, 0.0);
+  EXPECT_GT(dc.candidates_tested(), 0u);
+  EXPECT_EQ(bl.candidates_tested(), 0u);
+}
+
+TEST_F(InterpFixture, BilinearNeedsLatticeHints) {
+  rig::InterfaceSide bare = side_;
+  bare.nr = 0;
+  EXPECT_THROW(Interpolator(bare, SearchKind::Adt, InterpKind::Bilinear),
+               std::invalid_argument);
+}
+
+}  // namespace

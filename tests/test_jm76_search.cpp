@@ -1,0 +1,166 @@
+// ADT vs brute-force equivalence (property-swept) and sliding-plane donor
+// location with rotation and periodic wrap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numbers>
+
+#include "src/jm76/adt.hpp"
+#include "src/jm76/search.hpp"
+#include "src/rig/annulus.hpp"
+#include "src/rig/interface.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace vcgt;
+using jm76::Adt2D;
+using jm76::BruteForce2D;
+using jm76::DonorLocator;
+using jm76::SearchKind;
+
+std::vector<double> random_boxes(util::Rng& rng, int n) {
+  std::vector<double> boxes;
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(0, 10), y0 = rng.uniform(0, 10);
+    boxes.push_back(x0);
+    boxes.push_back(x0 + rng.uniform(0.01, 2.0));
+    boxes.push_back(y0);
+    boxes.push_back(y0 + rng.uniform(0.01, 2.0));
+  }
+  return boxes;
+}
+
+class AdtEqualsBruteForce : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AdtEqualsBruteForce, SameHitsForRandomQueries) {
+  const auto [nboxes, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  auto boxes = random_boxes(rng, nboxes);
+  const Adt2D adt(boxes);
+  const jm76::UniformBins2D bins(boxes);
+  const BruteForce2D bf(std::move(boxes));
+
+  for (int q = 0; q < 200; ++q) {
+    const double x = rng.uniform(-1, 13), y = rng.uniform(-1, 13);
+    std::vector<int> ha, hb, hu;
+    adt.query(x, y, &ha);
+    bf.query(x, y, &hb);
+    bins.query(x, y, &hu);
+    std::sort(ha.begin(), ha.end());
+    std::sort(hb.begin(), hb.end());
+    std::sort(hu.begin(), hu.end());
+    EXPECT_EQ(ha, hb) << "query (" << x << "," << y << ")";
+    EXPECT_EQ(hu, hb) << "bins query (" << x << "," << y << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AdtEqualsBruteForce,
+                         testing::Combine(testing::Values(1, 7, 64, 500, 3000),
+                                          testing::Values(1, 2, 3)));
+
+TEST(Adt2D, EmptyTreeReturnsNothing) {
+  const Adt2D adt({});
+  std::vector<int> hits;
+  adt.query(0.5, 0.5, &hits);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(Adt2D, CandidateCountBeatsBruteForceOnLargeSets) {
+  util::Rng rng(99);
+  auto boxes = random_boxes(rng, 5000);
+  const Adt2D adt(boxes);
+  const BruteForce2D bf(std::move(boxes));
+  std::uint64_t adt_cand = 0, bf_cand = 0;
+  std::vector<int> hits;
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.uniform(0, 10), y = rng.uniform(0, 10);
+    hits.clear();
+    adt.query(x, y, &hits, &adt_cand);
+    hits.clear();
+    bf.query(x, y, &hits, &bf_cand);
+  }
+  // The tree must prune the vast majority of candidates.
+  EXPECT_LT(adt_cand * 4, bf_cand);
+}
+
+TEST(Adt2D, RejectsMalformedInput) {
+  EXPECT_THROW(Adt2D({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+class LocatorFixture : public testing::TestWithParam<SearchKind> {
+ protected:
+  rig::RowSpec row_ = [] {
+    rig::RowSpec r;
+    r.x_min = 0;
+    r.x_max = 0.1;
+    r.r_hub = 0.3;
+    r.r_casing = 0.5;
+    return r;
+  }();
+  rig::MeshResolution res_{3, 4, 16};
+  rig::AnnulusMesh mesh_ = rig::generate_row_mesh(row_, res_);
+  rig::InterfaceSide side_ =
+      rig::extract_interface(mesh_, row_, rig::BoundaryGroup::Outlet);
+};
+
+class DonorLocatorTest : public LocatorFixture {};
+
+TEST_P(DonorLocatorTest, FindsOwnCenters) {
+  const DonorLocator loc(side_, GetParam());
+  for (op2::index_t i = 0; i < side_.size(); ++i) {
+    const double r = side_.rtheta[static_cast<std::size_t>(i) * 2];
+    const double th = side_.rtheta[static_cast<std::size_t>(i) * 2 + 1];
+    EXPECT_EQ(loc.locate(r, th, 0.0), i);
+  }
+}
+
+TEST_P(DonorLocatorTest, RotationShiftsDonors) {
+  const DonorLocator loc(side_, GetParam());
+  const double dth = 2.0 * std::numbers::pi / res_.ntheta;
+  // Rotating the donor row by one circumferential cell: the donor of each
+  // target center moves by one theta index (same radial ring).
+  for (op2::index_t i = 0; i < side_.size(); ++i) {
+    const double r = side_.rtheta[static_cast<std::size_t>(i) * 2];
+    const double th = side_.rtheta[static_cast<std::size_t>(i) * 2 + 1];
+    const int shifted = loc.locate(r, th, dth);
+    ASSERT_GE(shifted, 0);
+    const double r2 = side_.rtheta[static_cast<std::size_t>(shifted) * 2];
+    double th2 = side_.rtheta[static_cast<std::size_t>(shifted) * 2 + 1];
+    EXPECT_NEAR(r2, r, 1e-12);
+    double expect = th - dth;
+    if (expect < 0) expect += 2.0 * std::numbers::pi;
+    EXPECT_NEAR(th2, expect, 1e-9);
+  }
+}
+
+TEST_P(DonorLocatorTest, WrapAcrossSeam) {
+  const DonorLocator loc(side_, GetParam());
+  // Query just below 2pi and just above 0 with arbitrary rotations; a donor
+  // must always be found on the periodic annulus.
+  util::Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    const double r = rng.uniform(row_.r_hub + 1e-6, row_.r_casing - 1e-6);
+    const double th = rng.uniform(0, 2.0 * std::numbers::pi);
+    const double rot = rng.uniform(-20.0, 20.0);
+    EXPECT_GE(loc.locate(r, th, rot), 0) << "r=" << r << " th=" << th << " rot=" << rot;
+  }
+}
+
+TEST_P(DonorLocatorTest, CandidatesAreCounted) {
+  const DonorLocator loc(side_, GetParam());
+  (void)loc.locate(0.4, 1.0, 0.0);
+  EXPECT_GT(loc.candidates_tested(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DonorLocatorTest,
+                         testing::Values(SearchKind::BruteForce, SearchKind::Adt,
+                                         SearchKind::Bins),
+                         [](const testing::TestParamInfo<SearchKind>& info) {
+                           return jm76::search_kind_name(info.param) ==
+                                          std::string("brute-force")
+                                      ? "bf"
+                                      : jm76::search_kind_name(info.param);
+                         });
+
+}  // namespace

@@ -1,0 +1,163 @@
+// minimpi stress and fuzz tests: randomized point-to-point schedules,
+// nested sub-communicators, large payloads, failure propagation from inside
+// collectives — the robustness the op2/jm76 stack leans on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/minimpi/minimpi.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace vcgt::minimpi;
+using vcgt::util::Rng;
+
+/// Every rank derives the same random message schedule from a shared seed
+/// and plays its part: send phase (buffered, cannot block), then receive
+/// phase validating content.
+class P2PFuzz : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(P2PFuzz, RandomScheduleDeliversEverything) {
+  const auto [nranks, seed] = GetParam();
+  const int nmsgs = 60;
+  World::run(nranks, [&, nr = nranks, sd = seed](Comm& c) {
+    struct Msg {
+      int src, dst, tag, len;
+      std::uint64_t stamp;
+    };
+    Rng rng(static_cast<std::uint64_t>(sd) * 977 + 13);
+    std::vector<Msg> schedule;
+    for (int i = 0; i < nmsgs; ++i) {
+      Msg m;
+      m.src = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(nr)));
+      m.dst = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(nr)));
+      if (m.dst == m.src) m.dst = (m.dst + 1) % nr;
+      m.tag = static_cast<int>(rng.bounded(7));
+      m.len = 1 + static_cast<int>(rng.bounded(64));
+      m.stamp = rng.next_u64();
+      schedule.push_back(m);
+    }
+    // Send phase.
+    for (const auto& m : schedule) {
+      if (m.src != c.rank()) continue;
+      std::vector<std::uint64_t> payload(static_cast<std::size_t>(m.len));
+      for (int k = 0; k < m.len; ++k) {
+        payload[static_cast<std::size_t>(k)] = m.stamp + static_cast<std::uint64_t>(k);
+      }
+      c.send(std::span<const std::uint64_t>(payload), m.dst, m.tag);
+    }
+    // Receive phase, in schedule order (matching FIFO per (src, tag)).
+    for (const auto& m : schedule) {
+      if (m.dst != c.rank()) continue;
+      const auto got = c.recv<std::uint64_t>(m.src, m.tag);
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(m.len));
+      for (int k = 0; k < m.len; ++k) {
+        ASSERT_EQ(got[static_cast<std::size_t>(k)], m.stamp + static_cast<std::uint64_t>(k));
+      }
+    }
+    c.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, P2PFuzz,
+                         testing::Combine(testing::Values(2, 3, 5, 8),
+                                          testing::Values(1, 2)),
+                         [](const testing::TestParamInfo<std::tuple<int, int>>& info) {
+                           return "r" + std::to_string(std::get<0>(info.param)) + "_s" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(MiniMpiStress, NestedSplits) {
+  // world -> halves -> quarters; collectives on every level.
+  World::run(8, [](Comm& c) {
+    Comm half = c.split(c.rank() / 4, c.rank());
+    ASSERT_EQ(half.size(), 4);
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    ASSERT_EQ(quarter.size(), 2);
+    const double world_sum = c.allreduce_sum(1.0);
+    const double half_sum = half.allreduce_sum(1.0);
+    const double quarter_sum = quarter.allreduce_sum(1.0);
+    EXPECT_DOUBLE_EQ(world_sum, 8.0);
+    EXPECT_DOUBLE_EQ(half_sum, 4.0);
+    EXPECT_DOUBLE_EQ(quarter_sum, 2.0);
+    // Cross-level traffic: quarter leaders report to world rank 0.
+    if (quarter.rank() == 0) c.send_value(c.rank(), 0, 42);
+    if (c.rank() == 0) {
+      int seen = 0;
+      for (int i = 0; i < 4; ++i) {
+        (void)c.recv_value<int>(kAnySource, 42);
+        ++seen;
+      }
+      EXPECT_EQ(seen, 4);
+    }
+  });
+}
+
+TEST(MiniMpiStress, LargePayloadRoundTrip) {
+  World::run(2, [](Comm& c) {
+    const std::size_t n = 1 << 20;  // 8 MiB of doubles
+    if (c.rank() == 0) {
+      std::vector<double> big(n);
+      for (std::size_t i = 0; i < n; ++i) big[i] = static_cast<double>(i % 1024);
+      c.send(std::span<const double>(big), 1, 5);
+    } else {
+      const auto got = c.recv<double>(0, 5);
+      ASSERT_EQ(got.size(), n);
+      EXPECT_DOUBLE_EQ(got[12345], 12345 % 1024);
+      EXPECT_DOUBLE_EQ(got[n - 1], (n - 1) % 1024);
+    }
+  });
+}
+
+TEST(MiniMpiStress, ManyBarriersInterleavedWithTraffic) {
+  World::run(6, [](Comm& c) {
+    for (int round = 0; round < 50; ++round) {
+      const int peer = (c.rank() + 1) % c.size();
+      c.send_value(round, peer, 9);
+      const int got = c.recv_value<int>((c.rank() + c.size() - 1) % c.size(), 9);
+      ASSERT_EQ(got, round);
+      c.barrier();
+    }
+  });
+}
+
+TEST(MiniMpiStress, AbortFromInsideCollective) {
+  // A rank that dies while peers sit in a reduce must not deadlock them.
+  EXPECT_THROW(World::run(4,
+                          [](Comm& c) {
+                            if (c.rank() == 2) throw std::logic_error("lost rank");
+                            (void)c.allreduce_sum(1.0);
+                          }),
+               std::logic_error);
+}
+
+TEST(MiniMpiStress, SplitChainsSurviveReuse) {
+  World::run(6, [](Comm& c) {
+    for (int round = 0; round < 10; ++round) {
+      Comm sub = c.split(c.rank() % 3, c.rank());
+      ASSERT_EQ(sub.size(), 2);
+      const auto ids = sub.allgather_value(c.rank());
+      ASSERT_EQ(ids.size(), 2u);
+      EXPECT_EQ(ids[0] % 3, ids[1] % 3);
+    }
+  });
+}
+
+TEST(MiniMpiStress, GatherVariableLengthsStress) {
+  World::run(7, [](Comm& c) {
+    std::vector<int> local(static_cast<std::size_t>(c.rank() * 3 % 5), c.rank());
+    std::vector<std::size_t> counts;
+    const auto all = c.allgatherv(std::span<const int>(local), &counts);
+    ASSERT_EQ(counts.size(), 7u);
+    std::size_t total = 0;
+    for (int r = 0; r < 7; ++r) {
+      EXPECT_EQ(counts[static_cast<std::size_t>(r)],
+                static_cast<std::size_t>(r * 3 % 5));
+      total += counts[static_cast<std::size_t>(r)];
+    }
+    EXPECT_EQ(all.size(), total);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,382 @@
+// op2 edge cases and execution-plan properties: empty sets, rank-starved
+// partitions, integer dats, write-indirection, Min/Max reductions, plan
+// structure invariants (core/tail partition, coloring validity).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/minimpi/minimpi.hpp"
+#include "src/op2/op2.hpp"
+#include "tests/testmesh.hpp"
+
+namespace {
+
+using namespace vcgt;
+using op2::Access;
+using op2::index_t;
+
+TEST(Op2Edge, EmptySetLoopsAreNoOps) {
+  op2::Context ctx;
+  auto& empty = ctx.decl_set("empty", 0);
+  auto& d = ctx.decl_dat<double>(empty, 1, "d");
+  int calls = 0;
+  op2::par_loop("noop", empty, [&](double*) { ++calls; }, op2::arg(d, Access::Write));
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(ctx.total_stats().invocations, 1u);
+  EXPECT_EQ(ctx.total_stats().elements, 0u);
+}
+
+TEST(Op2Edge, MoreRanksThanElements) {
+  // 3 nodes across 5 ranks: some ranks own nothing; collectives, halos and
+  // reductions must still work.
+  minimpi::World::run(5, [&](minimpi::Comm& comm) {
+    op2::Context ctx(comm);
+    auto& nodes = ctx.decl_set("nodes", 3);
+    auto& edges = ctx.decl_set("edges", 2);
+    (void)ctx.decl_map("e2n", edges, nodes, 2, {0, 1, 1, 2});
+    std::vector<double> xy{0, 0, 1, 0, 2, 0};
+    auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", xy);
+    auto& v = ctx.decl_dat<double>(nodes, 1, "v");
+    ctx.partition(op2::Partitioner::Rcb, coords);
+    op2::par_loop("setv", nodes, [](const double* c, double* x) { *x = c[0]; },
+                  op2::arg(coords, Access::Read), op2::arg(v, Access::Write));
+    auto sum = ctx.decl_global<double>("sum", 1);
+    op2::par_loop("sumv", nodes, [](const double* x, double* s) { *s += *x; },
+                  op2::arg(v, Access::Read), op2::arg(sum, Access::Inc));
+    EXPECT_DOUBLE_EQ(sum.value(), 3.0);
+    const auto all = ctx.fetch_global(v);
+    EXPECT_DOUBLE_EQ(all[2], 2.0);
+  });
+}
+
+TEST(Op2Edge, IntDatHaloExchange) {
+  const auto mesh = test::make_grid(7, 5);
+  auto run = [&](minimpi::Comm comm) {
+    op2::Context ctx(std::move(comm));
+    auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+    auto& edges = ctx.decl_set("edges", mesh.nedge);
+    auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
+    auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
+    auto& tag = ctx.decl_dat<int>(nodes, 1, "tag");
+    auto& cnt = ctx.decl_dat<int>(nodes, 1, "cnt");
+    ctx.partition(op2::Partitioner::Rcb, coords);
+    op2::par_loop("stamp", nodes,
+                  [](const op2::index_t* g, int* t) { *t = static_cast<int>(*g % 5); },
+                  op2::arg_idx(), op2::arg(tag, Access::Write));
+    op2::par_loop("zero", nodes, [](int* c) { *c = 0; }, op2::arg(cnt, Access::Write));
+    // Indirect read of the int dat (exercises byte-level halo exchange of a
+    // non-double payload) with indirect int increments.
+    op2::par_loop("count_matching", edges,
+                  [](const int* ta, const int* tb, int* ca, int* cb) {
+                    if (*ta == *tb) {
+                      *ca += 1;
+                      *cb += 1;
+                    }
+                  },
+                  op2::arg(tag, 0, e2n, Access::Read), op2::arg(tag, 1, e2n, Access::Read),
+                  op2::arg(cnt, 0, e2n, Access::Inc), op2::arg(cnt, 1, e2n, Access::Inc));
+    return ctx.fetch_global(cnt);
+  };
+  const auto ref = run(minimpi::Comm{});
+  minimpi::World::run(4, [&](minimpi::Comm& comm) {
+    const auto got = run(comm);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], ref[i]) << i;
+  });
+}
+
+TEST(Op2Edge, IndirectWriteScatter) {
+  // Pure indirect Write (scatter) through a map: every node receives the
+  // value from its unique writing edge endpoint slot.
+  const auto mesh = test::make_grid(6, 4);
+  auto run = [&](minimpi::Comm comm) {
+    op2::Context ctx(std::move(comm));
+    auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+    auto& edges = ctx.decl_set("edges", mesh.nedge);
+    auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
+    auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
+    auto& v = ctx.decl_dat<double>(nodes, 1, "v");
+    ctx.partition(op2::Partitioner::Rcb, coords);
+    op2::par_loop("init", nodes, [](double* x) { *x = -1.0; }, op2::arg(v, Access::Write));
+    // Scatter a constant: final value well-defined despite multiple writers.
+    op2::par_loop("scatter", edges,
+                  [](double* a, double* b) {
+                    *a = 7.0;
+                    *b = 7.0;
+                  },
+                  op2::arg(v, 0, e2n, Access::Write), op2::arg(v, 1, e2n, Access::Write));
+    return ctx.fetch_global(v);
+  };
+  const auto ref = run(minimpi::Comm{});
+  for (const double x : ref) EXPECT_DOUBLE_EQ(x, 7.0);
+  minimpi::World::run(3, [&](minimpi::Comm& comm) {
+    const auto got = run(comm);
+    for (const double x : got) EXPECT_DOUBLE_EQ(x, 7.0);
+  });
+}
+
+TEST(Op2Edge, MinMaxReductionsDistributed) {
+  const auto mesh = test::make_grid(9, 9);
+  minimpi::World::run(4, [&](minimpi::Comm& comm) {
+    op2::Context ctx(comm);
+    auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+    auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
+    ctx.partition(op2::Partitioner::Rcb, coords);
+    auto mx = ctx.decl_global<double>("mx", 1, {-1e300});
+    auto mn = ctx.decl_global<double>("mn", 1, {1e300});
+    op2::par_loop("minmax", nodes,
+                  [](const double* c, double* hi, double* lo) {
+                    const double val = c[0] * 10 + c[1];
+                    if (val > *hi) *hi = val;
+                    if (val < *lo) *lo = val;
+                  },
+                  op2::arg(coords, Access::Read), op2::arg(mx, Access::Max),
+                  op2::arg(mn, Access::Min));
+    EXPECT_DOUBLE_EQ(mx.value(), 8 * 10 + 8);
+    EXPECT_DOUBLE_EQ(mn.value(), 0.0);
+  });
+}
+
+TEST(Op2Edge, MultiComponentGlobalReduction) {
+  minimpi::World::run(3, [&](minimpi::Comm& comm) {
+    op2::Context ctx(comm);
+    auto& nodes = ctx.decl_set("nodes", 30);
+    auto& edges = ctx.decl_set("edges", 29);
+    std::vector<index_t> t;
+    for (index_t e = 0; e < 29; ++e) {
+      t.push_back(e);
+      t.push_back(e + 1);
+    }
+    (void)ctx.decl_map("e2n", edges, nodes, 2, t);
+    std::vector<double> xy(60);
+    for (index_t n = 0; n < 30; ++n) xy[static_cast<std::size_t>(n) * 2] = n;
+    auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", xy);
+    ctx.partition(op2::Partitioner::Block, coords);
+    auto acc = ctx.decl_global<double>("acc", 3);
+    op2::par_loop("vec_reduce", nodes,
+                  [](const double* c, double* a) {
+                    a[0] += 1.0;
+                    a[1] += c[0];
+                    a[2] += c[0] * c[0];
+                  },
+                  op2::arg(coords, Access::Read), op2::arg(acc, Access::Inc));
+    EXPECT_DOUBLE_EQ(acc.value(0), 30.0);
+    EXPECT_DOUBLE_EQ(acc.value(1), 29.0 * 30.0 / 2.0);
+  });
+}
+
+TEST(Op2Plan, CoreTailPartitionExecutedElements) {
+  const auto mesh = test::make_grid(10, 10);
+  minimpi::World::run(4, [&](minimpi::Comm& comm) {
+    op2::Context ctx(comm);
+    auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+    auto& edges = ctx.decl_set("edges", mesh.nedge);
+    auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
+    auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
+    auto& x = ctx.decl_dat<double>(nodes, 1, "x");
+    auto& r = ctx.decl_dat<double>(nodes, 1, "r");
+    ctx.partition(op2::Partitioner::Rcb, coords);
+    op2::par_loop("ix", nodes, [](double* v) { *v = 1.0; }, op2::arg(x, Access::Write));
+    op2::par_loop("zr", nodes, [](double* v) { *v = 0.0; }, op2::arg(r, Access::Write));
+    const std::vector<op2::ArgInfo> infos{
+        op2::ArgInfo{&x, &e2n, 0, Access::Read, false},
+        op2::ArgInfo{&x, &e2n, 1, Access::Read, false},
+        op2::ArgInfo{&r, &e2n, 0, Access::Inc, false},
+        op2::ArgInfo{&r, &e2n, 1, Access::Inc, false}};
+    auto& plan = ctx.get_plan("plan_probe", edges, infos);
+
+    // core ∪ tail covers the executed range exactly once.
+    EXPECT_TRUE(plan.exec_halo_iterated);
+    EXPECT_EQ(plan.n_executed, edges.n_owned() + edges.n_exec());
+    std::set<index_t> seen;
+    for (const auto e : plan.core) EXPECT_TRUE(seen.insert(e).second);
+    for (const auto e : plan.tail) EXPECT_TRUE(seen.insert(e).second);
+    EXPECT_EQ(static_cast<index_t>(seen.size()), plan.n_executed);
+
+    // core elements touch no halo slots through the loop maps.
+    for (const auto e : plan.core) {
+      EXPECT_LT(e, edges.n_owned());
+      EXPECT_LT(e2n(e, 0), nodes.n_owned());
+      EXPECT_LT(e2n(e, 1), nodes.n_owned());
+    }
+  });
+}
+
+TEST(Op2Plan, ColoringIsConflictFree) {
+  const auto mesh = test::make_grid(12, 9);
+  op2::Config cfg;
+  cfg.force_coloring = true;
+  op2::Context ctx(cfg);
+  auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+  auto& edges = ctx.decl_set("edges", mesh.nedge);
+  auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
+  auto& r = ctx.decl_dat<double>(nodes, 1, "r");
+  const std::vector<op2::ArgInfo> infos{op2::ArgInfo{&r, &e2n, 0, Access::Inc, false},
+                                        op2::ArgInfo{&r, &e2n, 1, Access::Inc, false}};
+  auto& plan = ctx.get_plan("color_probe", edges, infos);
+  ASSERT_TRUE(plan.colored);
+  auto check_colors = [&](const std::vector<std::vector<index_t>>& colors) {
+    for (const auto& group : colors) {
+      std::set<index_t> touched;
+      for (const auto e : group) {
+        EXPECT_TRUE(touched.insert(e2n(e, 0)).second)
+            << "two edges of one color share node " << e2n(e, 0);
+        EXPECT_TRUE(touched.insert(e2n(e, 1)).second);
+      }
+    }
+  };
+  check_colors(plan.core_colors);
+  check_colors(plan.tail_colors);
+  // Grid edges 2-color-ish per direction: greedy stays well below the
+  // 64-color cap and above 1.
+  EXPECT_GE(plan.core_colors.size() + plan.tail_colors.size(), 2u);
+  EXPECT_LE(plan.core_colors.size(), 16u);
+}
+
+TEST(Op2Plan, DescribePlansListsEverything) {
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", 5);
+  auto& d = ctx.decl_dat<double>(nodes, 1, "d");
+  op2::par_loop("alpha", nodes, [](double* x) { *x = 0; }, op2::arg(d, Access::Write));
+  op2::par_loop("beta", nodes, [](double* x) { *x += 1; }, op2::arg(d, Access::Inc));
+  const auto report = ctx.describe_plans();
+  EXPECT_NE(report.find("alpha"), std::string::npos);
+  EXPECT_NE(report.find("beta"), std::string::npos);
+  EXPECT_NE(report.find("nodes"), std::string::npos);
+}
+
+TEST(Op2Halo, ExchangeOnlyWhenDirty) {
+  // Two consecutive reading loops after one write: the halo is exchanged
+  // exactly once (dirty-epoch protocol); a new write re-dirties it.
+  const auto mesh = test::make_grid(8, 8);
+  minimpi::World::run(3, [&](minimpi::Comm& comm) {
+    op2::Context ctx(comm);
+    auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+    auto& edges = ctx.decl_set("edges", mesh.nedge);
+    auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
+    auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
+    auto& v = ctx.decl_dat<double>(nodes, 1, "v");
+    ctx.partition(op2::Partitioner::Rcb, coords);
+
+    auto read_loop = [&](const char* name) {
+      auto s = ctx.decl_global<double>(std::string(name) + "_s", 1);
+      op2::par_loop(name, edges,
+                    [](const double* a, const double* b, double* acc) { *acc += *a + *b; },
+                    op2::arg(v, 0, e2n, Access::Read), op2::arg(v, 1, e2n, Access::Read),
+                    op2::arg(s, Access::Inc));
+    };
+
+    op2::par_loop("w1", nodes, [](double* x) { *x = 1.0; }, op2::arg(v, Access::Write));
+    read_loop("r1");
+    const auto after_first = ctx.total_stats().halo_msgs;
+    EXPECT_GT(after_first, 0u);
+    read_loop("r2");  // clean halo: no further messages
+    EXPECT_EQ(ctx.total_stats().halo_msgs, after_first);
+    op2::par_loop("w2", nodes, [](double* x) { *x = 2.0; }, op2::arg(v, Access::Write));
+    read_loop("r3");  // re-dirtied: exchanged again
+    EXPECT_GT(ctx.total_stats().halo_msgs, after_first);
+  });
+}
+
+TEST(Op2Halo, StaticDatsNeverExchanged) {
+  // Dats written only at declaration (geometry) start halo-clean and must
+  // never generate traffic.
+  const auto mesh = test::make_grid(8, 8);
+  minimpi::World::run(3, [&](minimpi::Comm& comm) {
+    op2::Context ctx(comm);
+    auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+    auto& edges = ctx.decl_set("edges", mesh.nedge);
+    auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
+    auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
+    ctx.partition(op2::Partitioner::Rcb, coords);
+    auto s = ctx.decl_global<double>("s", 1);
+    op2::par_loop("read_static", edges,
+                  [](const double* a, const double* b, double* acc) { *acc += a[0] + b[0]; },
+                  op2::arg(coords, 0, e2n, Access::Read),
+                  op2::arg(coords, 1, e2n, Access::Read), op2::arg(s, Access::Inc));
+    EXPECT_EQ(ctx.total_stats().halo_msgs, 0u);
+  });
+}
+
+TEST(Op2Edge, ZeroDimRejected) {
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("n", 4);
+  auto& other = ctx.decl_set("o", 4);
+  EXPECT_THROW(ctx.decl_map("bad", nodes, other, 0, {}), std::invalid_argument);
+  EXPECT_THROW(ctx.decl_set("neg", -1), std::invalid_argument);
+}
+
+TEST(Op2Edge, DeclAfterPartitionRejected) {
+  const auto mesh = test::make_grid(4, 4);
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+  auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
+  ctx.partition(op2::Partitioner::Rcb, coords);
+  EXPECT_THROW(ctx.decl_set("late", 3), std::logic_error);
+  EXPECT_THROW(ctx.decl_dat<double>(nodes, 1, "late"), std::logic_error);
+  EXPECT_THROW(ctx.partition(op2::Partitioner::Rcb, coords), std::logic_error);
+}
+
+TEST(Op2Edge, MapFromWrongIterationSetRejected) {
+  const auto mesh = test::make_grid(4, 4);
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+  auto& edges = ctx.decl_set("edges", mesh.nedge);
+  auto& cells = ctx.decl_set("cells", mesh.ncell);
+  auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
+  auto& d = ctx.decl_dat<double>(nodes, 1, "d");
+  // Iterating cells with an edge->node map must be rejected.
+  EXPECT_THROW(op2::par_loop("bad_iter", cells, [](double*) {},
+                             op2::arg(d, 0, e2n, Access::Inc)),
+               std::logic_error);
+}
+
+TEST(Op2Edge, TwoMapsSameTargetSetShareHalo) {
+  // Cells reference nodes through c2n while edges reference them through
+  // e2n; both halos coexist and both loops read consistent values.
+  const auto mesh = test::make_grid(6, 5);
+  minimpi::World::run(3, [&](minimpi::Comm& comm) {
+    op2::Context ctx(comm);
+    auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+    auto& edges = ctx.decl_set("edges", mesh.nedge);
+    auto& cells = ctx.decl_set("cells", mesh.ncell);
+    auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
+    auto& c2n = ctx.decl_map("c2n", cells, nodes, 4, mesh.cell2node);
+    auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
+    auto& v = ctx.decl_dat<double>(nodes, 1, "v");
+    ctx.partition(op2::Partitioner::Rcb, coords);
+    op2::par_loop("iv", nodes, [](const double* c, double* x) { *x = c[0] + c[1]; },
+                  op2::arg(coords, Access::Read), op2::arg(v, Access::Write));
+    auto esum = ctx.decl_global<double>("esum", 1);
+    op2::par_loop("edge_read", edges,
+                  [](const double* a, const double* b, double* s) { *s += *a + *b; },
+                  op2::arg(v, 0, e2n, Access::Read), op2::arg(v, 1, e2n, Access::Read),
+                  op2::arg(esum, Access::Inc));
+    auto csum = ctx.decl_global<double>("csum", 1);
+    op2::par_loop("cell_read", cells,
+                  [](const double* a, const double* b, const double* c, const double* d,
+                     double* s) { *s += *a + *b + *c + *d; },
+                  op2::arg(v, 0, c2n, Access::Read), op2::arg(v, 1, c2n, Access::Read),
+                  op2::arg(v, 2, c2n, Access::Read), op2::arg(v, 3, c2n, Access::Read),
+                  op2::arg(csum, Access::Inc));
+    // Serial references.
+    double eref = 0, cref = 0;
+    for (index_t e = 0; e < mesh.nedge; ++e) {
+      for (int i = 0; i < 2; ++i) {
+        const auto n = static_cast<std::size_t>(mesh.edge2node[2 * e + i]);
+        eref += mesh.coords[n * 2] + mesh.coords[n * 2 + 1];
+      }
+    }
+    for (index_t c = 0; c < mesh.ncell; ++c) {
+      for (int i = 0; i < 4; ++i) {
+        const auto n = static_cast<std::size_t>(mesh.cell2node[4 * c + i]);
+        cref += mesh.coords[n * 2] + mesh.coords[n * 2 + 1];
+      }
+    }
+    EXPECT_NEAR(esum.value(), eref, 1e-9);
+    EXPECT_NEAR(csum.value(), cref, 1e-9);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/op2/op2.hpp"
+#include "tests/testmesh.hpp"
+
+namespace {
+
+using namespace vcgt;
+using op2::Access;
+using op2::index_t;
+
+TEST(Op2Decl, SetMapDatBasics) {
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", 10);
+  auto& edges = ctx.decl_set("edges", 9);
+  EXPECT_EQ(nodes.global_size(), 10);
+  EXPECT_EQ(nodes.n_owned(), 10);
+  EXPECT_EQ(nodes.total(), 10);
+
+  std::vector<index_t> table;
+  for (index_t e = 0; e < 9; ++e) {
+    table.push_back(e);
+    table.push_back(e + 1);
+  }
+  auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, table);
+  EXPECT_EQ(e2n.dim(), 2);
+  EXPECT_EQ(e2n(3, 1), 4);
+
+  auto& d = ctx.decl_dat<double>(nodes, 2, "d");
+  EXPECT_EQ(d.dim(), 2);
+  EXPECT_EQ(d.elem_bytes(), 2 * sizeof(double));
+}
+
+TEST(Op2Decl, MapValidation) {
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", 4);
+  auto& edges = ctx.decl_set("edges", 2);
+  // Wrong table size.
+  EXPECT_THROW(ctx.decl_map("bad", edges, nodes, 2, {0, 1, 2}), std::invalid_argument);
+  // Out-of-range entry.
+  EXPECT_THROW(ctx.decl_map("bad2", edges, nodes, 2, {0, 1, 2, 9}), std::out_of_range);
+}
+
+TEST(Op2Loop, DirectWriteAndRead) {
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", 100);
+  auto& a = ctx.decl_dat<double>(nodes, 1, "a");
+  auto& b = ctx.decl_dat<double>(nodes, 1, "b");
+
+  op2::par_loop("init_a", nodes, [](double* v) { *v = 3.0; },
+                op2::arg(a, Access::Write));
+  op2::par_loop("copy_scale", nodes,
+                [](const double* x, double* y) { *y = 2.0 * *x; },
+                op2::arg(a, Access::Read), op2::arg(b, Access::Write));
+  for (index_t n = 0; n < 100; ++n) EXPECT_DOUBLE_EQ(b.elem(n)[0], 6.0);
+}
+
+TEST(Op2Loop, IndirectIncrementGathersDegrees) {
+  // res[n] += 1 for each incident edge: res == node degree.
+  const auto mesh = test::make_grid(8, 5);
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+  auto& edges = ctx.decl_set("edges", mesh.nedge);
+  auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
+  auto& deg = ctx.decl_dat<double>(nodes, 1, "deg");
+
+  op2::par_loop("zero", nodes, [](double* d) { *d = 0.0; }, op2::arg(deg, Access::Write));
+  op2::par_loop("count", edges,
+                [](double* a, double* b) {
+                  *a += 1.0;
+                  *b += 1.0;
+                },
+                op2::arg(deg, 0, e2n, Access::Inc), op2::arg(deg, 1, e2n, Access::Inc));
+
+  // Reference degrees.
+  std::vector<double> ref(static_cast<std::size_t>(mesh.nnode), 0.0);
+  for (index_t e = 0; e < mesh.nedge; ++e) {
+    ref[static_cast<std::size_t>(mesh.edge2node[2 * e])] += 1.0;
+    ref[static_cast<std::size_t>(mesh.edge2node[2 * e + 1])] += 1.0;
+  }
+  for (index_t n = 0; n < mesh.nnode; ++n) {
+    EXPECT_DOUBLE_EQ(deg.elem(n)[0], ref[static_cast<std::size_t>(n)]) << "node " << n;
+  }
+}
+
+TEST(Op2Loop, GlobalReductions) {
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", 50);
+  auto& v = ctx.decl_dat<double>(nodes, 1, "v");
+  op2::par_loop("fill", nodes, [](double* x) { *x = 1.0; }, op2::arg(v, Access::Write));
+
+  auto sum = ctx.decl_global<double>("sum", 1);
+  auto mx = ctx.decl_global<double>("mx", 1, {-1e30});
+  auto mn = ctx.decl_global<double>("mn", 1, {1e30});
+  op2::par_loop("reduce", nodes,
+                [](const double* x, double* s, double* hi, double* lo) {
+                  *s += *x;
+                  if (*x > *hi) *hi = *x;
+                  if (*x < *lo) *lo = *x;
+                },
+                op2::arg(v, Access::Read), op2::arg(sum, Access::Inc),
+                op2::arg(mx, Access::Max), op2::arg(mn, Access::Min));
+  EXPECT_DOUBLE_EQ(sum.value(), 50.0);
+  EXPECT_DOUBLE_EQ(mx.value(), 1.0);
+  EXPECT_DOUBLE_EQ(mn.value(), 1.0);
+}
+
+TEST(Op2Loop, GlobalReadParameter) {
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", 10);
+  auto& v = ctx.decl_dat<double>(nodes, 1, "v");
+  auto alpha = ctx.decl_global<double>("alpha", 1, {2.5});
+  op2::par_loop("scale_by_param", nodes,
+                [](double* x, const double* a) { *x = *a; },
+                op2::arg(v, Access::Write), op2::arg(alpha, Access::Read));
+  for (index_t n = 0; n < 10; ++n) EXPECT_DOUBLE_EQ(v.elem(n)[0], 2.5);
+}
+
+TEST(Op2Loop, MultiComponentDat) {
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", 20);
+  auto& vec = ctx.decl_dat<double>(nodes, 3, "vec");
+  op2::par_loop("set_vec", nodes,
+                [](double* v) {
+                  v[0] = 1.0;
+                  v[1] = 2.0;
+                  v[2] = 3.0;
+                },
+                op2::arg(vec, Access::Write));
+  auto norm = ctx.decl_global<double>("norm", 1);
+  op2::par_loop("norm", nodes,
+                [](const double* v, double* s) {
+                  *s += v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+                },
+                op2::arg(vec, Access::Read), op2::arg(norm, Access::Inc));
+  EXPECT_DOUBLE_EQ(norm.value(), 20.0 * 14.0);
+}
+
+TEST(Op2Loop, IntDatsSupported) {
+  op2::Context ctx;
+  auto& cells = ctx.decl_set("cells", 12);
+  auto& flag = ctx.decl_dat<int>(cells, 1, "flag");
+  op2::par_loop("tag", cells, [](int* f) { *f = 7; }, op2::arg(flag, Access::Write));
+  for (index_t c = 0; c < 12; ++c) EXPECT_EQ(flag.elem(c)[0], 7);
+}
+
+TEST(Op2Loop, LoopNameReuseWithDifferentArgsThrows) {
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", 5);
+  auto& a = ctx.decl_dat<double>(nodes, 1, "a");
+  auto& b = ctx.decl_dat<double>(nodes, 1, "b");
+  op2::par_loop("dup", nodes, [](double* v) { *v = 0; }, op2::arg(a, Access::Write));
+  EXPECT_THROW(
+      op2::par_loop("dup", nodes, [](double* v) { *v = 0; }, op2::arg(b, Access::Write)),
+      std::logic_error);
+}
+
+TEST(Op2Loop, ColoringForcedMatchesSequential) {
+  const auto mesh = test::make_grid(10, 10);
+
+  auto run = [&](bool force_coloring, int nthreads) {
+    op2::Config cfg;
+    cfg.force_coloring = force_coloring;
+    cfg.nthreads = nthreads;
+    op2::Context ctx(cfg);
+    auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+    auto& edges = ctx.decl_set("edges", mesh.nedge);
+    auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
+    auto& x = ctx.decl_dat<double>(nodes, 1, "x");
+    auto& res = ctx.decl_dat<double>(nodes, 1, "res");
+    op2::par_loop("initx", nodes, [](double* v) { *v = 1.0; }, op2::arg(x, Access::Write));
+    op2::par_loop("zero", nodes, [](double* v) { *v = 0.0; }, op2::arg(res, Access::Write));
+    op2::par_loop("flux", edges,
+                  [](const double* xa, const double* xb, double* ra, double* rb) {
+                    const double f = 0.5 * (*xa + *xb);
+                    *ra += f;
+                    *rb -= f;
+                  },
+                  op2::arg(x, 0, e2n, Access::Read), op2::arg(x, 1, e2n, Access::Read),
+                  op2::arg(res, 0, e2n, Access::Inc), op2::arg(res, 1, e2n, Access::Inc));
+    std::vector<double> out(res.data(), res.data() + mesh.nnode);
+    return out;
+  };
+
+  const auto seq = run(false, 1);
+  const auto colored = run(true, 1);
+  const auto threaded = run(true, 4);
+  for (index_t n = 0; n < mesh.nnode; ++n) {
+    EXPECT_DOUBLE_EQ(seq[static_cast<std::size_t>(n)], colored[static_cast<std::size_t>(n)]);
+    EXPECT_DOUBLE_EQ(seq[static_cast<std::size_t>(n)], threaded[static_cast<std::size_t>(n)]);
+  }
+}
+
+TEST(Op2Loop, ThreadedReductionMatchesSequential) {
+  op2::Config cfg;
+  cfg.nthreads = 4;
+  op2::Context ctx(cfg);
+  auto& nodes = ctx.decl_set("nodes", 1000);
+  auto& v = ctx.decl_dat<double>(nodes, 1, "v");
+  op2::par_loop("iota", nodes, [](double* x) { *x = 1.0; }, op2::arg(v, Access::Write));
+  auto sum = ctx.decl_global<double>("sum", 1);
+  op2::par_loop("sum", nodes,
+                [](const double* x, double* s) { *s += *x; },
+                op2::arg(v, Access::Read), op2::arg(sum, Access::Inc));
+  EXPECT_DOUBLE_EQ(sum.value(), 1000.0);
+}
+
+TEST(Op2Stats, LoopStatsAccumulate) {
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", 10);
+  auto& v = ctx.decl_dat<double>(nodes, 1, "v");
+  for (int i = 0; i < 3; ++i) {
+    op2::par_loop("stat_loop", nodes, [](double* x) { *x = 0.0; },
+                  op2::arg(v, Access::Write));
+  }
+  const auto stats = ctx.loop_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].invocations, 3u);
+  EXPECT_EQ(stats[0].elements, 30u);
+  ctx.reset_stats();
+  EXPECT_EQ(ctx.total_stats().invocations, 0u);
+}
+
+TEST(Op2Fetch, SerialFetchGlobalIsIdentity) {
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", 6);
+  std::vector<double> init{0, 1, 2, 3, 4, 5};
+  auto& v = ctx.decl_dat<double>(nodes, 1, "v", init);
+  const auto out = ctx.fetch_global(v);
+  EXPECT_EQ(out, init);
+}
+
+}  // namespace

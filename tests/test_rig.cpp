@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/rig/annulus.hpp"
+#include "src/rig/interface.hpp"
+#include "src/rig/rowspec.hpp"
+
+namespace {
+
+using namespace vcgt;
+using rig::BoundaryGroup;
+
+rig::RowSpec test_row() {
+  rig::RowSpec row;
+  row.name = "T";
+  row.x_min = 0.0;
+  row.x_max = 0.1;
+  row.r_hub = 0.3;
+  row.r_casing = 0.5;
+  return row;
+}
+
+TEST(Annulus, CountsMatchLattice) {
+  const auto m = rig::generate_row_mesh(test_row(), {5, 4, 12});
+  EXPECT_EQ(m.ncell, 5 * 4 * 12);
+  // x-faces: (nx-1)*nr*nt; r-faces: nx*(nr-1)*nt; theta-faces: nx*nr*nt.
+  EXPECT_EQ(m.nface, 4 * 4 * 12 + 5 * 3 * 12 + 5 * 4 * 12);
+  // bfaces: inlet+outlet = 2*nr*nt, hub+casing = 2*nx*nt.
+  EXPECT_EQ(m.nbface, 2 * 4 * 12 + 2 * 5 * 12);
+  EXPECT_EQ(m.group_size(BoundaryGroup::Inlet), 4 * 12);
+  EXPECT_EQ(m.group_size(BoundaryGroup::Outlet), 4 * 12);
+  EXPECT_EQ(m.group_size(BoundaryGroup::Hub), 5 * 12);
+  EXPECT_EQ(m.group_size(BoundaryGroup::Casing), 5 * 12);
+}
+
+TEST(Annulus, GeometricClosureIsExact) {
+  const auto m = rig::generate_row_mesh(test_row(), {4, 3, 16});
+  EXPECT_LT(rig::max_closure_error(m), 1e-13);
+}
+
+TEST(Annulus, VolumesMatchInscribedPolygonExactly) {
+  const rig::RowSpec row = test_row();
+  const rig::MeshResolution res{6, 5, 24};
+  const auto m = rig::generate_row_mesh(row, res);
+  // Cells are linear hexes with nodes on circles: total volume equals the
+  // inscribed-polygon annulus, L * 0.5 * nt * sin(2pi/nt) * (rc^2 - rh^2).
+  const double dth = 2.0 * std::numbers::pi / res.ntheta;
+  const double expect = (row.x_max - row.x_min) * 0.5 * res.ntheta * std::sin(dth) *
+                        (row.r_casing * row.r_casing - row.r_hub * row.r_hub);
+  EXPECT_NEAR(rig::total_volume(m), expect, 1e-10 * expect);
+  for (const double v : m.cell_vol) EXPECT_GT(v, 0.0);
+}
+
+TEST(Annulus, RejectsDegenerateInputs) {
+  EXPECT_THROW(rig::generate_row_mesh(test_row(), {0, 3, 12}), std::invalid_argument);
+  EXPECT_THROW(rig::generate_row_mesh(test_row(), {3, 3, 2}), std::invalid_argument);
+  auto bad = test_row();
+  bad.r_casing = bad.r_hub;
+  EXPECT_THROW(rig::generate_row_mesh(bad, {3, 3, 12}), std::invalid_argument);
+}
+
+TEST(Annulus, BoundaryNormalsPointOutward) {
+  const auto m = rig::generate_row_mesh(test_row(), {4, 3, 12});
+  for (op2::index_t b = 0; b < m.nbface; ++b) {
+    const double* n = &m.bface_normal[static_cast<std::size_t>(b) * 3];
+    const double* fc = &m.bface_center[static_cast<std::size_t>(b) * 3];
+    const double r = std::hypot(fc[1], fc[2]);
+    const double nr_radial = (n[1] * fc[1] + n[2] * fc[2]) / std::max(r, 1e-30);
+    switch (static_cast<BoundaryGroup>(m.bface_group[static_cast<std::size_t>(b)])) {
+      case BoundaryGroup::Inlet: EXPECT_LT(n[0], 0.0); break;
+      case BoundaryGroup::Outlet: EXPECT_GT(n[0], 0.0); break;
+      case BoundaryGroup::Hub: EXPECT_LT(nr_radial, 0.0); break;
+      case BoundaryGroup::Casing: EXPECT_GT(nr_radial, 0.0); break;
+    }
+  }
+}
+
+TEST(Annulus, InteriorFaceCellsAreValidAndDistinct) {
+  const auto m = rig::generate_row_mesh(test_row(), {3, 3, 8});
+  for (op2::index_t f = 0; f < m.nface; ++f) {
+    const auto c0 = m.face2cell[static_cast<std::size_t>(f) * 2];
+    const auto c1 = m.face2cell[static_cast<std::size_t>(f) * 2 + 1];
+    EXPECT_GE(c0, 0);
+    EXPECT_LT(c0, m.ncell);
+    EXPECT_GE(c1, 0);
+    EXPECT_LT(c1, m.ncell);
+    EXPECT_NE(c0, c1);
+  }
+}
+
+TEST(Rig250, SpecShape) {
+  const auto rig = rig::rig250_spec();
+  EXPECT_EQ(rig.nrows(), 10);
+  EXPECT_EQ(rig.ninterfaces(), 9);
+  EXPECT_EQ(rig.rows[0].name, "IGV");
+  EXPECT_EQ(rig.rows[9].name, "OGV");
+  int rotors = 0;
+  for (const auto& row : rig.rows) rotors += row.rotor ? 1 : 0;
+  EXPECT_EQ(rotors, 4);  // four rotor/stator stages
+  // Rows tile the axial direction without gaps or overlap.
+  for (int i = 0; i + 1 < rig.nrows(); ++i) {
+    EXPECT_DOUBLE_EQ(rig.rows[static_cast<std::size_t>(i)].x_max,
+                     rig.rows[static_cast<std::size_t>(i) + 1].x_min);
+  }
+  EXPECT_NEAR(rig.omega(), 11000.0 * 2.0 * std::numbers::pi / 60.0, 1e-9);
+}
+
+TEST(Rig250, TrimmedSpec) {
+  const auto rig2 = rig::rig250_spec(2);
+  EXPECT_EQ(rig2.nrows(), 2);
+  EXPECT_THROW(rig::rig250_spec(0), std::invalid_argument);
+  EXPECT_THROW(rig::rig250_spec(11), std::invalid_argument);
+}
+
+TEST(Rig250, ResolutionTiers) {
+  EXPECT_GT(rig::resolution_tier("fine").ntheta, rig::resolution_tier("coarse").ntheta);
+  EXPECT_THROW(rig::resolution_tier("bogus"), std::invalid_argument);
+}
+
+TEST(Interface, ExtractCoversFullAnnulus) {
+  const auto row = test_row();
+  const rig::MeshResolution res{4, 3, 10};
+  const auto m = rig::generate_row_mesh(row, res);
+  const auto side = rig::extract_interface(m, row, BoundaryGroup::Outlet);
+  EXPECT_EQ(side.size(), res.nr * res.ntheta);
+  // Face indices are group-relative and dense.
+  for (op2::index_t i = 0; i < side.size(); ++i) EXPECT_EQ(side.bfaces[static_cast<std::size_t>(i)], i);
+  // Boxes tile [r_hub, r_casing] x [0, 2pi): total box area equals annulus
+  // parameter area.
+  double area = 0.0;
+  for (op2::index_t i = 0; i < side.size(); ++i) {
+    const double* b = &side.box[static_cast<std::size_t>(i) * 4];
+    double dth = b[3] - b[2];
+    if (dth < 0) dth += 2.0 * std::numbers::pi;
+    area += (b[1] - b[0]) * dth;
+  }
+  EXPECT_NEAR(area, (row.r_casing - row.r_hub) * 2.0 * std::numbers::pi, 1e-9);
+  EXPECT_THROW(rig::extract_interface(m, row, BoundaryGroup::Hub), std::invalid_argument);
+}
+
+}  // namespace

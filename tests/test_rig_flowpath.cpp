@@ -1,0 +1,138 @@
+// Contracting flow paths and the swan-neck inlet duct (the 1-10_430M mesh
+// variant): geometric integrity and interface-plane matching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/jm76/monolithic.hpp"
+#include "src/rig/annulus.hpp"
+#include "src/rig/interface.hpp"
+#include "src/rig/rowspec.hpp"
+
+namespace {
+
+using namespace vcgt;
+using rig::BoundaryGroup;
+
+TEST(FlowPath, RadiiInterpolateLinearly) {
+  rig::RowSpec row;
+  row.x_min = 1.0;
+  row.x_max = 2.0;
+  row.r_hub = 0.30;
+  row.r_casing = 0.50;
+  row.r_hub_out = 0.34;
+  row.r_casing_out = 0.46;
+  EXPECT_DOUBLE_EQ(row.hub_at(1.0), 0.30);
+  EXPECT_DOUBLE_EQ(row.hub_at(2.0), 0.34);
+  EXPECT_DOUBLE_EQ(row.hub_at(1.5), 0.32);
+  EXPECT_DOUBLE_EQ(row.casing_at(1.5), 0.48);
+  // Default: constant annulus.
+  rig::RowSpec flat;
+  flat.r_hub = 0.3;
+  flat.r_casing = 0.5;
+  EXPECT_DOUBLE_EQ(flat.hub_at(0.037), 0.3);
+  EXPECT_DOUBLE_EQ(flat.casing_out(), 0.5);
+}
+
+TEST(FlowPath, ContractedMeshClosesExactly) {
+  rig::RowSpec row;
+  row.x_min = 0;
+  row.x_max = 0.1;
+  row.r_hub = 0.30;
+  row.r_casing = 0.50;
+  row.r_hub_out = 0.33;
+  row.r_casing_out = 0.47;
+  const auto mesh = rig::generate_row_mesh(row, {5, 4, 16});
+  // The divergence-theorem closure is topological: it must hold exactly for
+  // contracted (sheared-hex) meshes too.
+  EXPECT_LT(rig::max_closure_error(mesh), 1e-13);
+  for (const double v : mesh.cell_vol) EXPECT_GT(v, 0.0);
+  // Volume is below the constant-annulus inscribed volume.
+  rig::RowSpec flat = row;
+  flat.r_hub_out = flat.r_casing_out = 0;
+  const auto flat_mesh = rig::generate_row_mesh(flat, {5, 4, 16});
+  EXPECT_LT(rig::total_volume(mesh), rig::total_volume(flat_mesh));
+}
+
+TEST(FlowPath, ContractedRigSharesInterfacePlanes) {
+  const auto rig = rig::rig250_spec(10, 11000.0, /*contraction=*/true);
+  for (int i = 0; i + 1 < rig.nrows(); ++i) {
+    const auto& up = rig.rows[static_cast<std::size_t>(i)];
+    const auto& down = rig.rows[static_cast<std::size_t>(i) + 1];
+    EXPECT_DOUBLE_EQ(up.hub_out(), down.r_hub) << "interface " << i;
+    EXPECT_DOUBLE_EQ(up.casing_out(), down.r_casing) << "interface " << i;
+  }
+  // The machine actually contracts.
+  EXPECT_GT(rig.rows.back().hub_out(), rig.rows.front().r_hub);
+  EXPECT_LT(rig.rows.back().casing_out(), rig.rows.front().r_casing);
+}
+
+TEST(FlowPath, InterfaceBoxesUsePlaneRadii) {
+  const auto rig = rig::rig250_spec(2, 11000.0, true);
+  const rig::MeshResolution res{4, 3, 12};
+  const auto mesh_u = rig::generate_row_mesh(rig.rows[0], res);
+  const auto mesh_d = rig::generate_row_mesh(rig.rows[1], res);
+  const auto out = rig::extract_interface(mesh_u, rig.rows[0], BoundaryGroup::Outlet);
+  const auto in = rig::extract_interface(mesh_d, rig.rows[1], BoundaryGroup::Inlet);
+  // Both sides tile the same radial band.
+  EXPECT_DOUBLE_EQ(out.r_min, in.r_min);
+  EXPECT_DOUBLE_EQ(out.r_max, in.r_max);
+  EXPECT_DOUBLE_EQ(out.r_min, rig.rows[0].hub_out());
+  // Every target center must find a donor box across the plane.
+  jm76::DonorLocator loc(out, jm76::SearchKind::Adt);
+  for (op2::index_t i = 0; i < in.size(); ++i) {
+    EXPECT_GE(loc.locate(in.rtheta[static_cast<std::size_t>(i) * 2],
+                         in.rtheta[static_cast<std::size_t>(i) * 2 + 1], 0.1),
+              0);
+  }
+}
+
+TEST(FlowPath, SwanNeckSpecShape) {
+  const auto rig = rig::rig250_with_swan_neck(10);
+  EXPECT_EQ(rig.nrows(), 11);
+  EXPECT_EQ(rig.rows[0].name, "SWAN");
+  EXPECT_EQ(rig.rows[0].nblades, 0);  // force-free duct
+  EXPECT_EQ(rig.rows[1].name, "IGV");
+  // Swan-neck exit matches the IGV inlet plane.
+  EXPECT_DOUBLE_EQ(rig.rows[0].hub_out(), rig.rows[1].r_hub);
+  EXPECT_DOUBLE_EQ(rig.rows[0].casing_out(), rig.rows[1].r_casing);
+  // Its inlet annulus differs (that is the "swan neck" shape).
+  EXPECT_NE(rig.rows[0].r_hub, rig.rows[0].hub_out());
+  EXPECT_DOUBLE_EQ(rig.rows[0].x_max, rig.rows[1].x_min);
+}
+
+TEST(FlowPath, SwanNeckCoupledRunStaysUniform) {
+  // A force-free duct feeding an unforced stage: uniform axial flow must
+  // survive the contracted swan-neck geometry only approximately (the duct
+  // walls turn the flow), but the run must stay finite and conservative.
+  jm76::MonolithicConfig cfg;
+  cfg.rig = rig::rig250_with_swan_neck(1);
+  cfg.res = rig::resolution_tier("tiny");
+  cfg.flow.inner_iters = 3;
+  cfg.flow.rotor_swirl_frac = 0.0;
+  cfg.flow.stator_swirl_frac = 0.0;
+  cfg.flow.sa_cb1 = 0.0;
+  cfg.flow.sa_cw1 = 0.0;
+  jm76::MonolithicRig rigrun(minimpi::Comm{}, cfg);
+  rigrun.run(4);
+  for (int r = 0; r < 2; ++r) {
+    const double p = rigrun.solver(r).mean_pressure();
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GT(p, 0.5 * cfg.flow.p_in);
+    EXPECT_LT(p, 2.0 * cfg.flow.p_in);
+  }
+}
+
+TEST(FlowPath, ContractedCoupledRigRuns) {
+  jm76::MonolithicConfig cfg;
+  cfg.rig = rig::rig250_spec(3, 11000.0, true);
+  cfg.res = rig::resolution_tier("tiny");
+  cfg.flow.inner_iters = 2;
+  jm76::MonolithicRig rigrun(minimpi::Comm{}, cfg);
+  rigrun.run(3);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(std::isfinite(rigrun.solver(r).mean_pressure()));
+  }
+}
+
+}  // namespace

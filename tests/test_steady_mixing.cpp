@@ -1,0 +1,243 @@
+// Steady-RANS mode, mixing-plane interfaces, discrete blade wakes and
+// no-slip walls — the industrial-baseline physics the paper's URANS +
+// sliding-plane approach supersedes (§I-II).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/jm76/mixing.hpp"
+#include "src/jm76/monolithic.hpp"
+#include "src/util/spectrum.hpp"
+
+namespace {
+
+using namespace vcgt;
+using jm76::MixingPlane;
+using jm76::TransferKind;
+using rig::BoundaryGroup;
+
+TEST(Spectrum, RecoversHarmonicAmplitudes) {
+  const int n = 64;
+  std::vector<double> samples(n);
+  for (int i = 0; i < n; ++i) {
+    const double th = 2.0 * std::numbers::pi * i / n;
+    samples[static_cast<std::size_t>(i)] = 3.0 + 0.5 * std::cos(4.0 * th) +
+                                           0.25 * std::sin(7.0 * th);
+  }
+  const auto mag = util::theta_harmonics(samples, 8);
+  EXPECT_NEAR(mag[0], 3.0, 1e-12);
+  EXPECT_NEAR(mag[4], 0.5, 1e-12);
+  EXPECT_NEAR(mag[7], 0.25, 1e-12);
+  EXPECT_NEAR(mag[2], 0.0, 1e-12);
+}
+
+class MixingPlaneFixture : public testing::Test {
+ protected:
+  rig::RowSpec row_ = [] {
+    rig::RowSpec r;
+    r.x_min = 0;
+    r.x_max = 0.08;
+    r.r_hub = 0.28;
+    r.r_casing = 0.40;
+    return r;
+  }();
+  rig::MeshResolution res_{2, 3, 24};
+  rig::AnnulusMesh mesh_ = rig::generate_row_mesh(row_, res_);
+  rig::InterfaceSide side_ =
+      rig::extract_interface(mesh_, row_, rig::BoundaryGroup::Outlet);
+};
+
+TEST_F(MixingPlaneFixture, PreservesAxisymmetricSwirl) {
+  // Uniform cylindrical state (fixed m_x, m_r, m_theta): averaging must be
+  // exact and re-projection must recover the Cartesian components at any
+  // theta.
+  MixingPlane mp(side_);
+  std::vector<double> payload(static_cast<std::size_t>(side_.size()) * 6);
+  const double mx = 90.0, mr = 3.0, mt = 40.0;
+  for (op2::index_t i = 0; i < side_.size(); ++i) {
+    const double th = side_.rtheta[static_cast<std::size_t>(i) * 2 + 1];
+    double* p = payload.data() + static_cast<std::size_t>(i) * 6;
+    p[0] = 1.2;
+    p[1] = mx;
+    p[2] = std::cos(th) * mr - std::sin(th) * mt;
+    p[3] = std::sin(th) * mr + std::cos(th) * mt;
+    p[4] = 2.5e5;
+    p[5] = 3e-5;
+  }
+  mp.average(payload);
+  for (const double th : {0.1, 1.7, 4.4}) {
+    double out[6];
+    mp.evaluate(1, th, out);
+    EXPECT_NEAR(out[0], 1.2, 1e-12);
+    EXPECT_NEAR(out[1], mx, 1e-12);
+    EXPECT_NEAR(out[2], std::cos(th) * mr - std::sin(th) * mt, 1e-10);
+    EXPECT_NEAR(out[3], std::sin(th) * mr + std::cos(th) * mt, 1e-10);
+    EXPECT_NEAR(out[4], 2.5e5, 1e-9);
+  }
+}
+
+TEST_F(MixingPlaneFixture, RemovesCircumferentialVariation) {
+  MixingPlane mp(side_);
+  std::vector<double> payload(static_cast<std::size_t>(side_.size()) * 6, 0.0);
+  for (op2::index_t i = 0; i < side_.size(); ++i) {
+    const double th = side_.rtheta[static_cast<std::size_t>(i) * 2 + 1];
+    payload[static_cast<std::size_t>(i) * 6] = 1.0 + 0.3 * std::cos(4.0 * th);
+  }
+  mp.average(payload);
+  double out[6];
+  for (const double th : {0.0, 0.9, 2.2, 5.1}) {
+    mp.evaluate(0, th, out);
+    EXPECT_NEAR(out[0], 1.0, 1e-9) << "average must kill the theta variation";
+  }
+}
+
+TEST_F(MixingPlaneFixture, Validation) {
+  MixingPlane mp(side_);
+  EXPECT_THROW(mp.average(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+  std::vector<double> payload(static_cast<std::size_t>(side_.size()) * 6, 1.0);
+  mp.average(payload);
+  double out[6];
+  EXPECT_THROW(mp.evaluate(-1, 0.0, out), std::out_of_range);
+  EXPECT_THROW(mp.evaluate(res_.nr, 0.0, out), std::out_of_range);
+  rig::InterfaceSide bare = side_;
+  bare.nr = 0;
+  EXPECT_THROW(MixingPlane{bare}, std::invalid_argument);
+}
+
+hydra::FlowConfig steady_flow() {
+  hydra::FlowConfig cfg;
+  cfg.steady = true;
+  cfg.rotor_swirl_frac = 0.2;
+  cfg.stator_swirl_frac = 0.05;
+  cfg.blade_relax = 5e-4;
+  return cfg;
+}
+
+TEST(SteadyMode, ConvergesWithLocalTimeStepping) {
+  op2::Context ctx;
+  rig::RowSpec row;
+  row.name = "R";
+  row.rotor = true;
+  row.x_min = 0;
+  row.x_max = 0.08;
+  row.r_hub = 0.28;
+  row.r_casing = 0.40;
+  const auto mesh = rig::generate_row_mesh(row, {4, 3, 12});
+  auto cfg = steady_flow();
+  hydra::RowSolver solver(ctx, mesh, row, 800.0, cfg);
+  ctx.partition(op2::Partitioner::Rcb, solver.cell_center());
+  solver.initialize();
+  const int used = solver.solve_steady(600, 1e-2, 10);
+  EXPECT_LT(used, 600) << "steady march must hit the residual-drop target";
+  // Converged state is finite and pressurized by the rotor.
+  EXPECT_TRUE(std::isfinite(solver.mean_pressure()));
+  EXPECT_GT(solver.mean_pressure(), cfg.p_in);
+}
+
+TEST(SteadyMode, RequiresSteadyConfig) {
+  op2::Context ctx;
+  rig::RowSpec row;
+  row.x_min = 0;
+  row.x_max = 0.08;
+  row.r_hub = 0.28;
+  row.r_casing = 0.40;
+  const auto mesh = rig::generate_row_mesh(row, {3, 3, 8});
+  hydra::FlowConfig cfg;  // unsteady
+  hydra::RowSolver solver(ctx, mesh, row, 0.0, cfg);
+  ctx.partition(op2::Partitioner::Rcb, solver.cell_center());
+  solver.initialize();
+  EXPECT_THROW(solver.solve_steady(10), std::logic_error);
+}
+
+/// The motivating contrast (paper §I): discrete wakes cross a sliding plane
+/// but are annihilated by a mixing plane.
+TEST(WakeTransmission, SlidingTransmitsMixingAverages) {
+  auto run = [&](TransferKind transfer) {
+    jm76::MonolithicConfig cfg;
+    cfg.rig = rig::rig250_spec(2);
+    cfg.rig.rows[0].nblades = 4;  // resolvable on the tiny lattice
+    cfg.res = rig::resolution_tier("tiny");
+    cfg.flow.inner_iters = 3;
+    cfg.flow.dt_phys = 5e-5;
+    cfg.flow.blade_wake_frac = 0.6;
+    cfg.flow.stator_swirl_frac = 0.15;
+    cfg.flow.rotor_swirl_frac = 0.0;  // quiet rotor: isolate the IGV wakes
+    cfg.transfer = transfer;
+    jm76::MonolithicRig rigrun(minimpi::Comm{}, cfg);
+    rigrun.run(8);
+    // Downstream row's inlet ghost: one radial ring around the annulus.
+    auto& solver = rigrun.solver(1);
+    const auto ghost =
+        rigrun.context().fetch_global(solver.ghost(BoundaryGroup::Inlet));
+    const auto& res = cfg.res;
+    std::vector<double> ring(static_cast<std::size_t>(res.ntheta));
+    for (int k = 0; k < res.ntheta; ++k) {
+      const int gid = k * res.nr + 1;  // middle ring, tangential momentum-ish
+      ring[static_cast<std::size_t>(k)] =
+          ghost[static_cast<std::size_t>(gid) * 6 + 2];
+    }
+    const auto mag = util::theta_harmonics(ring, 5);
+    return mag[4];  // the IGV blade-count harmonic
+  };
+
+  const double sliding = run(TransferKind::SlidingPlane);
+  const double mixing = run(TransferKind::MixingPlane);
+  EXPECT_GT(sliding, 1e-6) << "wakes must reach the downstream ghost";
+  EXPECT_LT(mixing, sliding * 0.05)
+      << "mixing plane must average the blade-count harmonic away";
+}
+
+TEST(NoSlipWalls, DecelerateNearWallFlow) {
+  rig::RowSpec row;
+  row.name = "W";
+  row.x_min = 0;
+  row.x_max = 0.08;
+  row.r_hub = 0.28;
+  row.r_casing = 0.40;
+  const auto mesh = rig::generate_row_mesh(row, {4, 5, 10});
+
+  auto wall_over_core = [&](bool no_slip) {
+    op2::Context ctx;
+    hydra::FlowConfig cfg;
+    cfg.rotor_swirl_frac = 0.0;
+    cfg.stator_swirl_frac = 0.0;
+    cfg.sa_cb1 = 0.0;
+    cfg.sa_cw1 = 0.0;
+    cfg.viscous = true;
+    cfg.no_slip_walls = no_slip;
+    cfg.mu_laminar = 5e-3;  // thick laminar layer for the coarse mesh
+    cfg.dt_phys = 1e-4;
+    hydra::RowSolver solver(ctx, mesh, row, 0.0, cfg);
+    ctx.partition(op2::Partitioner::Rcb, solver.cell_center());
+    solver.initialize();
+    for (int t = 0; t < 6; ++t) {
+      solver.advance_inner(4);
+      solver.shift_time_levels();
+    }
+    const auto q = ctx.fetch_global(solver.q());
+    double wall = 0.0, core = 0.0;
+    int nw = 0, nc = 0;
+    for (op2::index_t c = 0; c < mesh.ncell; ++c) {
+      const double r = mesh.cell_rtheta[static_cast<std::size_t>(c) * 2];
+      const double u = q[static_cast<std::size_t>(c) * 5 + 1] /
+                       q[static_cast<std::size_t>(c) * 5 + 0];
+      const double band = (row.r_casing - row.r_hub) / 5.0;
+      if (r < row.r_hub + band || r > row.r_casing - band) {
+        wall += u;
+        ++nw;
+      } else if (r > row.r_hub + 2 * band && r < row.r_casing - 2 * band) {
+        core += u;
+        ++nc;
+      }
+    }
+    return (wall / nw) / (core / nc);
+  };
+
+  const double slip_ratio = wall_over_core(false);
+  const double noslip_ratio = wall_over_core(true);
+  EXPECT_NEAR(slip_ratio, 1.0, 1e-6) << "slip walls keep uniform flow uniform";
+  EXPECT_LT(noslip_ratio, 0.995) << "no-slip walls must retard the wall layer";
+}
+
+}  // namespace

@@ -1,0 +1,57 @@
+#pragma once
+// Small structured-topology test meshes used across the op2 test suites.
+#include <cstddef>
+#include <vector>
+
+#include "src/op2/types.hpp"
+
+namespace vcgt::test {
+
+/// nx*ny node grid with horizontal+vertical edges and quad cells; node
+/// coordinates are the integer lattice.
+struct GridMesh {
+  vcgt::op2::index_t nnode = 0;
+  vcgt::op2::index_t nedge = 0;
+  vcgt::op2::index_t ncell = 0;
+  std::vector<vcgt::op2::index_t> edge2node;  // 2 per edge
+  std::vector<vcgt::op2::index_t> cell2node;  // 4 per cell
+  std::vector<double> coords;                 // 2 per node
+};
+
+inline GridMesh make_grid(int nx, int ny) {
+  GridMesh m;
+  m.nnode = static_cast<vcgt::op2::index_t>(nx * ny);
+  auto node = [nx](int i, int j) { return static_cast<vcgt::op2::index_t>(j * nx + i); };
+  m.coords.resize(static_cast<std::size_t>(m.nnode) * 2);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      m.coords[static_cast<std::size_t>(node(i, j)) * 2 + 0] = i;
+      m.coords[static_cast<std::size_t>(node(i, j)) * 2 + 1] = j;
+    }
+  }
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i + 1 < nx; ++i) {
+      m.edge2node.push_back(node(i, j));
+      m.edge2node.push_back(node(i + 1, j));
+    }
+  }
+  for (int j = 0; j + 1 < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      m.edge2node.push_back(node(i, j));
+      m.edge2node.push_back(node(i, j + 1));
+    }
+  }
+  m.nedge = static_cast<vcgt::op2::index_t>(m.edge2node.size() / 2);
+  for (int j = 0; j + 1 < ny; ++j) {
+    for (int i = 0; i + 1 < nx; ++i) {
+      m.cell2node.push_back(node(i, j));
+      m.cell2node.push_back(node(i + 1, j));
+      m.cell2node.push_back(node(i + 1, j + 1));
+      m.cell2node.push_back(node(i, j + 1));
+    }
+  }
+  m.ncell = static_cast<vcgt::op2::index_t>(m.cell2node.size() / 4);
+  return m;
+}
+
+}  // namespace vcgt::test

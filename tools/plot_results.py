@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Plot the CSVs the bench harness writes (matplotlib optional dependency).
+
+Usage:  python3 tools/plot_results.py [directory-with-csvs] [output-dir]
+
+Produces PNGs for the scaling figures (Figs 7-9), the Table II search sweep
+and the Fig 10 mid-span contour scatter — visual counterparts of the paper's
+plots. Degrades to a listing of available CSVs when matplotlib is missing.
+"""
+import csv
+import pathlib
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    return rows
+
+
+def main():
+    src = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(".")
+    out = pathlib.Path(sys.argv[2]) if len(sys.argv) > 2 else src
+    out.mkdir(parents=True, exist_ok=True)
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; CSVs present:")
+        for p in sorted(src.glob("*.csv")):
+            print(" ", p.name)
+        return 0
+
+    # Scaling figures: runtime/timestep + coupling fraction vs nodes.
+    for fig in ("fig7", "fig8", "fig9"):
+        path = src / f"{fig}_archer2_model.csv"
+        if not path.exists():
+            continue
+        rows = read_csv(path)
+        nodes = [int(r["nodes"]) for r in rows]
+        sps = [float(r["s/step"]) for r in rows]
+        cf = [float(r["coupling %"]) for r in rows]
+        fig_, ax1 = plt.subplots(figsize=(6, 4))
+        ax1.loglog(nodes, sps, "o-", label="runtime/timestep (ARCHER2)")
+        ideal = [sps[0] * nodes[0] / n for n in nodes]
+        ax1.loglog(nodes, ideal, "k--", alpha=0.5, label="ideal")
+        ax1.set_xlabel("nodes")
+        ax1.set_ylabel("s/step")
+        ax2 = ax1.twinx()
+        ax2.semilogx(nodes, cf, "s-", color="tab:red", label="coupling %")
+        ax2.set_ylabel("coupling overhead [%]")
+        ax1.legend(loc="upper right")
+        ax1.set_title(f"{fig}: scaling (model at paper node counts)")
+        fig_.tight_layout()
+        fig_.savefig(out / f"{fig}.png", dpi=130)
+        plt.close(fig_)
+        print(f"wrote {out / (fig + '.png')}")
+
+    # Table II: BF vs ADT vs CU count.
+    path = src / "table2_model.csv"
+    if path.exists():
+        rows = read_csv(path)
+        cus = [int(r["CUs"]) for r in rows]
+        bf = [float(r["BF s/step"]) for r in rows]
+        adt = [float(r["ADT s/step"]) for r in rows]
+        fig_, ax = plt.subplots(figsize=(6, 4))
+        ax.semilogy(cus, bf, "o-", label="brute force")
+        ax.semilogy(cus, adt, "s-", label="ADT")
+        ax.set_xlabel("coupler units per interface")
+        ax.set_ylabel("coupler seconds/step")
+        ax.set_title("Table II: donor search cost")
+        ax.legend()
+        fig_.tight_layout()
+        fig_.savefig(out / "table2.png", dpi=130)
+        plt.close(fig_)
+        print(f"wrote {out / 'table2.png'}")
+
+    # Fig 10: mid-span pressure scatter per row, stitched along x.
+    rows_files = sorted(src.glob("fig10_row*_midspan.csv"))
+    if rows_files:
+        fig_, ax = plt.subplots(figsize=(9, 3.5))
+        for path in rows_files:
+            rows = read_csv(path)
+            xs = [float(r["x"]) for r in rows]
+            ths = [float(r["theta"]) for r in rows]
+            ps = [float(r["p"]) for r in rows]
+            ax.scatter(xs, ths, c=ps, s=14, cmap="viridis")
+        ax.set_xlabel("axial position x [m]")
+        ax.set_ylabel("theta [rad]")
+        ax.set_title("Fig 10: mid-span static pressure through the rows")
+        fig_.tight_layout()
+        fig_.savefig(out / "fig10.png", dpi=130)
+        plt.close(fig_)
+        print(f"wrote {out / 'fig10.png'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
