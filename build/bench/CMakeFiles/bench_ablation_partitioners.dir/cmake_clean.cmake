@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_partitioners.dir/bench_ablation_partitioners.cpp.o"
+  "CMakeFiles/bench_ablation_partitioners.dir/bench_ablation_partitioners.cpp.o.d"
+  "bench_ablation_partitioners"
+  "bench_ablation_partitioners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

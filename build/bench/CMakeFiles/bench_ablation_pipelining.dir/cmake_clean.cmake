@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pipelining.dir/bench_ablation_pipelining.cpp.o"
+  "CMakeFiles/bench_ablation_pipelining.dir/bench_ablation_pipelining.cpp.o.d"
+  "bench_ablation_pipelining"
+  "bench_ablation_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_urans.dir/bench_ablation_urans.cpp.o"
+  "CMakeFiles/bench_ablation_urans.dir/bench_ablation_urans.cpp.o.d"
+  "bench_ablation_urans"
+  "bench_ablation_urans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_urans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_flowfield.dir/bench_fig10_flowfield.cpp.o"
+  "CMakeFiles/bench_fig10_flowfield.dir/bench_fig10_flowfield.cpp.o.d"
+  "bench_fig10_flowfield"
+  "bench_fig10_flowfield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_flowfield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_scaling_430m.dir/bench_fig7_scaling_430m.cpp.o"
+  "CMakeFiles/bench_fig7_scaling_430m.dir/bench_fig7_scaling_430m.cpp.o.d"
+  "bench_fig7_scaling_430m"
+  "bench_fig7_scaling_430m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_scaling_430m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_scaling_2row.dir/bench_fig8_scaling_2row.cpp.o"
+  "CMakeFiles/bench_fig8_scaling_2row.dir/bench_fig8_scaling_2row.cpp.o.d"
+  "bench_fig8_scaling_2row"
+  "bench_fig8_scaling_2row.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_scaling_2row.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

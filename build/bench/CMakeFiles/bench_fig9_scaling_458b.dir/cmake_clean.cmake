@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_scaling_458b.dir/bench_fig9_scaling_458b.cpp.o"
+  "CMakeFiles/bench_fig9_scaling_458b.dir/bench_fig9_scaling_458b.cpp.o.d"
+  "bench_fig9_scaling_458b"
+  "bench_fig9_scaling_458b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_scaling_458b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

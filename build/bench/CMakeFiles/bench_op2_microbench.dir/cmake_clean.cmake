@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_op2_microbench.dir/bench_op2_microbench.cpp.o"
+  "CMakeFiles/bench_op2_microbench.dir/bench_op2_microbench.cpp.o.d"
+  "bench_op2_microbench"
+  "bench_op2_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_op2_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_systems.dir/bench_table1_systems.cpp.o"
+  "CMakeFiles/bench_table1_systems.dir/bench_table1_systems.cpp.o.d"
+  "bench_table1_systems"
+  "bench_table1_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_search.dir/bench_table2_search.cpp.o"
+  "CMakeFiles/bench_table2_search.dir/bench_table2_search.cpp.o.d"
+  "bench_table2_search"
+  "bench_table2_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

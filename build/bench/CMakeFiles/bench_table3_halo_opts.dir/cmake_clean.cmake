@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_halo_opts.dir/bench_table3_halo_opts.cpp.o"
+  "CMakeFiles/bench_table3_halo_opts.dir/bench_table3_halo_opts.cpp.o.d"
+  "bench_table3_halo_opts"
+  "bench_table3_halo_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_halo_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_tts.dir/bench_table4_tts.cpp.o"
+  "CMakeFiles/bench_table4_tts.dir/bench_table4_tts.cpp.o.d"
+  "bench_table4_tts"
+  "bench_table4_tts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_tts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressor_map.dir/compressor_map.cpp.o"
+  "CMakeFiles/compressor_map.dir/compressor_map.cpp.o.d"
+  "compressor_map"
+  "compressor_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressor_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

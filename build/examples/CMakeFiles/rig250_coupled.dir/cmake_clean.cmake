@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rig250_coupled.dir/rig250_coupled.cpp.o"
+  "CMakeFiles/rig250_coupled.dir/rig250_coupled.cpp.o.d"
+  "rig250_coupled"
+  "rig250_coupled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rig250_coupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rig250_coupled.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_report.dir/scaling_report.cpp.o"
+  "CMakeFiles/scaling_report.dir/scaling_report.cpp.o.d"
+  "scaling_report"
+  "scaling_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

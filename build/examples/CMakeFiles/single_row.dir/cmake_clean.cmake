@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_row.dir/single_row.cpp.o"
+  "CMakeFiles/single_row.dir/single_row.cpp.o.d"
+  "single_row"
+  "single_row.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_row.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

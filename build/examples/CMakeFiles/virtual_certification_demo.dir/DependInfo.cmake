@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/virtual_certification_demo.cpp" "examples/CMakeFiles/virtual_certification_demo.dir/virtual_certification_demo.cpp.o" "gcc" "examples/CMakeFiles/virtual_certification_demo.dir/virtual_certification_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jm76/CMakeFiles/vcgt_jm76.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydra/CMakeFiles/vcgt_hydra.dir/DependInfo.cmake"
+  "/root/repo/build/src/rig/CMakeFiles/vcgt_rig.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/vcgt_op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/vcgt_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcgt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

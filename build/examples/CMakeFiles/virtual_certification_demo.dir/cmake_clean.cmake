@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_certification_demo.dir/virtual_certification_demo.cpp.o"
+  "CMakeFiles/virtual_certification_demo.dir/virtual_certification_demo.cpp.o.d"
+  "virtual_certification_demo"
+  "virtual_certification_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_certification_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

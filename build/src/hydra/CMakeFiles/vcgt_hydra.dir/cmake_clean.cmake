@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcgt_hydra.dir/solver.cpp.o"
+  "CMakeFiles/vcgt_hydra.dir/solver.cpp.o.d"
+  "libvcgt_hydra.a"
+  "libvcgt_hydra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcgt_hydra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

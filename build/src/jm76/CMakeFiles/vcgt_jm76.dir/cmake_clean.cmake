@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcgt_jm76.dir/adt.cpp.o"
+  "CMakeFiles/vcgt_jm76.dir/adt.cpp.o.d"
+  "CMakeFiles/vcgt_jm76.dir/coupled.cpp.o"
+  "CMakeFiles/vcgt_jm76.dir/coupled.cpp.o.d"
+  "CMakeFiles/vcgt_jm76.dir/interp.cpp.o"
+  "CMakeFiles/vcgt_jm76.dir/interp.cpp.o.d"
+  "CMakeFiles/vcgt_jm76.dir/mixing.cpp.o"
+  "CMakeFiles/vcgt_jm76.dir/mixing.cpp.o.d"
+  "CMakeFiles/vcgt_jm76.dir/monolithic.cpp.o"
+  "CMakeFiles/vcgt_jm76.dir/monolithic.cpp.o.d"
+  "CMakeFiles/vcgt_jm76.dir/search.cpp.o"
+  "CMakeFiles/vcgt_jm76.dir/search.cpp.o.d"
+  "libvcgt_jm76.a"
+  "libvcgt_jm76.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcgt_jm76.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

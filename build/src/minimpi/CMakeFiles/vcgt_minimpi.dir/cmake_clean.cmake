@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcgt_minimpi.dir/minimpi.cpp.o"
+  "CMakeFiles/vcgt_minimpi.dir/minimpi.cpp.o.d"
+  "libvcgt_minimpi.a"
+  "libvcgt_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcgt_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

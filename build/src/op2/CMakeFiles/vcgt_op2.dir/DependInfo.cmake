@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op2/coloring.cpp" "src/op2/CMakeFiles/vcgt_op2.dir/coloring.cpp.o" "gcc" "src/op2/CMakeFiles/vcgt_op2.dir/coloring.cpp.o.d"
+  "/root/repo/src/op2/halo.cpp" "src/op2/CMakeFiles/vcgt_op2.dir/halo.cpp.o" "gcc" "src/op2/CMakeFiles/vcgt_op2.dir/halo.cpp.o.d"
+  "/root/repo/src/op2/io.cpp" "src/op2/CMakeFiles/vcgt_op2.dir/io.cpp.o" "gcc" "src/op2/CMakeFiles/vcgt_op2.dir/io.cpp.o.d"
+  "/root/repo/src/op2/partition.cpp" "src/op2/CMakeFiles/vcgt_op2.dir/partition.cpp.o" "gcc" "src/op2/CMakeFiles/vcgt_op2.dir/partition.cpp.o.d"
+  "/root/repo/src/op2/renumber.cpp" "src/op2/CMakeFiles/vcgt_op2.dir/renumber.cpp.o" "gcc" "src/op2/CMakeFiles/vcgt_op2.dir/renumber.cpp.o.d"
+  "/root/repo/src/op2/runtime.cpp" "src/op2/CMakeFiles/vcgt_op2.dir/runtime.cpp.o" "gcc" "src/op2/CMakeFiles/vcgt_op2.dir/runtime.cpp.o.d"
+  "/root/repo/src/op2/types.cpp" "src/op2/CMakeFiles/vcgt_op2.dir/types.cpp.o" "gcc" "src/op2/CMakeFiles/vcgt_op2.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vcgt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/vcgt_minimpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

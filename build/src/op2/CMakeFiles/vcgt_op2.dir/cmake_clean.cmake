@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcgt_op2.dir/coloring.cpp.o"
+  "CMakeFiles/vcgt_op2.dir/coloring.cpp.o.d"
+  "CMakeFiles/vcgt_op2.dir/halo.cpp.o"
+  "CMakeFiles/vcgt_op2.dir/halo.cpp.o.d"
+  "CMakeFiles/vcgt_op2.dir/io.cpp.o"
+  "CMakeFiles/vcgt_op2.dir/io.cpp.o.d"
+  "CMakeFiles/vcgt_op2.dir/partition.cpp.o"
+  "CMakeFiles/vcgt_op2.dir/partition.cpp.o.d"
+  "CMakeFiles/vcgt_op2.dir/renumber.cpp.o"
+  "CMakeFiles/vcgt_op2.dir/renumber.cpp.o.d"
+  "CMakeFiles/vcgt_op2.dir/runtime.cpp.o"
+  "CMakeFiles/vcgt_op2.dir/runtime.cpp.o.d"
+  "CMakeFiles/vcgt_op2.dir/types.cpp.o"
+  "CMakeFiles/vcgt_op2.dir/types.cpp.o.d"
+  "libvcgt_op2.a"
+  "libvcgt_op2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcgt_op2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcgt_perf.dir/costmodel.cpp.o"
+  "CMakeFiles/vcgt_perf.dir/costmodel.cpp.o.d"
+  "CMakeFiles/vcgt_perf.dir/machine.cpp.o"
+  "CMakeFiles/vcgt_perf.dir/machine.cpp.o.d"
+  "libvcgt_perf.a"
+  "libvcgt_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcgt_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcgt_rig.dir/annulus.cpp.o"
+  "CMakeFiles/vcgt_rig.dir/annulus.cpp.o.d"
+  "CMakeFiles/vcgt_rig.dir/interface.cpp.o"
+  "CMakeFiles/vcgt_rig.dir/interface.cpp.o.d"
+  "CMakeFiles/vcgt_rig.dir/rig250.cpp.o"
+  "CMakeFiles/vcgt_rig.dir/rig250.cpp.o.d"
+  "CMakeFiles/vcgt_rig.dir/vtk.cpp.o"
+  "CMakeFiles/vcgt_rig.dir/vtk.cpp.o.d"
+  "libvcgt_rig.a"
+  "libvcgt_rig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcgt_rig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vcgt_rig.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcgt_util.dir/cli.cpp.o"
+  "CMakeFiles/vcgt_util.dir/cli.cpp.o.d"
+  "CMakeFiles/vcgt_util.dir/log.cpp.o"
+  "CMakeFiles/vcgt_util.dir/log.cpp.o.d"
+  "CMakeFiles/vcgt_util.dir/stats.cpp.o"
+  "CMakeFiles/vcgt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vcgt_util.dir/table.cpp.o"
+  "CMakeFiles/vcgt_util.dir/table.cpp.o.d"
+  "libvcgt_util.a"
+  "libvcgt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcgt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvcgt_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coupled.dir/test_coupled.cpp.o"
+  "CMakeFiles/test_coupled.dir/test_coupled.cpp.o.d"
+  "test_coupled"
+  "test_coupled.pdb"
+  "test_coupled[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coupled_edge.dir/test_coupled_edge.cpp.o"
+  "CMakeFiles/test_coupled_edge.dir/test_coupled_edge.cpp.o.d"
+  "test_coupled_edge"
+  "test_coupled_edge.pdb"
+  "test_coupled_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coupled_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

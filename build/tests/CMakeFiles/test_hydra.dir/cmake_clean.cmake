@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hydra.dir/test_hydra.cpp.o"
+  "CMakeFiles/test_hydra.dir/test_hydra.cpp.o.d"
+  "test_hydra"
+  "test_hydra.pdb"
+  "test_hydra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hydra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hydra_highorder.dir/test_hydra_highorder.cpp.o"
+  "CMakeFiles/test_hydra_highorder.dir/test_hydra_highorder.cpp.o.d"
+  "test_hydra_highorder"
+  "test_hydra_highorder.pdb"
+  "test_hydra_highorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hydra_highorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hydra_highorder.
+# This may be replaced when dependencies are built.

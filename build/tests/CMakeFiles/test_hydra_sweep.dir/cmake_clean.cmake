@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hydra_sweep.dir/test_hydra_sweep.cpp.o"
+  "CMakeFiles/test_hydra_sweep.dir/test_hydra_sweep.cpp.o.d"
+  "test_hydra_sweep"
+  "test_hydra_sweep.pdb"
+  "test_hydra_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hydra_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jm76_search.dir/test_jm76_search.cpp.o"
+  "CMakeFiles/test_jm76_search.dir/test_jm76_search.cpp.o.d"
+  "test_jm76_search"
+  "test_jm76_search.pdb"
+  "test_jm76_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jm76_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimpi_stress.dir/test_minimpi_stress.cpp.o"
+  "CMakeFiles/test_minimpi_stress.dir/test_minimpi_stress.cpp.o.d"
+  "test_minimpi_stress"
+  "test_minimpi_stress.pdb"
+  "test_minimpi_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimpi_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

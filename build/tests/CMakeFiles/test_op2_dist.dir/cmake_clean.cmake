@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op2_dist.dir/test_op2_dist.cpp.o"
+  "CMakeFiles/test_op2_dist.dir/test_op2_dist.cpp.o.d"
+  "test_op2_dist"
+  "test_op2_dist.pdb"
+  "test_op2_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op2_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op2_edge.dir/test_op2_edge.cpp.o"
+  "CMakeFiles/test_op2_edge.dir/test_op2_edge.cpp.o.d"
+  "test_op2_edge"
+  "test_op2_edge.pdb"
+  "test_op2_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op2_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

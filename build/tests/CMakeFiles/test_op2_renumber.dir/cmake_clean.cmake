@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op2_renumber.dir/test_op2_renumber.cpp.o"
+  "CMakeFiles/test_op2_renumber.dir/test_op2_renumber.cpp.o.d"
+  "test_op2_renumber"
+  "test_op2_renumber.pdb"
+  "test_op2_renumber[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op2_renumber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

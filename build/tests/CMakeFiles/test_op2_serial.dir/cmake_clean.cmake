@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op2_serial.dir/test_op2_serial.cpp.o"
+  "CMakeFiles/test_op2_serial.dir/test_op2_serial.cpp.o.d"
+  "test_op2_serial"
+  "test_op2_serial.pdb"
+  "test_op2_serial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op2_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rig.dir/test_rig.cpp.o"
+  "CMakeFiles/test_rig.dir/test_rig.cpp.o.d"
+  "test_rig"
+  "test_rig.pdb"
+  "test_rig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

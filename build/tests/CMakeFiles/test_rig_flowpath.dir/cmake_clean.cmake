@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rig_flowpath.dir/test_rig_flowpath.cpp.o"
+  "CMakeFiles/test_rig_flowpath.dir/test_rig_flowpath.cpp.o.d"
+  "test_rig_flowpath"
+  "test_rig_flowpath.pdb"
+  "test_rig_flowpath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rig_flowpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rig_sweep.dir/test_rig_sweep.cpp.o"
+  "CMakeFiles/test_rig_sweep.dir/test_rig_sweep.cpp.o.d"
+  "test_rig_sweep"
+  "test_rig_sweep.pdb"
+  "test_rig_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rig_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

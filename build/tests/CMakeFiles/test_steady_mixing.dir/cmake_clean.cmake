@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steady_mixing.dir/test_steady_mixing.cpp.o"
+  "CMakeFiles/test_steady_mixing.dir/test_steady_mixing.cpp.o.d"
+  "test_steady_mixing"
+  "test_steady_mixing.pdb"
+  "test_steady_mixing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steady_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

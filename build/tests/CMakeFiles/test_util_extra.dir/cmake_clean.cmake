@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_extra.dir/test_util_extra.cpp.o"
+  "CMakeFiles/test_util_extra.dir/test_util_extra.cpp.o.d"
+  "test_util_extra"
+  "test_util_extra.pdb"
+  "test_util_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

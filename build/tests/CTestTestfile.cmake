@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_minimpi[1]_include.cmake")
+include("/root/repo/build/tests/test_op2_serial[1]_include.cmake")
+include("/root/repo/build/tests/test_op2_dist[1]_include.cmake")
+include("/root/repo/build/tests/test_rig[1]_include.cmake")
+include("/root/repo/build/tests/test_jm76_search[1]_include.cmake")
+include("/root/repo/build/tests/test_hydra[1]_include.cmake")
+include("/root/repo/build/tests/test_coupled[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_hydra_highorder[1]_include.cmake")
+include("/root/repo/build/tests/test_rig_flowpath[1]_include.cmake")
+include("/root/repo/build/tests/test_op2_renumber[1]_include.cmake")
+include("/root/repo/build/tests/test_steady_mixing[1]_include.cmake")
+include("/root/repo/build/tests/test_monitors[1]_include.cmake")
+include("/root/repo/build/tests/test_hydra_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_op2_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_minimpi_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_rig_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_util_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_coupled_edge[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[Monitors.RecordsHistoryAndHealthChecks]=]  /root/repo/build/tests/test_monitors [==[--gtest_filter=Monitors.RecordsHistoryAndHealthChecks]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Monitors.RecordsHistoryAndHealthChecks]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_monitors_TESTS Monitors.RecordsHistoryAndHealthChecks)
