@@ -97,6 +97,24 @@ void send_ghost(minimpi::Comm& world, int dst, int iface, int dir,
   world.send_bytes(buf, dst, tag_ghost(iface, dir));
 }
 
+/// Runs one transfer (send or receive), converting the structured minimpi
+/// failures into a TransferError naming the coupling endpoint. WorldAborted
+/// is left alone: it means the world died, not that this transfer failed.
+template <class Fn>
+decltype(auto) guarded_transfer(const char* role, int iface, int dir, int peer, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const minimpi::RecvTimeout& e) {
+    throw TransferError(util::fmt("jm76: {} transfer (iface {}, dir {}, peer rank {}) timed out: {}",
+                                  role, iface, dir, peer, e.what()),
+                        role, iface, dir, peer);
+  } catch (const minimpi::TransientSendError& e) {
+    throw TransferError(util::fmt("jm76: {} transfer (iface {}, dir {}, peer rank {}) failed: {}",
+                                  role, iface, dir, peer, e.what()),
+                        role, iface, dir, peer);
+  }
+}
+
 void recv_ghost(minimpi::Comm& world, int src, int iface, int dir,
                 std::vector<index_t>* gids, std::vector<double>* payload) {
   const auto buf = world.recv_bytes(src, tag_ghost(iface, dir));
@@ -201,15 +219,19 @@ void CoupledRig::run_hs(int nsteps, int inner) {
     if (outlet_coupled) {
       solver.gather_owned_face_states(BoundaryGroup::Outlet, &gids, &payload);
       for (int u = 0; u < K; ++u) {
-        send_donor(world_, layout_.cu_world_rank(row, u), row, 0, gids, payload,
-                   cfg_.staged_gather);
+        const int cu = layout_.cu_world_rank(row, u);
+        guarded_transfer("HS", row, 0, cu, [&] {
+          send_donor(world_, cu, row, 0, gids, payload, cfg_.staged_gather);
+        });
       }
     }
     if (inlet_coupled) {
       solver.gather_owned_face_states(BoundaryGroup::Inlet, &gids, &payload);
       for (int u = 0; u < K; ++u) {
-        send_donor(world_, layout_.cu_world_rank(row - 1, u), row - 1, 1, gids, payload,
-                   cfg_.staged_gather);
+        const int cu = layout_.cu_world_rank(row - 1, u);
+        guarded_transfer("HS", row - 1, 1, cu, [&] {
+          send_donor(world_, cu, row - 1, 1, gids, payload, cfg_.staged_gather);
+        });
       }
     }
   };
@@ -224,7 +246,9 @@ void CoupledRig::run_hs(int nsteps, int inner) {
       all_gids.clear();
       all_payload.clear();
       for (int u = 0; u < K; ++u) {
-        recv_ghost(world_, layout_.cu_world_rank(row - 1, u), row - 1, 0, &gids, &payload);
+        const int cu = layout_.cu_world_rank(row - 1, u);
+        guarded_transfer("HS", row - 1, 0, cu,
+                         [&] { recv_ghost(world_, cu, row - 1, 0, &gids, &payload); });
         all_gids.insert(all_gids.end(), gids.begin(), gids.end());
         all_payload.insert(all_payload.end(), payload.begin(), payload.end());
       }
@@ -234,7 +258,9 @@ void CoupledRig::run_hs(int nsteps, int inner) {
       all_gids.clear();
       all_payload.clear();
       for (int u = 0; u < K; ++u) {
-        recv_ghost(world_, layout_.cu_world_rank(row, u), row, 1, &gids, &payload);
+        const int cu = layout_.cu_world_rank(row, u);
+        guarded_transfer("HS", row, 1, cu,
+                         [&] { recv_ghost(world_, cu, row, 1, &gids, &payload); });
         all_gids.insert(all_gids.end(), gids.begin(), gids.end());
         all_payload.insert(all_payload.end(), payload.begin(), payload.end());
       }
@@ -308,7 +334,9 @@ void CoupledRig::run_cu(int nsteps) {
     const int nhs = layout_.hs_count(dir.target_row);
     for (int h = 0; h < nhs; ++h) {
       const int wrank = layout_.hs_world_rank(dir.target_row, h);
-      const auto owned = world_.recv<index_t>(wrank, tag_setup(iface, d));
+      const auto owned = guarded_transfer("CU", iface, d, wrank, [&] {
+        return world_.recv<index_t>(wrank, tag_setup(iface, d));
+      });
       std::vector<index_t> mine;
       for (const index_t g : owned) {
         bool take;
@@ -342,7 +370,9 @@ void CoupledRig::run_cu(int nsteps) {
         const int nhs = layout_.hs_count(dir.donor_row);
         for (int h = 0; h < nhs; ++h) {
           const int wrank = layout_.hs_world_rank(dir.donor_row, h);
-          recv_donor(world_, wrank, iface, d, &gids, &payload, cfg_.staged_gather);
+          guarded_transfer("CU", iface, d, wrank, [&] {
+            recv_donor(world_, wrank, iface, d, &gids, &payload, cfg_.staged_gather);
+          });
           for (std::size_t i = 0; i < gids.size(); ++i) {
             std::memcpy(dir.donor_payload.data() +
                             static_cast<std::size_t>(gids[i]) * kPayload,
@@ -403,7 +433,9 @@ void CoupledRig::run_cu(int nsteps) {
             dst[2] = cr * my - sr * mz;
             dst[3] = sr * my + cr * mz;
           }
-          send_ghost(world_, dir.tgt_ranks[h], iface, d, tgids, payload);
+          guarded_transfer("CU", iface, d, dir.tgt_ranks[h], [&] {
+            send_ghost(world_, dir.tgt_ranks[h], iface, d, tgids, payload);
+          });
         }
       }
     }

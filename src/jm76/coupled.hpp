@@ -9,6 +9,8 @@
 // run(); roles are derived from the Layout.
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/hydra/solver.hpp"
@@ -22,6 +24,21 @@
 #include "src/rig/rowspec.hpp"
 
 namespace vcgt::jm76 {
+
+/// A coupler transfer (donor payload, ghost return, or setup gid list)
+/// failed structurally: a bounded receive timed out or a send exhausted its
+/// transient-fault retry budget. Carries the role/interface/direction/peer
+/// so a 512-rank deadlock report names the broken transfer, not just "hung".
+class TransferError : public std::runtime_error {
+ public:
+  TransferError(std::string what, std::string role, int iface, int dir, int peer)
+      : std::runtime_error(std::move(what)), role(std::move(role)), iface(iface),
+        dir(dir), peer(peer) {}
+  std::string role;  ///< "HS" or "CU" (the failing side)
+  int iface;         ///< sliding-plane interface index
+  int dir;           ///< 0: upstream donor -> downstream; 1: reverse
+  int peer;          ///< world rank of the other endpoint
+};
 
 struct CoupledConfig {
   rig::RigSpec rig;

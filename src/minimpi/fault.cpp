@@ -1,0 +1,164 @@
+#include "src/minimpi/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/minimpi/minimpi.hpp"
+#include "src/util/log.hpp"
+
+namespace vcgt::minimpi {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::None: return "none";
+    case FaultKind::Delay: return "delay";
+    case FaultKind::Duplicate: return "duplicate";
+    case FaultKind::Reorder: return "reorder";
+    case FaultKind::DropSend: return "drop-send";
+    case FaultKind::KillRank: return "kill-rank";
+  }
+  return "?";
+}
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::from_env() {
+  FaultConfig cfg;
+  const char* seed = std::getenv("VCGT_FAULT_SEED");
+  if (seed) {
+    cfg.seed = std::strtoull(seed, nullptr, 10);
+    // Defaults chosen so a seeded chaos run injects a healthy mix of every
+    // transient kind without drowning the workload in backoff sleeps.
+    cfg.p_delay = env_double("VCGT_FAULT_P_DELAY", 0.02);
+    cfg.p_duplicate = env_double("VCGT_FAULT_P_DUP", 0.02);
+    cfg.p_reorder = env_double("VCGT_FAULT_P_REORDER", 0.02);
+    cfg.p_drop = env_double("VCGT_FAULT_P_DROP", 0.02);
+  }
+  if (const char* kill = std::getenv("VCGT_FAULT_KILL")) {
+    // "<rank>:<op>"
+    char* end = nullptr;
+    const long rank = std::strtol(kill, &end, 10);
+    if (end && *end == ':') {
+      const std::uint64_t op = std::strtoull(end + 1, nullptr, 10);
+      cfg.schedule.push_back({static_cast<int>(rank), op, FaultKind::KillRank});
+    }
+  }
+  return cfg;
+}
+
+FaultPlan::FaultPlan(FaultConfig cfg) : cfg_(std::move(cfg)) {}
+
+void FaultPlan::ensure_ranks(int nranks) {
+  std::scoped_lock lock(mutex_);
+  const auto n = static_cast<std::size_t>(nranks);
+  // RankStreams are heap-allocated so a concurrent grow (vector realloc)
+  // never moves a stream another rank thread is using.
+  for (std::size_t r = streams_.size(); r < n; ++r) {
+    auto st = std::make_unique<RankStream>();
+    st->rng = util::Rng(cfg_.seed).split(static_cast<std::uint64_t>(r));
+    for (const auto& s : cfg_.schedule) {
+      if (s.rank == static_cast<int>(r)) st->scheduled.emplace(s.op, s.kind);
+    }
+    streams_.push_back(std::move(st));
+  }
+}
+
+FaultPlan::RankStream* FaultPlan::stream(int rank) {
+  ensure_ranks(rank + 1);
+  std::scoped_lock lock(mutex_);
+  return streams_[static_cast<std::size_t>(rank)].get();
+}
+
+void FaultPlan::record(const FaultEvent& ev) {
+  util::debug("faultplan: rank {} op {} inject {} (peer {}, tag {})", ev.rank, ev.op,
+              fault_kind_name(ev.kind), ev.peer, ev.tag);
+  std::scoped_lock lock(mutex_);
+  events_.push_back(ev);
+}
+
+FaultKind FaultPlan::step_op(RankStream& st, int rank, int peer, int tag) {
+  const std::uint64_t op = st.op.fetch_add(1, std::memory_order_relaxed);
+  const auto it = st.scheduled.find(op);
+  if (it == st.scheduled.end()) return FaultKind::None;
+  const FaultKind kind = it->second;
+  record({rank, op, kind, peer, tag});
+  if (kind == FaultKind::KillRank) {
+    throw RankKilled(util::fmt("minimpi: rank {} killed by fault plan at op {} (seed {})",
+                               rank, op, cfg_.seed));
+  }
+  return kind;
+}
+
+FaultPlan::SendDecision FaultPlan::on_send(int rank, int dst, int tag) {
+  RankStream& st = *stream(rank);
+  const std::uint64_t op = st.op.load(std::memory_order_relaxed);  // step_op advances it
+  SendDecision d;
+  const FaultKind scheduled = step_op(st, rank, dst, tag);
+
+  FaultKind kind = scheduled;
+  if (kind == FaultKind::None) {
+    // One uniform draw per send op; ranges stacked in declaration order so
+    // the kinds are mutually exclusive and individually tunable.
+    const double u = st.rng.next_double();
+    double edge = cfg_.p_delay;
+    if (u < edge) {
+      kind = FaultKind::Delay;
+    } else if (u < (edge += cfg_.p_duplicate)) {
+      kind = FaultKind::Duplicate;
+    } else if (u < (edge += cfg_.p_reorder)) {
+      kind = FaultKind::Reorder;
+    } else if (u < (edge += cfg_.p_drop)) {
+      kind = FaultKind::DropSend;
+    }
+    if (kind != FaultKind::None) record({rank, op, kind, dst, tag});
+  }
+
+  d.kind = kind;
+  if (kind == FaultKind::Delay) d.delay_seconds = cfg_.delay_seconds;
+  if (kind == FaultKind::DropSend) d.fail_attempts = cfg_.drop_attempts;
+  return d;
+}
+
+void FaultPlan::on_op(int rank, int peer, int tag) {
+  // Scheduled send-kind faults only make sense on sends; at a recv/barrier
+  // op they still count the op and can only kill.
+  (void)step_op(*stream(rank), rank, peer, tag);
+}
+
+std::uint64_t FaultPlan::ops(int rank) const {
+  std::scoped_lock lock(mutex_);
+  const auto r = static_cast<std::size_t>(rank);
+  return r < streams_.size() ? streams_[r]->op.load(std::memory_order_relaxed) : 0;
+}
+
+std::vector<FaultEvent> FaultPlan::events() const {
+  std::vector<FaultEvent> out;
+  {
+    std::scoped_lock lock(mutex_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    return std::tie(a.rank, a.op) < std::tie(b.rank, b.op);
+  });
+  return out;
+}
+
+int FaultPlan::distinct_kinds() const {
+  bool seen[6] = {};
+  {
+    std::scoped_lock lock(mutex_);
+    for (const auto& e : events_) seen[static_cast<std::size_t>(e.kind)] = true;
+  }
+  int n = 0;
+  for (int k = 1; k < 6; ++k) n += seen[k] ? 1 : 0;
+  return n;
+}
+
+}  // namespace vcgt::minimpi

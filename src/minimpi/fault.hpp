@@ -1,0 +1,152 @@
+#pragma once
+// minimpi::FaultPlan — a seeded, deterministic fault-injection engine for the
+// message-passing substrate (the "chaos layer").
+//
+// The paper's production runs occupy 512 nodes for ~30 hours; at that scale
+// transient message loss, slow links and rank death are operational
+// certainties, and the halo-exchange/coupling protocol must either mask them
+// or fail diagnosably. This repository has no flaky network to test against,
+// so faults are *injected*: every send consults the plan, which decides —
+// deterministically, from a per-rank SplitMix64 stream keyed by (rank,
+// op index) — whether to delay the message, deliver it twice, defer it
+// behind later traffic, fail the first k delivery attempts (forcing the
+// retry path), or kill the rank outright.
+//
+// Determinism contract: a rank's fault sequence depends only on (seed, rank,
+// per-rank op index), never on cross-rank interleaving, so the same seed
+// reproduces the same fault sequence run-to-run (asserted by
+// tests/test_faults.cpp). Every injected fault is recorded in an event log
+// and logged at debug level for post-mortem analysis.
+//
+// Plans attach to a World via WorldOptions (see minimpi.hpp) or the
+// environment: VCGT_FAULT_SEED=<u64> enables a random plan with default
+// probabilities, overridable via VCGT_FAULT_P_{DELAY,DUP,REORDER,DROP} and
+// VCGT_FAULT_KILL=<rank>:<op>.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace vcgt::minimpi {
+
+enum class FaultKind : std::uint8_t {
+  None = 0,
+  Delay,      ///< sleep before delivery (slow link / OS jitter)
+  Duplicate,  ///< deliver the message twice (dedup'd by the seq protocol)
+  Reorder,    ///< defer delivery behind subsequently sent messages
+  DropSend,   ///< fail the first k delivery attempts (transient send fault)
+  KillRank,   ///< the rank throws RankKilled at this op (fail-stop death)
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// One injected fault, as recorded in the plan's event log.
+struct FaultEvent {
+  int rank = -1;             ///< world rank the fault was injected on
+  std::uint64_t op = 0;      ///< per-rank op index (sends + recvs, from 0)
+  FaultKind kind = FaultKind::None;
+  int peer = -1;             ///< destination (sends) / source (kill at recv)
+  int tag = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// An explicitly scheduled fault: fires when `rank` executes op `op`.
+struct ScheduledFault {
+  int rank = 0;
+  std::uint64_t op = 0;
+  FaultKind kind = FaultKind::None;
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 0;
+
+  // Per-send-op probabilities of each random fault kind (mutually exclusive
+  // per op; evaluated in this order from a single uniform draw).
+  double p_delay = 0.0;
+  double p_duplicate = 0.0;
+  double p_reorder = 0.0;
+  double p_drop = 0.0;
+
+  /// Injected sleep for Delay faults (wall-clock only; never content).
+  double delay_seconds = 2e-4;
+  /// Consecutive failed delivery attempts per DropSend fault. Values >=
+  /// WorldOptions::max_send_attempts exhaust the retry budget and surface a
+  /// structured TransientSendError (used to test the error path).
+  int drop_attempts = 1;
+
+  /// Deterministic faults in addition to the random plan (KillRank is only
+  /// ever scheduled — random rank death would make every seeded run die).
+  std::vector<ScheduledFault> schedule;
+
+  /// Reads VCGT_FAULT_SEED / VCGT_FAULT_P_* / VCGT_FAULT_KILL. Returns a
+  /// config with seed == 0 and empty schedule when the environment requests
+  /// no faults.
+  static FaultConfig from_env();
+  [[nodiscard]] bool enabled() const {
+    return p_delay > 0 || p_duplicate > 0 || p_reorder > 0 || p_drop > 0 ||
+           !schedule.empty();
+  }
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultConfig cfg);
+
+  /// What send_bytes should do for the current op on `rank`.
+  struct SendDecision {
+    FaultKind kind = FaultKind::None;
+    int fail_attempts = 0;    ///< DropSend: attempts to fail before success
+    double delay_seconds = 0; ///< Delay: injected sleep
+  };
+
+  /// Consulted by Comm::send_bytes once per send op (not per retry attempt,
+  /// so retries do not perturb the random stream). Throws RankKilled when a
+  /// KillRank fault is scheduled at this op. Thread-safe across ranks; each
+  /// rank must only ever pass its own world rank.
+  SendDecision on_send(int rank, int dst, int tag);
+
+  /// Consulted by Comm::recv_bytes / barrier at op entry: counts the op and
+  /// fires scheduled KillRank faults. Consumes no randomness.
+  void on_op(int rank, int peer, int tag);
+
+  /// Pre-sizes the per-rank streams (called by World::run before launch).
+  void ensure_ranks(int nranks);
+
+  /// Ops executed by `rank` so far.
+  [[nodiscard]] std::uint64_t ops(int rank) const;
+
+  /// Injected-fault log, sorted by (rank, op): the reproducibility witness.
+  [[nodiscard]] std::vector<FaultEvent> events() const;
+  /// Number of distinct fault kinds injected so far.
+  [[nodiscard]] int distinct_kinds() const;
+
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+
+ private:
+  struct RankStream {
+    util::Rng rng{0};
+    /// Atomic only so ops() may observe it from other threads; the stream is
+    /// otherwise owned by its rank thread.
+    std::atomic<std::uint64_t> op{0};
+    std::map<std::uint64_t, FaultKind> scheduled;  ///< op -> fault
+  };
+
+  void record(const FaultEvent& ev);
+  /// Returns the scheduled fault for this op (None if none); throws
+  /// RankKilled for KillRank. Advances the op counter.
+  FaultKind step_op(RankStream& st, int rank, int peer, int tag);
+  RankStream* stream(int rank);
+
+  FaultConfig cfg_;
+  mutable std::mutex mutex_;  ///< guards streams_ resizing and events_
+  std::vector<std::unique_ptr<RankStream>> streams_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace vcgt::minimpi

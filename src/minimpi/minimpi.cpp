@@ -1,51 +1,138 @@
 #include "src/minimpi/minimpi.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <utility>
 
+#include "src/minimpi/fault.hpp"
+#include "src/util/log.hpp"
 #include "src/util/timer.hpp"
 
 namespace vcgt::minimpi {
 
 namespace detail {
 
-void Mailbox::push(Message msg) {
+thread_local int t_world_rank = -1;
+
+int current_world_rank() { return t_world_rank; }
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+void sleep_seconds(double s) {
+  if (s > 0) std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+void Mailbox::flush_deferred_locked() {
+  while (!deferred_.empty()) {
+    queue_.push_back(std::move(deferred_.front()));
+    deferred_.pop_front();
+  }
+}
+
+void Mailbox::push(Message msg, bool defer) {
   {
     std::scoped_lock lock(mutex_);
-    queue_.push_back(std::move(msg));
+    if (defer) {
+      deferred_.push_back(std::move(msg));
+    } else {
+      queue_.push_back(std::move(msg));
+      // Deferred (reorder-injected) messages become visible behind this one.
+      flush_deferred_locked();
+    }
   }
+  // Notify even for a deferred push: a receiver blocked on exactly this
+  // message flushes it from its wait predicate, so reorder cannot deadlock.
   cv_.notify_all();
 }
 
 bool Mailbox::match_locked(int src, int tag, Message* out) {
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if ((src == kAnySource || it->src == src) && it->tag == tag) {
-      *out = std::move(*it);
-      queue_.erase(it);
-      return true;
+  const auto matches = [&](const Message& m) {
+    return (src == kAnySource || m.src == src) && m.tag == tag;
+  };
+  // Purge duplicates: a sequenced message at or below the delivered watermark
+  // for its (src, tag) has already been consumed once (seq 0 = unsequenced
+  // legacy message, exempt from the protocol).
+  for (std::size_t i = 0; i < queue_.size();) {
+    const Message& m = queue_[i];
+    if (m.seq != 0 && matches(m)) {
+      const auto wm = delivered_.find({m.src, m.tag});
+      if (wm != delivered_.end() && m.seq <= wm->second) {
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+    }
+    ++i;
+  }
+  // Queue order picks which (src, tag) stream a wildcard receive sees first,
+  // but within that stream delivery is minimum-seq-first: FIFO per (src, tag)
+  // survives reorder injection.
+  std::size_t best = queue_.size();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Message& m = queue_[i];
+    if (!matches(m)) continue;
+    if (best == queue_.size()) {
+      best = i;
+      continue;
+    }
+    const Message& b = queue_[best];
+    if (m.seq != 0 && b.seq != 0 && m.src == b.src && m.tag == b.tag && m.seq < b.seq) {
+      best = i;
     }
   }
-  return false;
+  if (best == queue_.size()) return false;
+  Message& chosen = queue_[best];
+  if (chosen.seq != 0) delivered_[{chosen.src, chosen.tag}] = chosen.seq;
+  *out = std::move(chosen);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  return true;
 }
 
 Message Mailbox::pop(int src, int tag, double* wait_seconds) {
   std::unique_lock lock(mutex_);
   Message msg;
-  if (match_locked(src, tag, &msg)) return msg;
-  util::Timer waited;
   bool matched = false;
+  util::Timer waited;
   cv_.wait(lock, [&] {
+    // Poison wins even over a queued match: an aborted world's data must not
+    // be consumed (in-flight Requests observe the abort deterministically).
+    if (poisoned_) return true;
+    flush_deferred_locked();
     matched = match_locked(src, tag, &msg);
-    return matched || poisoned_;
+    return matched;
   });
   if (wait_seconds) *wait_seconds += waited.elapsed();
   if (!matched) throw WorldAborted("minimpi: world aborted while blocked in recv");
   return msg;
 }
 
+Mailbox::PopStatus Mailbox::pop_for(int src, int tag, double timeout_seconds, Message* out,
+                                    double* wait_seconds) {
+  std::unique_lock lock(mutex_);
+  bool matched = false;
+  util::Timer waited;
+  cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds), [&] {
+    if (poisoned_) return true;
+    flush_deferred_locked();
+    matched = match_locked(src, tag, out);
+    return matched;
+  });
+  if (wait_seconds) *wait_seconds += waited.elapsed();
+  if (matched) return PopStatus::Ok;
+  return poisoned_ ? PopStatus::Poisoned : PopStatus::Timeout;
+}
+
 bool Mailbox::try_pop(int src, int tag, Message* out) {
   std::scoped_lock lock(mutex_);
+  if (poisoned_) throw WorldAborted("minimpi: world aborted");
+  flush_deferred_locked();
   return match_locked(src, tag, out);
 }
 
@@ -57,30 +144,56 @@ void Mailbox::poison() {
   cv_.notify_all();
 }
 
+bool Mailbox::poisoned() {
+  std::scoped_lock lock(mutex_);
+  return poisoned_;
+}
+
+/// Per-world-rank blocked-op slot sampled by the progress watchdog. Written
+/// only by the owning rank thread; all fields atomic so the watchdog can read
+/// a consistent-enough snapshot without locks.
+struct BlockedSlot {
+  std::atomic<int> active{0};  ///< 0 idle, 1 recv, 2 barrier
+  std::atomic<int> peer{kAnySource};
+  std::atomic<int> tag{0};
+  std::atomic<std::int64_t> since_ns{0};
+  std::atomic<std::uint64_t> ops{0};  ///< completed comm ops on this rank
+};
+
 /// Shared state of one communicator: mailboxes, barrier, split rendezvous,
 /// traffic meters. Ranks hold it via shared_ptr; child comms register with
-/// the root state so poisoning reaches every mailbox in the world.
+/// the root state so poisoning reaches every mailbox in the world. The root
+/// state additionally owns the WorldOptions and the watchdog's slots.
 struct CommState {
   explicit CommState(int n)
       : size(n),
         mailboxes(static_cast<std::size_t>(n)),
+        send_seq(static_cast<std::size_t>(n)),
         rank_messages(static_cast<std::size_t>(n)),
         rank_bytes(static_cast<std::size_t>(n)),
+        rank_retries(static_cast<std::size_t>(n)),
         rank_wait(static_cast<std::size_t>(n)) {
     for (auto& box : mailboxes) box = std::make_unique<Mailbox>();
+    for (auto& c : send_seq) c.store(0, std::memory_order_relaxed);
     for (auto& c : rank_messages) c.store(0, std::memory_order_relaxed);
     for (auto& c : rank_bytes) c.store(0, std::memory_order_relaxed);
+    for (auto& c : rank_retries) c.store(0, std::memory_order_relaxed);
     for (auto& c : rank_wait) c.store(0.0, std::memory_order_relaxed);
   }
 
   int size;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  /// Per-source send sequence counters (assigned once per message, before any
+  /// retry, so retransmissions are idempotent under the mailbox watermark).
+  std::vector<std::atomic<std::uint64_t>> send_seq;
 
-  // Barrier (generation counting).
+  // Barrier (generation counting). `poisoned` is flipped under barrier_mutex
+  // so a poison-wake is never lost by a rank entering the wait.
   std::mutex barrier_mutex;
   std::condition_variable barrier_cv;
   int barrier_arrived = 0;
   std::uint64_t barrier_generation = 0;
+  std::atomic<bool> poisoned{false};
 
   // Split rendezvous: first member of a (epoch, color) group creates the
   // child state, the rest pick it up.
@@ -91,55 +204,209 @@ struct CommState {
   // Traffic meters (atomic so traffic() may be sampled concurrently).
   std::vector<std::atomic<std::uint64_t>> rank_messages;
   std::vector<std::atomic<std::uint64_t>> rank_bytes;
+  std::vector<std::atomic<std::uint64_t>> rank_retries;
   std::vector<std::atomic<double>> rank_wait;
 
   // Poison propagation: the world-root state tracks every descendant.
-  CommState* root = nullptr;  // null for the root itself
+  // Atomic: the split creator publishes the child before register_child
+  // stores the root pointer, so peers may read it concurrently.
+  std::atomic<CommState*> root{nullptr};  // null for the root itself
   std::mutex registry_mutex;  // root only
   std::vector<std::weak_ptr<CommState>> registry;  // root only
 
+  // Root only: robustness options and the watchdog's per-world-rank slots.
+  WorldOptions opts;
+  std::vector<std::unique_ptr<BlockedSlot>> slots;
+  std::atomic<std::uint64_t> ops_total{0};
+
+  CommState* root_state() {
+    CommState* r = root.load(std::memory_order_acquire);
+    return r ? r : this;
+  }
+
+  BlockedSlot* slot_for(int world_rank) {
+    CommState* r = root_state();
+    if (world_rank < 0 || world_rank >= static_cast<int>(r->slots.size())) return nullptr;
+    return r->slots[static_cast<std::size_t>(world_rank)].get();
+  }
+
+  /// One comm op (send/recv/barrier) completed on `world_rank`: the signal
+  /// the watchdog distinguishes "slow" from "stalled" by.
+  void note_progress(int world_rank) {
+    CommState* r = root_state();
+    if (BlockedSlot* s = slot_for(world_rank)) s->ops.fetch_add(1, std::memory_order_relaxed);
+    r->ops_total.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void poison_state(CommState& s) {
+    {
+      std::scoped_lock lock(s.barrier_mutex);
+      s.poisoned.store(true, std::memory_order_relaxed);
+    }
+    s.barrier_cv.notify_all();
+    for (auto& box : s.mailboxes) box->poison();
+  }
+
   void register_child(const std::shared_ptr<CommState>& child) {
-    CommState* r = root ? root : this;
-    child->root = r;
-    std::scoped_lock lock(r->registry_mutex);
-    r->registry.push_back(child);
+    CommState* r = root_state();
+    child->root.store(r, std::memory_order_release);
+    {
+      std::scoped_lock lock(r->registry_mutex);
+      r->registry.push_back(child);
+    }
+    // A child created after the world died must be born poisoned, or its
+    // ranks would block forever in a world nobody else inhabits.
+    if (r->poisoned.load(std::memory_order_relaxed)) poison_state(*child);
   }
 
   void poison_world() {
-    CommState* r = root ? root : this;
-    for (auto& box : r->mailboxes) box->poison();
+    CommState* r = root_state();
+    poison_state(*r);
     std::scoped_lock lock(r->registry_mutex);
     for (auto& weak : r->registry) {
-      if (auto child = weak.lock()) {
-        for (auto& box : child->mailboxes) box->poison();
-      }
+      if (auto child = weak.lock()) poison_state(*child);
     }
   }
 };
 
+namespace {
+
+/// RAII registration of a blocked op in the watchdog slot for this thread's
+/// world rank. No-op outside World::run or when the world has no slots.
+class BlockedScope {
+ public:
+  BlockedScope(CommState* state, int kind, int peer, int tag) {
+    slot_ = state->slot_for(current_world_rank());
+    if (!slot_) return;
+    slot_->peer.store(peer, std::memory_order_relaxed);
+    slot_->tag.store(tag, std::memory_order_relaxed);
+    slot_->since_ns.store(now_ns(), std::memory_order_relaxed);
+    slot_->active.store(kind, std::memory_order_release);
+  }
+  ~BlockedScope() {
+    if (slot_) slot_->active.store(0, std::memory_order_release);
+  }
+  BlockedScope(const BlockedScope&) = delete;
+  BlockedScope& operator=(const BlockedScope&) = delete;
+
+ private:
+  BlockedSlot* slot_ = nullptr;
+};
+
+}  // namespace
+
 }  // namespace detail
+
+std::string StallReport::to_string() const {
+  std::string out = util::fmt("minimpi: world stalled (no progress, stall_timeout {}s); {} rank(s) blocked:",
+                              stall_timeout, blocked.size());
+  for (const auto& b : blocked) {
+    out += util::fmt("\n  rank {} blocked in {} (peer {}, tag {}) for {}s after {} completed ops",
+                     b.rank, b.op, b.peer, b.tag, b.seconds, b.op_index);
+  }
+  out += util::fmt("\n  traffic at stall: {} msgs, {} bytes, {} send retries", traffic.messages,
+                   traffic.bytes, traffic.send_retries);
+  return out;
+}
+
+WorldStalled::WorldStalled(StallReport report)
+    : std::runtime_error(report.to_string()), report_(std::move(report)) {}
 
 int Comm::size() const { return state_ ? state_->size : 0; }
 
+bool Comm::aborted() const {
+  if (!state_) return false;
+  return state_->root_state()->poisoned.load(std::memory_order_relaxed);
+}
+
 void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   if (dst < 0 || dst >= size()) throw std::out_of_range("minimpi::send: bad destination rank");
+  detail::CommState* root = state_->root_state();
+  const int wrank = detail::current_world_rank();
+
+  // Consult the fault plan once per send op (retries reuse this decision so
+  // they do not perturb the random stream). May throw RankKilled.
+  FaultPlan::SendDecision fault;
+  if (wrank >= 0 && root->opts.fault) fault = root->opts.fault->on_send(wrank, dst, tag);
+
   detail::Message msg;
   msg.src = rank_;
   msg.tag = tag;
+  // Sequence assigned exactly once, before the retry loop: a retransmission
+  // carries the original seq, so per-(src, tag) FIFO survives drop+retry.
+  msg.seq = state_->send_seq[static_cast<std::size_t>(rank_)].fetch_add(
+                1, std::memory_order_relaxed) + 1;
   msg.payload.assign(data.begin(), data.end());
   const auto r = static_cast<std::size_t>(rank_);
   state_->rank_messages[r].fetch_add(1, std::memory_order_relaxed);
   state_->rank_bytes[r].fetch_add(data.size(), std::memory_order_relaxed);
-  state_->mailboxes[static_cast<std::size_t>(dst)]->push(std::move(msg));
+
+  if (fault.kind == FaultKind::Delay) detail::sleep_seconds(fault.delay_seconds);
+
+  // Transient-fault retry loop: each failed delivery attempt is metered and
+  // backed off; exhausting the budget surfaces a structured error instead of
+  // silently losing the message.
+  const int max_attempts = std::max(1, root->opts.max_send_attempts);
+  int failed = 0;
+  while (failed < fault.fail_attempts) {
+    ++failed;
+    state_->rank_retries[r].fetch_add(1, std::memory_order_relaxed);
+    if (failed >= max_attempts) {
+      throw TransientSendError(
+          util::fmt("minimpi: rank {} send to {} (tag {}) failed {} delivery attempts", rank_,
+                    dst, tag, failed),
+          rank_, dst, tag, failed);
+    }
+    detail::sleep_seconds(root->opts.send_backoff);
+  }
+
+  auto& box = *state_->mailboxes[static_cast<std::size_t>(dst)];
+  if (fault.kind == FaultKind::Duplicate) box.push(msg, /*defer=*/false);  // extra copy, same seq
+  box.push(std::move(msg), /*defer=*/fault.kind == FaultKind::Reorder);
+  state_->note_progress(wrank);
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, int tag, int* actual_src) {
+  detail::CommState* root = state_->root_state();
+  const int wrank = detail::current_world_rank();
+  if (wrank >= 0 && root->opts.fault) root->opts.fault->on_op(wrank, src, tag);
+
+  detail::BlockedScope blocked(state_.get(), /*kind=*/1, src, tag);
+  auto& box = *state_->mailboxes[static_cast<std::size_t>(rank_)];
   double waited = 0.0;
-  auto msg = state_->mailboxes[static_cast<std::size_t>(rank_)]->pop(src, tag, &waited);
+  detail::Message msg;
+  const double timeout = root->opts.recv_timeout;
+  if (timeout > 0.0) {
+    const int rounds = 1 + std::max(0, root->opts.recv_retries);
+    bool got = false;
+    for (int round = 0; round < rounds && !got; ++round) {
+      switch (box.pop_for(src, tag, timeout, &msg, &waited)) {
+        case detail::Mailbox::PopStatus::Ok:
+          got = true;
+          break;
+        case detail::Mailbox::PopStatus::Poisoned:
+          throw WorldAborted("minimpi: world aborted while blocked in recv");
+        case detail::Mailbox::PopStatus::Timeout:
+          if (round + 1 < rounds) {
+            util::warn("minimpi: rank {} recv (src {}, tag {}) timed out after {}s, retry {}/{}",
+                       rank_, src, tag, timeout, round + 1, rounds - 1);
+          }
+          break;
+      }
+    }
+    if (!got) {
+      throw RecvTimeout(util::fmt("minimpi: rank {} recv from src {} (tag {}) timed out after {}s ({} round(s))",
+                                  rank_, src, tag, waited, rounds),
+                        rank_, src, tag, waited);
+    }
+  } else {
+    msg = box.pop(src, tag, &waited);
+  }
   if (waited > 0.0) {
     state_->rank_wait[static_cast<std::size_t>(rank_)].fetch_add(waited,
                                                                  std::memory_order_relaxed);
   }
+  state_->note_progress(wrank);
   if (actual_src) *actual_src = msg.src;
   return std::move(msg.payload);
 }
@@ -170,6 +437,12 @@ Comm::Request Comm::irecv_bytes(int src, int tag) {
 }
 
 std::vector<std::byte> Comm::Request::wait() {
+  // A poisoned world invalidates in-flight requests — even already-buffered
+  // ones — so wait() never blocks forever and never hands out data from an
+  // aborted computation.
+  if (comm_.valid() && comm_.aborted()) {
+    throw WorldAborted("minimpi: world aborted before Request::wait completed");
+  }
   if (done_) return std::move(payload_);
   done_ = true;
   if (is_recv_) payload_ = comm_.recv_bytes(src_, tag_, &completed_src_);
@@ -178,7 +451,15 @@ std::vector<std::byte> Comm::Request::wait() {
 
 void Comm::barrier() {
   auto& st = *state_;
+  detail::CommState* root = st.root_state();
+  const int wrank = detail::current_world_rank();
+  if (wrank >= 0 && root->opts.fault) root->opts.fault->on_op(wrank, kAnySource, 0);
+
+  detail::BlockedScope blocked(state_.get(), /*kind=*/2, kAnySource, 0);
   std::unique_lock lock(st.barrier_mutex);
+  if (st.poisoned.load(std::memory_order_relaxed)) {
+    throw WorldAborted("minimpi: world aborted at barrier");
+  }
   const std::uint64_t gen = st.barrier_generation;
   if (++st.barrier_arrived == st.size) {
     st.barrier_arrived = 0;
@@ -186,10 +467,19 @@ void Comm::barrier() {
     st.barrier_cv.notify_all();
   } else {
     util::Timer waited;
-    st.barrier_cv.wait(lock, [&] { return st.barrier_generation != gen; });
+    st.barrier_cv.wait(lock, [&] {
+      return st.barrier_generation != gen || st.poisoned.load(std::memory_order_relaxed);
+    });
     st.rank_wait[static_cast<std::size_t>(rank_)].fetch_add(waited.elapsed(),
                                                             std::memory_order_relaxed);
+    if (st.barrier_generation == gen) {
+      // Woken by poison, not by barrier completion: a peer died while we
+      // waited (this wake previously did not exist — the seed deadlocked).
+      throw WorldAborted("minimpi: world aborted while blocked in barrier");
+    }
   }
+  lock.unlock();
+  state_->note_progress(wrank);
 }
 
 std::vector<std::byte> Comm::bcast_bytes(std::vector<std::byte> data, int root) {
@@ -250,13 +540,16 @@ TrafficStats Comm::traffic() const {
   const auto n = static_cast<std::size_t>(size());
   out.rank_messages.resize(n);
   out.rank_bytes.resize(n);
+  out.rank_retries.resize(n);
   out.rank_wait.resize(n);
   for (std::size_t r = 0; r < n; ++r) {
     out.rank_messages[r] = state_->rank_messages[r].load(std::memory_order_relaxed);
     out.rank_bytes[r] = state_->rank_bytes[r].load(std::memory_order_relaxed);
+    out.rank_retries[r] = state_->rank_retries[r].load(std::memory_order_relaxed);
     out.rank_wait[r] = state_->rank_wait[r].load(std::memory_order_relaxed);
     out.messages += out.rank_messages[r];
     out.bytes += out.rank_bytes[r];
+    out.send_retries += out.rank_retries[r];
     out.total_rank_wait += out.rank_wait[r];
     out.max_rank_wait = std::max(out.max_rank_wait, out.rank_wait[r]);
   }
@@ -268,21 +561,90 @@ void Comm::reset_traffic() {
   for (std::size_t r = 0; r < n; ++r) {
     state_->rank_messages[r].store(0, std::memory_order_relaxed);
     state_->rank_bytes[r].store(0, std::memory_order_relaxed);
+    state_->rank_retries[r].store(0, std::memory_order_relaxed);
     state_->rank_wait[r].store(0.0, std::memory_order_relaxed);
   }
 }
 
+WorldOptions World::options_from_env() {
+  WorldOptions opts;
+  FaultConfig cfg = FaultConfig::from_env();
+  if (cfg.enabled()) opts.fault = std::make_shared<FaultPlan>(std::move(cfg));
+  if (const char* v = std::getenv("VCGT_RECV_TIMEOUT")) opts.recv_timeout = std::atof(v);
+  if (const char* v = std::getenv("VCGT_RECV_RETRIES")) opts.recv_retries = std::atoi(v);
+  if (const char* v = std::getenv("VCGT_STALL_TIMEOUT")) opts.stall_timeout = std::atof(v);
+  return opts;
+}
+
 void World::run(int nranks, const std::function<void(Comm&)>& fn) {
+  run(nranks, fn, options_from_env());
+}
+
+void World::run(int nranks, const std::function<void(Comm&)>& fn, const WorldOptions& opts) {
   if (nranks <= 0) throw std::invalid_argument("minimpi::World: nranks must be positive");
   auto state = std::make_shared<detail::CommState>(nranks);
+  state->opts = opts;
+  if (state->opts.fault) state->opts.fault->ensure_ranks(nranks);
+  state->slots.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    state->slots.push_back(std::make_unique<detail::BlockedSlot>());
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::atomic<bool> done{false};
+
+  // Progress watchdog: converts a silent deadlock into a structured
+  // WorldStalled diagnosis. A stall is declared only when some rank has been
+  // blocked beyond stall_timeout AND the world-wide op counter has not moved
+  // between two samples — a slow-but-progressing world is left alone.
+  std::thread watchdog;
+  if (opts.stall_timeout > 0.0) {
+    watchdog = std::thread([&, state, nranks] {
+      const double interval = std::clamp(opts.stall_timeout / 8.0, 1e-3, 0.1);
+      std::uint64_t last_ops = ~std::uint64_t{0};
+      while (!done.load(std::memory_order_relaxed)) {
+        detail::sleep_seconds(interval);
+        if (done.load(std::memory_order_relaxed)) return;
+        const std::uint64_t ops_now = state->ops_total.load(std::memory_order_relaxed);
+        const bool progressed = ops_now != last_ops;
+        last_ops = ops_now;
+        if (progressed) continue;
+        const std::int64_t now = detail::now_ns();
+        std::vector<StallReport::BlockedOp> stuck;
+        for (int r = 0; r < nranks; ++r) {
+          auto& slot = *state->slots[static_cast<std::size_t>(r)];
+          const int active = slot.active.load(std::memory_order_acquire);
+          if (active == 0) continue;
+          const double age =
+              static_cast<double>(now - slot.since_ns.load(std::memory_order_relaxed)) * 1e-9;
+          if (age < opts.stall_timeout) continue;
+          stuck.push_back({r, active == 2 ? "barrier" : "recv",
+                           slot.peer.load(std::memory_order_relaxed),
+                           slot.tag.load(std::memory_order_relaxed), age,
+                           slot.ops.load(std::memory_order_relaxed)});
+        }
+        if (stuck.empty()) continue;
+        StallReport report;
+        report.stall_timeout = opts.stall_timeout;
+        report.blocked = std::move(stuck);
+        report.traffic = Comm{state, 0}.traffic();
+        util::error("{}", report.to_string());
+        {
+          std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::make_exception_ptr(WorldStalled(std::move(report)));
+        }
+        state->poison_world();
+        return;
+      }
+    });
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      detail::t_world_rank = r;
       Comm comm{state, r};
       try {
         fn(comm);
@@ -293,9 +655,12 @@ void World::run(int nranks, const std::function<void(Comm&)>& fn) {
         }
         state->poison_world();
       }
+      detail::t_world_rank = -1;
     });
   }
   for (auto& t : threads) t.join();
+  done.store(true, std::memory_order_relaxed);
+  if (watchdog.joinable()) watchdog.join();
   if (first_error) std::rethrow_exception(first_error);
 }
 

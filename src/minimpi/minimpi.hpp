@@ -34,21 +34,106 @@ namespace vcgt::minimpi {
 inline constexpr int kAnySource = -1;
 
 /// Thrown in surviving ranks when a peer rank exits with an exception, so a
-/// failing test does not deadlock the whole world.
+/// failing test does not deadlock the whole world. Once a world is poisoned
+/// every blocked or subsequently issued recv/barrier/Request::wait throws.
 class WorldAborted : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Thrown on the dying rank when a FaultPlan schedules a KillRank fault
+/// (fail-stop rank death). Peers observe the generic WorldAborted.
+class RankKilled : public WorldAborted {
+ public:
+  using WorldAborted::WorldAborted;
+};
+
+/// Thrown by send when transient delivery failures exhaust the retry budget
+/// (WorldOptions::max_send_attempts).
+class TransientSendError : public std::runtime_error {
+ public:
+  TransientSendError(std::string what, int rank, int dst, int tag, int attempts)
+      : std::runtime_error(std::move(what)), rank(rank), dst(dst), tag(tag),
+        attempts(attempts) {}
+  int rank, dst, tag, attempts;
+};
+
+/// Thrown by recv when WorldOptions::recv_timeout expires (all retry rounds
+/// included) with no matching message: the structured alternative to hanging.
+class RecvTimeout : public std::runtime_error {
+ public:
+  RecvTimeout(std::string what, int rank, int src, int tag, double waited_seconds)
+      : std::runtime_error(std::move(what)), rank(rank), src(src), tag(tag),
+        waited_seconds(waited_seconds) {}
+  int rank, src, tag;
+  double waited_seconds;
 };
 
 /// Aggregated communication counters for one communicator.
 struct TrafficStats {
   std::uint64_t messages = 0;      ///< total point-to-point messages sent
   std::uint64_t bytes = 0;         ///< total payload bytes sent
+  std::uint64_t send_retries = 0;  ///< delivery attempts repeated after transient faults
   double max_rank_wait = 0.0;      ///< max over ranks of blocked-receive time
   double total_rank_wait = 0.0;    ///< sum over ranks of blocked-receive time
   std::vector<std::uint64_t> rank_messages;  ///< messages sent per rank
   std::vector<std::uint64_t> rank_bytes;     ///< bytes sent per rank
+  std::vector<std::uint64_t> rank_retries;   ///< transient-fault retries per rank
   std::vector<double> rank_wait;             ///< wait seconds per rank
+};
+
+/// Structured stall diagnosis produced by the World progress watchdog: which
+/// ranks are blocked, on what, for how long, plus traffic counters at stall
+/// time — the information a silent deadlock destroys.
+struct StallReport {
+  struct BlockedOp {
+    int rank = -1;
+    std::string op;        ///< "recv" or "barrier"
+    int peer = kAnySource; ///< awaited source rank (recv)
+    int tag = 0;
+    double seconds = 0.0;  ///< how long the rank has been blocked
+    std::uint64_t op_index = 0;  ///< completed comm ops on that rank
+  };
+  double stall_timeout = 0.0;
+  std::vector<BlockedOp> blocked;
+  TrafficStats traffic;  ///< world traffic counters at stall time
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown from World::run when the progress watchdog detects that no rank is
+/// making communication progress while at least one is blocked beyond
+/// WorldOptions::stall_timeout.
+class WorldStalled : public std::runtime_error {
+ public:
+  explicit WorldStalled(StallReport report);
+  [[nodiscard]] const StallReport& report() const { return report_; }
+
+ private:
+  StallReport report_;
+};
+
+class FaultPlan;
+
+/// Robustness knobs for a World (all off by default, matching the previous
+/// happy-path behaviour). Also configurable from the environment — see
+/// World::run.
+struct WorldOptions {
+  /// Deterministic chaos layer; null = no injection.
+  std::shared_ptr<FaultPlan> fault;
+  /// Bounded receive: a blocked recv gives up after this many seconds
+  /// (per retry round). 0 = wait forever.
+  double recv_timeout = 0.0;
+  /// Extra timeout rounds before recv surfaces RecvTimeout (each round
+  /// waits recv_timeout again and logs a warning).
+  int recv_retries = 0;
+  /// Progress watchdog: convert a silent deadlock into WorldStalled once a
+  /// rank has been blocked this long with no world-wide progress. 0 = off.
+  double stall_timeout = 0.0;
+  /// Delivery attempts per send before TransientSendError (>= 1).
+  int max_send_attempts = 5;
+  /// Sleep between delivery attempts after a transient send fault.
+  double send_backoff = 50e-6;
 };
 
 namespace detail {
@@ -56,30 +141,55 @@ namespace detail {
 struct Message {
   int src = 0;
   int tag = 0;
+  /// Per-source sequence number (monotone over the sender's sends on this
+  /// communicator). Restores FIFO-per-(src, tag) under reordering and makes
+  /// retransmissions/duplicates idempotent: a retry reuses its seq.
+  std::uint64_t seq = 0;
   std::vector<std::byte> payload;
 };
 
 /// Selective-receive queue: pop matches on (src, tag) with kAnySource
 /// wildcard, leaving non-matching messages queued (MPI tag-matching rules).
+/// Delivery is sequence-ordered per (src, tag) and duplicate-suppressing, so
+/// the mailbox is correct under FaultPlan reorder/duplicate injection.
 class Mailbox {
  public:
-  void push(Message msg);
+  /// defer=true holds the message back until the next push or pop touches
+  /// the mailbox (FaultPlan reorder injection).
+  void push(Message msg, bool defer = false);
   /// Blocks until a matching message arrives; accumulates blocked time into
-  /// *wait_seconds when non-null. Throws WorldAborted if poisoned.
+  /// *wait_seconds when non-null. Throws WorldAborted if poisoned (strict:
+  /// also when a matching message is queued — an aborted world's data must
+  /// not be consumed).
   Message pop(int src, int tag, double* wait_seconds);
+  enum class PopStatus { Ok, Poisoned, Timeout };
+  /// Bounded pop: like pop but gives up after timeout_seconds.
+  PopStatus pop_for(int src, int tag, double timeout_seconds, Message* out,
+                    double* wait_seconds);
   bool try_pop(int src, int tag, Message* out);
   void poison();
+  [[nodiscard]] bool poisoned();
 
  private:
   bool match_locked(int src, int tag, Message* out);
+  void flush_deferred_locked();
 
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::deque<Message> deferred_;  ///< reorder-injected, not yet visible
+  /// Highest delivered seq per (src, tag): the duplicate-suppression
+  /// watermark (delivery is seq-ascending per (src, tag)).
+  std::map<std::pair<int, int>, std::uint64_t> delivered_;
   bool poisoned_ = false;
 };
 
 struct CommState;
+
+/// World rank of the current rank-thread (-1 outside World::run). Keys the
+/// FaultPlan streams and the watchdog's blocked-op registry, including for
+/// split sub-communicators whose local ranks differ.
+int current_world_rank();
 
 }  // namespace detail
 
@@ -275,6 +385,11 @@ class Comm {
   /// all ranks only when none is communicating.
   void reset_traffic();
 
+  /// True once the world this communicator belongs to has been poisoned
+  /// (a rank died or the watchdog fired). Any further recv/barrier/
+  /// Request::wait on it throws WorldAborted.
+  [[nodiscard]] bool aborted() const;
+
  private:
   friend class World;
   Comm(std::shared_ptr<detail::CommState> state, int rank)
@@ -313,11 +428,24 @@ class Comm::Request {
 
 /// Launches an SPMD world of `nranks` rank-threads, each executing `fn` with
 /// its own world communicator, and joins them. If any rank throws, the world
-/// is poisoned (peers blocked in recv get WorldAborted) and the first
+/// is poisoned (peers blocked in recv/barrier get WorldAborted) and the first
 /// exception is rethrown to the caller.
+///
+/// Robustness behaviour is set by WorldOptions; when the caller passes none,
+/// the environment is consulted: VCGT_FAULT_SEED (+ VCGT_FAULT_P_*,
+/// VCGT_FAULT_KILL) attaches a FaultPlan, VCGT_RECV_TIMEOUT /
+/// VCGT_RECV_RETRIES bound receives, VCGT_STALL_TIMEOUT arms the progress
+/// watchdog. See src/minimpi/fault.hpp and DESIGN.md "Fault model".
 class World {
  public:
   static void run(int nranks, const std::function<void(Comm&)>& fn);
+  static void run(int nranks, const std::function<void(Comm&)>& fn,
+                  const WorldOptions& opts);
+
+  /// WorldOptions derived from the environment (the defaults for the
+  /// two-argument run()). Exposed so tests and drivers can inspect or tweak
+  /// an env-driven configuration before launching.
+  static WorldOptions options_from_env();
 };
 
 }  // namespace vcgt::minimpi

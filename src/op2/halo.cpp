@@ -20,6 +20,7 @@
 #include <cstring>
 
 #include <map>
+#include <span>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -357,6 +358,24 @@ void Context::build_partial_lists(LoopPlan& plan, const std::vector<ArgInfo>& ar
   (void)kTagPlanBase;
 }
 
+namespace {
+
+/// Send one halo message, converting transient-fault exhaustion into a
+/// structured HaloError that names the set and peer. WorldAborted passes
+/// through untouched: it is a world-death signal, not a halo failure.
+void halo_send(minimpi::Comm& comm, std::span<const std::byte> buf, int peer, int tag,
+               const Set& s) {
+  try {
+    comm.send_bytes(buf, peer, tag);
+  } catch (const minimpi::TransientSendError& e) {
+    throw HaloError(util::fmt("op2: halo send for set '{}' to rank {} failed: {}", s.name(),
+                              peer, e.what()),
+                    s.name(), peer, /*sending=*/true);
+  }
+}
+
+}  // namespace
+
 Context::PendingExchange Context::exchange_begin(LoopPlan& plan,
                                                  const std::vector<ArgInfo>& args) {
   PendingExchange pending;
@@ -407,7 +426,7 @@ Context::PendingExchange Context::exchange_begin(LoopPlan& plan,
                         src + static_cast<std::size_t>(send_idx[i][k]) * eb, eb);
           }
         }
-        comm_.send_bytes(buf, nbr_send[i], kTagGroupBase + s.id());
+        halo_send(comm_, buf, nbr_send[i], kTagGroupBase + s.id(), s);
         plan.halo_bytes += buf.size();
         ++plan.halo_msgs;
       }
@@ -424,7 +443,7 @@ Context::PendingExchange Context::exchange_begin(LoopPlan& plan,
             std::memcpy(buf.data() + k * eb,
                         src + static_cast<std::size_t>(send_idx[i][k]) * eb, eb);
           }
-          comm_.send_bytes(buf, nbr_send[i], kTagHaloBase + d->id());
+          halo_send(comm_, buf, nbr_send[i], kTagHaloBase + d->id(), s);
           plan.halo_bytes += buf.size();
           ++plan.halo_msgs;
         }
@@ -448,7 +467,15 @@ Context::PendingExchange Context::exchange_begin(LoopPlan& plan,
 void Context::exchange_end(LoopPlan& plan, PendingExchange& pending) {
   util::Timer t;
   for (auto& recv : pending.recvs) {
-    const auto buf = comm_.recv_bytes(recv.from, recv.tag);
+    std::vector<std::byte> buf;
+    try {
+      buf = comm_.recv_bytes(recv.from, recv.tag);
+    } catch (const minimpi::RecvTimeout& e) {
+      const std::string set = recv.dats.empty() ? "?" : recv.dats.front()->set().name();
+      throw HaloError(util::fmt("op2: halo receive for set '{}' from rank {} timed out: {}",
+                                set, recv.from, e.what()),
+                      set, recv.from, /*sending=*/false);
+    }
     std::size_t off = 0;
     for (DatBase* d : recv.dats) {
       const std::size_t eb = d->elem_bytes();

@@ -8,9 +8,24 @@
 // what let the runtime build race-free shared-memory plans (coloring) and
 // minimal distributed-memory halo exchanges.
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace vcgt::op2 {
+
+/// A halo exchange failed structurally (transient send faults exhausted the
+/// retry budget, or a bounded receive timed out). Carries enough context —
+/// set, peer, direction — to localize the failure without a debugger; wraps
+/// the underlying minimpi error as the `what()` suffix.
+class HaloError : public std::runtime_error {
+ public:
+  HaloError(std::string what, std::string set, int peer, bool sending)
+      : std::runtime_error(std::move(what)), set(std::move(set)), peer(peer),
+        sending(sending) {}
+  std::string set;  ///< op2 set whose halo was being exchanged
+  int peer;         ///< neighbor rank of the failed transfer
+  bool sending;     ///< true: packing/sending; false: receiving/scattering
+};
 
 /// Local/global element index. 32-bit is enough for the scaled-down meshes
 /// (the paper's 4.58B-node mesh would need 64-bit; see DESIGN.md §5).

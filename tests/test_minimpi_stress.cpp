@@ -3,6 +3,7 @@
 // collectives — the robustness the op2/jm76 stack leans on.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <numeric>
 
 #include "src/minimpi/minimpi.hpp"
@@ -130,6 +131,46 @@ TEST(MiniMpiStress, AbortFromInsideCollective) {
                             (void)c.allreduce_sum(1.0);
                           }),
                std::logic_error);
+}
+
+TEST(MiniMpiStress, AbortWhilePeersInBarrier) {
+  // Deterministic ordering via tokens: every survivor announces itself to
+  // rank 2 immediately before entering the barrier; rank 2 dies only after
+  // collecting all three announcements, so the peers are at (or inside) the
+  // barrier when the world is poisoned. The barrier wait must be woken by
+  // the poison instead of deadlocking on the missing fourth arrival.
+  EXPECT_THROW(World::run(4,
+                          [](Comm& c) {
+                            if (c.rank() == 2) {
+                              for (int i = 0; i < 3; ++i) (void)c.recv_bytes(kAnySource, 9);
+                              throw std::logic_error("rank died at the barrier door");
+                            }
+                            c.send_value(c.rank(), 2, 9);
+                            c.barrier();  // woken by poison, never completes
+                            FAIL() << "barrier completed despite a dead rank";
+                          }),
+               std::logic_error);
+}
+
+TEST(MiniMpiStress, BarrierRoundsNeverLetTokensLeakAcrossRounds) {
+  // Barrier-synchronized round protocol on 8 ranks: each round every rank
+  // sends its round number to the next rank *before* the barrier, and after
+  // the barrier the previous rank's token must already be deliverable
+  // (try_recv, no blocking) and carry this round's number — proving no rank
+  // ever passes a barrier generation early.
+  World::run(8, [](Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    for (int round = 0; round < 100; ++round) {
+      c.send_value(round, next, 77);
+      c.barrier();
+      std::vector<std::byte> out;
+      ASSERT_TRUE(c.try_recv_bytes(prev, 77, &out)) << "round " << round;
+      int got = -1;
+      std::memcpy(&got, out.data(), sizeof(int));
+      ASSERT_EQ(got, round);
+    }
+  });
 }
 
 TEST(MiniMpiStress, SplitChainsSurviveReuse) {

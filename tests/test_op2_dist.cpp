@@ -289,6 +289,71 @@ TEST(Op2Dist, ArgIdxGivesGlobalIdsOnEveryLayout) {
   });
 }
 
+TEST(Op2Dist, DirtyEpochTriggersExactlyOneExchange) {
+  // The halo coherence protocol must exchange a dat exactly when it was
+  // written since the last exchange: once after a mutation, never on a
+  // clean repeat, and not at all for loops that only write directly.
+  const auto mesh = test::make_grid(12, 9);
+  minimpi::World::run(3, [&](minimpi::Comm& comm) {
+    op2::Context ctx(comm);
+    auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+    auto& edges = ctx.decl_set("edges", mesh.nedge);
+    auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
+    auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
+    auto& x = ctx.decl_dat<double>(nodes, 1, "x");
+    auto& res = ctx.decl_dat<double>(nodes, 1, "res");
+    ctx.partition(op2::Partitioner::Rcb, coords);
+
+    const auto msgs = [&] { return ctx.total_stats().halo_msgs; };
+    const auto edge_sum = [&] {
+      auto g = ctx.decl_global<double>("sum", 1);
+      op2::par_loop("edge_sum", edges,
+                    [](const double* xa, const double* xb, double* s) { *s += *xa + *xb; },
+                    op2::arg(x, 0, e2n, Access::Read), op2::arg(x, 1, e2n, Access::Read),
+                    op2::arg(g, Access::Inc));
+      return g.value();
+    };
+
+    op2::par_loop("init_x", nodes,
+                  [](const double* c, double* v) { *v = 1.0 + 0.5 * c[0] - 0.25 * c[1]; },
+                  op2::arg(coords, Access::Read), op2::arg(x, Access::Write));
+    ASSERT_TRUE(x.halo_dirty());
+
+    // First indirect read of a dirty dat: exactly one exchange round.
+    const auto m0 = msgs();
+    const double sum1 = edge_sum();
+    const auto m1 = msgs();
+    EXPECT_GT(m1, m0);
+    EXPECT_FALSE(x.halo_dirty());
+
+    // Clean repeat: identical answer, zero additional halo traffic.
+    const double sum2 = edge_sum();
+    const auto m2 = msgs();
+    EXPECT_EQ(m2, m1);
+    EXPECT_EQ(sum2, sum1);
+
+    // A direct Write-access loop on another dat marks it dirty but must not
+    // exchange anything (nobody reads res through a map).
+    op2::par_loop("zero_res", nodes, [](double* r) { *r = 0.0; },
+                  op2::arg(res, Access::Write));
+    EXPECT_EQ(msgs(), m2);
+    EXPECT_TRUE(res.halo_dirty());
+
+    // Mutating x re-dirties it; the next indirect read re-exchanges exactly
+    // once (same per-round message count as the first exchange) and records
+    // cleanliness at the mutated epoch.
+    op2::par_loop("bump_x", nodes, [](double* v) { *v += 1e-3; },
+                  op2::arg(x, Access::ReadWrite));
+    ASSERT_TRUE(x.halo_dirty());
+    const auto epoch = x.write_epoch();
+    (void)edge_sum();
+    const auto m3 = msgs();
+    EXPECT_EQ(m3 - m2, m1 - m0);
+    EXPECT_FALSE(x.halo_dirty());
+    EXPECT_EQ(x.halo_clean_epoch(), epoch);
+  });
+}
+
 TEST(Op2Dist, LoopBeforePartitionThrows) {
   minimpi::World::run(2, [&](minimpi::Comm& comm) {
     op2::Context ctx(comm);
