@@ -3,12 +3,18 @@
 // prints (1) measured numbers from real mini-scale runs of this repository's
 // system and (2) the calibrated scaling model evaluated at the paper's node
 // counts, next to the paper's published values where the paper gives them.
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/util/cli.hpp"
 #include "src/util/fmt.hpp"
+#include "src/util/log.hpp"
 #include "src/util/table.hpp"
+#include "src/util/trace.hpp"
 
 namespace vcgt::bench {
 
@@ -26,6 +32,76 @@ inline void section(const std::string& name) {
 inline std::string vs_paper(double value, double paper, int precision = 2) {
   return util::Table::num(value, precision) + " (paper " +
          util::Table::num(paper, precision) + ")";
+}
+
+/// Resolves the `--trace` option. Both spellings work: `--trace=out.json`
+/// (the Cli's native form) and `--trace out.json` (which the Cli parses as a
+/// boolean flag plus a positional — picked up here). Bare `--trace` defaults
+/// to "trace.json". Empty string = tracing not requested.
+inline std::string trace_path(const util::Cli& cli) {
+  if (!cli.has("trace")) return "";
+  const std::string p = cli.get("trace", "");
+  if (!p.empty() && p != "1" && p != "true") return p;
+  for (const auto& pos : cli.positional()) {
+    if (pos.size() > 5 && pos.compare(pos.size() - 5, 5, ".json") == 0) return pos;
+  }
+  return "trace.json";
+}
+
+/// RAII trace capture for a bench run: when `--trace[=<path>]` is given,
+/// enables vcgt::trace for the session's lifetime; finish() (or the
+/// destructor) prints the per-span summary, writes the Chrome-trace JSON and
+/// disables tracing. Without the flag every call is a no-op.
+class TraceSession {
+ public:
+  explicit TraceSession(const util::Cli& cli) : path_(trace_path(cli)) {
+    if (active()) trace::enable();
+  }
+  ~TraceSession() { finish(); }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+
+  /// Stops recording, prints the span summary and writes the JSON file.
+  /// Events stay readable (trace::summary()) until the next enable().
+  void finish() {
+    if (!active() || finished_) return;
+    finished_ = true;
+    trace::disable();
+    section("trace: per-span summary");
+    trace::write_summary(std::cout);
+    if (trace::write_chrome_trace(path_)) {
+      std::cout << "chrome-trace written to " << path_
+                << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
+  }
+
+ private:
+  std::string path_;
+  bool finished_ = false;
+};
+
+/// Writes a machine-readable run summary as BENCH_<name>.json — a flat
+/// {"name": ..., "metrics": {key: number}} object for scripted comparison
+/// across runs. Keys are emitted in the order given.
+inline bool write_bench_json(const std::string& name,
+                             const std::vector<std::pair<std::string, double>>& metrics) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    util::warn("write_bench_json: cannot open {}", path);
+    return false;
+  }
+  os << "{\n  \"name\": \"" << name << "\",\n  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", metrics[i].second);
+    os << (i ? "," : "") << "\n    \"" << metrics[i].first << "\": " << buf;
+  }
+  os << "\n  }\n}\n";
+  std::cout << "bench summary written to " << path << "\n";
+  return true;
 }
 
 }  // namespace vcgt::bench

@@ -14,8 +14,9 @@ int main(int argc, char** argv) {
   spec.base_node_index = 0;
   spec.paper_efficiency = 0.824;  // 10 -> 82 nodes
   spec.mini_rows = 3;
+  spec.bench_name = "fig7_scaling_430m";
   vcgt::bench::run_scaling_figure(spec, static_cast<int>(cli.get_int("steps", 4)),
-                                  "fig7");
+                                  "fig7", cli);
   std::cout << "\nPaper shape check: 94% efficiency to 34 nodes, 82.4% to 82 nodes;\n"
                "coupling wait grows from 5-10% to ~20%; Cirrus 3.75-3.95x faster at\n"
                "equal power (5.1-5.37x node-to-node).\n";

@@ -13,8 +13,9 @@ int main(int argc, char** argv) {
   spec.base_node_index = 0;
   spec.paper_efficiency = 0.88;  // 15 -> 80 nodes
   spec.mini_rows = 2;
+  spec.bench_name = "fig8_scaling_2row";
   vcgt::bench::run_scaling_figure(spec, static_cast<int>(cli.get_int("steps", 4)),
-                                  "fig8");
+                                  "fig8", cli);
   std::cout << "\nPaper shape check: 88% efficiency 15->80 ARCHER2 nodes with only 2-8%\n"
                "coupling overhead (two rows balance easily); Cirrus 98% efficient\n"
                "17->29 nodes with 10-12% overhead, 3.3-3.4x faster at equal power.\n";

@@ -14,8 +14,9 @@ int main(int argc, char** argv) {
   spec.base_node_index = 0;
   spec.paper_efficiency = 0.82;  // 107 -> 512 nodes
   spec.mini_rows = 4;
+  spec.bench_name = "fig9_scaling_458b";
   vcgt::bench::run_scaling_figure(spec, static_cast<int>(cli.get_int("steps", 3)),
-                                  "fig9");
+                                  "fig9", cli);
 
   vcgt::perf::ScalingModel gpu(vcgt::perf::cirrus(), vcgt::perf::w458b());
   std::cout << "\nGPU memory gate: minimum Cirrus nodes for 4.58B = " << gpu.min_gpu_nodes()

@@ -6,7 +6,9 @@
 // counts (load balance and communication metrics, which — not wall time —
 // are the meaningful scaling signals when every rank-thread shares one
 // physical core).
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.hpp"
@@ -24,10 +26,18 @@ struct FigureSpec {
   int base_node_index = 0;          ///< efficiency reference point
   double paper_efficiency = 0.0;    ///< quoted end-to-end efficiency
   int mini_rows = 3;                ///< rows in the measured mini sweep
+  /// When set, a BENCH_<name>.json machine-readable summary of the measured
+  /// mini sweep is written next to the CSVs.
+  std::string bench_name;
 };
 
+/// `cli` supplies `--trace[=<path>]`: when present, the measured mini sweep
+/// below runs with vcgt::trace enabled, the per-span summary and measured
+/// phase split are printed, and the Chrome-trace JSON is written (one track
+/// per minimpi rank).
 inline void run_scaling_figure(const FigureSpec& spec, int steps,
-                               const std::string& csv_prefix) {
+                               const std::string& csv_prefix,
+                               const util::Cli& cli) {
   header(spec.title, spec.paper_ref);
 
   // --- model curves ---------------------------------------------------------
@@ -71,6 +81,8 @@ inline void run_scaling_figure(const FigureSpec& spec, int steps,
 
   // --- measured mini sweep ----------------------------------------------------
   section("measured: real coupled system over increasing rank counts");
+  TraceSession ts(cli);
+  std::vector<std::pair<std::string, double>> metrics;
   util::Table tm({"HS ranks/row", "world", "max/min owned cells", "halo MB/rank",
                   "coupler wait s/step", "CU search s/step"});
   for (const int rpr : {1, 2, 3}) {
@@ -104,11 +116,42 @@ inline void run_scaling_figure(const FigureSpec& spec, int steps,
                     util::Table::num(static_cast<double>(bytes) / hs / 1e6, 3),
                     util::Table::num(wait / steps, 4),
                     util::Table::num(search / steps, 4)});
+        const std::string k = "rpr" + std::to_string(rpr) + "_";
+        metrics.emplace_back(k + "world", world.size());
+        metrics.emplace_back(k + "imbalance",
+                             static_cast<double>(mx) / static_cast<double>(mn));
+        metrics.emplace_back(k + "halo_mb_per_rank",
+                             static_cast<double>(bytes) / hs / 1e6);
+        metrics.emplace_back(k + "coupler_wait_s_per_step", wait / steps);
+        metrics.emplace_back(k + "cu_search_s_per_step", search / steps);
       }
     });
   }
   tm.print_text(std::cout);
   util::write_csv(tm, csv_prefix + "_measured_mini.csv");
+
+  if (ts.active()) {
+    ts.finish();  // prints the per-span summary, writes the Chrome trace
+    const auto phases = perf::attribute_phases(trace::summary());
+    section("trace: measured phase attribution (all ranks, all sweep points)");
+    util::Table tp({"phase", "seconds", "% of attributed"});
+    const double tot = std::max(phases.total(), 1e-12);
+    const auto row = [&](const char* n, double s) {
+      tp.add_row({n, util::Table::num(s, 4), util::Table::num(100.0 * s / tot, 1)});
+    };
+    row("compute (par_loops)", phases.compute);
+    row("halo exchange", phases.halo);
+    row("coupler wait", phases.coupler_wait);
+    row("CU search+interp", phases.search);
+    tp.print_text(std::cout);
+    std::cout << "mailbox-blocked (inside the above): "
+              << util::Table::num(phases.mpi_wait, 4) << " s\n";
+    metrics.emplace_back("trace_compute_s", phases.compute);
+    metrics.emplace_back("trace_halo_s", phases.halo);
+    metrics.emplace_back("trace_coupler_wait_s", phases.coupler_wait);
+    metrics.emplace_back("trace_search_s", phases.search);
+  }
+  if (!spec.bench_name.empty()) write_bench_json(spec.bench_name, metrics);
 }
 
 }  // namespace vcgt::bench

@@ -6,6 +6,7 @@
 
 #include "src/op2/io.hpp"
 #include "src/util/log.hpp"
+#include "src/util/trace.hpp"
 
 namespace vcgt::hydra {
 
@@ -657,6 +658,7 @@ void RowSolver::flux_and_sources(int stage) {
 }
 
 void RowSolver::inner_iteration() {
+  trace::Span titer("hydra:inner_iter");
   const double gamma = cfg_.gamma;
 
   // Local pseudo-time step from the convective spectral radius, clamped for
@@ -713,6 +715,8 @@ void RowSolver::inner_iteration() {
                 op2::arg(*nut_, Access::Read), op2::arg(*nut0_, Access::Write));
 
   for (int stage = 0; stage < cfg_.rk_stages; ++stage) {
+    trace::Span tstage("hydra:rk_stage");
+    tstage.arg("stage", static_cast<double>(stage));
     flux_and_sources(stage);
     const double alpha = 1.0 / static_cast<double>(cfg_.rk_stages - stage);
     op2::par_loop((pfx_ + "rk_update").c_str(), *cells_,

@@ -8,6 +8,7 @@
 #include "src/rig/annulus.hpp"
 #include "src/util/log.hpp"
 #include "src/util/timer.hpp"
+#include "src/util/trace.hpp"
 
 namespace vcgt::jm76 {
 
@@ -214,6 +215,7 @@ void CoupledRig::run_hs(int nsteps, int inner) {
   util::Timer total;
 
   auto send_states = [&]() {
+    trace::Span tspan("coupler:send_states");
     // Donor roles: my Outlet feeds interface `row` dir 0; my Inlet feeds
     // interface `row-1` dir 1.
     if (outlet_coupled) {
@@ -237,6 +239,7 @@ void CoupledRig::run_hs(int nsteps, int inner) {
   };
 
   auto recv_ghosts = [&]() {
+    trace::Span tspan("coupler:recv_ghosts");
     const util::ScopedTimer st(wait_sw);
     // Target roles: my Inlet receives from interface `row-1` dir 0; my
     // Outlet from interface `row` dir 1.
@@ -269,6 +272,11 @@ void CoupledRig::run_hs(int nsteps, int inner) {
   };
 
   for (int t = 0; t < nsteps; ++t) {
+    trace::Span tstep("hs:step");
+    if (tstep.active()) {
+      tstep.arg("step", static_cast<double>(t));
+      tstep.arg("row", static_cast<double>(row));
+    }
     if (cfg_.pipelined) {
       // One-step-lagged coupling: ghosts computed by the CUs while the
       // previous step's inner iterations ran are consumed now (overlap).
@@ -362,8 +370,14 @@ void CoupledRig::run_cu(int nsteps) {
   const double base_time = base_time_;
   const int iters = cfg_.pipelined ? nsteps - 1 : nsteps;
   for (int t = 0; t < iters; ++t) {
+    trace::Span tstep("cu:step");
+    if (tstep.active()) {
+      tstep.arg("step", static_cast<double>(t));
+      tstep.arg("iface", static_cast<double>(iface));
+    }
     // Receive donor payloads from every donor-row HS rank, both directions.
     {
+      trace::Span trecv("cu:recv_donors");
       const util::ScopedTimer st(idle_sw);
       for (int d = 0; d < 2; ++d) {
         auto& dir = dirs[d];
@@ -388,6 +402,7 @@ void CoupledRig::run_cu(int nsteps) {
     // previous run() segments and checkpoint restarts.
     const double step_time = base_time + (cfg_.pipelined ? t + 1 : t) * dt;
     {
+      trace::Span tsearch("cu:search_interp");
       const util::ScopedTimer st(search_sw);
       for (int d = 0; d < 2; ++d) {
         auto& dir = dirs[d];
@@ -445,6 +460,16 @@ void CoupledRig::run_cu(int nsteps) {
   stats_.search_seconds = search_sw.total();
   stats_.candidates =
       dirs[0].interp->candidates_tested() + dirs[1].interp->candidates_tested();
+}
+
+void CoupledRig::reset_stats() {
+  if (ctx_) ctx_->reset_stats();
+  RankStats fresh;
+  fresh.world_rank = stats_.world_rank;
+  fresh.is_cu = stats_.is_cu;
+  fresh.row_or_iface = stats_.row_or_iface;
+  fresh.owned_cells = stats_.owned_cells;
+  stats_ = fresh;
 }
 
 bool CoupledRig::save_state(const std::string& prefix) {

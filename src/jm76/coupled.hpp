@@ -101,6 +101,13 @@ class CoupledRig {
   /// Gathers every rank's stats to world rank 0 (empty elsewhere).
   static std::vector<RankStats> collect(minimpi::Comm& world, const RankStats& mine);
 
+  /// Zeroes the per-run meters (op2 loop/halo counters and the timing fields
+  /// of stats()), keeping identity fields (rank, role, owned cells). Without
+  /// this, repeat-N benchmarks report cumulative halo bytes/waits as per-rep
+  /// numbers: the op2 plan meters accumulate across run() segments. Call it
+  /// between repetitions on every rank (no communication involved).
+  void reset_stats();
+
   /// HS-only access for examples/tests (null on CU ranks).
   [[nodiscard]] hydra::RowSolver* solver() { return solver_.get(); }
   [[nodiscard]] const Role& role() const { return role_; }

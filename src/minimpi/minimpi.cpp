@@ -9,6 +9,7 @@
 #include "src/minimpi/fault.hpp"
 #include "src/util/log.hpp"
 #include "src/util/timer.hpp"
+#include "src/util/trace.hpp"
 
 namespace vcgt::minimpi {
 
@@ -405,6 +406,13 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag, int* actual_src) {
   if (waited > 0.0) {
     state_->rank_wait[static_cast<std::size_t>(rank_)].fetch_add(waited,
                                                                  std::memory_order_relaxed);
+    // Feed the trace from the mailbox wait metering: one span per blocked
+    // receive, skipping instant matches (sub-microsecond "waits" are noise).
+    if (waited > 1e-6 && trace::enabled()) {
+      const auto dur = static_cast<std::int64_t>(waited * 1e9);
+      trace::complete("mpi:recv_wait", trace::now_ns() - dur, dur,
+                      {{"src", static_cast<double>(src)}, {"tag", static_cast<double>(tag)}});
+    }
   }
   state_->note_progress(wrank);
   if (actual_src) *actual_src = msg.src;
@@ -470,8 +478,13 @@ void Comm::barrier() {
     st.barrier_cv.wait(lock, [&] {
       return st.barrier_generation != gen || st.poisoned.load(std::memory_order_relaxed);
     });
-    st.rank_wait[static_cast<std::size_t>(rank_)].fetch_add(waited.elapsed(),
+    const double waited_s = waited.elapsed();
+    st.rank_wait[static_cast<std::size_t>(rank_)].fetch_add(waited_s,
                                                             std::memory_order_relaxed);
+    if (waited_s > 1e-6 && trace::enabled()) {
+      const auto dur = static_cast<std::int64_t>(waited_s * 1e9);
+      trace::complete("mpi:barrier_wait", trace::now_ns() - dur, dur);
+    }
     if (st.barrier_generation == gen) {
       // Woken by poison, not by barrier completion: a peer died while we
       // waited (this wake previously did not exist — the seed deadlocked).
@@ -645,6 +658,7 @@ void World::run(int nranks, const std::function<void(Comm&)>& fn, const WorldOpt
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       detail::t_world_rank = r;
+      trace::set_track(r);  // one trace track per rank
       Comm comm{state, r};
       try {
         fn(comm);

@@ -20,6 +20,7 @@
 #include <cstring>
 
 #include <map>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <unordered_set>
@@ -27,6 +28,7 @@
 #include "src/op2/context.hpp"
 #include "src/util/log.hpp"
 #include "src/util/timer.hpp"
+#include "src/util/trace.hpp"
 
 namespace vcgt::op2 {
 
@@ -381,6 +383,11 @@ Context::PendingExchange Context::exchange_begin(LoopPlan& plan,
   PendingExchange pending;
   if (!distributed()) return pending;
 
+  std::optional<trace::Span> tspan;
+  if (!plan.comms.empty()) tspan.emplace("halo:pack_send");
+  const std::uint64_t bytes0 = plan.halo_bytes;
+  const std::uint64_t msgs0 = plan.halo_msgs;
+
   for (auto& sc : plan.comms) {
     const Set& s = *sc.set;
     const SetHalo& halo = halos_[static_cast<std::size_t>(s.id())];
@@ -461,11 +468,20 @@ Context::PendingExchange Context::exchange_begin(LoopPlan& plan,
       if (sc.full || sc.covers_full) d->mark_halo_clean();
     }
   }
+  if (tspan && tspan->active()) {
+    tspan->arg("bytes", static_cast<double>(plan.halo_bytes - bytes0));
+    tspan->arg("msgs", static_cast<double>(plan.halo_msgs - msgs0));
+    tspan->arg("grouped", cfg_.grouped_halos ? 1.0 : 0.0);
+    tspan->arg("partial", cfg_.partial_halos ? 1.0 : 0.0);
+  }
   return pending;
 }
 
 void Context::exchange_end(LoopPlan& plan, PendingExchange& pending) {
+  if (pending.recvs.empty()) return;
   util::Timer t;
+  trace::Span tspan("halo:wait");
+  std::uint64_t bytes_in = 0;
   for (auto& recv : pending.recvs) {
     std::vector<std::byte> buf;
     try {
@@ -477,6 +493,7 @@ void Context::exchange_end(LoopPlan& plan, PendingExchange& pending) {
                       set, recv.from, /*sending=*/false);
     }
     std::size_t off = 0;
+    bytes_in += buf.size();
     for (DatBase* d : recv.dats) {
       const std::size_t eb = d->elem_bytes();
       std::byte* dst = d->raw();
@@ -491,7 +508,11 @@ void Context::exchange_end(LoopPlan& plan, PendingExchange& pending) {
       off += slots.size() * eb;
     }
   }
-  if (!pending.recvs.empty()) plan.halo_seconds += t.elapsed();
+  if (tspan.active()) {
+    tspan.arg("bytes", static_cast<double>(bytes_in));
+    tspan.arg("msgs", static_cast<double>(pending.recvs.size()));
+  }
+  plan.halo_seconds += t.elapsed();
   pending.recvs.clear();
 }
 

@@ -27,6 +27,7 @@
 #include "src/op2/set.hpp"
 #include "src/op2/types.hpp"
 #include "src/util/timer.hpp"
+#include "src/util/trace.hpp"
 
 namespace vcgt::op2 {
 
@@ -222,7 +223,14 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
   const std::vector<ArgInfo> infos{detail::to_info(as)...};
   util::Timer timer;
 
+  trace::Span tspan(name);
   LoopPlan& plan = ctx.get_plan(name, set, infos);
+  if (tspan.active()) {
+    tspan.arg("set_size", static_cast<double>(plan.n_executed));
+    tspan.arg("colors",
+              static_cast<double>(plan.core_colors.size() + plan.tail_colors.size()));
+    tspan.arg("nthreads", static_cast<double>(ctx.config().nthreads));
+  }
   auto pending = ctx.exchange_begin(plan, infos);
 
   const int nthreads = ctx.config().nthreads;

@@ -17,7 +17,35 @@ double candidates_per_locate(jm76::SearchKind kind, double donor_faces) {
   return 6.0 * std::log2(std::max(2.0, donor_faces)) + 12.0;
 }
 
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
 }  // namespace
+
+MeasuredPhases attribute_phases(const std::vector<trace::SummaryRow>& rows) {
+  MeasuredPhases p;
+  for (const auto& r : rows) {
+    if (starts_with(r.name, "mpi:")) {
+      p.mpi_wait += r.total_seconds;
+    } else if (starts_with(r.name, "halo:")) {
+      p.halo += r.total_seconds;
+    } else if (starts_with(r.name, "coupler:") || r.name == "cu:recv_donors") {
+      p.coupler_wait += r.total_seconds;
+    } else if (r.name == "cu:search_interp") {
+      p.search += r.total_seconds;
+    } else if (r.name == "hs:step" || r.name == "cu:step" ||
+               starts_with(r.name, "hydra:")) {
+      // Container spans: the leaf spans inside them carry the time.
+    } else {
+      // A par_loop span ("row0:rk_update") — it brackets the halo exchange
+      // too; the halo total is pulled back out below.
+      p.compute += r.total_seconds;
+    }
+  }
+  p.compute = std::max(0.0, p.compute - p.halo);
+  return p;
+}
 
 ScalingModel::ScalingModel(MachineSpec machine, WorkloadSpec workload,
                            double reference_node_rate)

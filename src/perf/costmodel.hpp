@@ -20,9 +20,12 @@
 //   T_slide = monolithic-only: global donor assembly + un-overlapped search
 //             concentrated on the ranks holding interface faces ("trapped",
 //             §II-C) — the term that wrecks monolithic scaling (Table IV).
+#include <vector>
+
 #include "src/jm76/search.hpp"
 #include "src/perf/machine.hpp"
 #include "src/perf/workload.hpp"
+#include "src/util/trace.hpp"
 
 namespace vcgt::perf {
 
@@ -51,6 +54,34 @@ struct StepCost {
     return t > 0 ? (coupler_wait + sliding_inline) / t : 0.0;
   }
 };
+
+/// Measured per-phase attribution of a traced run — the runtime counterpart
+/// of the analytic StepCost, built from trace::summary() rows so the bench
+/// harness can print "measured split" next to "modelled split".
+struct MeasuredPhases {
+  double compute = 0;       ///< par_loop kernel time (nested halo subtracted)
+  double halo = 0;          ///< "halo:pack_send" + "halo:wait"
+  double coupler_wait = 0;  ///< "coupler:*" + "cu:recv_donors"
+  double search = 0;        ///< "cu:search_interp"
+  /// Mailbox-blocked time ("mpi:*"). Diagnostic only: those waits happen
+  /// *inside* halo/coupler spans, so adding them to total() would double
+  /// count.
+  double mpi_wait = 0;
+  [[nodiscard]] double total() const {
+    return compute + halo + coupler_wait + search;
+  }
+  [[nodiscard]] double coupling_fraction() const {
+    const double t = total();
+    return t > 0 ? coupler_wait / t : 0.0;
+  }
+};
+
+/// Classifies trace summary rows by the naming conventions in
+/// src/util/trace.hpp. Container spans ("hs:step", "cu:step",
+/// "hydra:inner_iter", "hydra:rk_stage") are skipped — their time is already
+/// covered by the leaf spans they enclose. par_loop spans include their halo
+/// exchange, so the halo total is subtracted from compute (clamped at 0).
+[[nodiscard]] MeasuredPhases attribute_phases(const std::vector<trace::SummaryRow>& rows);
 
 class ScalingModel {
  public:

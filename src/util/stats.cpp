@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace vcgt::util {
 
@@ -26,6 +27,12 @@ double Accumulator::variance() const {
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
 double quantile(std::vector<double> samples, double q) {
+  if (std::isnan(q)) throw std::invalid_argument("quantile: q is NaN");
+  // NaN samples have no order: sorting them violates strict weak ordering
+  // (UB) and would poison the interpolation. Drop them before ranking.
+  samples.erase(std::remove_if(samples.begin(), samples.end(),
+                               [](double x) { return std::isnan(x); }),
+                samples.end());
   if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
   q = std::clamp(q, 0.0, 1.0);

@@ -27,7 +27,9 @@ class Accumulator {
   double sum_ = 0.0;
 };
 
-/// Quantile of a sample vector (linear interpolation); q in [0,1].
+/// Quantile of a sample vector (linear interpolation). q is clamped to
+/// [0,1]; a NaN q throws std::invalid_argument. NaN samples are ignored;
+/// when no samples remain (empty input or all-NaN) the result is 0.0.
 double quantile(std::vector<double> samples, double q);
 
 /// Relative difference |a-b| / max(|a|,|b|,eps).

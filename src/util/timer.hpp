@@ -25,20 +25,40 @@ class Timer {
 
 /// Accumulates time across multiple start/stop intervals; used for the
 /// per-phase breakdowns (compute vs halo-exchange vs coupler-wait).
+///
+/// start() while already running accumulates the open interval before
+/// restarting (it used to silently discard it), and start/stop pairs nest:
+/// nested ScopedTimers on the same Stopwatch count the outer interval exactly
+/// once — only the outermost stop() closes the accumulation.
 class Stopwatch {
  public:
-  void start() { t_.reset(); running_ = true; }
-  void stop() {
-    if (running_) total_ += t_.elapsed();
-    running_ = false;
+  void start() {
+    if (depth_ > 0) {
+      // Re-entrant start: bank the open interval so no time is lost, then
+      // keep timing from now (the previous behaviour dropped it).
+      total_ += t_.elapsed();
+    }
+    t_.reset();
+    ++depth_;
   }
-  [[nodiscard]] double total() const { return total_; }
-  void clear() { total_ = 0.0; running_ = false; }
+  void stop() {
+    if (depth_ == 0) return;
+    if (--depth_ == 0) total_ += t_.elapsed();
+  }
+  [[nodiscard]] double total() const {
+    // An open interval counts toward the running total (read-side only).
+    return depth_ > 0 ? total_ + t_.elapsed() : total_;
+  }
+  [[nodiscard]] bool running() const { return depth_ > 0; }
+  void clear() {
+    total_ = 0.0;
+    depth_ = 0;
+  }
 
  private:
   Timer t_;
   double total_ = 0.0;
-  bool running_ = false;
+  int depth_ = 0;
 };
 
 /// RAII interval that adds its lifetime to a Stopwatch.

@@ -1,16 +1,27 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 
 #include "src/util/cli.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/stats.hpp"
 #include "src/util/table.hpp"
 #include "src/util/threadpool.hpp"
+#include "src/util/timer.hpp"
 
 namespace {
 
 using namespace vcgt::util;
+
+/// Spin (not sleep) so the measured interval is genuinely elapsed steady
+/// time even on heavily loaded CI machines.
+void BusyWait(double seconds) {
+  Timer t;
+  while (t.elapsed() < seconds) {}
+}
 
 TEST(Accumulator, BasicMoments) {
   Accumulator a;
@@ -39,6 +50,75 @@ TEST(Quantile, InterpolatesLinearly) {
 }
 
 TEST(Quantile, EmptyReturnsZero) { EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0); }
+
+TEST(Quantile, ClampsQOutsideUnitInterval) {
+  std::vector<double> s{1, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(s, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(s, 2.0), 3.0);
+}
+
+TEST(Quantile, IgnoresNanSamples) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaN samples poison std::sort's ordering (NaN compares false both ways),
+  // so they are filtered before sorting instead of propagating garbage.
+  EXPECT_DOUBLE_EQ(quantile({nan, 3.0, 1.0, nan, 2.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({nan, nan}, 0.5), 0.0);  // all-NaN == empty
+}
+
+TEST(Quantile, NanQThrows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(quantile({1.0, 2.0}, nan), std::invalid_argument);
+}
+
+TEST(Stopwatch, RestartWhileRunningBanksTheOpenInterval) {
+  // Regression: start() used to discard the in-flight interval, silently
+  // under-reporting any meter whose call sites don't pair start/stop exactly.
+  Stopwatch sw;
+  sw.start();
+  BusyWait(0.002);
+  sw.start();  // must bank the ~2ms already elapsed, not drop it
+  BusyWait(0.002);
+  sw.stop();
+  sw.stop();
+  EXPECT_GE(sw.total(), 0.004);
+}
+
+TEST(Stopwatch, NestedScopedTimersCountTheOuterIntervalOnce) {
+  // Nested ScopedTimers on one stopwatch (outer phase calls a helper that
+  // meters the same stopwatch) must not double-count the overlap.
+  Stopwatch sw;
+  Timer wall;
+  {
+    ScopedTimer outer(sw);
+    BusyWait(0.002);
+    {
+      ScopedTimer inner(sw);
+      BusyWait(0.002);
+    }
+    BusyWait(0.002);
+  }
+  const double w = wall.elapsed();
+  EXPECT_GE(sw.total(), 0.006);
+  // Counted once, the total cannot exceed the enclosing wall interval; a
+  // double-counted inner interval would add >= 2ms on top of it. Comparing
+  // against wall (not an absolute bound) stays robust under CI load: both
+  // measurements stretch together.
+  EXPECT_LE(sw.total(), w + 1e-4);
+  EXPECT_FALSE(sw.running());
+}
+
+TEST(Stopwatch, TotalReadableWhileRunningAndClearResets) {
+  Stopwatch sw;
+  sw.start();
+  BusyWait(0.001);
+  EXPECT_GT(sw.total(), 0.0);  // live read includes the open interval
+  EXPECT_TRUE(sw.running());
+  sw.clear();
+  EXPECT_DOUBLE_EQ(sw.total(), 0.0);
+  EXPECT_FALSE(sw.running());
+  sw.stop();  // stop without start stays a no-op after clear
+  EXPECT_DOUBLE_EQ(sw.total(), 0.0);
+}
 
 TEST(RelDiff, Symmetric) {
   EXPECT_DOUBLE_EQ(rel_diff(2.0, 1.0), 0.5);
