@@ -126,12 +126,12 @@ int main(int argc, char** argv) {
                       [](double* x) {
                         for (int c = 0; c < 5; ++c) x[c] = 1.0;
                       },
-                      op2::arg(v, op2::Access::Write));
+                      op2::write(v));
         op2::par_loop("read_boundary", hub,
                       [](const double* x, const double* y, double* a) { *a = x[0] + y[0]; },
-                      op2::arg(v, 0, map, op2::Access::Read),
-                      op2::arg(v, 1, map, op2::Access::Read),
-                      op2::arg(acc, op2::Access::Write));
+                      op2::read(v, map, 0),
+                      op2::read(v, map, 1),
+                      op2::write(acc));
       }
       const auto b = comm.allreduce_sum_u64(ctx.total_stats().halo_bytes);
       const auto mm = comm.allreduce_sum_u64(ctx.total_stats().halo_msgs);

@@ -52,24 +52,24 @@ void simulate(op2::Context& ctx) {
   // 50 Jacobi smoothing sweeps: the indirect-increment motif of every
   // unstructured FV/FE code (paper SS II).
   for (int it = 0; it < 50; ++it) {
-    op2::par_loop("zero", nodes, [](double* r) { *r = 0.0; }, op2::arg(res, Access::Write));
+    op2::par_loop("zero", nodes, [](double* r) { *r = 0.0; }, op2::write(res));
     op2::par_loop("edge_diff", edges,
                   [](const double* a, const double* b, double* ra, double* rb) {
                     const double f = 0.5 * (*b - *a);
                     *ra += f;
                     *rb -= f;
                   },
-                  op2::arg(u, 0, e2n, Access::Read), op2::arg(u, 1, e2n, Access::Read),
-                  op2::arg(res, 0, e2n, Access::Inc), op2::arg(res, 1, e2n, Access::Inc));
+                  op2::read(u, e2n, 0), op2::read(u, e2n, 1),
+                  op2::inc(res, e2n, 0), op2::inc(res, e2n, 1));
     op2::par_loop("update", nodes,
                   [](const double* r, double* v) { *v += 0.5 * *r; },
-                  op2::arg(res, Access::Read), op2::arg(u, Access::ReadWrite));
+                  op2::read(res), op2::rw(u));
   }
 
   // Global reduction across every rank.
   auto norm = ctx.decl_global<double>("norm", 1);
   op2::par_loop("norm", nodes, [](const double* v, double* s) { *s += *v * *v; },
-                op2::arg(u, Access::Read), op2::arg(norm, Access::Inc));
+                op2::read(u), op2::reduce_sum(norm));
   if (ctx.rank() == 0) {
     std::cout << "rank count: " << ctx.nranks() << "\n";
     std::cout << "||u||^2 after smoothing: " << norm.value() << "\n";

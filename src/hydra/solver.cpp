@@ -141,9 +141,9 @@ void RowSolver::initialize() {
                   }
                   *nut = nut_in;
                 },
-                op2::arg(*q_, Access::Write), op2::arg(*q0_, Access::Write),
-                op2::arg(*qold_, Access::Write), op2::arg(*qold2_, Access::Write),
-                op2::arg(*nut_, Access::Write));
+                op2::write(*q_), op2::write(*q0_),
+                op2::write(*qold_), op2::write(*qold2_),
+                op2::write(*nut_));
 
   for (const auto group : {BoundaryGroup::Inlet, BoundaryGroup::Outlet}) {
     op2::par_loop((pfx_ + group_tag(group) + "_ghost_init").c_str(), *bsets_[gi(group)],
@@ -155,7 +155,7 @@ void RowSolver::initialize() {
                     gh[4] = E;
                     gh[5] = nut_in;
                   },
-                  op2::arg(*ghost_[gi(group)], Access::Write));
+                  op2::write(*ghost_[gi(group)]));
   }
 }
 
@@ -168,7 +168,7 @@ void RowSolver::flux_and_sources(int stage) {
                   for (int s = 0; s < kNState; ++s) r[s] = 0.0;
                   *nr = 0.0;
                 },
-                op2::arg(*res_, Access::Write), op2::arg(*nut_res_, Access::Write));
+                op2::write(*res_), op2::write(*nut_res_));
 
   // --- gradients (Green-Gauss), limiter ------------------------------------
   const bool need_grad = cfg_.second_order || cfg_.viscous;
@@ -186,10 +186,10 @@ void RowSolver::flux_and_sources(int stage) {
                       lm[s] = 1.0;
                     }
                   },
-                  op2::arg(*q_, Access::Read), op2::arg(*gradq_, Access::Write),
-                  op2::arg(*gradp_, Access::Write), op2::arg(*gradnut_, Access::Write),
-                  op2::arg(*qmin_, Access::Write), op2::arg(*qmax_, Access::Write),
-                  op2::arg(*lim_, Access::Write));
+                  op2::read(*q_), op2::write(*gradq_),
+                  op2::write(*gradp_), op2::write(*gradnut_),
+                  op2::write(*qmin_), op2::write(*qmax_),
+                  op2::write(*lim_));
 
     // Per-face Green-Gauss accumulation (conservative, primitive and SA
     // gradients in one sweep) with neighborhood min/max for the limiter.
@@ -231,14 +231,14 @@ void RowSolver::flux_and_sources(int stage) {
             if (ql[s] > mxr[s]) mxr[s] = ql[s];
           }
         },
-        op2::arg(*q_, 0, *f2c_, Access::Read), op2::arg(*q_, 1, *f2c_, Access::Read),
-        op2::arg(*nut_, 0, *f2c_, Access::Read), op2::arg(*nut_, 1, *f2c_, Access::Read),
-        op2::arg(*fnorm_, Access::Read), op2::arg(*gradq_, 0, *f2c_, Access::Inc),
-        op2::arg(*gradq_, 1, *f2c_, Access::Inc), op2::arg(*gradp_, 0, *f2c_, Access::Inc),
-        op2::arg(*gradp_, 1, *f2c_, Access::Inc), op2::arg(*gradnut_, 0, *f2c_, Access::Inc),
-        op2::arg(*gradnut_, 1, *f2c_, Access::Inc), op2::arg(*qmin_, 0, *f2c_, Access::Inc),
-        op2::arg(*qmin_, 1, *f2c_, Access::Inc), op2::arg(*qmax_, 0, *f2c_, Access::Inc),
-        op2::arg(*qmax_, 1, *f2c_, Access::Inc));
+        op2::read(*q_, *f2c_, 0), op2::read(*q_, *f2c_, 1),
+        op2::read(*nut_, *f2c_, 0), op2::read(*nut_, *f2c_, 1),
+        op2::read(*fnorm_), op2::inc(*gradq_, *f2c_, 0),
+        op2::inc(*gradq_, *f2c_, 1), op2::inc(*gradp_, *f2c_, 0),
+        op2::inc(*gradp_, *f2c_, 1), op2::inc(*gradnut_, *f2c_, 0),
+        op2::inc(*gradnut_, *f2c_, 1), op2::inc(*qmin_, *f2c_, 0),
+        op2::inc(*qmin_, *f2c_, 1), op2::inc(*qmax_, *f2c_, 0),
+        op2::inc(*qmax_, *f2c_, 1));
 
     // Boundary closure of the Green-Gauss integral: cell value on walls
     // (zero normal gradient), ghost average on inlet/outlet.
@@ -263,13 +263,13 @@ void RowSolver::flux_and_sources(int stage) {
               gn[d] += 0.5 * (*nut + gh[kNState]) * area[d];
             }
           },
-          op2::arg(*q_, 0, *b2c_[gi(group)], Access::Read),
-          op2::arg(*nut_, 0, *b2c_[gi(group)], Access::Read),
-          op2::arg(*ghost_[gi(group)], Access::Read),
-          op2::arg(*bnorm_[gi(group)], Access::Read),
-          op2::arg(*gradq_, 0, *b2c_[gi(group)], Access::Inc),
-          op2::arg(*gradp_, 0, *b2c_[gi(group)], Access::Inc),
-          op2::arg(*gradnut_, 0, *b2c_[gi(group)], Access::Inc));
+          op2::read(*q_, *b2c_[gi(group)], 0),
+          op2::read(*nut_, *b2c_[gi(group)], 0),
+          op2::read(*ghost_[gi(group)]),
+          op2::read(*bnorm_[gi(group)]),
+          op2::inc(*gradq_, *b2c_[gi(group)], 0),
+          op2::inc(*gradp_, *b2c_[gi(group)], 0),
+          op2::inc(*gradnut_, *b2c_[gi(group)], 0));
     }
     for (const auto group : {BoundaryGroup::Hub, BoundaryGroup::Casing}) {
       op2::par_loop(
@@ -285,12 +285,12 @@ void RowSolver::flux_and_sources(int stage) {
               gn[d] += *nut * area[d];
             }
           },
-          op2::arg(*q_, 0, *b2c_[gi(group)], Access::Read),
-          op2::arg(*nut_, 0, *b2c_[gi(group)], Access::Read),
-          op2::arg(*bnorm_[gi(group)], Access::Read),
-          op2::arg(*gradq_, 0, *b2c_[gi(group)], Access::Inc),
-          op2::arg(*gradp_, 0, *b2c_[gi(group)], Access::Inc),
-          op2::arg(*gradnut_, 0, *b2c_[gi(group)], Access::Inc));
+          op2::read(*q_, *b2c_[gi(group)], 0),
+          op2::read(*nut_, *b2c_[gi(group)], 0),
+          op2::read(*bnorm_[gi(group)]),
+          op2::inc(*gradq_, *b2c_[gi(group)], 0),
+          op2::inc(*gradp_, *b2c_[gi(group)], 0),
+          op2::inc(*gradnut_, *b2c_[gi(group)], 0));
     }
 
     op2::par_loop((pfx_ + "grad_scale").c_str(), *cells_,
@@ -300,9 +300,9 @@ void RowSolver::flux_and_sources(int stage) {
                     for (int i = 0; i < 12; ++i) gp[i] *= inv;
                     for (int i = 0; i < 3; ++i) gn[i] *= inv;
                   },
-                  op2::arg(*vol_, Access::Read), op2::arg(*gradq_, Access::ReadWrite),
-                  op2::arg(*gradp_, Access::ReadWrite),
-                  op2::arg(*gradnut_, Access::ReadWrite));
+                  op2::read(*vol_), op2::rw(*gradq_),
+                  op2::rw(*gradp_),
+                  op2::rw(*gradnut_));
 
     if (cfg_.second_order) {
       // Barth-Jespersen: per cell, per variable, the most restrictive face.
@@ -330,14 +330,14 @@ void RowSolver::flux_and_sources(int stage) {
             side(ql, gql, ccl, mnl, mxl, lml);
             side(qr, gqr, ccr, mnr, mxr, lmr);
           },
-          op2::arg(*q_, 0, *f2c_, Access::Read), op2::arg(*q_, 1, *f2c_, Access::Read),
-          op2::arg(*gradq_, 0, *f2c_, Access::Read),
-          op2::arg(*gradq_, 1, *f2c_, Access::Read),
-          op2::arg(*cc_, 0, *f2c_, Access::Read), op2::arg(*cc_, 1, *f2c_, Access::Read),
-          op2::arg(*fcent_, Access::Read), op2::arg(*qmin_, 0, *f2c_, Access::Read),
-          op2::arg(*qmin_, 1, *f2c_, Access::Read), op2::arg(*qmax_, 0, *f2c_, Access::Read),
-          op2::arg(*qmax_, 1, *f2c_, Access::Read), op2::arg(*lim_, 0, *f2c_, Access::Inc),
-          op2::arg(*lim_, 1, *f2c_, Access::Inc));
+          op2::read(*q_, *f2c_, 0), op2::read(*q_, *f2c_, 1),
+          op2::read(*gradq_, *f2c_, 0),
+          op2::read(*gradq_, *f2c_, 1),
+          op2::read(*cc_, *f2c_, 0), op2::read(*cc_, *f2c_, 1),
+          op2::read(*fcent_), op2::read(*qmin_, *f2c_, 0),
+          op2::read(*qmin_, *f2c_, 1), op2::read(*qmax_, *f2c_, 0),
+          op2::read(*qmax_, *f2c_, 1), op2::inc(*lim_, *f2c_, 0),
+          op2::inc(*lim_, *f2c_, 1));
     }
   }
 
@@ -445,17 +445,17 @@ void RowSolver::flux_and_sources(int stage) {
             *sr -= dn;
           }
         },
-        op2::arg(*q_, 0, *f2c_, Access::Read), op2::arg(*q_, 1, *f2c_, Access::Read),
-        op2::arg(*nut_, 0, *f2c_, Access::Read), op2::arg(*nut_, 1, *f2c_, Access::Read),
-        op2::arg(*gradq_, 0, *f2c_, Access::Read), op2::arg(*gradq_, 1, *f2c_, Access::Read),
-        op2::arg(*gradp_, 0, *f2c_, Access::Read), op2::arg(*gradp_, 1, *f2c_, Access::Read),
-        op2::arg(*gradnut_, 0, *f2c_, Access::Read),
-        op2::arg(*gradnut_, 1, *f2c_, Access::Read), op2::arg(*lim_, 0, *f2c_, Access::Read),
-        op2::arg(*lim_, 1, *f2c_, Access::Read), op2::arg(*cc_, 0, *f2c_, Access::Read),
-        op2::arg(*cc_, 1, *f2c_, Access::Read), op2::arg(*fnorm_, Access::Read),
-        op2::arg(*fcent_, Access::Read), op2::arg(*res_, 0, *f2c_, Access::Inc),
-        op2::arg(*res_, 1, *f2c_, Access::Inc), op2::arg(*nut_res_, 0, *f2c_, Access::Inc),
-        op2::arg(*nut_res_, 1, *f2c_, Access::Inc));
+        op2::read(*q_, *f2c_, 0), op2::read(*q_, *f2c_, 1),
+        op2::read(*nut_, *f2c_, 0), op2::read(*nut_, *f2c_, 1),
+        op2::read(*gradq_, *f2c_, 0), op2::read(*gradq_, *f2c_, 1),
+        op2::read(*gradp_, *f2c_, 0), op2::read(*gradp_, *f2c_, 1),
+        op2::read(*gradnut_, *f2c_, 0),
+        op2::read(*gradnut_, *f2c_, 1), op2::read(*lim_, *f2c_, 0),
+        op2::read(*lim_, *f2c_, 1), op2::read(*cc_, *f2c_, 0),
+        op2::read(*cc_, *f2c_, 1), op2::read(*fnorm_),
+        op2::read(*fcent_), op2::inc(*res_, *f2c_, 0),
+        op2::inc(*res_, *f2c_, 1), op2::inc(*nut_res_, *f2c_, 0),
+        op2::inc(*nut_res_, *f2c_, 1));
   }
 
   // Physical total-condition inlet (subsonic characteristic treatment):
@@ -483,8 +483,8 @@ void RowSolver::flux_and_sources(int stage) {
                     gh[4] = p / (gamma - 1.0) + 0.5 * rho * u2;
                     gh[kNState] = nut_in;
                   },
-                  op2::arg(*q_, 0, *b2c_[gi(BoundaryGroup::Inlet)], Access::Read),
-                  op2::arg(*ghost_[gi(BoundaryGroup::Inlet)], Access::ReadWrite));
+                  op2::read(*q_, *b2c_[gi(BoundaryGroup::Inlet)], 0),
+                  op2::rw(*ghost_[gi(BoundaryGroup::Inlet)]));
   }
 
   // Physical outlet: refresh the ghost from the interior state with the
@@ -503,8 +503,8 @@ void RowSolver::flux_and_sources(int stage) {
                     gh[4] = p_back / (gamma - 1.0) + ke;
                     // gh[5] (nut) keeps its previous value: zero-gradient.
                   },
-                  op2::arg(*q_, 0, *b2c_[gi(BoundaryGroup::Outlet)], Access::Read),
-                  op2::arg(*ghost_[gi(BoundaryGroup::Outlet)], Access::ReadWrite));
+                  op2::read(*q_, *b2c_[gi(BoundaryGroup::Outlet)], 0),
+                  op2::rw(*ghost_[gi(BoundaryGroup::Outlet)]));
   }
 
   // Ghost-based fluxes on inlet/outlet (physical or sliding-plane): Rusanov
@@ -527,12 +527,12 @@ void RowSolver::flux_and_sources(int stage) {
                     const double unm = 0.5 * (un + ung);
                     *sr -= unm > 0 ? unm * *nut : unm * gh[kNState];
                   },
-                  op2::arg(*q_, 0, *b2c_[gi(group)], Access::Read),
-                  op2::arg(*nut_, 0, *b2c_[gi(group)], Access::Read),
-                  op2::arg(*ghost_[gi(group)], Access::Read),
-                  op2::arg(*bnorm_[gi(group)], Access::Read),
-                  op2::arg(*res_, 0, *b2c_[gi(group)], Access::Inc),
-                  op2::arg(*nut_res_, 0, *b2c_[gi(group)], Access::Inc));
+                  op2::read(*q_, *b2c_[gi(group)], 0),
+                  op2::read(*nut_, *b2c_[gi(group)], 0),
+                  op2::read(*ghost_[gi(group)]),
+                  op2::read(*bnorm_[gi(group)]),
+                  op2::inc(*res_, *b2c_[gi(group)], 0),
+                  op2::inc(*nut_res_, *b2c_[gi(group)], 0));
   }
 
   // Walls (hub/casing): pressure force always; with viscous no-slip walls
@@ -568,11 +568,11 @@ void RowSolver::flux_and_sources(int stage) {
               // stationary wall).
             }
           },
-          op2::arg(*q_, 0, *b2c_[gi(group)], Access::Read),
-          op2::arg(*nut_, 0, *b2c_[gi(group)], Access::Read),
-          op2::arg(*wdist_, 0, *b2c_[gi(group)], Access::Read),
-          op2::arg(*bnorm_[gi(group)], Access::Read),
-          op2::arg(*res_, 0, *b2c_[gi(group)], Access::Inc));
+          op2::read(*q_, *b2c_[gi(group)], 0),
+          op2::read(*nut_, *b2c_[gi(group)], 0),
+          op2::read(*wdist_, *b2c_[gi(group)], 0),
+          op2::read(*bnorm_[gi(group)]),
+          op2::inc(*res_, *b2c_[gi(group)], 0));
     }
   }
 
@@ -615,8 +615,8 @@ void RowSolver::flux_and_sources(int stage) {
                       r[4] += *vol * fx * (q[1] / q[0]);
                     }
                   },
-                  op2::arg(*q_, Access::Read), op2::arg(*rtheta_, Access::Read),
-                  op2::arg(*vol_, Access::Read), op2::arg(*res_, Access::Inc));
+                  op2::read(*q_), op2::read(*rtheta_),
+                  op2::read(*vol_), op2::inc(*res_));
   }
 
   // Dual time stepping: BDF2 physical-time derivative as a residual source
@@ -631,9 +631,9 @@ void RowSolver::flux_and_sources(int stage) {
                       r[s] -= *vol * (3.0 * q[s] - 4.0 * qo[s] + qo2[s]) * inv2dt;
                     }
                   },
-                  op2::arg(*q_, Access::Read), op2::arg(*qold_, Access::Read),
-                  op2::arg(*qold2_, Access::Read), op2::arg(*vol_, Access::Read),
-                  op2::arg(*res_, Access::Inc));
+                  op2::read(*q_), op2::read(*qold_),
+                  op2::read(*qold2_), op2::read(*vol_),
+                  op2::inc(*res_));
   }
 
   // Simplified SA source: production against destruction, wall-distance
@@ -651,9 +651,9 @@ void RowSolver::flux_and_sources(int stage) {
                     const double dest = cw1 * ratio * ratio;
                     *sr += *vol * (prod - dest);
                   },
-                  op2::arg(*q_, Access::Read), op2::arg(*nut_, Access::Read),
-                  op2::arg(*wdist_, Access::Read), op2::arg(*vol_, Access::Read),
-                  op2::arg(*nut_res_, Access::Inc));
+                  op2::read(*q_), op2::read(*nut_),
+                  op2::read(*wdist_), op2::read(*vol_),
+                  op2::inc(*nut_res_));
   }
 }
 
@@ -664,25 +664,25 @@ void RowSolver::inner_iteration() {
   // Local pseudo-time step from the convective spectral radius, clamped for
   // dual-time stability (the BDF2 source is integrated explicitly).
   op2::par_loop((pfx_ + "zero_ws").c_str(), *cells_, [](double* w) { *w = 0.0; },
-                op2::arg(*ws_, Access::Write));
+                op2::write(*ws_));
   op2::par_loop((pfx_ + "ws_face").c_str(), *faces_,
                 [gamma](const double* ql, const double* qr, const double* area, double* wl,
                         double* wr) {
                   *wl += face_wavespeed(ql, area, gamma);
                   *wr += face_wavespeed(qr, area, gamma);
                 },
-                op2::arg(*q_, 0, *f2c_, Access::Read), op2::arg(*q_, 1, *f2c_, Access::Read),
-                op2::arg(*fnorm_, Access::Read), op2::arg(*ws_, 0, *f2c_, Access::Inc),
-                op2::arg(*ws_, 1, *f2c_, Access::Inc));
+                op2::read(*q_, *f2c_, 0), op2::read(*q_, *f2c_, 1),
+                op2::read(*fnorm_), op2::inc(*ws_, *f2c_, 0),
+                op2::inc(*ws_, *f2c_, 1));
   for (std::size_t g = 0; g < kGroups; ++g) {
     op2::par_loop((pfx_ + group_tag(static_cast<BoundaryGroup>(g)) + "_ws").c_str(),
                   *bsets_[g],
                   [gamma](const double* q, const double* area, double* w) {
                     *w += face_wavespeed(q, area, gamma);
                   },
-                  op2::arg(*q_, 0, *b2c_[g], Access::Read),
-                  op2::arg(*bnorm_[g], Access::Read),
-                  op2::arg(*ws_, 0, *b2c_[g], Access::Inc));
+                  op2::read(*q_, *b2c_[g], 0),
+                  op2::read(*bnorm_[g]),
+                  op2::inc(*ws_, *b2c_[g], 0));
   }
   {
     // CFL ramping for robust cold starts: geometric growth from cfl_start
@@ -701,8 +701,8 @@ void RowSolver::inner_iteration() {
                   [cfl, dt_cap](const double* vol, const double* w, double* dt) {
                     *dt = std::min(cfl * *vol / std::max(*w, 1e-12), dt_cap);
                   },
-                  op2::arg(*vol_, Access::Read), op2::arg(*ws_, Access::Read),
-                  op2::arg(*dtl_, Access::Write));
+                  op2::read(*vol_), op2::read(*ws_),
+                  op2::write(*dtl_));
   }
 
   // RK stage base.
@@ -711,8 +711,8 @@ void RowSolver::inner_iteration() {
                   for (int s = 0; s < kNState; ++s) q0[s] = q[s];
                   *nut0 = *nut;
                 },
-                op2::arg(*q_, Access::Read), op2::arg(*q0_, Access::Write),
-                op2::arg(*nut_, Access::Read), op2::arg(*nut0_, Access::Write));
+                op2::read(*q_), op2::write(*q0_),
+                op2::read(*nut_), op2::write(*nut0_));
 
   for (int stage = 0; stage < cfg_.rk_stages; ++stage) {
     trace::Span tstage("hydra:rk_stage");
@@ -729,10 +729,10 @@ void RowSolver::inner_iteration() {
                     if (q[0] < 1e-3) q[0] = 1e-3;
                     *nut = std::max(0.0, *nut0 + scale * *sr);
                   },
-                  op2::arg(*q0_, Access::Read), op2::arg(*res_, Access::Read),
-                  op2::arg(*vol_, Access::Read), op2::arg(*dtl_, Access::Read),
-                  op2::arg(*q_, Access::Write), op2::arg(*nut0_, Access::Read),
-                  op2::arg(*nut_res_, Access::Read), op2::arg(*nut_, Access::Write));
+                  op2::read(*q0_), op2::read(*res_),
+                  op2::read(*vol_), op2::read(*dtl_),
+                  op2::write(*q_), op2::read(*nut0_),
+                  op2::read(*nut_res_), op2::write(*nut_));
   }
 }
 
@@ -750,8 +750,8 @@ void RowSolver::shift_time_levels() {
                     qo[s] = q[s];
                   }
                 },
-                op2::arg(*q_, Access::Read), op2::arg(*qold_, Access::ReadWrite),
-                op2::arg(*qold2_, Access::Write));
+                op2::read(*q_), op2::rw(*qold_),
+                op2::write(*qold2_));
 }
 
 int RowSolver::solve_steady(int max_iters, double tol, int check_every) {
@@ -775,7 +775,7 @@ double RowSolver::residual_rms() {
                 [](const double* r, double* s) {
                   for (int c = 0; c < kNState; ++c) *s += r[c] * r[c];
                 },
-                op2::arg(*res_, Access::Read), op2::arg(ss, Access::Inc));
+                op2::read(*res_), op2::reduce_sum(ss));
   return std::sqrt(ss.value() / (kNState * static_cast<double>(ncell_global_)));
 }
 
@@ -785,8 +785,8 @@ double RowSolver::mass_flow(rig::BoundaryGroup group) {
                 [](const double* q, const double* area, double* m) {
                   *m += q[1] * area[0] + q[2] * area[1] + q[3] * area[2];
                 },
-                op2::arg(*q_, 0, *b2c_[gi(group)], Access::Read),
-                op2::arg(*bnorm_[gi(group)], Access::Read), op2::arg(mdot, Access::Inc));
+                op2::read(*q_, *b2c_[gi(group)], 0),
+                op2::read(*bnorm_[gi(group)]), op2::reduce_sum(mdot));
   return mdot.value();
 }
 
@@ -798,8 +798,8 @@ double RowSolver::mean_pressure() {
                   a[0] += pressure(q, gamma) * *vol;
                   a[1] += *vol;
                 },
-                op2::arg(*q_, Access::Read), op2::arg(*vol_, Access::Read),
-                op2::arg(acc, Access::Inc));
+                op2::read(*q_), op2::read(*vol_),
+                op2::reduce_sum(acc));
   return acc.value(0) / acc.value(1);
 }
 
@@ -821,8 +821,8 @@ double RowSolver::shaft_power() {
                   const double fx = axial_load * 0.5 * q[0] * blade_speed * blade_speed;
                   *p += *vol * (f_theta * blade_speed + fx * q[1] / q[0]);
                 },
-                op2::arg(*q_, Access::Read), op2::arg(*rtheta_, Access::Read),
-                op2::arg(*vol_, Access::Read), op2::arg(power, Access::Inc));
+                op2::read(*q_), op2::read(*rtheta_),
+                op2::read(*vol_), op2::reduce_sum(power));
   return power.value();
 }
 
@@ -875,9 +875,8 @@ void RowSolver::gather_owned_face_states(rig::BoundaryGroup g,
   for (index_t b = 0; b < set.n_owned(); ++b) {
     const index_t c = map(b, 0);
     gids->push_back(set.global_id(b));
-    const double* qc = q_->elem(c);
-    for (int s = 0; s < kNState; ++s) payload->push_back(qc[s]);
-    payload->push_back(nut_->elem(c)[0]);
+    for (int s = 0; s < kNState; ++s) payload->push_back(q_->at(c, s));
+    payload->push_back(nut_->at(c, 0));
   }
 }
 
@@ -891,9 +890,8 @@ void RowSolver::scatter_ghosts(rig::BoundaryGroup g, std::span<const op2::index_
   for (std::size_t i = 0; i < gids.size(); ++i) {
     const index_t l = ctx_.global_to_local(set, gids[i]);
     if (l < 0 || l >= set.n_owned()) continue;
-    double* dst = gh.elem(l);
     for (int s = 0; s < kPayload; ++s) {
-      dst[s] = payload[i * static_cast<std::size_t>(kPayload) + static_cast<std::size_t>(s)];
+      gh.at(l, s) = payload[i * static_cast<std::size_t>(kPayload) + static_cast<std::size_t>(s)];
     }
   }
   gh.mark_written();

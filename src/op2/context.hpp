@@ -9,7 +9,7 @@
 //   auto& e2n   = ctx.decl_map("e2n", edges, nodes, 2, global_table);
 //   auto& x     = ctx.decl_dat<double>(nodes, 3, "x", coords);
 //   ctx.partition(op2::Partitioner::Rcb, x);     // collective
-//   op2::par_loop("res", edges, kernel, op2::arg(x, 0, e2n, op2::Access::Read), ...);
+//   op2::par_loop("res", edges, kernel, op2::read(x, e2n, 0), ...);
 //
 // Declarations take *global* data replicated on every rank (the meshes at
 // this repository's scale fit comfortably; the paper's HDF5-parallel load is
@@ -61,10 +61,20 @@ class Context {
                 std::vector<index_t> global_table);
   template <class T>
   Dat<T>& decl_dat(Set& s, int dim, std::string name, std::vector<T> global_data = {}) {
+    return decl_dat<T>(s, dim, std::move(name), std::move(global_data),
+                       cfg_.default_layout, cfg_.aosoa_block);
+  }
+  /// Per-dat layout override (global_data is always given in AoS order; the
+  /// declaration converts to the requested layout). block == 0 uses the
+  /// configured AoSoA block width.
+  template <class T>
+  Dat<T>& decl_dat(Set& s, int dim, std::string name, std::vector<T> global_data,
+                   Layout layout, int block = 0) {
     require_not_partitioned("decl_dat");
     auto dat = std::unique_ptr<Dat<T>>(
         new Dat<T>(&s, next_dat_id(), std::move(name), dim, std::move(global_data)));
     auto* ptr = dat.get();
+    ptr->set_layout_storage(layout, block > 0 ? block : cfg_.aosoa_block);
     register_dat(std::move(dat));
     return *ptr;
   }
@@ -115,6 +125,19 @@ class Context {
     return halos_[static_cast<std::size_t>(s.id())];
   }
 
+  // --- layout registry ------------------------------------------------------
+  /// Converts a dat's storage to the given layout in place (values are
+  /// preserved; any cached plan re-evaluates its vectorizable predicate on
+  /// the next invocation). block == 0 uses the configured AoSoA width.
+  void set_layout(DatBase& d, Layout layout, int block = 0);
+  /// Bumped on every set_layout(); plans cache their vectorizable decision
+  /// against it.
+  [[nodiscard]] std::uint64_t layout_epoch() const { return layout_epoch_; }
+
+  /// Times a persistent halo pack buffer grew (capacity allocation). After
+  /// warm-up, steady-state iterations must not grow this (tested).
+  [[nodiscard]] std::uint64_t halo_buffer_allocs() const { return halo_buf_allocs_; }
+
   /// Shared-memory worker pool (created from config().nthreads).
   [[nodiscard]] util::ThreadPool& pool() { return *pool_; }
 
@@ -126,14 +149,18 @@ class Context {
     const auto dim = static_cast<std::size_t>(d.dim());
     std::vector<T> out(static_cast<std::size_t>(s.global_size()) * dim);
     if (!distributed()) {
-      std::copy_n(d.data(), out.size(), out.begin());
+      for (index_t e = 0; e < s.global_size(); ++e) {
+        for (std::size_t c = 0; c < dim; ++c) {
+          out[static_cast<std::size_t>(e) * dim + c] = d.at(e, static_cast<int>(c));
+        }
+      }
       return out;
     }
     // Pack (gid, values) for owned elements; allgather; scatter into place.
     std::vector<T> packed;
     packed.reserve(static_cast<std::size_t>(s.n_owned()) * dim);
     for (index_t e = 0; e < s.n_owned(); ++e) {
-      for (std::size_t c = 0; c < dim; ++c) packed.push_back(d.elem(e)[c]);
+      for (std::size_t c = 0; c < dim; ++c) packed.push_back(d.at(e, static_cast<int>(c)));
     }
     std::vector<index_t> gids(s.local_to_global().begin(),
                               s.local_to_global().begin() + s.n_owned());
@@ -241,6 +268,8 @@ class Context {
   std::vector<std::unique_ptr<DatBase>> dats_;
   std::vector<SetHalo> halos_;  // indexed by set id
   std::map<std::string, std::unique_ptr<LoopPlan>> plans_;
+  std::uint64_t layout_epoch_ = 1;
+  std::uint64_t halo_buf_allocs_ = 0;
 
   // Kept from partitioning for plan construction: per set, global->owner and
   // per-rank global exec/nonexec import lists are discarded; only the local

@@ -376,6 +376,18 @@ void halo_send(minimpi::Comm& comm, std::span<const std::byte> buf, int peer, in
   }
 }
 
+/// Persistent per-neighbor pack buffer: capacity survives across exchanges
+/// (send_bytes copies, so the buffer is reusable the moment the call
+/// returns). Steady state allocates nothing; `allocs` meters growth.
+std::vector<std::byte>& pack_buf(PlanSetComm& sc, std::size_t nbrs, std::size_t i,
+                                 std::size_t need, std::uint64_t& allocs) {
+  if (sc.send_bufs.size() < nbrs) sc.send_bufs.resize(nbrs);
+  auto& buf = sc.send_bufs[i];
+  if (need > buf.capacity()) ++allocs;
+  buf.resize(need);
+  return buf;
+}
+
 }  // namespace
 
 Context::PendingExchange Context::exchange_begin(LoopPlan& plan,
@@ -419,19 +431,17 @@ Context::PendingExchange Context::exchange_begin(LoopPlan& plan,
     if (dirty.empty()) continue;
 
     if (cfg_.grouped_halos) {
-      // One message per neighbor packing every dirty dat.
+      // One message per neighbor packing every dirty dat. Payloads are
+      // packed in AoS order through the dat's layout (gather_elems).
+      std::size_t group_eb = 0;
+      for (const DatBase* d : dirty) group_eb += d->elem_bytes();
       for (std::size_t i = 0; i < nbr_send.size(); ++i) {
-        std::vector<std::byte> buf;
+        auto& buf = pack_buf(sc, nbr_send.size(), i, send_idx[i].size() * group_eb,
+                             halo_buf_allocs_);
+        std::size_t off = 0;
         for (DatBase* d : dirty) {
-          const std::byte* src = d->raw();
-          const std::size_t eb = d->elem_bytes();
-          const std::size_t off = buf.size();
-          buf.resize(off + send_idx[i].size() * eb);
-          std::byte* out = buf.data() + off;
-          for (std::size_t k = 0; k < send_idx[i].size(); ++k) {
-            std::memcpy(out + k * eb,
-                        src + static_cast<std::size_t>(send_idx[i][k]) * eb, eb);
-          }
+          d->gather_elems(send_idx[i], buf.data() + off);
+          off += send_idx[i].size() * d->elem_bytes();
         }
         halo_send(comm_, buf, nbr_send[i], kTagGroupBase + s.id(), s);
         plan.halo_bytes += buf.size();
@@ -442,14 +452,11 @@ Context::PendingExchange Context::exchange_begin(LoopPlan& plan,
       }
     } else {
       for (DatBase* d : dirty) {
-        const std::byte* src = d->raw();
         const std::size_t eb = d->elem_bytes();
         for (std::size_t i = 0; i < nbr_send.size(); ++i) {
-          std::vector<std::byte> buf(send_idx[i].size() * eb);
-          for (std::size_t k = 0; k < send_idx[i].size(); ++k) {
-            std::memcpy(buf.data() + k * eb,
-                        src + static_cast<std::size_t>(send_idx[i][k]) * eb, eb);
-          }
+          auto& buf =
+              pack_buf(sc, nbr_send.size(), i, send_idx[i].size() * eb, halo_buf_allocs_);
+          d->gather_elems(send_idx[i], buf.data());
           halo_send(comm_, buf, nbr_send[i], kTagHaloBase + d->id(), s);
           plan.halo_bytes += buf.size();
           ++plan.halo_msgs;
@@ -496,15 +503,11 @@ void Context::exchange_end(LoopPlan& plan, PendingExchange& pending) {
     bytes_in += buf.size();
     for (DatBase* d : recv.dats) {
       const std::size_t eb = d->elem_bytes();
-      std::byte* dst = d->raw();
       const auto& slots = *recv.slots;
       if (off + slots.size() * eb > buf.size()) {
         throw std::logic_error("op2: halo message shorter than expected");
       }
-      for (std::size_t k = 0; k < slots.size(); ++k) {
-        std::memcpy(dst + static_cast<std::size_t>(slots[k]) * eb, buf.data() + off + k * eb,
-                    eb);
-      }
+      d->scatter_elems(slots, buf.data() + off);
       off += slots.size() * eb;
     }
   }

@@ -86,7 +86,7 @@ bool load(Context& ctx, Dat<double>& dat, const std::string& path) {
   for (index_t l = 0; l < s.total(); ++l) {
     const auto g = static_cast<std::size_t>(s.global_id(l));
     for (std::size_t c = 0; c < dim; ++c) {
-      dat.elem(l)[c] = global[g * dim + c];
+      dat.at(l, static_cast<int>(c)) = global[g * dim + c];
     }
   }
   dat.mark_written();

@@ -2,22 +2,36 @@
 // op2::par_loop — the DSL's parallel loop construct (paper Fig. 3).
 //
 //   op2::par_loop("res_calc", edges, kernel,
-//                 op2::arg(x,   0, e2n, Access::Read),
-//                 op2::arg(x,   1, e2n, Access::Read),
-//                 op2::arg(q,   0, e2c, Access::Read),
-//                 op2::arg(res, 0, e2c, Access::Inc));
+//                 op2::read(x,   e2n, 0),
+//                 op2::read(x,   e2n, 1),
+//                 op2::read(q,   e2c, 0),
+//                 op2::inc(res,  e2c, 0));
 //
-// The kernel receives one pointer per argument (T* — kernels declare const
-// T* where they only read). The loop body is written purely element-wise;
-// the runtime supplies the parallelization: distributed halo exchanges with
-// latency hiding, redundant execution over the exec halo for indirect
-// increments, and conflict-free coloring for shared-memory workers —
-// exactly the plan structure OP2's code generator emits.
+// Arguments carry their access mode *in the type* (compile-time access
+// tags): a `read()` argument reaches the kernel as `const T*`, so a kernel
+// declaring a mutable `T*` parameter for it fails to compile instead of
+// silently racing. `write()`, `rw()` and `inc()` hand out `T*`;
+// `reduce_sum/min/max()` mark global reduction targets. The pre-redesign
+// runtime-enum spelling `op2::arg(..., Access::X)` survives as a thin
+// deprecated wrapper with the old `T*`-everywhere typing.
+//
+// The loop body is written purely element-wise; the runtime supplies the
+// parallelization: distributed halo exchanges with latency hiding,
+// redundant execution over the exec halo for indirect increments,
+// conflict-free coloring for shared-memory workers — and, with the layout
+// engine (DESIGN.md §8), a vectorized path: when the plan is
+// layout-vectorizable (direct unit-stride args over a contiguous element
+// range) the executor iterates the index range under a SIMD hint with pure
+// strided addressing; otherwise non-unit-stride (SoA/AoSoA, dim > 1)
+// arguments are staged through per-thread scratch blocks (OP2's gather
+// staging) so kernels never see the layout.
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <tuple>
+#include <type_traits>
 #include <utility>
-#include <variant>
 #include <vector>
 
 #include "src/op2/context.hpp"
@@ -29,22 +43,37 @@
 #include "src/util/timer.hpp"
 #include "src/util/trace.hpp"
 
+// Vectorization hint for the layout-vectorizable path. The loop body is
+// pure strided arithmetic with no aliasing hazards (the plan predicate
+// guarantees direct access and read-only globals), so the hint is safe.
+// VCGT_SIMD_OMP (the `simd` CMake preset, -fopenmp-simd) selects `omp simd`;
+// otherwise use the compiler-native ivdep-style hint.
+#if defined(VCGT_SIMD_OMP)
+#define VCGT_SIMD _Pragma("omp simd")
+#elif defined(__clang__)
+#define VCGT_SIMD _Pragma("clang loop vectorize(enable)")
+#elif defined(__GNUC__)
+#define VCGT_SIMD _Pragma("GCC ivdep")
+#else
+#define VCGT_SIMD
+#endif
+
 namespace vcgt::op2 {
 
-// --- argument descriptors ---------------------------------------------------
+// --- argument descriptors (access mode in the type) -------------------------
 
-template <class T>
+template <class T, Access A>
 struct DatArg {
   Dat<T>* dat;
   const Map* map;  ///< null for direct access
   int idx;
-  Access acc;
+  static constexpr Access acc = A;
 };
 
-template <class T>
+template <class T, Access A>
 struct GblArg {
   Global<T>* g;
-  Access acc;
+  static constexpr Access acc = A;
 };
 
 /// OP2's op_arg_idx: passes the element's *global* id into the kernel (the
@@ -55,40 +84,141 @@ struct IdxArg {
   const index_t* l2g = nullptr;  ///< filled by par_loop from the iteration set
 };
 
-/// Indirect access: dat[ map(e, idx) ].
+// Legacy runtime-enum descriptors (deprecated op2::arg spelling). They bind
+// with the pre-redesign `T*`-everywhere typing.
 template <class T>
-[[nodiscard]] DatArg<T> arg(Dat<T>& d, int idx, const Map& m, Access a) {
-  return {&d, &m, idx, a};
-}
-/// Direct access: dat[e].
+struct LegacyDatArg {
+  Dat<T>* dat;
+  const Map* map;
+  int idx;
+  Access acc;
+};
 template <class T>
-[[nodiscard]] DatArg<T> arg(Dat<T>& d, Access a) {
-  return {&d, nullptr, 0, a};
-}
-/// Global parameter (Read) or reduction target (Inc/Min/Max).
+struct LegacyGblArg {
+  Global<T>* g;
+  Access acc;
+};
+
+// --- access-tagged builders -------------------------------------------------
+
+/// Direct read: kernel receives `const T*` to dat[e].
 template <class T>
-[[nodiscard]] GblArg<T> arg(Global<T>& g, Access a) {
-  return {&g, a};
+[[nodiscard]] DatArg<T, Access::Read> read(Dat<T>& d) {
+  return {&d, nullptr, 0};
 }
+/// Indirect read: kernel receives `const T*` to dat[map(e, idx)].
+template <class T>
+[[nodiscard]] DatArg<T, Access::Read> read(Dat<T>& d, const Map& m, int idx) {
+  return {&d, &m, idx};
+}
+/// Direct overwrite (no prior value observed).
+template <class T>
+[[nodiscard]] DatArg<T, Access::Write> write(Dat<T>& d) {
+  return {&d, nullptr, 0};
+}
+/// Indirect overwrite.
+template <class T>
+[[nodiscard]] DatArg<T, Access::Write> write(Dat<T>& d, const Map& m, int idx) {
+  return {&d, &m, idx};
+}
+/// Direct read-modify-write.
+template <class T>
+[[nodiscard]] DatArg<T, Access::ReadWrite> rw(Dat<T>& d) {
+  return {&d, nullptr, 0};
+}
+/// Indirect read-modify-write.
+template <class T>
+[[nodiscard]] DatArg<T, Access::ReadWrite> rw(Dat<T>& d, const Map& m, int idx) {
+  return {&d, &m, idx};
+}
+/// Direct increment (+=).
+template <class T>
+[[nodiscard]] DatArg<T, Access::Inc> inc(Dat<T>& d) {
+  return {&d, nullptr, 0};
+}
+/// Indirect increment — resolved race-free via coloring / redundant compute.
+template <class T>
+[[nodiscard]] DatArg<T, Access::Inc> inc(Dat<T>& d, const Map& m, int idx) {
+  return {&d, &m, idx};
+}
+
+/// Read-only global parameter: kernel receives `const T*`.
+template <class T>
+[[nodiscard]] GblArg<T, Access::Read> read(Global<T>& g) {
+  return {&g};
+}
+/// Global sum reduction (finalized across ranks).
+template <class T>
+[[nodiscard]] GblArg<T, Access::Inc> reduce_sum(Global<T>& g) {
+  return {&g};
+}
+/// Global min reduction.
+template <class T>
+[[nodiscard]] GblArg<T, Access::Min> reduce_min(Global<T>& g) {
+  return {&g};
+}
+/// Global max reduction.
+template <class T>
+[[nodiscard]] GblArg<T, Access::Max> reduce_max(Global<T>& g) {
+  return {&g};
+}
+
 /// Element-id argument: the kernel receives a const index_t* to the
 /// element's global id.
 [[nodiscard]] inline IdxArg arg_idx() { return {}; }
 
+// --- deprecated runtime-enum builders ---------------------------------------
+
+/// Indirect access: dat[ map(e, idx) ].
+template <class T>
+[[deprecated("use op2::read/write/rw/inc(dat, map, idx) — access mode in the type")]]
+[[nodiscard]] LegacyDatArg<T> arg(Dat<T>& d, int idx, const Map& m, Access a) {
+  return {&d, &m, idx, a};
+}
+/// Direct access: dat[e].
+template <class T>
+[[deprecated("use op2::read/write/rw/inc(dat) — access mode in the type")]]
+[[nodiscard]] LegacyDatArg<T> arg(Dat<T>& d, Access a) {
+  return {&d, nullptr, 0, a};
+}
+/// Global parameter (Read) or reduction target (Inc/Min/Max).
+template <class T>
+[[deprecated("use op2::read/reduce_sum/reduce_min/reduce_max(global)")]]
+[[nodiscard]] LegacyGblArg<T> arg(Global<T>& g, Access a) {
+  return {&g, a};
+}
+
 namespace detail {
 
+/// Elements staged per chunk through a scratch block: small enough to stay
+/// in L1 alongside the kernel's working set, large enough to amortize the
+/// gather (OP2's AoSoA mini-block).
+constexpr int kStage = 16;
+
+template <class T, Access A>
+ArgInfo to_info(const DatArg<T, A>& a) {
+  return ArgInfo{a.dat, a.map, a.idx, A, false};
+}
+template <class T, Access A>
+ArgInfo to_info(const GblArg<T, A>&) {
+  return ArgInfo{nullptr, nullptr, 0, A, true};
+}
 template <class T>
-ArgInfo to_info(const DatArg<T>& a) {
+ArgInfo to_info(const LegacyDatArg<T>& a) {
   return ArgInfo{a.dat, a.map, a.idx, a.acc, false};
 }
 template <class T>
-ArgInfo to_info(const GblArg<T>& a) {
+ArgInfo to_info(const LegacyGblArg<T>& a) {
   return ArgInfo{nullptr, nullptr, 0, a.acc, true};
 }
 inline ArgInfo to_info(const IdxArg&) {
   return ArgInfo{nullptr, nullptr, -1, Access::Read, false};
 }
 
-// Bound (per-thread) argument views used in the hot loop: raw pointers only.
+// --- bound (per-thread) argument views used in the hot loop -----------------
+
+/// Runtime core shared by the typed and legacy layers: raw pointers plus
+/// the layout parameters needed to stage non-unit-stride elements.
 template <class T>
 struct BoundDat {
   T* base;
@@ -96,33 +226,201 @@ struct BoundDat {
   int mdim;
   int idx;
   int ddim;
+  Layout layout;
+  std::size_t estride;  ///< element stride (valid when scratch == null)
+  std::size_t cap;      ///< SoA column height (elements)
+  int bshift;           ///< log2(AoSoA block)
+  index_t bmask;        ///< AoSoA block - 1
+  T* scratch;           ///< null: direct pointers; else kStage*ddim lane block
+  Access acc;
 };
 template <class T>
 struct BoundGbl {
   T* ptr;
 };
-
-template <class T>
-[[nodiscard]] inline T* resolve(const BoundDat<T>& b, index_t e) {
-  const index_t t = b.table
-                        ? b.table[static_cast<std::size_t>(e) * static_cast<std::size_t>(b.mdim) +
-                                  static_cast<std::size_t>(b.idx)]
-                        : e;
-  return b.base + static_cast<std::size_t>(t) * static_cast<std::size_t>(b.ddim);
-}
-template <class T>
-[[nodiscard]] inline T* resolve(const BoundGbl<T>& b, index_t) {
-  return b.ptr;
-}
 struct BoundIdx {
   const index_t* l2g;  ///< local -> global of the iteration set
 };
-[[nodiscard]] inline const index_t* resolve(const BoundIdx& b, index_t e) {
-  return b.l2g + e;
+
+/// Typed veneers re-apply the compile-time access tag (constness) over the
+/// runtime core.
+template <class T, Access A>
+struct TBoundDat {
+  BoundDat<T> core;
+};
+template <class T, Access A>
+struct TBoundGbl {
+  T* ptr;
+};
+
+template <class T>
+[[nodiscard]] inline index_t tgt(const BoundDat<T>& b, index_t e) {
+  return b.table
+             ? b.table[static_cast<std::size_t>(e) * static_cast<std::size_t>(b.mdim) +
+                       static_cast<std::size_t>(b.idx)]
+             : e;
 }
 
-// Per-argument reduction scratch: nthreads copies for writable globals.
+// Lane load/store for staged (non-unit-stride) dats: gathers element t's
+// components into a contiguous lane, scatters them back after the kernel.
+template <class T>
+inline void load_lane(const BoundDat<T>& b, index_t t, T* lane) {
+  const auto tu = static_cast<std::size_t>(t);
+  if (b.layout == Layout::SoA) {
+    for (int c = 0; c < b.ddim; ++c) {
+      lane[c] = b.base[static_cast<std::size_t>(c) * b.cap + tu];
+    }
+  } else {  // AoSoA
+    const std::size_t o0 = (((tu >> b.bshift) * static_cast<std::size_t>(b.ddim)) << b.bshift) +
+                           (tu & static_cast<std::size_t>(b.bmask));
+    for (int c = 0; c < b.ddim; ++c) {
+      lane[c] = b.base[o0 + (static_cast<std::size_t>(c) << b.bshift)];
+    }
+  }
+}
+template <class T>
+inline void store_lane(const BoundDat<T>& b, index_t t, const T* lane) {
+  const auto tu = static_cast<std::size_t>(t);
+  if (b.layout == Layout::SoA) {
+    for (int c = 0; c < b.ddim; ++c) {
+      b.base[static_cast<std::size_t>(c) * b.cap + tu] = lane[c];
+    }
+  } else {  // AoSoA
+    const std::size_t o0 = (((tu >> b.bshift) * static_cast<std::size_t>(b.ddim)) << b.bshift) +
+                           (tu & static_cast<std::size_t>(b.bmask));
+    for (int c = 0; c < b.ddim; ++c) {
+      b.base[o0 + (static_cast<std::size_t>(c) << b.bshift)] = lane[c];
+    }
+  }
+}
+
+// --- per-element resolution (scalar path) -----------------------------------
+
+/// Kernel pointer for element e: direct storage pointer when unit-stride,
+/// else gather into the scratch lane (written back by post()).
+template <class T>
+[[nodiscard]] inline T* pre(BoundDat<T>& b, index_t e) {
+  const index_t t = tgt(b, e);
+  if (!b.scratch) return b.base + static_cast<std::size_t>(t) * b.estride;
+  load_lane(b, t, b.scratch);
+  return b.scratch;
+}
+template <class T>
+inline void post(BoundDat<T>& b, index_t e) {
+  if (b.scratch && access_writes(b.acc)) store_lane(b, tgt(b, e), b.scratch);
+}
+
+template <class T, Access A>
+[[nodiscard]] inline auto pre(TBoundDat<T, A>& b, index_t e) {
+  using P = std::conditional_t<A == Access::Read, const T*, T*>;
+  return static_cast<P>(pre(b.core, e));
+}
+template <class T, Access A>
+inline void post(TBoundDat<T, A>& b, index_t e) {
+  post(b.core, e);
+}
+
+template <class T>
+[[nodiscard]] inline T* pre(BoundGbl<T>& b, index_t) {
+  return b.ptr;
+}
+template <class T, Access A>
+[[nodiscard]] inline auto pre(TBoundGbl<T, A>& b, index_t) {
+  using P = std::conditional_t<A == Access::Read, const T*, T*>;
+  return static_cast<P>(b.ptr);
+}
+[[nodiscard]] inline const index_t* pre(BoundIdx& b, index_t e) { return b.l2g + e; }
+template <class T>
+inline void post(BoundGbl<T>&, index_t) {}
+template <class T, Access A>
+inline void post(TBoundGbl<T, A>&, index_t) {}
+inline void post(BoundIdx&, index_t) {}
+
+// --- chunked staging (scalar path over colored/conflict-free spans) ---------
+
+template <class T>
+[[nodiscard]] inline bool is_staged(const BoundDat<T>& b) {
+  return b.scratch != nullptr;
+}
+template <class T, Access A>
+[[nodiscard]] inline bool is_staged(const TBoundDat<T, A>& b) {
+  return b.core.scratch != nullptr;
+}
+template <class B>
+[[nodiscard]] inline bool is_staged(const B&) {
+  return false;
+}
+
+template <class T>
+inline void stage_in(BoundDat<T>& b, const index_t* elems, int m) {
+  if (!b.scratch) return;
+  for (int k = 0; k < m; ++k) {
+    load_lane(b, tgt(b, elems[k]), b.scratch + static_cast<std::size_t>(k * b.ddim));
+  }
+}
+template <class T>
+inline void stage_out(BoundDat<T>& b, const index_t* elems, int m) {
+  if (!b.scratch || !access_writes(b.acc)) return;
+  for (int k = 0; k < m; ++k) {
+    store_lane(b, tgt(b, elems[k]), b.scratch + static_cast<std::size_t>(k * b.ddim));
+  }
+}
+template <class T, Access A>
+inline void stage_in(TBoundDat<T, A>& b, const index_t* elems, int m) {
+  stage_in(b.core, elems, m);
+}
+template <class T, Access A>
+inline void stage_out(TBoundDat<T, A>& b, const index_t* elems, int m) {
+  stage_out(b.core, elems, m);
+}
+template <class B>
+inline void stage_in(B&, const index_t*, int) {}
+template <class B>
+inline void stage_out(B&, const index_t*, int) {}
+
+/// Kernel pointer for chunk lane k (element e): the staged lane when
+/// staged, the plain storage pointer otherwise.
+template <class T>
+[[nodiscard]] inline T* lane(BoundDat<T>& b, index_t e, int k) {
+  if (!b.scratch) return b.base + static_cast<std::size_t>(tgt(b, e)) * b.estride;
+  return b.scratch + static_cast<std::size_t>(k * b.ddim);
+}
+template <class T, Access A>
+[[nodiscard]] inline auto lane(TBoundDat<T, A>& b, index_t e, int k) {
+  using P = std::conditional_t<A == Access::Read, const T*, T*>;
+  return static_cast<P>(lane(b.core, e, k));
+}
+template <class B>
+[[nodiscard]] inline auto lane(B& b, index_t e, int) {
+  return pre(b, e);
+}
+
+// --- vectorized resolution (contiguous direct unit-stride path) -------------
+// Only reached when the plan is layout-vectorizable: every dat argument is
+// direct and unit-stride (never staged) and globals are read-only, so the
+// body is branch-free strided arithmetic the compiler can vectorize.
+
+template <class T>
+[[nodiscard]] inline T* vptr(BoundDat<T>& b, index_t e) {
+  return b.base + static_cast<std::size_t>(e) * b.estride;
+}
+template <class T, Access A>
+[[nodiscard]] inline auto vptr(TBoundDat<T, A>& b, index_t e) {
+  using P = std::conditional_t<A == Access::Read, const T*, T*>;
+  return static_cast<P>(b.core.base + static_cast<std::size_t>(e) * b.core.estride);
+}
+template <class B>
+[[nodiscard]] inline auto vptr(B& b, index_t e) {
+  return pre(b, e);
+}
+
+// --- scratch ----------------------------------------------------------------
+
 struct NoScratch {};
+template <class T>
+struct DatScratch {
+  std::vector<T> buf;  ///< nthreads * kStage * dim; empty when unstaged
+};
 template <class T>
 struct GblScratch {
   std::vector<T> buf;  ///< nthreads * dim, initialized per access mode
@@ -130,82 +428,165 @@ struct GblScratch {
 };
 
 template <class T>
-NoScratch make_scratch(const DatArg<T>&, int) {
-  return {};
-}
-inline NoScratch make_scratch(const IdxArg&, int) { return {}; }
-template <class T>
-auto make_scratch(const GblArg<T>& a, int nthreads) {
-  if (a.acc == Access::Read) return GblScratch<T>{{}, a.g->dim()};
-  GblScratch<T> s{{}, a.g->dim()};
-  s.buf.resize(static_cast<std::size_t>(nthreads) * static_cast<std::size_t>(a.g->dim()));
-  for (int t = 0; t < nthreads; ++t) {
-    for (int c = 0; c < a.g->dim(); ++c) {
-      const std::size_t i =
-          static_cast<std::size_t>(t) * static_cast<std::size_t>(a.g->dim()) +
-          static_cast<std::size_t>(c);
-      // Inc accumulates from zero; Min/Max fold from the current value.
-      s.buf[i] = a.acc == Access::Inc ? T{} : a.g->data()[c];
-    }
+DatScratch<T> dat_scratch(const Dat<T>& d, int nthreads) {
+  DatScratch<T> s;
+  if (!d.unit_stride()) {
+    s.buf.resize(static_cast<std::size_t>(nthreads) * static_cast<std::size_t>(kStage) *
+                 static_cast<std::size_t>(d.dim()));
   }
   return s;
 }
 
 template <class T>
-BoundDat<T> bind(const DatArg<T>& a, NoScratch&, int) {
-  return BoundDat<T>{a.dat->data(), a.map ? a.map->table().data() : nullptr,
-                     a.map ? a.map->dim() : 0, a.idx, a.dat->dim()};
+GblScratch<T> gbl_scratch(const Global<T>& g, Access acc, int nthreads) {
+  if (acc == Access::Read) return GblScratch<T>{{}, g.dim()};
+  GblScratch<T> s{{}, g.dim()};
+  s.buf.resize(static_cast<std::size_t>(nthreads) * static_cast<std::size_t>(g.dim()));
+  for (int t = 0; t < nthreads; ++t) {
+    for (int c = 0; c < g.dim(); ++c) {
+      const std::size_t i =
+          static_cast<std::size_t>(t) * static_cast<std::size_t>(g.dim()) +
+          static_cast<std::size_t>(c);
+      // Inc accumulates from zero; Min/Max fold from the current value.
+      s.buf[i] = acc == Access::Inc ? T{} : g.data()[c];
+    }
+  }
+  return s;
+}
+
+template <class T, Access A>
+auto make_scratch(const DatArg<T, A>& a, int nthreads) {
+  return dat_scratch(*a.dat, nthreads);
 }
 template <class T>
-BoundGbl<T> bind(const GblArg<T>& a, GblScratch<T>& s, int tid) {
-  if (a.acc == Access::Read) return BoundGbl<T>{a.g->data()};
-  return BoundGbl<T>{s.buf.data() +
-                     static_cast<std::size_t>(tid) * static_cast<std::size_t>(s.dim)};
+auto make_scratch(const LegacyDatArg<T>& a, int nthreads) {
+  return dat_scratch(*a.dat, nthreads);
+}
+template <class T, Access A>
+auto make_scratch(const GblArg<T, A>& a, int nthreads) {
+  return gbl_scratch(*a.g, A, nthreads);
+}
+template <class T>
+auto make_scratch(const LegacyGblArg<T>& a, int nthreads) {
+  return gbl_scratch(*a.g, a.acc, nthreads);
+}
+inline NoScratch make_scratch(const IdxArg&, int) { return {}; }
+
+// --- binding ----------------------------------------------------------------
+
+template <class T>
+BoundDat<T> dat_bind(Dat<T>* d, const Map* m, int idx, Access acc, DatScratch<T>& s,
+                     int tid) {
+  int bshift = 0;
+  while ((1 << bshift) < d->block()) ++bshift;
+  return BoundDat<T>{
+      d->data(),
+      m ? m->table().data() : nullptr,
+      m ? m->dim() : 0,
+      idx,
+      d->dim(),
+      d->layout(),
+      d->elem_stride(),
+      static_cast<std::size_t>(d->capacity()),
+      bshift,
+      static_cast<index_t>(d->block() - 1),
+      s.buf.empty() ? nullptr
+                    : s.buf.data() + static_cast<std::size_t>(tid) *
+                                         static_cast<std::size_t>(kStage) *
+                                         static_cast<std::size_t>(d->dim()),
+      acc};
+}
+template <class T>
+T* gbl_bind(Global<T>* g, Access acc, GblScratch<T>& s, int tid) {
+  if (acc == Access::Read) return g->data();
+  return s.buf.data() + static_cast<std::size_t>(tid) * static_cast<std::size_t>(s.dim);
+}
+
+template <class T, Access A>
+TBoundDat<T, A> bind(const DatArg<T, A>& a, DatScratch<T>& s, int tid) {
+  return {dat_bind(a.dat, a.map, a.idx, A, s, tid)};
+}
+template <class T>
+BoundDat<T> bind(const LegacyDatArg<T>& a, DatScratch<T>& s, int tid) {
+  return dat_bind(a.dat, a.map, a.idx, a.acc, s, tid);
+}
+template <class T, Access A>
+TBoundGbl<T, A> bind(const GblArg<T, A>& a, GblScratch<T>& s, int tid) {
+  return {gbl_bind(a.g, A, s, tid)};
+}
+template <class T>
+BoundGbl<T> bind(const LegacyGblArg<T>& a, GblScratch<T>& s, int tid) {
+  return {gbl_bind(a.g, a.acc, s, tid)};
 }
 inline BoundIdx bind(const IdxArg& a, NoScratch&, int) { return BoundIdx{a.l2g}; }
 
+// --- reduction merge / finalize ---------------------------------------------
+
 template <class T>
-void merge_scratch(const GblArg<T>& a, const GblScratch<T>& s, int nthreads) {
-  if (a.acc == Access::Read) return;
+void gbl_merge(Global<T>& g, Access acc, const GblScratch<T>& s, int nthreads) {
+  if (acc == Access::Read) return;
   for (int c = 0; c < s.dim; ++c) {
-    T acc = a.g->data()[c];
+    T acc_v = g.data()[c];
     for (int t = 0; t < nthreads; ++t) {
       const T v = s.buf[static_cast<std::size_t>(t) * static_cast<std::size_t>(s.dim) +
                         static_cast<std::size_t>(c)];
-      switch (a.acc) {
-        case Access::Inc: acc += v; break;
-        case Access::Min: acc = v < acc ? v : acc; break;
-        case Access::Max: acc = v > acc ? v : acc; break;
+      switch (acc) {
+        case Access::Inc: acc_v += v; break;
+        case Access::Min: acc_v = v < acc_v ? v : acc_v; break;
+        case Access::Max: acc_v = v > acc_v ? v : acc_v; break;
         default: break;
       }
     }
-    a.g->data()[c] = acc;
+    g.data()[c] = acc_v;
   }
 }
-template <class T>
-void merge_scratch(const DatArg<T>&, const NoScratch&, int) {}
-inline void merge_scratch(const IdxArg&, const NoScratch&, int) {}
 
+template <class T, Access A>
+void merge_scratch(const GblArg<T, A>& a, const GblScratch<T>& s, int nthreads) {
+  gbl_merge(*a.g, A, s, nthreads);
+}
 template <class T>
-void snapshot_global(const GblArg<T>& a, std::vector<double>& out) {
+void merge_scratch(const LegacyGblArg<T>& a, const GblScratch<T>& s, int nthreads) {
+  gbl_merge(*a.g, a.acc, s, nthreads);
+}
+template <class A, class S>
+void merge_scratch(const A&, const S&, int) {}
+
+template <class T, Access A>
+void snapshot_global(const GblArg<T, A>& a, std::vector<double>& out) {
   for (int c = 0; c < a.g->dim(); ++c) out.push_back(static_cast<double>(a.g->data()[c]));
 }
 template <class T>
-void snapshot_global(const DatArg<T>&, std::vector<double>&) {}
-inline void snapshot_global(const IdxArg&, std::vector<double>&) {}
+void snapshot_global(const LegacyGblArg<T>& a, std::vector<double>& out) {
+  for (int c = 0; c < a.g->dim(); ++c) out.push_back(static_cast<double>(a.g->data()[c]));
+}
+template <class A>
+void snapshot_global(const A&, std::vector<double>&) {}
 
 template <class T>
-void finalize_arg(Context& ctx, const GblArg<T>& a, std::span<const double> initial,
+void gbl_finalize(Context& ctx, Global<T>& g, Access acc, std::span<const double> initial,
                   std::size_t& cursor) {
-  std::vector<T> init(static_cast<std::size_t>(a.g->dim()));
-  for (int c = 0; c < a.g->dim(); ++c) init[static_cast<std::size_t>(c)] =
-      static_cast<T>(initial[cursor + static_cast<std::size_t>(c)]);
-  cursor += static_cast<std::size_t>(a.g->dim());
-  ctx.finalize_global(*a.g, a.acc, std::span<const T>(init));
+  std::vector<T> init(static_cast<std::size_t>(g.dim()));
+  for (int c = 0; c < g.dim(); ++c) {
+    init[static_cast<std::size_t>(c)] =
+        static_cast<T>(initial[cursor + static_cast<std::size_t>(c)]);
+  }
+  cursor += static_cast<std::size_t>(g.dim());
+  ctx.finalize_global(g, acc, std::span<const T>(init));
+}
+
+template <class T, Access A>
+void finalize_arg(Context& ctx, const GblArg<T, A>& a, std::span<const double> initial,
+                  std::size_t& cursor) {
+  gbl_finalize(ctx, *a.g, A, initial, cursor);
 }
 template <class T>
-void finalize_arg(Context&, const DatArg<T>&, std::span<const double>, std::size_t&) {}
-inline void finalize_arg(Context&, const IdxArg&, std::span<const double>, std::size_t&) {}
+void finalize_arg(Context& ctx, const LegacyGblArg<T>& a, std::span<const double> initial,
+                  std::size_t& cursor) {
+  gbl_finalize(ctx, *a.g, a.acc, initial, cursor);
+}
+template <class A>
+void finalize_arg(Context&, const A&, std::span<const double>, std::size_t&) {}
 
 // par_loop wires the iteration set's numbering into IdxArgs.
 inline void attach_set(IdxArg& a, const Set& s) { a.l2g = s.local_to_global().data(); }
@@ -230,6 +611,7 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
     tspan.arg("colors",
               static_cast<double>(plan.core_colors.size() + plan.tail_colors.size()));
     tspan.arg("nthreads", static_cast<double>(ctx.config().nthreads));
+    tspan.arg("simd", plan.vectorizable ? 1.0 : 0.0);
   }
   auto pending = ctx.exchange_begin(plan, infos);
 
@@ -243,18 +625,77 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
   std::vector<double> initial;
   std::apply([&](auto&... a) { (detail::snapshot_global(a, initial), ...); }, args);
 
+  // Chunked staging gathers a block of elements before running their
+  // kernels, which would lose updates if two elements of the same chunk
+  // write the same indirect target. Colored spans guarantee disjoint
+  // targets; otherwise fall back to per-element gather/scatter when a
+  // staged indirect-written argument exists.
+  bool staged_indirect_write = false;
+  for (const auto& a : infos) {
+    if (a.dat && a.map && access_writes(a.acc) && !a.dat->unit_stride()) {
+      staged_indirect_write = true;
+    }
+  }
+  const bool chunk_ok = plan.colored || !staged_indirect_write;
+
   constexpr auto idx_seq = std::index_sequence_for<As...>{};
   auto run_span = [&]<std::size_t... I>(std::span<const index_t> elems, int tid,
                                         std::index_sequence<I...>) {
     auto bound = std::make_tuple(
         detail::bind(std::get<I>(args), std::get<I>(scratch), tid)...);
+    const bool any_staged = (detail::is_staged(std::get<I>(bound)) || ...);
+    if (!any_staged) {
+      for (const index_t e : elems) {
+        kernel(detail::pre(std::get<I>(bound), e)...);
+      }
+      return;
+    }
+    if (chunk_ok) {
+      const std::size_t n = elems.size();
+      for (std::size_t p = 0; p < n; p += detail::kStage) {
+        const int m = static_cast<int>(
+            std::min<std::size_t>(detail::kStage, n - p));
+        (detail::stage_in(std::get<I>(bound), elems.data() + p, m), ...);
+        for (int k = 0; k < m; ++k) {
+          kernel(detail::lane(std::get<I>(bound), elems[p + static_cast<std::size_t>(k)],
+                              k)...);
+        }
+        (detail::stage_out(std::get<I>(bound), elems.data() + p, m), ...);
+      }
+      return;
+    }
     for (const index_t e : elems) {
-      kernel(detail::resolve(std::get<I>(bound), e)...);
+      kernel(detail::pre(std::get<I>(bound), e)...);
+      (detail::post(std::get<I>(bound), e), ...);
+    }
+  };
+
+  // Vectorized path: iterate the contiguous index range directly — no
+  // index list, no gathers, unit/constant strides per argument.
+  auto run_range = [&]<std::size_t... I>(index_t lo, index_t hi, int tid,
+                                         std::index_sequence<I...>) {
+    auto bound = std::make_tuple(
+        detail::bind(std::get<I>(args), std::get<I>(scratch), tid)...);
+    VCGT_SIMD
+    for (index_t e = lo; e < hi; ++e) {
+      kernel(detail::vptr(std::get<I>(bound), e)...);
     }
   };
 
   auto run_phase = [&](const std::vector<index_t>& flat,
-                       const std::vector<std::vector<index_t>>& colors) {
+                       const std::vector<std::vector<index_t>>& colors, bool contig) {
+    if (plan.vectorizable && contig && !flat.empty()) {
+      const index_t lo = flat.front();
+      if (nthreads <= 1) {
+        run_range(lo, lo + static_cast<index_t>(flat.size()), 0, idx_seq);
+      } else {
+        ctx.pool().parallel_for(flat.size(), [&](int tid, std::size_t b, std::size_t e) {
+          run_range(lo + static_cast<index_t>(b), lo + static_cast<index_t>(e), tid,
+                    idx_seq);
+        });
+      }
+      return;
+    }
     if (!plan.colored) {
       if (nthreads <= 1) {
         run_span(std::span<const index_t>(flat), 0, idx_seq);
@@ -276,9 +717,9 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
     }
   };
 
-  run_phase(plan.core, plan.core_colors);
+  run_phase(plan.core, plan.core_colors, plan.core_contig);
   ctx.exchange_end(plan, pending);
-  run_phase(plan.tail, plan.tail_colors);
+  run_phase(plan.tail, plan.tail_colors, plan.tail_contig);
 
   [&]<std::size_t... I>(std::index_sequence<I...>) {
     (detail::merge_scratch(std::get<I>(args), std::get<I>(scratch), nthreads), ...);

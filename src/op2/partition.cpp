@@ -34,7 +34,7 @@ void rcb_recurse(const Dat<double>& coords, int cdim, std::vector<index_t>& elem
   for (int a = 0; a < cdim; ++a) {
     double lo = 1e300, hi = -1e300;
     for (const index_t e : elems) {
-      const double v = coords.data()[static_cast<std::size_t>(e) * cdim + a];
+      const double v = coords.at(e, a);
       lo = std::min(lo, v);
       hi = std::max(hi, v);
     }
@@ -48,8 +48,8 @@ void rcb_recurse(const Dat<double>& coords, int cdim, std::vector<index_t>& elem
       static_cast<double>(elems.size()) * left_ranks / nranks);
   std::nth_element(elems.begin(), elems.begin() + static_cast<std::ptrdiff_t>(split),
                    elems.end(), [&](index_t a, index_t b) {
-                     const double va = coords.data()[static_cast<std::size_t>(a) * cdim + axis];
-                     const double vb = coords.data()[static_cast<std::size_t>(b) * cdim + axis];
+                     const double va = coords.at(a, axis);
+                     const double vb = coords.at(b, axis);
                      return va < vb || (va == vb && a < b);
                    });
   std::vector<index_t> left(elems.begin(), elems.begin() + static_cast<std::ptrdiff_t>(split));

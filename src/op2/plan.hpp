@@ -4,6 +4,7 @@
 // run while halo messages are in flight (core/tail split for latency
 // hiding), and which halo subsets the loop needs (partial halo exchange).
 // Here the plan is built at first invocation and cached by loop name.
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -42,6 +43,10 @@ struct PlanSetComm {
   std::vector<std::vector<index_t>> send_idx;   ///< per neighbor: owned local indices
   std::vector<int> nbr_recv;
   std::vector<std::vector<index_t>> recv_slots; ///< per neighbor: local halo slots
+  /// Persistent per-neighbor pack buffers: exchange_begin reuses these
+  /// across invocations instead of allocating fresh ones (steady-state
+  /// allocation count is zero; Context::halo_buffer_allocs() meters growth).
+  std::vector<std::vector<std::byte>> send_bufs;
 };
 
 struct LoopPlan {
@@ -55,6 +60,18 @@ struct LoopPlan {
   // loop's maps and can run while messages are in flight; `tail` must wait.
   std::vector<index_t> core;
   std::vector<index_t> tail;
+  /// The element lists are ascending; when a phase is a contiguous index
+  /// range the executor can iterate the range directly (enables the
+  /// vectorized path). Direct loops are always contiguous.
+  bool core_contig = false;
+  bool tail_contig = false;
+
+  /// Layout-vectorizable: every dat argument is direct and unit-stride, at
+  /// least one dat uses a non-AoS layout, globals are read-only and no
+  /// arg_idx is present. Cached against the context's layout epoch and
+  /// recomputed when any dat's layout changes.
+  bool vectorizable = false;
+  std::uint64_t layout_epoch = 0;
 
   // Shared-memory coloring (built when the context executes with threads or
   // force_coloring): elements grouped by conflict-free color, core and tail

@@ -132,16 +132,15 @@ void Context::renumber_set(Set& s, std::span<const index_t> perm) {
     }
   }
 
-  // Permute dats on the set (raw-byte element moves).
+  // Permute dats on the set (layout-agnostic: gather every element's
+  // payload in old order, scatter to the permuted positions).
+  std::vector<index_t> iota(n);
+  for (std::size_t e = 0; e < n; ++e) iota[e] = static_cast<index_t>(e);
   for (auto& dat : dats_) {
     if (&dat->set() != &s) continue;
-    const std::size_t eb = dat->elem_bytes();
-    std::vector<std::byte> moved(n * eb);
-    const std::byte* src = dat->raw();
-    for (std::size_t e = 0; e < n; ++e) {
-      std::memcpy(moved.data() + static_cast<std::size_t>(perm[e]) * eb, src + e * eb, eb);
-    }
-    std::memcpy(dat->raw(), moved.data(), moved.size());
+    std::vector<std::byte> payload(n * dat->elem_bytes());
+    dat->gather_elems(iota, payload.data());
+    dat->scatter_elems(perm, payload.data());
     dat->mark_written();
   }
 }

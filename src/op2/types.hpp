@@ -51,6 +51,23 @@ enum class Access : std::uint8_t {
 
 const char* access_name(Access a);
 
+/// Storage layout of a Dat's components (DESIGN.md §8). Kernels never see
+/// the layout: the par_loop executor either hands out unit-stride pointers
+/// directly (AoS, or any layout when dim == 1) or stages elements through
+/// per-thread scratch blocks.
+enum class Layout : std::uint8_t {
+  AoS,    ///< off(e,c) = e*dim + c — the reference layout; I/O normal form
+  SoA,    ///< off(e,c) = c*cap + e — contiguous per-component columns
+  AoSoA,  ///< off(e,c) = (e/W)*(W*dim) + c*W + e%W — blocked, W = block width
+};
+
+const char* layout_name(Layout l);
+
+/// Parses "aos" | "soa" | "aosoa" | "aosoa<W>" (e.g. "aosoa8"). Returns
+/// false on unrecognized input; on success writes the layout and, for
+/// explicit aosoa<W>, the block width.
+bool parse_layout(const std::string& text, Layout* layout, int* block);
+
 /// Runtime configuration. The three optimization toggles correspond to the
 /// paper's §IV-A5 (Table III) ablation:
 ///  - partial_halos (PH): exchange only the halo elements a loop actually
@@ -72,6 +89,12 @@ struct Config {
   /// Enable communication/computation overlap (latency hiding): execute
   /// halo-independent "core" elements while halo messages are in flight.
   bool latency_hiding = true;
+  /// Storage layout for dats declared without an explicit per-dat override
+  /// (also settable via the VCGT_OP2_LAYOUT environment variable:
+  /// "aos" | "soa" | "aosoa" | "aosoa<W>").
+  Layout default_layout = Layout::AoS;
+  /// Block width W for AoSoA dats (must be a power of two).
+  int aosoa_block = 8;
 };
 
 /// Partitioning strategy for distributing the primary set across ranks.

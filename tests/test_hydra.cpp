@@ -246,6 +246,58 @@ TEST(HydraSolver, PlanDiagnosticsDescribeLoops) {
   EXPECT_NE(report.find("calls"), std::string::npos);
 }
 
+// Regression: gather_owned_face_states / scatter_ghosts once read and wrote
+// cell state via Dat::elem(), which silently assumes unit-stride (AoS)
+// storage — under SoA/AoSoA the coupler exchanged garbage and the NDEBUG
+// build never tripped the assert. The boundary exchange must be
+// layout-agnostic: same gathered payloads and same post-scatter evolution,
+// bit for bit, under every layout.
+TEST(HydraSolver, BoundaryExchangeLayoutAgnostic) {
+  struct Result {
+    std::vector<op2::index_t> gids;
+    std::vector<double> payload;
+    std::vector<double> q;
+  };
+  auto run = [](op2::Layout layout, int block) {
+    op2::Config ocfg;
+    ocfg.default_layout = layout;
+    ocfg.aosoa_block = block;
+    op2::Context ctx(ocfg);
+    auto row = quiet_row();
+    row.rotor = true;
+    const auto mesh = rig::generate_row_mesh(row, {4, 3, 16});
+    FlowConfig cfg = quiet_config();
+    cfg.rotor_swirl_frac = 0.3;
+    cfg.dt_phys = 5e-5;
+    RowSolver solver(ctx, mesh, row, /*omega=*/1000.0, cfg);
+    solver.set_coupled(BoundaryGroup::Inlet, true);
+    ctx.partition(op2::Partitioner::Rcb, solver.cell_center());
+    solver.initialize();
+    solver.advance_inner(4);  // develop a non-uniform state to exchange
+
+    Result r;
+    solver.gather_owned_face_states(BoundaryGroup::Outlet, &r.gids, &r.payload);
+    // Feed the outlet states back in as inlet ghosts (a self-coupled rig):
+    // exercises the scatter path and lets its effect propagate into q.
+    std::vector<op2::index_t> igids;
+    std::vector<double> ipayload;
+    solver.gather_owned_face_states(BoundaryGroup::Inlet, &igids, &ipayload);
+    solver.scatter_ghosts(BoundaryGroup::Inlet, igids, ipayload);
+    solver.advance_inner(4);
+    r.q = ctx.fetch_global(solver.q());
+    return r;
+  };
+  const Result ref = run(op2::Layout::AoS, 1);
+  ASSERT_FALSE(ref.payload.empty());
+  for (const auto& [layout, block] :
+       {std::pair{op2::Layout::SoA, 1}, std::pair{op2::Layout::AoSoA, 8}}) {
+    const Result got = run(layout, block);
+    EXPECT_EQ(got.gids, ref.gids) << op2::layout_name(layout);
+    EXPECT_EQ(got.payload, ref.payload) << op2::layout_name(layout);
+    EXPECT_EQ(got.q, ref.q) << op2::layout_name(layout);
+  }
+}
+
 TEST(HydraSolver, SetCoupledValidation) {
   op2::Context ctx;
   const auto row = quiet_row();

@@ -41,28 +41,28 @@ SolveResult run_pseudo_solver(op2::Context& ctx, const test::GridMesh& mesh, int
 
   op2::par_loop("init_x", nodes,
                 [](const double* c, double* v) { *v = 1.0 + 0.01 * c[0] + 0.02 * c[1]; },
-                op2::arg(coords, Access::Read), op2::arg(x, Access::Write));
+                op2::read(coords), op2::write(x));
 
   SolveResult out;
   for (int it = 0; it < iters; ++it) {
     op2::par_loop("zero_res", nodes, [](double* r) { *r = 0.0; },
-                  op2::arg(res, Access::Write));
+                  op2::write(res));
     op2::par_loop("edge_flux", edges,
                   [](const double* xa, const double* xb, double* ra, double* rb) {
                     const double f = 0.5 * (*xb - *xa);
                     *ra += f;
                     *rb -= f;
                   },
-                  op2::arg(x, 0, e2n, Access::Read), op2::arg(x, 1, e2n, Access::Read),
-                  op2::arg(res, 0, e2n, Access::Inc), op2::arg(res, 1, e2n, Access::Inc));
+                  op2::read(x, e2n, 0), op2::read(x, e2n, 1),
+                  op2::inc(res, e2n, 0), op2::inc(res, e2n, 1));
     auto rms = ctx.decl_global<double>("rms", 1);
     op2::par_loop("update", nodes,
                   [](const double* r, double* v, double* s) {
                     *v += 0.1 * *r;
                     *s += *r * *r;
                   },
-                  op2::arg(res, Access::Read), op2::arg(x, Access::ReadWrite),
-                  op2::arg(rms, Access::Inc));
+                  op2::read(res), op2::rw(x),
+                  op2::reduce_sum(rms));
     out.rms_history.push_back(std::sqrt(rms.value()));
   }
   out.x = ctx.fetch_global(x);
@@ -122,28 +122,28 @@ TEST_P(DistEqualsSerial, PseudoSolverMatches) {
 
     op2::par_loop("init_x", nodes,
                   [](const double* cc, double* v) { *v = 1.0 + 0.01 * cc[0] + 0.02 * cc[1]; },
-                  op2::arg(coords, Access::Read), op2::arg(x, Access::Write));
+                  op2::read(coords), op2::write(x));
 
     std::vector<double> rms_history;
     for (int it = 0; it < iters; ++it) {
       op2::par_loop("zero_res", nodes, [](double* r) { *r = 0.0; },
-                    op2::arg(res, Access::Write));
+                    op2::write(res));
       op2::par_loop("edge_flux", edges,
                     [](const double* xa, const double* xb, double* ra, double* rb) {
                       const double f = 0.5 * (*xb - *xa);
                       *ra += f;
                       *rb -= f;
                     },
-                    op2::arg(x, 0, e2n, Access::Read), op2::arg(x, 1, e2n, Access::Read),
-                    op2::arg(res, 0, e2n, Access::Inc), op2::arg(res, 1, e2n, Access::Inc));
+                    op2::read(x, e2n, 0), op2::read(x, e2n, 1),
+                    op2::inc(res, e2n, 0), op2::inc(res, e2n, 1));
       auto rms = ctx.decl_global<double>("rms", 1);
       op2::par_loop("update", nodes,
                     [](const double* r, double* v, double* s) {
                       *v += 0.1 * *r;
                       *s += *r * *r;
                     },
-                    op2::arg(res, Access::Read), op2::arg(x, Access::ReadWrite),
-                    op2::arg(rms, Access::Inc));
+                    op2::read(res), op2::rw(x),
+                    op2::reduce_sum(rms));
       rms_history.push_back(std::sqrt(rms.value()));
     }
     const auto got = ctx.fetch_global(x);
@@ -275,7 +275,7 @@ TEST(Op2Dist, ArgIdxGivesGlobalIdsOnEveryLayout) {
                   [](const op2::index_t* gid, double* x) {
                     *x = 3.0 * static_cast<double>(*gid) + 1.0;
                   },
-                  op2::arg_idx(), op2::arg(v, Access::Write));
+                  op2::arg_idx(), op2::write(v));
     return ctx.fetch_global(v);
   };
   const auto ref = run(minimpi::Comm{});
@@ -309,14 +309,14 @@ TEST(Op2Dist, DirtyEpochTriggersExactlyOneExchange) {
       auto g = ctx.decl_global<double>("sum", 1);
       op2::par_loop("edge_sum", edges,
                     [](const double* xa, const double* xb, double* s) { *s += *xa + *xb; },
-                    op2::arg(x, 0, e2n, Access::Read), op2::arg(x, 1, e2n, Access::Read),
-                    op2::arg(g, Access::Inc));
+                    op2::read(x, e2n, 0), op2::read(x, e2n, 1),
+                    op2::reduce_sum(g));
       return g.value();
     };
 
     op2::par_loop("init_x", nodes,
                   [](const double* c, double* v) { *v = 1.0 + 0.5 * c[0] - 0.25 * c[1]; },
-                  op2::arg(coords, Access::Read), op2::arg(x, Access::Write));
+                  op2::read(coords), op2::write(x));
     ASSERT_TRUE(x.halo_dirty());
 
     // First indirect read of a dirty dat: exactly one exchange round.
@@ -335,7 +335,7 @@ TEST(Op2Dist, DirtyEpochTriggersExactlyOneExchange) {
     // A direct Write-access loop on another dat marks it dirty but must not
     // exchange anything (nobody reads res through a map).
     op2::par_loop("zero_res", nodes, [](double* r) { *r = 0.0; },
-                  op2::arg(res, Access::Write));
+                  op2::write(res));
     EXPECT_EQ(msgs(), m2);
     EXPECT_TRUE(res.halo_dirty());
 
@@ -343,7 +343,7 @@ TEST(Op2Dist, DirtyEpochTriggersExactlyOneExchange) {
     // once (same per-round message count as the first exchange) and records
     // cleanliness at the mutated epoch.
     op2::par_loop("bump_x", nodes, [](double* v) { *v += 1e-3; },
-                  op2::arg(x, Access::ReadWrite));
+                  op2::rw(x));
     ASSERT_TRUE(x.halo_dirty());
     const auto epoch = x.write_epoch();
     (void)edge_sum();
@@ -360,7 +360,7 @@ TEST(Op2Dist, LoopBeforePartitionThrows) {
     auto& nodes = ctx.decl_set("nodes", 10);
     auto& v = ctx.decl_dat<double>(nodes, 1, "v");
     EXPECT_THROW(op2::par_loop("early", nodes, [](double* x) { *x = 0; },
-                               op2::arg(v, Access::Write)),
+                               op2::write(v)),
                  std::logic_error);
   });
 }

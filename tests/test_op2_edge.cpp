@@ -21,7 +21,7 @@ TEST(Op2Edge, EmptySetLoopsAreNoOps) {
   auto& empty = ctx.decl_set("empty", 0);
   auto& d = ctx.decl_dat<double>(empty, 1, "d");
   int calls = 0;
-  op2::par_loop("noop", empty, [&](double*) { ++calls; }, op2::arg(d, Access::Write));
+  op2::par_loop("noop", empty, [&](double*) { ++calls; }, op2::write(d));
   EXPECT_EQ(calls, 0);
   EXPECT_EQ(ctx.total_stats().invocations, 1u);
   EXPECT_EQ(ctx.total_stats().elements, 0u);
@@ -40,10 +40,10 @@ TEST(Op2Edge, MoreRanksThanElements) {
     auto& v = ctx.decl_dat<double>(nodes, 1, "v");
     ctx.partition(op2::Partitioner::Rcb, coords);
     op2::par_loop("setv", nodes, [](const double* c, double* x) { *x = c[0]; },
-                  op2::arg(coords, Access::Read), op2::arg(v, Access::Write));
+                  op2::read(coords), op2::write(v));
     auto sum = ctx.decl_global<double>("sum", 1);
     op2::par_loop("sumv", nodes, [](const double* x, double* s) { *s += *x; },
-                  op2::arg(v, Access::Read), op2::arg(sum, Access::Inc));
+                  op2::read(v), op2::reduce_sum(sum));
     EXPECT_DOUBLE_EQ(sum.value(), 3.0);
     const auto all = ctx.fetch_global(v);
     EXPECT_DOUBLE_EQ(all[2], 2.0);
@@ -63,8 +63,8 @@ TEST(Op2Edge, IntDatHaloExchange) {
     ctx.partition(op2::Partitioner::Rcb, coords);
     op2::par_loop("stamp", nodes,
                   [](const op2::index_t* g, int* t) { *t = static_cast<int>(*g % 5); },
-                  op2::arg_idx(), op2::arg(tag, Access::Write));
-    op2::par_loop("zero", nodes, [](int* c) { *c = 0; }, op2::arg(cnt, Access::Write));
+                  op2::arg_idx(), op2::write(tag));
+    op2::par_loop("zero", nodes, [](int* c) { *c = 0; }, op2::write(cnt));
     // Indirect read of the int dat (exercises byte-level halo exchange of a
     // non-double payload) with indirect int increments.
     op2::par_loop("count_matching", edges,
@@ -74,8 +74,8 @@ TEST(Op2Edge, IntDatHaloExchange) {
                       *cb += 1;
                     }
                   },
-                  op2::arg(tag, 0, e2n, Access::Read), op2::arg(tag, 1, e2n, Access::Read),
-                  op2::arg(cnt, 0, e2n, Access::Inc), op2::arg(cnt, 1, e2n, Access::Inc));
+                  op2::read(tag, e2n, 0), op2::read(tag, e2n, 1),
+                  op2::inc(cnt, e2n, 0), op2::inc(cnt, e2n, 1));
     return ctx.fetch_global(cnt);
   };
   const auto ref = run(minimpi::Comm{});
@@ -98,14 +98,14 @@ TEST(Op2Edge, IndirectWriteScatter) {
     auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
     auto& v = ctx.decl_dat<double>(nodes, 1, "v");
     ctx.partition(op2::Partitioner::Rcb, coords);
-    op2::par_loop("init", nodes, [](double* x) { *x = -1.0; }, op2::arg(v, Access::Write));
+    op2::par_loop("init", nodes, [](double* x) { *x = -1.0; }, op2::write(v));
     // Scatter a constant: final value well-defined despite multiple writers.
     op2::par_loop("scatter", edges,
                   [](double* a, double* b) {
                     *a = 7.0;
                     *b = 7.0;
                   },
-                  op2::arg(v, 0, e2n, Access::Write), op2::arg(v, 1, e2n, Access::Write));
+                  op2::write(v, e2n, 0), op2::write(v, e2n, 1));
     return ctx.fetch_global(v);
   };
   const auto ref = run(minimpi::Comm{});
@@ -131,8 +131,8 @@ TEST(Op2Edge, MinMaxReductionsDistributed) {
                     if (val > *hi) *hi = val;
                     if (val < *lo) *lo = val;
                   },
-                  op2::arg(coords, Access::Read), op2::arg(mx, Access::Max),
-                  op2::arg(mn, Access::Min));
+                  op2::read(coords), op2::reduce_max(mx),
+                  op2::reduce_min(mn));
     EXPECT_DOUBLE_EQ(mx.value(), 8 * 10 + 8);
     EXPECT_DOUBLE_EQ(mn.value(), 0.0);
   });
@@ -160,7 +160,7 @@ TEST(Op2Edge, MultiComponentGlobalReduction) {
                     a[1] += c[0];
                     a[2] += c[0] * c[0];
                   },
-                  op2::arg(coords, Access::Read), op2::arg(acc, Access::Inc));
+                  op2::read(coords), op2::reduce_sum(acc));
     EXPECT_DOUBLE_EQ(acc.value(0), 30.0);
     EXPECT_DOUBLE_EQ(acc.value(1), 29.0 * 30.0 / 2.0);
   });
@@ -177,8 +177,8 @@ TEST(Op2Plan, CoreTailPartitionExecutedElements) {
     auto& x = ctx.decl_dat<double>(nodes, 1, "x");
     auto& r = ctx.decl_dat<double>(nodes, 1, "r");
     ctx.partition(op2::Partitioner::Rcb, coords);
-    op2::par_loop("ix", nodes, [](double* v) { *v = 1.0; }, op2::arg(x, Access::Write));
-    op2::par_loop("zr", nodes, [](double* v) { *v = 0.0; }, op2::arg(r, Access::Write));
+    op2::par_loop("ix", nodes, [](double* v) { *v = 1.0; }, op2::write(x));
+    op2::par_loop("zr", nodes, [](double* v) { *v = 0.0; }, op2::write(r));
     const std::vector<op2::ArgInfo> infos{
         op2::ArgInfo{&x, &e2n, 0, Access::Read, false},
         op2::ArgInfo{&x, &e2n, 1, Access::Read, false},
@@ -238,8 +238,8 @@ TEST(Op2Plan, DescribePlansListsEverything) {
   op2::Context ctx;
   auto& nodes = ctx.decl_set("nodes", 5);
   auto& d = ctx.decl_dat<double>(nodes, 1, "d");
-  op2::par_loop("alpha", nodes, [](double* x) { *x = 0; }, op2::arg(d, Access::Write));
-  op2::par_loop("beta", nodes, [](double* x) { *x += 1; }, op2::arg(d, Access::Inc));
+  op2::par_loop("alpha", nodes, [](double* x) { *x = 0; }, op2::write(d));
+  op2::par_loop("beta", nodes, [](double* x) { *x += 1; }, op2::inc(d));
   const auto report = ctx.describe_plans();
   EXPECT_NE(report.find("alpha"), std::string::npos);
   EXPECT_NE(report.find("beta"), std::string::npos);
@@ -263,17 +263,17 @@ TEST(Op2Halo, ExchangeOnlyWhenDirty) {
       auto s = ctx.decl_global<double>(std::string(name) + "_s", 1);
       op2::par_loop(name, edges,
                     [](const double* a, const double* b, double* acc) { *acc += *a + *b; },
-                    op2::arg(v, 0, e2n, Access::Read), op2::arg(v, 1, e2n, Access::Read),
-                    op2::arg(s, Access::Inc));
+                    op2::read(v, e2n, 0), op2::read(v, e2n, 1),
+                    op2::reduce_sum(s));
     };
 
-    op2::par_loop("w1", nodes, [](double* x) { *x = 1.0; }, op2::arg(v, Access::Write));
+    op2::par_loop("w1", nodes, [](double* x) { *x = 1.0; }, op2::write(v));
     read_loop("r1");
     const auto after_first = ctx.total_stats().halo_msgs;
     EXPECT_GT(after_first, 0u);
     read_loop("r2");  // clean halo: no further messages
     EXPECT_EQ(ctx.total_stats().halo_msgs, after_first);
-    op2::par_loop("w2", nodes, [](double* x) { *x = 2.0; }, op2::arg(v, Access::Write));
+    op2::par_loop("w2", nodes, [](double* x) { *x = 2.0; }, op2::write(v));
     read_loop("r3");  // re-dirtied: exchanged again
     EXPECT_GT(ctx.total_stats().halo_msgs, after_first);
   });
@@ -293,8 +293,8 @@ TEST(Op2Halo, StaticDatsNeverExchanged) {
     auto s = ctx.decl_global<double>("s", 1);
     op2::par_loop("read_static", edges,
                   [](const double* a, const double* b, double* acc) { *acc += a[0] + b[0]; },
-                  op2::arg(coords, 0, e2n, Access::Read),
-                  op2::arg(coords, 1, e2n, Access::Read), op2::arg(s, Access::Inc));
+                  op2::read(coords, e2n, 0),
+                  op2::read(coords, e2n, 1), op2::reduce_sum(s));
     EXPECT_EQ(ctx.total_stats().halo_msgs, 0u);
   });
 }
@@ -328,7 +328,7 @@ TEST(Op2Edge, MapFromWrongIterationSetRejected) {
   auto& d = ctx.decl_dat<double>(nodes, 1, "d");
   // Iterating cells with an edge->node map must be rejected.
   EXPECT_THROW(op2::par_loop("bad_iter", cells, [](double*) {},
-                             op2::arg(d, 0, e2n, Access::Inc)),
+                             op2::inc(d, e2n, 0)),
                std::logic_error);
 }
 
@@ -347,19 +347,19 @@ TEST(Op2Edge, TwoMapsSameTargetSetShareHalo) {
     auto& v = ctx.decl_dat<double>(nodes, 1, "v");
     ctx.partition(op2::Partitioner::Rcb, coords);
     op2::par_loop("iv", nodes, [](const double* c, double* x) { *x = c[0] + c[1]; },
-                  op2::arg(coords, Access::Read), op2::arg(v, Access::Write));
+                  op2::read(coords), op2::write(v));
     auto esum = ctx.decl_global<double>("esum", 1);
     op2::par_loop("edge_read", edges,
                   [](const double* a, const double* b, double* s) { *s += *a + *b; },
-                  op2::arg(v, 0, e2n, Access::Read), op2::arg(v, 1, e2n, Access::Read),
-                  op2::arg(esum, Access::Inc));
+                  op2::read(v, e2n, 0), op2::read(v, e2n, 1),
+                  op2::reduce_sum(esum));
     auto csum = ctx.decl_global<double>("csum", 1);
     op2::par_loop("cell_read", cells,
                   [](const double* a, const double* b, const double* c, const double* d,
                      double* s) { *s += *a + *b + *c + *d; },
-                  op2::arg(v, 0, c2n, Access::Read), op2::arg(v, 1, c2n, Access::Read),
-                  op2::arg(v, 2, c2n, Access::Read), op2::arg(v, 3, c2n, Access::Read),
-                  op2::arg(csum, Access::Inc));
+                  op2::read(v, c2n, 0), op2::read(v, c2n, 1),
+                  op2::read(v, c2n, 2), op2::read(v, c2n, 3),
+                  op2::reduce_sum(csum));
     // Serial references.
     double eref = 0, cref = 0;
     for (index_t e = 0; e < mesh.nedge; ++e) {

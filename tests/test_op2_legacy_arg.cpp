@@ -1,0 +1,197 @@
+// The deprecated runtime-enum spelling op2::arg(..., Access::X) must keep
+// compiling (with a deprecation warning, silenced here) and produce results
+// identical to the access-tagged builders — legacy and typed arguments feed
+// the same ArgInfo, so plans, halo exchanges and coloring are unchanged.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <type_traits>
+
+#include "src/op2/op2.hpp"
+#include "tests/testmesh.hpp"
+
+// This suite deliberately exercises the deprecated API.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+namespace {
+
+using namespace vcgt;
+using op2::Access;
+using op2::index_t;
+
+// The access-tagged builders carry the mode in the type; read() must yield a
+// Read-tagged descriptor (kernels receive const T*), the rest mutable tags.
+void static_checks() {
+  op2::Context ctx;
+  auto& s = ctx.decl_set("sc", 4);
+  auto& d = ctx.decl_dat<double>(s, 1, "sc_d");
+  auto g = ctx.decl_global<double>("sc_g", 1);
+  static_assert(std::is_same_v<decltype(op2::read(d)),
+                               op2::DatArg<double, Access::Read>>);
+  static_assert(std::is_same_v<decltype(op2::write(d)),
+                               op2::DatArg<double, Access::Write>>);
+  static_assert(std::is_same_v<decltype(op2::rw(d)),
+                               op2::DatArg<double, Access::ReadWrite>>);
+  static_assert(std::is_same_v<decltype(op2::inc(d)),
+                               op2::DatArg<double, Access::Inc>>);
+  static_assert(std::is_same_v<decltype(op2::read(g)),
+                               op2::GblArg<double, Access::Read>>);
+  static_assert(std::is_same_v<decltype(op2::reduce_sum(g)),
+                               op2::GblArg<double, Access::Inc>>);
+  static_assert(std::is_same_v<decltype(op2::reduce_min(g)),
+                               op2::GblArg<double, Access::Min>>);
+  static_assert(std::is_same_v<decltype(op2::reduce_max(g)),
+                               op2::GblArg<double, Access::Max>>);
+  static_assert(std::is_same_v<decltype(op2::arg(d, Access::Inc)),
+                               op2::LegacyDatArg<double>>);
+  static_assert(std::is_same_v<decltype(op2::arg(g, Access::Inc)),
+                               op2::LegacyGblArg<double>>);
+}
+
+struct Result {
+  std::vector<double> x;
+  double rms = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+template <bool UseLegacy>
+Result run(const test::GridMesh& mesh) {
+  op2::Context ctx;
+  auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+  auto& edges = ctx.decl_set("edges", mesh.nedge);
+  auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
+  auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
+  auto& x = ctx.decl_dat<double>(nodes, 1, "x");
+  auto& res = ctx.decl_dat<double>(nodes, 1, "res");
+  ctx.partition(op2::Partitioner::Rcb, coords);
+
+  const auto init_k = [](const double* c, double* v) {
+    *v = 1.0 + 0.01 * c[0] + 0.02 * c[1];
+  };
+  const auto flux_k = [](const double* xa, const double* xb, double* ra, double* rb) {
+    const double f = 0.5 * (*xb - *xa);
+    *ra += f;
+    *rb -= f;
+  };
+  // Legacy arguments bind with the pre-redesign T*-everywhere typing.
+  const auto legacy_init_k = [](double* c, double* v) {
+    *v = 1.0 + 0.01 * c[0] + 0.02 * c[1];
+  };
+  const auto legacy_flux_k = [](double* xa, double* xb, double* ra, double* rb) {
+    const double f = 0.5 * (*xb - *xa);
+    *ra += f;
+    *rb -= f;
+  };
+
+  Result out;
+  if constexpr (UseLegacy) {
+    op2::par_loop("init_x", nodes, legacy_init_k,
+                  op2::arg(coords, Access::Read), op2::arg(x, Access::Write));
+  } else {
+    op2::par_loop("init_x", nodes, init_k, op2::read(coords), op2::write(x));
+  }
+  for (int it = 0; it < 3; ++it) {
+    auto rms = ctx.decl_global<double>("rms", 1);
+    auto lo = ctx.decl_global<double>("lo", 1, {1e30});
+    auto hi = ctx.decl_global<double>("hi", 1, {-1e30});
+    if constexpr (UseLegacy) {
+      op2::par_loop("zero", nodes, [](double* r) { *r = 0.0; },
+                    op2::arg(res, Access::Write));
+      op2::par_loop("flux", edges, legacy_flux_k,
+                    op2::arg(x, 0, e2n, Access::Read), op2::arg(x, 1, e2n, Access::Read),
+                    op2::arg(res, 0, e2n, Access::Inc), op2::arg(res, 1, e2n, Access::Inc));
+      op2::par_loop("update", nodes,
+                    [](double* r, double* v, double* s, double* mn, double* mx) {
+                      *v += 0.1 * *r;
+                      *s += *r * *r;
+                      *mn = *v < *mn ? *v : *mn;
+                      *mx = *v > *mx ? *v : *mx;
+                    },
+                    op2::arg(res, Access::Read), op2::arg(x, Access::ReadWrite),
+                    op2::arg(rms, Access::Inc), op2::arg(lo, Access::Min),
+                    op2::arg(hi, Access::Max));
+    } else {
+      op2::par_loop("zero", nodes, [](double* r) { *r = 0.0; },
+                    op2::write(res));
+      op2::par_loop("flux", edges, flux_k,
+                    op2::read(x, e2n, 0), op2::read(x, e2n, 1),
+                    op2::inc(res, e2n, 0), op2::inc(res, e2n, 1));
+      op2::par_loop("update", nodes,
+                    [](const double* r, double* v, double* s, double* mn, double* mx) {
+                      *v += 0.1 * *r;
+                      *s += *r * *r;
+                      *mn = *v < *mn ? *v : *mn;
+                      *mx = *v > *mx ? *v : *mx;
+                    },
+                    op2::read(res), op2::rw(x), op2::reduce_sum(rms),
+                    op2::reduce_min(lo), op2::reduce_max(hi));
+    }
+    out.rms = std::sqrt(rms.value());
+    out.lo = lo.value();
+    out.hi = hi.value();
+  }
+  out.x = ctx.fetch_global(x);
+  return out;
+}
+
+TEST(LegacyArg, BuilderTypesCarryAccessTags) { static_checks(); }
+
+TEST(LegacyArg, MatchesTypedBuildersBitForBit) {
+  const auto mesh = test::make_grid(10, 8);
+  const auto typed = run<false>(mesh);
+  const auto legacy = run<true>(mesh);
+  ASSERT_EQ(legacy.x.size(), typed.x.size());
+  for (std::size_t i = 0; i < typed.x.size(); ++i) {
+    EXPECT_EQ(legacy.x[i], typed.x[i]) << "node " << i;
+  }
+  EXPECT_EQ(legacy.rms, typed.rms);
+  EXPECT_EQ(legacy.lo, typed.lo);
+  EXPECT_EQ(legacy.hi, typed.hi);
+}
+
+TEST(LegacyArg, WorksUnderNonDefaultLayouts) {
+  // The legacy path stages through the same scratch machinery; a SoA dat
+  // driven through op2::arg must match the AoS/typed result.
+  const auto mesh = test::make_grid(7, 6);
+  auto run_layout = [&](op2::Layout layout) {
+    op2::Config cfg;
+    cfg.default_layout = layout;
+    cfg.aosoa_block = 4;
+    op2::Context ctx(cfg);
+    auto& nodes = ctx.decl_set("nodes", mesh.nnode);
+    auto& edges = ctx.decl_set("edges", mesh.nedge);
+    auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
+    auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
+    auto& v = ctx.decl_dat<double>(nodes, 2, "v");
+    ctx.partition(op2::Partitioner::Rcb, coords);
+    op2::par_loop("init", nodes,
+                  [](double* c, double* d) {
+                    d[0] = c[0] + 1.0;
+                    d[1] = c[1] - 1.0;
+                  },
+                  op2::arg(coords, Access::Read), op2::arg(v, Access::Write));
+    op2::par_loop("smooth", edges,
+                  [](double* a, double* b) {
+                    const double m0 = 0.5 * (a[0] + b[0]);
+                    a[1] += 0.01 * m0;
+                    b[1] += 0.01 * m0;
+                  },
+                  op2::arg(v, 0, e2n, Access::ReadWrite),
+                  op2::arg(v, 1, e2n, Access::ReadWrite));
+    return ctx.fetch_global(v);
+  };
+  const auto aos = run_layout(op2::Layout::AoS);
+  const auto soa = run_layout(op2::Layout::SoA);
+  const auto aosoa = run_layout(op2::Layout::AoSoA);
+  ASSERT_EQ(soa.size(), aos.size());
+  ASSERT_EQ(aosoa.size(), aos.size());
+  for (std::size_t i = 0; i < aos.size(); ++i) {
+    EXPECT_EQ(soa[i], aos[i]) << i;
+    EXPECT_EQ(aosoa[i], aos[i]) << i;
+  }
+}
+
+}  // namespace

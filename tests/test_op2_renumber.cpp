@@ -75,20 +75,20 @@ TEST(Renumber, SolutionInvariantUnderRenumbering) {
     ctx.partition(op2::Partitioner::Rcb, coords);
     op2::par_loop("initu", nodes,
                   [](const double* c, double* v) { *v = c[0] + 2.0 * c[1]; },
-                  op2::arg(coords, Access::Read), op2::arg(u, Access::Write));
+                  op2::read(coords), op2::write(u));
     for (int it = 0; it < 5; ++it) {
       op2::par_loop("zero", nodes, [](double* r) { *r = 0.0; },
-                    op2::arg(res, Access::Write));
+                    op2::write(res));
       op2::par_loop("diffuse", edges,
                     [](const double* a, const double* b, double* ra, double* rb) {
                       const double f = 0.25 * (*b - *a);
                       *ra += f;
                       *rb -= f;
                     },
-                    op2::arg(u, 0, e2n, Access::Read), op2::arg(u, 1, e2n, Access::Read),
-                    op2::arg(res, 0, e2n, Access::Inc), op2::arg(res, 1, e2n, Access::Inc));
+                    op2::read(u, e2n, 0), op2::read(u, e2n, 1),
+                    op2::inc(res, e2n, 0), op2::inc(res, e2n, 1));
       op2::par_loop("update", nodes, [](const double* r, double* v) { *v += *r; },
-                    op2::arg(res, Access::Read), op2::arg(u, Access::ReadWrite));
+                    op2::read(res), op2::rw(u));
     }
     // De-permute so both runs report in the original numbering.
     const auto raw = ctx.fetch_global(u);

@@ -51,10 +51,10 @@ TEST(Op2Loop, DirectWriteAndRead) {
   auto& b = ctx.decl_dat<double>(nodes, 1, "b");
 
   op2::par_loop("init_a", nodes, [](double* v) { *v = 3.0; },
-                op2::arg(a, Access::Write));
+                op2::write(a));
   op2::par_loop("copy_scale", nodes,
                 [](const double* x, double* y) { *y = 2.0 * *x; },
-                op2::arg(a, Access::Read), op2::arg(b, Access::Write));
+                op2::read(a), op2::write(b));
   for (index_t n = 0; n < 100; ++n) EXPECT_DOUBLE_EQ(b.elem(n)[0], 6.0);
 }
 
@@ -67,13 +67,13 @@ TEST(Op2Loop, IndirectIncrementGathersDegrees) {
   auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
   auto& deg = ctx.decl_dat<double>(nodes, 1, "deg");
 
-  op2::par_loop("zero", nodes, [](double* d) { *d = 0.0; }, op2::arg(deg, Access::Write));
+  op2::par_loop("zero", nodes, [](double* d) { *d = 0.0; }, op2::write(deg));
   op2::par_loop("count", edges,
                 [](double* a, double* b) {
                   *a += 1.0;
                   *b += 1.0;
                 },
-                op2::arg(deg, 0, e2n, Access::Inc), op2::arg(deg, 1, e2n, Access::Inc));
+                op2::inc(deg, e2n, 0), op2::inc(deg, e2n, 1));
 
   // Reference degrees.
   std::vector<double> ref(static_cast<std::size_t>(mesh.nnode), 0.0);
@@ -90,7 +90,7 @@ TEST(Op2Loop, GlobalReductions) {
   op2::Context ctx;
   auto& nodes = ctx.decl_set("nodes", 50);
   auto& v = ctx.decl_dat<double>(nodes, 1, "v");
-  op2::par_loop("fill", nodes, [](double* x) { *x = 1.0; }, op2::arg(v, Access::Write));
+  op2::par_loop("fill", nodes, [](double* x) { *x = 1.0; }, op2::write(v));
 
   auto sum = ctx.decl_global<double>("sum", 1);
   auto mx = ctx.decl_global<double>("mx", 1, {-1e30});
@@ -101,8 +101,8 @@ TEST(Op2Loop, GlobalReductions) {
                   if (*x > *hi) *hi = *x;
                   if (*x < *lo) *lo = *x;
                 },
-                op2::arg(v, Access::Read), op2::arg(sum, Access::Inc),
-                op2::arg(mx, Access::Max), op2::arg(mn, Access::Min));
+                op2::read(v), op2::reduce_sum(sum),
+                op2::reduce_max(mx), op2::reduce_min(mn));
   EXPECT_DOUBLE_EQ(sum.value(), 50.0);
   EXPECT_DOUBLE_EQ(mx.value(), 1.0);
   EXPECT_DOUBLE_EQ(mn.value(), 1.0);
@@ -115,7 +115,7 @@ TEST(Op2Loop, GlobalReadParameter) {
   auto alpha = ctx.decl_global<double>("alpha", 1, {2.5});
   op2::par_loop("scale_by_param", nodes,
                 [](double* x, const double* a) { *x = *a; },
-                op2::arg(v, Access::Write), op2::arg(alpha, Access::Read));
+                op2::write(v), op2::read(alpha));
   for (index_t n = 0; n < 10; ++n) EXPECT_DOUBLE_EQ(v.elem(n)[0], 2.5);
 }
 
@@ -129,13 +129,13 @@ TEST(Op2Loop, MultiComponentDat) {
                   v[1] = 2.0;
                   v[2] = 3.0;
                 },
-                op2::arg(vec, Access::Write));
+                op2::write(vec));
   auto norm = ctx.decl_global<double>("norm", 1);
   op2::par_loop("norm", nodes,
                 [](const double* v, double* s) {
                   *s += v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
                 },
-                op2::arg(vec, Access::Read), op2::arg(norm, Access::Inc));
+                op2::read(vec), op2::reduce_sum(norm));
   EXPECT_DOUBLE_EQ(norm.value(), 20.0 * 14.0);
 }
 
@@ -143,7 +143,7 @@ TEST(Op2Loop, IntDatsSupported) {
   op2::Context ctx;
   auto& cells = ctx.decl_set("cells", 12);
   auto& flag = ctx.decl_dat<int>(cells, 1, "flag");
-  op2::par_loop("tag", cells, [](int* f) { *f = 7; }, op2::arg(flag, Access::Write));
+  op2::par_loop("tag", cells, [](int* f) { *f = 7; }, op2::write(flag));
   for (index_t c = 0; c < 12; ++c) EXPECT_EQ(flag.elem(c)[0], 7);
 }
 
@@ -152,9 +152,9 @@ TEST(Op2Loop, LoopNameReuseWithDifferentArgsThrows) {
   auto& nodes = ctx.decl_set("nodes", 5);
   auto& a = ctx.decl_dat<double>(nodes, 1, "a");
   auto& b = ctx.decl_dat<double>(nodes, 1, "b");
-  op2::par_loop("dup", nodes, [](double* v) { *v = 0; }, op2::arg(a, Access::Write));
+  op2::par_loop("dup", nodes, [](double* v) { *v = 0; }, op2::write(a));
   EXPECT_THROW(
-      op2::par_loop("dup", nodes, [](double* v) { *v = 0; }, op2::arg(b, Access::Write)),
+      op2::par_loop("dup", nodes, [](double* v) { *v = 0; }, op2::write(b)),
       std::logic_error);
 }
 
@@ -171,16 +171,16 @@ TEST(Op2Loop, ColoringForcedMatchesSequential) {
     auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
     auto& x = ctx.decl_dat<double>(nodes, 1, "x");
     auto& res = ctx.decl_dat<double>(nodes, 1, "res");
-    op2::par_loop("initx", nodes, [](double* v) { *v = 1.0; }, op2::arg(x, Access::Write));
-    op2::par_loop("zero", nodes, [](double* v) { *v = 0.0; }, op2::arg(res, Access::Write));
+    op2::par_loop("initx", nodes, [](double* v) { *v = 1.0; }, op2::write(x));
+    op2::par_loop("zero", nodes, [](double* v) { *v = 0.0; }, op2::write(res));
     op2::par_loop("flux", edges,
                   [](const double* xa, const double* xb, double* ra, double* rb) {
                     const double f = 0.5 * (*xa + *xb);
                     *ra += f;
                     *rb -= f;
                   },
-                  op2::arg(x, 0, e2n, Access::Read), op2::arg(x, 1, e2n, Access::Read),
-                  op2::arg(res, 0, e2n, Access::Inc), op2::arg(res, 1, e2n, Access::Inc));
+                  op2::read(x, e2n, 0), op2::read(x, e2n, 1),
+                  op2::inc(res, e2n, 0), op2::inc(res, e2n, 1));
     std::vector<double> out(res.data(), res.data() + mesh.nnode);
     return out;
   };
@@ -200,11 +200,11 @@ TEST(Op2Loop, ThreadedReductionMatchesSequential) {
   op2::Context ctx(cfg);
   auto& nodes = ctx.decl_set("nodes", 1000);
   auto& v = ctx.decl_dat<double>(nodes, 1, "v");
-  op2::par_loop("iota", nodes, [](double* x) { *x = 1.0; }, op2::arg(v, Access::Write));
+  op2::par_loop("iota", nodes, [](double* x) { *x = 1.0; }, op2::write(v));
   auto sum = ctx.decl_global<double>("sum", 1);
   op2::par_loop("sum", nodes,
                 [](const double* x, double* s) { *s += *x; },
-                op2::arg(v, Access::Read), op2::arg(sum, Access::Inc));
+                op2::read(v), op2::reduce_sum(sum));
   EXPECT_DOUBLE_EQ(sum.value(), 1000.0);
 }
 
@@ -214,7 +214,7 @@ TEST(Op2Stats, LoopStatsAccumulate) {
   auto& v = ctx.decl_dat<double>(nodes, 1, "v");
   for (int i = 0; i < 3; ++i) {
     op2::par_loop("stat_loop", nodes, [](double* x) { *x = 0.0; },
-                  op2::arg(v, Access::Write));
+                  op2::write(v));
   }
   const auto stats = ctx.loop_stats();
   ASSERT_EQ(stats.size(), 1u);
