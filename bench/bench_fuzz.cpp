@@ -1,0 +1,81 @@
+// Fuzz-throughput bench: how many differential cases per second the
+// vcgt::verify harness sustains, split by phase (generation+taint alone,
+// oracle execution, full matrix check). The cases/s number sizes the smoke
+// and nightly campaign budgets (ISSUE 4: 200 cases < 60 s in CI, 10k
+// nightly); a regression here silently shrinks the nightly's bug-finding
+// power, so the number is tracked like any other bench metric.
+//
+//   ./bench_fuzz [--cases=N] [--seed=S]
+#include <cstdint>
+
+#include "bench/bench_common.hpp"
+#include "src/util/timer.hpp"
+#include "src/verify/verify.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vcgt;
+  util::Cli cli(argc, argv);
+  const auto cases = static_cast<std::uint64_t>(cli.get_int("cases", 100));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  bench::header("Fuzz harness throughput",
+                "nothing in the paper; sizes the vcgt::verify CI budgets");
+
+  // Phase 1: generation + taint analysis only (no execution).
+  util::Timer t_gen;
+  std::uint64_t total_loops = 0;
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    const auto spec = verify::gen_case(seed, i);
+    const auto tables = verify::make_tables(spec.mesh);
+    const auto taint = verify::analyze_taint(spec, tables);
+    total_loops += spec.loops.size() + (taint.dat.empty() ? 1 : 0);
+  }
+  const double gen_s = t_gen.elapsed();
+
+  // Phase 2: the serial-AoS oracle alone.
+  util::Timer t_oracle;
+  verify::ExecConfig oracle;
+  oracle.name = "serial-aos";
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    const auto spec = verify::gen_case(seed, i);
+    const auto tables = verify::make_tables(spec.mesh);
+    const auto r = verify::run_case(spec, tables, oracle);
+    if (!r.ok) {
+      util::error("bench_fuzz: oracle failed on case {}: {}", i, r.error);
+      return 1;
+    }
+  }
+  const double oracle_s = t_oracle.elapsed();
+
+  // Phase 3: the full matrix (what the smoke tier and campaigns run).
+  verify::CampaignOptions opts;
+  opts.seed = seed;
+  opts.cases = cases;
+  const auto rep = verify::run_campaign(opts);
+  if (rep.mismatches != 0) {
+    util::error("bench_fuzz: {} unexpected mismatches — fix before timing",
+                static_cast<std::uint64_t>(rep.mismatches));
+    return 1;
+  }
+
+  bench::section("throughput");
+  util::Table t({"phase", "cases/s", "ms/case"});
+  const auto row = [&](const char* name, double secs) {
+    t.add_row({name, util::Table::num(static_cast<double>(cases) / secs, 1),
+               util::Table::num(1e3 * secs / static_cast<double>(cases), 2)});
+  };
+  row("gen+taint", gen_s);
+  row("oracle only", oracle_s);
+  row("full matrix", rep.seconds);
+  t.print_text(std::cout);
+  std::cout << "avg program length: "
+            << static_cast<double>(total_loops) / static_cast<double>(cases)
+            << " loops\n";
+
+  bench::write_bench_json(
+      "fuzz", {{"cases", static_cast<double>(cases)},
+               {"gen_cases_per_s", static_cast<double>(cases) / gen_s},
+               {"oracle_cases_per_s", static_cast<double>(cases) / oracle_s},
+               {"matrix_cases_per_s", static_cast<double>(cases) / rep.seconds}});
+  return 0;
+}

@@ -237,6 +237,13 @@ class Context {
   /// output): iteration sizes, core/tail split, color counts, halo sets.
   [[nodiscard]] std::string describe_plans() const;
 
+  /// Structural fingerprint of every cached plan on this rank, keyed by
+  /// loop name (plans_ is name-sorted, so iteration order is stable). Used
+  /// by vcgt::verify to compare execution structure — partition, core/tail
+  /// split, halo schedules — across equivalent runs before comparing
+  /// values; see plan_fingerprint() in plan.hpp.
+  [[nodiscard]] std::map<std::string, std::uint64_t> plan_fingerprints() const;
+
   [[nodiscard]] const std::vector<std::unique_ptr<Set>>& sets() const { return sets_; }
   [[nodiscard]] const std::vector<std::unique_ptr<Map>>& maps() const { return maps_; }
 

@@ -324,8 +324,17 @@ void Context::build_partial_lists(LoopPlan& plan, const std::vector<ArgInfo>& ar
     const auto requests = comm_.alltoallv(want_gids);
 
     sc.full = false;
-    sc.covers_full =
+    // Whether this exchange refreshes the *entire* halo (and may therefore
+    // bump halo_clean_epoch) must be agreed collectively: epochs feed the
+    // per-loop dirty decision, and if one rank marks a dat clean while its
+    // peer does not, the next loop has one side skipping the exchange the
+    // other still expects — the orphaned message is then consumed by a
+    // later plan sharing the tag (stale or short payloads).
+    const bool covers_local =
         static_cast<index_t>(needed.size()) == s.n_exec() + s.n_nonexec();
+    sc.covers_full =
+        comm_.allreduce(std::uint64_t{covers_local ? 1u : 0u},
+                        [](std::uint64_t a, std::uint64_t b) { return a & b; }) != 0;
     sc.nbr_recv.clear();
     sc.recv_slots.clear();
     for (int q = 0; q < nr; ++q) {

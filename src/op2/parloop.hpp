@@ -631,12 +631,21 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
   // targets; otherwise fall back to per-element gather/scatter when a
   // staged indirect-written argument exists.
   bool staged_indirect_write = false;
+  bool has_reduction = false;
   for (const auto& a : infos) {
     if (a.dat && a.map && access_writes(a.acc) && !a.dat->unit_stride()) {
       staged_indirect_write = true;
     }
+    if (a.is_global && a.acc != Access::Read) has_reduction = true;
   }
-  const bool chunk_ok = plan.colored || !staged_indirect_write;
+  // Deterministic-reduction mode (Config::deterministic_reductions): a loop
+  // carrying a reduction runs single-threaded over the flat ascending
+  // element list, so the floating-point fold order matches the serial
+  // reference executor exactly. The colored-span disjointness guarantee
+  // does not hold for the flat list, so chunked staging must re-check the
+  // aliasing guard as if uncolored.
+  const bool det_run = ctx.config().deterministic_reductions && has_reduction;
+  const bool chunk_ok = (plan.colored && !det_run) || !staged_indirect_write;
 
   constexpr auto idx_seq = std::index_sequence_for<As...>{};
   auto run_span = [&]<std::size_t... I>(std::span<const index_t> elems, int tid,
@@ -684,6 +693,10 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
 
   auto run_phase = [&](const std::vector<index_t>& flat,
                        const std::vector<std::vector<index_t>>& colors, bool contig) {
+    if (det_run) {
+      run_span(std::span<const index_t>(flat), 0, idx_seq);
+      return;
+    }
     if (plan.vectorizable && contig && !flat.empty()) {
       const index_t lo = flat.front();
       if (nthreads <= 1) {

@@ -94,4 +94,15 @@ struct LoopPlan {
   std::uint64_t elements = 0;  ///< elements executed across invocations
 };
 
+/// Structural fingerprint of a plan on this rank: iteration size, redundant
+/// exec-halo flag, core/tail element lists, color shapes and the full halo
+/// communication schedule (neighbors, send indices, receive slots). Two
+/// equivalent executions — e.g. the same mesh partitioned under different
+/// dat layouts — must produce equal fingerprints on every rank; a
+/// divergence localizes a planning bug (wrong partition, wrong halo list)
+/// structurally, before any floating-point value is compared
+/// (vcgt::verify). Excludes everything value- or cache-like: metering,
+/// the layout-epoch/vectorizable cache and pack-buffer capacities.
+[[nodiscard]] std::uint64_t plan_fingerprint(const LoopPlan& plan);
+
 }  // namespace vcgt::op2

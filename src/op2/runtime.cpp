@@ -40,7 +40,57 @@ bool contiguous(const std::vector<index_t>& v) {
          static_cast<std::size_t>(v.back() - v.front()) + 1 == v.size();
 }
 
+/// FNV-1a accumulation helpers for plan_fingerprint.
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+std::uint64_t fnv1a(std::uint64_t h, const std::vector<index_t>& v) {
+  h = fnv1a(h, v.size());
+  for (const index_t e : v) h = fnv1a(h, static_cast<std::uint64_t>(e));
+  return h;
+}
+
 }  // namespace
+
+std::uint64_t plan_fingerprint(const LoopPlan& plan) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, static_cast<std::uint64_t>(plan.n_executed));
+  h = fnv1a(h, plan.exec_halo_iterated ? 1u : 0u);
+  h = fnv1a(h, plan.core);
+  h = fnv1a(h, plan.tail);
+  h = fnv1a(h, plan.colored ? 1u : 0u);
+  h = fnv1a(h, plan.core_colors.size());
+  for (const auto& c : plan.core_colors) h = fnv1a(h, c);
+  h = fnv1a(h, plan.tail_colors.size());
+  for (const auto& c : plan.tail_colors) h = fnv1a(h, c);
+  h = fnv1a(h, plan.comms.size());
+  for (const auto& sc : plan.comms) {
+    h = fnv1a(h, static_cast<std::uint64_t>(sc.set->id()));
+    h = fnv1a(h, sc.full ? 1u : 0u);
+    h = fnv1a(h, sc.covers_exec_direct ? 1u : 0u);
+    h = fnv1a(h, sc.nbr_send.size());
+    for (std::size_t i = 0; i < sc.nbr_send.size(); ++i) {
+      h = fnv1a(h, static_cast<std::uint64_t>(sc.nbr_send[i]));
+      h = fnv1a(h, sc.send_idx[i]);
+    }
+    h = fnv1a(h, sc.nbr_recv.size());
+    for (std::size_t i = 0; i < sc.nbr_recv.size(); ++i) {
+      h = fnv1a(h, static_cast<std::uint64_t>(sc.nbr_recv[i]));
+      h = fnv1a(h, sc.recv_slots[i]);
+    }
+  }
+  return h;
+}
+
+std::map<std::string, std::uint64_t> Context::plan_fingerprints() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, plan] : plans_) out[name] = plan_fingerprint(*plan);
+  return out;
+}
 
 Context::Context(minimpi::Comm comm, Config cfg)
     : comm_(std::move(comm)), cfg_(cfg),

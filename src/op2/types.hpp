@@ -95,6 +95,14 @@ struct Config {
   Layout default_layout = Layout::AoS;
   /// Block width W for AoSoA dats (must be a power of two).
   int aosoa_block = 8;
+  /// Execute loops carrying a global reduction single-threaded over the
+  /// flat ascending element list: no coloring reorder, no per-thread
+  /// partials, no SIMD path. On a single rank the floating-point reduction
+  /// order then exactly matches the serial reference executor, making
+  /// reduction results bit-comparable across shared-memory backends
+  /// (vcgt::verify's oracle policy; see DESIGN.md §9). Loops without a
+  /// reduction are unaffected.
+  bool deterministic_reductions = false;
 };
 
 /// Partitioning strategy for distributing the primary set across ranks.

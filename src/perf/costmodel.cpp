@@ -26,6 +26,9 @@ bool starts_with(const std::string& s, const char* prefix) {
 MeasuredPhases attribute_phases(const std::vector<trace::SummaryRow>& rows) {
   MeasuredPhases p;
   for (const auto& r : rows) {
+    // A row whose clock misbehaved (negative span, overflowed aggregation)
+    // carries NaN/Inf; one such row must not poison every phase total.
+    if (!std::isfinite(r.total_seconds)) continue;
     if (starts_with(r.name, "mpi:")) {
       p.mpi_wait += r.total_seconds;
     } else if (starts_with(r.name, "halo:")) {

@@ -1,0 +1,181 @@
+// Result comparison under the explicit tolerance policy (DESIGN.md §9).
+//
+// The default is bit-exactness: a value produced by a backend must equal
+// the oracle's exactly (with +0/-0 identified and NaN == NaN). Tolerance
+// is granted only where floating-point addition's non-associativity makes
+// bit divergence legitimate — indirect-increment targets (the backend
+// chooses the fold order) and sum reductions folded across ranks — and
+// there it is *asserted*, ULP-bounded with an absolute fallback scaled by
+// the oracle's magnitude, never skipped.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "src/util/log.hpp"
+#include "src/verify/verify.hpp"
+
+namespace vcgt::verify {
+
+namespace {
+
+/// Monotone integer lattice for doubles: negatives map to [0, 2^63),
+/// positives to [2^63, 2^64), adjacent representables differ by 1.
+std::uint64_t ordered_key(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return (u >> 63) ? ~u : (u | 0x8000000000000000ull);
+}
+
+/// Exact-match predicate: == identifies +0/-0; NaN matches NaN.
+bool exact_eq(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+/// ULP budget for legitimate fold-order divergence (~1.5e-11 relative),
+/// with an absolute fallback for catastrophic-cancellation sites where the
+/// result is tiny relative to the folded terms.
+constexpr std::uint64_t kUlpTol = 1ull << 16;
+constexpr double kAbsTol = 1e-9;
+
+bool tolerant_eq(double a, double b, double scale) {
+  if (exact_eq(a, b)) return true;
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (ulp_diff(a, b) <= kUlpTol) return true;
+  return std::abs(a - b) <= kAbsTol * scale;
+}
+
+double dat_scale(const std::vector<double>& oracle) {
+  double s = 1.0;
+  for (const double v : oracle) {
+    if (std::isfinite(v)) s = std::max(s, std::abs(v));
+  }
+  return s;
+}
+
+std::string fmt_pair(double a, double b) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%a vs %a (ulp %llu)", a, b,
+                static_cast<unsigned long long>(ulp_diff(a, b)));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t ulp_diff(double a, double b) {
+  if (a == b) return 0;
+  if (std::isnan(a) && std::isnan(b)) return 0;
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t ka = ordered_key(a), kb = ordered_key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+std::optional<Mismatch> compare_to_oracle(const CaseSpec& spec, const TaintInfo& taint,
+                                          const RunResult& oracle, const RunResult& run,
+                                          const ExecConfig& cfg) {
+  if (!run.ok) return Mismatch{cfg.name, util::fmt("run failed: {}", run.error)};
+  if (run.dats.size() != oracle.dats.size() ||
+      run.reductions.size() != oracle.reductions.size()) {
+    return Mismatch{cfg.name, "result shape differs from oracle"};
+  }
+  const int dps = spec.mesh.dats_per_set;
+  for (std::size_t e = 0; e < oracle.dats.size(); ++e) {
+    const auto& ov = oracle.dats[e];
+    const auto& rv = run.dats[e];
+    if (ov.size() != rv.size()) {
+      return Mismatch{cfg.name, util::fmt("dat d{}_{} size {} != oracle {}",
+                                          e / static_cast<std::size_t>(dps),
+                                          e % static_cast<std::size_t>(dps), rv.size(),
+                                          ov.size())};
+    }
+    const bool tainted = taint.dat[e];
+    const double scale = tainted ? dat_scale(ov) : 1.0;
+    for (std::size_t i = 0; i < ov.size(); ++i) {
+      const bool ok = tainted ? tolerant_eq(ov[i], rv[i], scale) : exact_eq(ov[i], rv[i]);
+      if (!ok) {
+        return Mismatch{
+            cfg.name,
+            util::fmt("dat d{}_{}[{}] {} ({} policy)", e / static_cast<std::size_t>(dps),
+                      e % static_cast<std::size_t>(dps), i, fmt_pair(ov[i], rv[i]),
+                      tainted ? "ulp" : "exact")};
+      }
+    }
+  }
+  // Reductions, in loop order (same cursor walk as the runner's recording).
+  std::size_t cur = 0;
+  for (std::size_t l = 0; l < spec.loops.size(); ++l) {
+    const OpKind k = spec.loops[l].kind;
+    if (k == OpKind::ReduceSum) {
+      // Ascending single-rank fold in deterministic mode reproduces the
+      // oracle's order exactly; rank-grouped folds get the ULP budget.
+      const bool exact = cfg.nranks == 1 && cfg.deterministic_reductions &&
+                         !taint.red_input[l];
+      const double o = oracle.reductions[cur], r = run.reductions[cur];
+      const bool ok = exact ? exact_eq(o, r) : tolerant_eq(o, r, std::max(1.0, std::abs(o)));
+      if (!ok) {
+        return Mismatch{cfg.name, util::fmt("loop {} sum reduction {} ({} policy)", l,
+                                            fmt_pair(o, r), exact ? "exact" : "ulp")};
+      }
+      ++cur;
+    } else if (k == OpKind::ReduceMinMax) {
+      // Min/max over an untainted multiset is order-free bit-wise.
+      const bool exact = !taint.red_input[l];
+      for (int j = 0; j < 2; ++j) {
+        const double o = oracle.reductions[cur], r = run.reductions[cur];
+        const bool ok =
+            exact ? exact_eq(o, r) : tolerant_eq(o, r, std::max(1.0, std::abs(o)));
+        if (!ok) {
+          return Mismatch{cfg.name,
+                          util::fmt("loop {} {} reduction {} ({} policy)", l,
+                                    j == 0 ? "min" : "max", fmt_pair(o, r),
+                                    exact ? "exact" : "ulp")};
+        }
+        ++cur;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Mismatch> compare_exact(const RunResult& base, const RunResult& run,
+                                      const ExecConfig& cfg) {
+  if (!run.ok) return Mismatch{cfg.name, util::fmt("run failed: {}", run.error)};
+  if (run.dats.size() != base.dats.size() ||
+      run.reductions.size() != base.reductions.size()) {
+    return Mismatch{cfg.name, "result shape differs from group base"};
+  }
+  for (std::size_t e = 0; e < base.dats.size(); ++e) {
+    if (base.dats[e].size() != run.dats[e].size()) {
+      return Mismatch{cfg.name, util::fmt("dat entry {} size differs from group base", e)};
+    }
+    for (std::size_t i = 0; i < base.dats[e].size(); ++i) {
+      if (!exact_eq(base.dats[e][i], run.dats[e][i])) {
+        return Mismatch{cfg.name, util::fmt("dat entry {}[{}] {} (exact vs group base)", e,
+                                            i, fmt_pair(base.dats[e][i], run.dats[e][i]))};
+      }
+    }
+  }
+  for (std::size_t i = 0; i < base.reductions.size(); ++i) {
+    if (!exact_eq(base.reductions[i], run.reductions[i])) {
+      return Mismatch{cfg.name, util::fmt("reduction {} {} (exact vs group base)", i,
+                                          fmt_pair(base.reductions[i], run.reductions[i]))};
+    }
+  }
+  if (base.fingerprints != run.fingerprints) {
+    for (const auto& [name, fp] : base.fingerprints) {
+      const auto it = run.fingerprints.find(name);
+      if (it == run.fingerprints.end()) {
+        return Mismatch{cfg.name, util::fmt("plan '{}' missing vs group base", name)};
+      }
+      if (it->second != fp) {
+        return Mismatch{cfg.name,
+                        util::fmt("plan '{}' fingerprint {} != group base {}", name,
+                                  it->second, fp)};
+      }
+    }
+    return Mismatch{cfg.name, "extra plans vs group base"};
+  }
+  return std::nullopt;
+}
+
+}  // namespace vcgt::verify

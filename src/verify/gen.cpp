@@ -1,0 +1,334 @@
+// MeshGen + ProgramGen + taint analysis for vcgt::verify (DESIGN.md §9).
+//
+// Everything here is a pure function of the spec: mesh coordinates, dat
+// dimensions and initial values come from stateless hash mixing keyed on
+// (mesh_seed, entity, component), never from sequential RNG draws, so a
+// shrunk spec (smaller nx, fewer dats) still realizes the identical values
+// for the entities it keeps.
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+#include "src/verify/verify.hpp"
+
+namespace vcgt::verify {
+
+namespace {
+
+/// SplitMix64 finalizer: stateless key -> uniform 64-bit hash.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) { return mix(a * 0x9E3779B97F4A7C15ull ^ b); }
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return mix(mix(a, b), c);
+}
+
+/// Uniform double in [0, 1) from a hash key.
+double unit(std::uint64_t key) {
+  return static_cast<double>(mix(key) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::StampDirect: return "stamp";
+    case OpKind::ScaleDirect: return "scale";
+    case OpKind::AxpyDirect: return "axpy";
+    case OpKind::GatherRead: return "gather";
+    case OpKind::ScatterInc: return "scatter_inc";
+    case OpKind::ScatterWrite: return "scatter_write";
+    case OpKind::ReduceSum: return "reduce_sum";
+    case OpKind::ReduceMinMax: return "reduce_minmax";
+  }
+  return "?";
+}
+
+bool parse_op_kind(const std::string& text, OpKind* out) {
+  for (const OpKind k :
+       {OpKind::StampDirect, OpKind::ScaleDirect, OpKind::AxpyDirect, OpKind::GatherRead,
+        OpKind::ScatterInc, OpKind::ScatterWrite, OpKind::ReduceSum, OpKind::ReduceMinMax}) {
+    if (text == op_kind_name(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+MeshTables make_tables(const MeshSpec& spec) {
+  if (spec.nx < 2 || spec.ny < 2) throw std::invalid_argument("verify: mesh needs nx,ny >= 2");
+  if (spec.fan_in < 1 || spec.fan_in > 4) throw std::invalid_argument("verify: fan_in in 1..4");
+  if (spec.dats_per_set < 1 || spec.dats_per_set > 3) {
+    throw std::invalid_argument("verify: dats_per_set in 1..3");
+  }
+  const int nx = spec.nx, ny = spec.ny;
+  const index_t n_nodes = static_cast<index_t>(nx * ny);
+  const index_t n_edges = static_cast<index_t>((nx - 1) * ny + nx * (ny - 1));
+  const index_t n_cells = spec.cells ? static_cast<index_t>((nx - 1) * (ny - 1)) : 0;
+  const index_t n_bnd = spec.boundary ? static_cast<index_t>(2 * nx + 2 * ny - 4) : 0;
+
+  MeshTables t;
+  t.set_sizes = {n_nodes, n_edges, n_cells, n_bnd};
+
+  // Jittered integer lattice: distinct coordinates along both axes so RCB
+  // medians are unambiguous, jitter so the axis extents vary per seed.
+  t.coords.resize(static_cast<std::size_t>(n_nodes) * 2);
+  for (index_t g = 0; g < n_nodes; ++g) {
+    const double jx = 0.45 * unit(mix(spec.mesh_seed, 0xC0, static_cast<std::uint64_t>(g)));
+    const double jy = 0.45 * unit(mix(spec.mesh_seed, 0xC1, static_cast<std::uint64_t>(g)));
+    t.coords[static_cast<std::size_t>(g) * 2 + 0] = static_cast<double>(g % nx) + jx;
+    t.coords[static_cast<std::size_t>(g) * 2 + 1] = static_cast<double>(g / nx) + jy;
+  }
+
+  const auto node_id = [nx](int i, int j) { return static_cast<index_t>(j * nx + i); };
+
+  // Map 0: e2n — horizontal edges first, then vertical.
+  std::vector<index_t> e2n;
+  e2n.reserve(static_cast<std::size_t>(n_edges) * 2);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i + 1 < nx; ++i) {
+      e2n.push_back(node_id(i, j));
+      e2n.push_back(node_id(i + 1, j));
+    }
+  }
+  for (int j = 0; j + 1 < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      e2n.push_back(node_id(i, j));
+      e2n.push_back(node_id(i, j + 1));
+    }
+  }
+
+  // Map 1: c2n — the four distinct cell corners.
+  std::vector<index_t> c2n;
+  c2n.reserve(static_cast<std::size_t>(n_cells) * 4);
+  if (spec.cells) {
+    for (int j = 0; j + 1 < ny; ++j) {
+      for (int i = 0; i + 1 < nx; ++i) {
+        c2n.push_back(node_id(i, j));
+        c2n.push_back(node_id(i + 1, j));
+        c2n.push_back(node_id(i + 1, j + 1));
+        c2n.push_back(node_id(i, j + 1));
+      }
+    }
+  }
+
+  // Map 2: b2n — perimeter nodes counterclockwise from the origin.
+  std::vector<index_t> b2n;
+  if (spec.boundary) {
+    for (int i = 0; i < nx; ++i) b2n.push_back(node_id(i, 0));
+    for (int j = 1; j < ny; ++j) b2n.push_back(node_id(nx - 1, j));
+    for (int i = nx - 2; i >= 0; --i) b2n.push_back(node_id(i, ny - 1));
+    for (int j = ny - 2; j >= 1; --j) b2n.push_back(node_id(0, j));
+  }
+
+  t.map_tables = {std::move(e2n), std::move(c2n), std::move(b2n)};
+  t.map_dims = {2, 4, 1};
+  t.map_from = {1, 2, 3};
+  t.map_to = {0, 0, 0};
+
+  // Extra maps: uncontrolled indirection, uniformly random node targets
+  // (rows may repeat a target — single-component access only; see spec).
+  for (int m = 0; m < spec.extra_maps; ++m) {
+    std::vector<index_t> table(static_cast<std::size_t>(n_edges) *
+                               static_cast<std::size_t>(spec.fan_in));
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      table[i] = static_cast<index_t>(
+          mix(spec.mesh_seed, 0xE0 + static_cast<std::uint64_t>(m), i) %
+          static_cast<std::uint64_t>(n_nodes));
+    }
+    t.map_tables.push_back(std::move(table));
+    t.map_dims.push_back(spec.fan_in);
+    t.map_from.push_back(1);
+    t.map_to.push_back(0);
+  }
+
+  // Dats: dim and initial values keyed on (mesh_seed, set, slot[, gid, c])
+  // only, so they are invariant under every shrink axis except mesh extent.
+  t.dat_dims.resize(static_cast<std::size_t>(kNumSets) *
+                    static_cast<std::size_t>(spec.dats_per_set));
+  t.dat_init.resize(t.dat_dims.size());
+  for (int s = 0; s < kNumSets; ++s) {
+    for (int k = 0; k < spec.dats_per_set; ++k) {
+      const auto slot = static_cast<std::size_t>(s * spec.dats_per_set + k);
+      const int dim = 1 + static_cast<int>(mix(spec.mesh_seed, 0xDA,
+                                               static_cast<std::uint64_t>(s * 8 + k)) %
+                                           3);
+      t.dat_dims[slot] = dim;
+      auto& init = t.dat_init[slot];
+      init.resize(static_cast<std::size_t>(t.set_sizes[static_cast<std::size_t>(s)]) *
+                  static_cast<std::size_t>(dim));
+      for (std::size_t i = 0; i < init.size(); ++i) {
+        init[i] = 2.0 * unit(mix(mix(spec.mesh_seed, 0xDB, slot), i)) - 1.0;
+      }
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// Draws a coefficient in ±[0.5, 2): large enough to move bits, small
+/// enough that repeated application cannot overflow within a few loops.
+double draw_coeff(util::Rng& rng) {
+  const double mag = rng.uniform(0.5, 2.0);
+  return rng.bounded(2) ? -mag : mag;
+}
+
+}  // namespace
+
+CaseSpec gen_case(std::uint64_t campaign_seed, std::uint64_t case_index) {
+  CaseSpec spec;
+  spec.seed = mix(campaign_seed, 0x5EED, case_index);
+
+  util::Rng mesh_rng(spec.seed ^ 0x4D455348ull);  // "MESH"
+  spec.mesh.nx = 3 + static_cast<int>(mesh_rng.bounded(6));
+  spec.mesh.ny = 3 + static_cast<int>(mesh_rng.bounded(6));
+  spec.mesh.mesh_seed = mesh_rng.next_u64();
+  spec.mesh.cells = mesh_rng.bounded(4) != 0;
+  spec.mesh.boundary = mesh_rng.bounded(4) != 0;
+  spec.mesh.extra_maps = static_cast<int>(mesh_rng.bounded(3));
+  spec.mesh.fan_in = 1 + static_cast<int>(mesh_rng.bounded(4));
+  spec.mesh.dats_per_set = 1 + static_cast<int>(mesh_rng.bounded(3));
+  spec.iters = 1 + static_cast<int>(mesh_rng.bounded(3));
+
+  util::Rng rng(spec.seed ^ 0x50524F47ull);  // "PROG"
+  const int n_loops = 1 + static_cast<int>(rng.bounded(6));
+  const int dps = spec.mesh.dats_per_set;
+  const int n_maps = kGridMaps + spec.mesh.extra_maps;
+
+  // Sets eligible for iteration: nodes and edges always; cells/bnd only
+  // when enabled (their maps are empty otherwise — valid but inert).
+  std::vector<int> live_sets{0, 1};
+  if (spec.mesh.cells) live_sets.push_back(2);
+  if (spec.mesh.boundary) live_sets.push_back(3);
+  // Maps eligible for indirect ops (map_from must be a live iteration set).
+  std::vector<int> live_maps{0};
+  if (spec.mesh.cells) live_maps.push_back(1);
+  if (spec.mesh.boundary) live_maps.push_back(2);
+  for (int m = 0; m < spec.mesh.extra_maps; ++m) live_maps.push_back(kGridMaps + m);
+
+  for (int l = 0; l < n_loops; ++l) {
+    LoopOp op;
+    const auto pick = rng.bounded(16);
+    if (pick < 3) op.kind = OpKind::StampDirect;
+    else if (pick < 6) op.kind = OpKind::ScaleDirect;
+    else if (pick < 8) op.kind = OpKind::AxpyDirect;
+    else if (pick < 10) op.kind = OpKind::GatherRead;
+    else if (pick < 13) op.kind = OpKind::ScatterInc;
+    else if (pick < 14) op.kind = OpKind::ScatterWrite;
+    else if (pick < 15) op.kind = OpKind::ReduceSum;
+    else op.kind = OpKind::ReduceMinMax;
+    op.k1 = draw_coeff(rng);
+    op.k2 = draw_coeff(rng);
+
+    switch (op.kind) {
+      case OpKind::StampDirect:
+      case OpKind::ScaleDirect:
+      case OpKind::ReduceSum:
+      case OpKind::ReduceMinMax:
+        op.set = live_sets[rng.bounded(live_sets.size())];
+        op.a = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(dps)));
+        break;
+      case OpKind::AxpyDirect: {
+        // Distinct slots: the kernel reads b while writing a, so a == b
+        // would alias one element through two pointers. Degrade to Scale
+        // when the universe only has one slot per set.
+        if (dps < 2) {
+          op.kind = OpKind::ScaleDirect;
+          op.set = live_sets[rng.bounded(live_sets.size())];
+          op.a = 0;
+          break;
+        }
+        op.set = live_sets[rng.bounded(live_sets.size())];
+        op.a = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(dps)));
+        op.b = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(dps - 1)));
+        if (op.b >= op.a) ++op.b;
+        break;
+      }
+      case OpKind::GatherRead:
+      case OpKind::ScatterInc:
+      case OpKind::ScatterWrite: {
+        op.map = live_maps[rng.bounded(live_maps.size())];
+        op.set = 1;  // all universe maps originate from a concrete from-set
+        if (op.map == 1) op.set = 2;
+        if (op.map == 2) op.set = 3;
+        const int mdim = op.map == 0 ? 2 : op.map == 1 ? 4 : op.map == 2 ? 1
+                                                            : spec.mesh.fan_in;
+        op.idx = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(mdim)));
+        op.a = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(dps)));
+        op.b = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(dps)));
+        // Antisymmetric flux pairs only on the grid maps (components are
+        // distinct nodes by construction; extra maps may repeat a target
+        // within a row, which would alias two increment lanes).
+        if (op.kind == OpKind::ScatterInc && op.map <= 1 && mdim >= 2 &&
+            rng.bounded(2) == 0) {
+          op.idx2 = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(mdim - 1)));
+          if (op.idx2 >= op.idx) ++op.idx2;
+        }
+        break;
+      }
+    }
+    (void)n_maps;
+    spec.loops.push_back(op);
+  }
+  return spec;
+}
+
+TaintInfo analyze_taint(const CaseSpec& spec, const MeshTables& tables) {
+  TaintInfo info;
+  info.dat.assign(static_cast<std::size_t>(kNumSets) *
+                      static_cast<std::size_t>(spec.mesh.dats_per_set),
+                  false);
+  info.red_input.assign(spec.loops.size(), false);
+  const auto entry = [&](int set, int slot) {
+    return static_cast<std::size_t>(set * spec.mesh.dats_per_set + slot);
+  };
+  // One pass per program iteration (taint is monotone within a pass except
+  // for StampDirect's cleanse, so the per-iteration state matters); stop
+  // early at a fixpoint.
+  for (int pass = 0; pass < spec.iters; ++pass) {
+    const std::vector<bool> before = info.dat;
+    for (std::size_t l = 0; l < spec.loops.size(); ++l) {
+      const LoopOp& op = spec.loops[l];
+      if (tables.set_sizes[static_cast<std::size_t>(op.set)] == 0) continue;
+      switch (op.kind) {
+        case OpKind::StampDirect:
+          info.dat[entry(op.set, op.a)] = false;  // full deterministic overwrite
+          break;
+        case OpKind::ScaleDirect:
+          break;  // per-element, order-free
+        case OpKind::AxpyDirect:
+          if (info.dat[entry(op.set, op.b)]) info.dat[entry(op.set, op.a)] = true;
+          break;
+        case OpKind::GatherRead: {
+          const int to = tables.map_to[static_cast<std::size_t>(op.map)];
+          if (info.dat[entry(to, op.b)]) info.dat[entry(op.set, op.a)] = true;
+          break;
+        }
+        case OpKind::ScatterInc: {
+          // Multiple iteration elements fold into one target: the result
+          // depends on the fold order the backend chooses.
+          const int to = tables.map_to[static_cast<std::size_t>(op.map)];
+          info.dat[entry(to, op.b)] = true;
+          break;
+        }
+        case OpKind::ScatterWrite:
+          break;  // constant payload; unwritten elements keep their taint
+        case OpKind::ReduceSum:
+        case OpKind::ReduceMinMax:
+          if (info.dat[entry(op.set, op.a)]) info.red_input[l] = true;
+          break;
+      }
+    }
+    if (info.dat == before && pass > 0) break;
+  }
+  return info;
+}
+
+}  // namespace vcgt::verify

@@ -1,0 +1,172 @@
+// Self-contained `.vcgt` repro files: a versioned, line-oriented text
+// serialization of CaseSpec. Doubles are written as C hexfloats (%a) and
+// parsed with strtod, so a repro re-executes with bit-identical
+// coefficients on any platform; everything else a case needs (mesh, dat
+// values, fault plans) is re-derived deterministically from the spec.
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/util/log.hpp"
+#include "src/verify/verify.hpp"
+
+namespace vcgt::verify {
+
+namespace {
+
+constexpr int kReproVersion = 1;
+
+std::string hexf(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// Splits "key=value" tokens of one line into a small key->value list.
+std::vector<std::pair<std::string, std::string>> kv_pairs(std::istringstream& line) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::string tok;
+  while (line >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::runtime_error(util::fmt("vcgt repro: malformed token '{}'", tok));
+    }
+    out.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return out;
+}
+
+long long to_int(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const long long x = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    throw std::runtime_error(util::fmt("vcgt repro: bad integer '{}' for {}", v, key));
+  }
+  return x;
+}
+
+std::uint64_t to_u64(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    throw std::runtime_error(util::fmt("vcgt repro: bad integer '{}' for {}", v, key));
+  }
+  return x;
+}
+
+double to_double(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    throw std::runtime_error(util::fmt("vcgt repro: bad number '{}' for {}", v, key));
+  }
+  return x;
+}
+
+}  // namespace
+
+std::string format_repro(const CaseSpec& spec, const std::string& note) {
+  std::ostringstream out;
+  out << "vcgt-repro " << kReproVersion << "\n";
+  if (!note.empty()) {
+    std::istringstream lines(note);
+    std::string l;
+    while (std::getline(lines, l)) out << "# " << l << "\n";
+  }
+  out << "seed " << spec.seed << "\n";
+  out << "mesh nx=" << spec.mesh.nx << " ny=" << spec.mesh.ny
+      << " seed=" << spec.mesh.mesh_seed << " cells=" << (spec.mesh.cells ? 1 : 0)
+      << " boundary=" << (spec.mesh.boundary ? 1 : 0)
+      << " extra_maps=" << spec.mesh.extra_maps << " fan_in=" << spec.mesh.fan_in
+      << " dats_per_set=" << spec.mesh.dats_per_set << "\n";
+  out << "iters " << spec.iters << "\n";
+  for (const LoopOp& op : spec.loops) {
+    out << "loop kind=" << op_kind_name(op.kind) << " set=" << op.set << " map=" << op.map
+        << " idx=" << op.idx << " idx2=" << op.idx2 << " a=" << op.a << " b=" << op.b
+        << " k1=" << hexf(op.k1) << " k2=" << hexf(op.k2) << "\n";
+  }
+  return out.str();
+}
+
+CaseSpec parse_repro(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("vcgt repro: empty file");
+  {
+    std::istringstream hd(line);
+    std::string magic;
+    int version = 0;
+    hd >> magic >> version;
+    if (magic != "vcgt-repro" || version != kReproVersion) {
+      throw std::runtime_error(
+          util::fmt("vcgt repro: bad header '{}' (want 'vcgt-repro {}')", line,
+                    kReproVersion));
+    }
+  }
+  CaseSpec spec;
+  spec.mesh.extra_maps = 0;
+  bool saw_mesh = false;
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string head;
+    ls >> head;
+    try {
+      if (head == "seed") {
+        std::string v;
+        ls >> v;
+        spec.seed = to_u64("seed", v);
+      } else if (head == "iters") {
+        std::string v;
+        ls >> v;
+        spec.iters = static_cast<int>(to_int("iters", v));
+      } else if (head == "mesh") {
+        saw_mesh = true;
+        for (const auto& [k, v] : kv_pairs(ls)) {
+          if (k == "nx") spec.mesh.nx = static_cast<int>(to_int(k, v));
+          else if (k == "ny") spec.mesh.ny = static_cast<int>(to_int(k, v));
+          else if (k == "seed") spec.mesh.mesh_seed = to_u64(k, v);
+          else if (k == "cells") spec.mesh.cells = to_int(k, v) != 0;
+          else if (k == "boundary") spec.mesh.boundary = to_int(k, v) != 0;
+          else if (k == "extra_maps") spec.mesh.extra_maps = static_cast<int>(to_int(k, v));
+          else if (k == "fan_in") spec.mesh.fan_in = static_cast<int>(to_int(k, v));
+          else if (k == "dats_per_set") {
+            spec.mesh.dats_per_set = static_cast<int>(to_int(k, v));
+          } else {
+            throw std::runtime_error(util::fmt("vcgt repro: unknown mesh key '{}'", k));
+          }
+        }
+      } else if (head == "loop") {
+        LoopOp op;
+        for (const auto& [k, v] : kv_pairs(ls)) {
+          if (k == "kind") {
+            if (!parse_op_kind(v, &op.kind)) {
+              throw std::runtime_error(util::fmt("vcgt repro: unknown loop kind '{}'", v));
+            }
+          } else if (k == "set") op.set = static_cast<int>(to_int(k, v));
+          else if (k == "map") op.map = static_cast<int>(to_int(k, v));
+          else if (k == "idx") op.idx = static_cast<int>(to_int(k, v));
+          else if (k == "idx2") op.idx2 = static_cast<int>(to_int(k, v));
+          else if (k == "a") op.a = static_cast<int>(to_int(k, v));
+          else if (k == "b") op.b = static_cast<int>(to_int(k, v));
+          else if (k == "k1") op.k1 = to_double(k, v);
+          else if (k == "k2") op.k2 = to_double(k, v);
+          else throw std::runtime_error(util::fmt("vcgt repro: unknown loop key '{}'", k));
+        }
+        spec.loops.push_back(op);
+      } else {
+        throw std::runtime_error(util::fmt("vcgt repro: unknown directive '{}'", head));
+      }
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error(util::fmt("{} (line {})", e.what(), lineno));
+    }
+  }
+  if (!saw_mesh) throw std::runtime_error("vcgt repro: missing mesh line");
+  return spec;
+}
+
+}  // namespace vcgt::verify

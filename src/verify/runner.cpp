@@ -1,0 +1,296 @@
+// Case executor: realizes a CaseSpec universe in an op2::Context and runs
+// the generated loop program through the production typed par_loop
+// builders, once per ExecConfig matrix cell. The same function body serves
+// the serial oracle and every distributed backend (inside World::run).
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "src/minimpi/fault.hpp"
+#include "src/minimpi/minimpi.hpp"
+#include "src/op2/op2.hpp"
+#include "src/util/log.hpp"
+#include "src/verify/verify.hpp"
+
+namespace vcgt::verify {
+
+namespace {
+
+std::uint64_t fp_fold(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+op2::Config to_op2_config(const ExecConfig& cfg) {
+  op2::Config c;
+  c.nthreads = cfg.nthreads;
+  c.force_coloring = cfg.force_coloring;
+  c.partial_halos = cfg.partial_halos;
+  c.grouped_halos = cfg.grouped_halos;
+  c.latency_hiding = cfg.latency_hiding;
+  c.default_layout = cfg.layout;
+  c.aosoa_block = cfg.aosoa_block;
+  c.deterministic_reductions = cfg.deterministic_reductions;
+  return c;
+}
+
+/// Builds the universe, runs the program, and (on rank 0 / serial) fills
+/// `out`. Collective: every rank executes identically.
+void exec_program(op2::Context& ctx, const CaseSpec& spec, const MeshTables& tables,
+                  const ExecConfig& cfg, RunResult* out) {
+  const int dps = spec.mesh.dats_per_set;
+  std::vector<op2::Set*> sets;
+  sets.push_back(&ctx.decl_set("nodes", tables.set_sizes[0]));
+  sets.push_back(&ctx.decl_set("edges", tables.set_sizes[1]));
+  sets.push_back(&ctx.decl_set("cells", tables.set_sizes[2]));
+  sets.push_back(&ctx.decl_set("bnd", tables.set_sizes[3]));
+
+  std::vector<op2::Map*> maps;
+  for (std::size_t m = 0; m < tables.map_tables.size(); ++m) {
+    maps.push_back(&ctx.decl_map(util::fmt("map{}", m),
+                                 *sets[static_cast<std::size_t>(tables.map_from[m])],
+                                 *sets[static_cast<std::size_t>(tables.map_to[m])],
+                                 tables.map_dims[m], tables.map_tables[m]));
+  }
+
+  // Coordinates get the configured default layout too, so partitioning
+  // itself runs under every layout (the PR 3 RCB regression's shape).
+  auto& coords = ctx.decl_dat<double>(*sets[0], 2, "coords", tables.coords);
+
+  std::vector<op2::Dat<double>*> dats(static_cast<std::size_t>(kNumSets * dps));
+  for (int s = 0; s < kNumSets; ++s) {
+    for (int k = 0; k < dps; ++k) {
+      const auto e = static_cast<std::size_t>(s * dps + k);
+      dats[e] = &ctx.decl_dat<double>(*sets[static_cast<std::size_t>(s)],
+                                      tables.dat_dims[e], util::fmt("d{}_{}", s, k),
+                                      tables.dat_init[e]);
+    }
+  }
+
+  if (ctx.distributed()) ctx.partition(cfg.partitioner, coords);
+
+  struct Reduction {
+    std::unique_ptr<op2::Global<double>> g0, g1;  ///< sum, or min+max
+  };
+  std::vector<Reduction> reds(spec.loops.size());
+  for (std::size_t l = 0; l < spec.loops.size(); ++l) {
+    const LoopOp& op = spec.loops[l];
+    if (op.kind == OpKind::ReduceSum) {
+      reds[l].g0 = std::make_unique<op2::Global<double>>(
+          ctx.decl_global<double>(util::fmt("red{}", l), 1, {op.k2}));
+    } else if (op.kind == OpKind::ReduceMinMax) {
+      reds[l].g0 = std::make_unique<op2::Global<double>>(
+          ctx.decl_global<double>(util::fmt("rmin{}", l), 1, {1e300}));
+      reds[l].g1 = std::make_unique<op2::Global<double>>(
+          ctx.decl_global<double>(util::fmt("rmax{}", l), 1, {-1e300}));
+    }
+  }
+
+  std::vector<std::string> names;
+  names.reserve(spec.loops.size());
+  for (std::size_t l = 0; l < spec.loops.size(); ++l) {
+    names.push_back(util::fmt("op{}_{}", l, op_kind_name(spec.loops[l].kind)));
+  }
+
+  for (int it = 0; it < spec.iters; ++it) {
+    for (std::size_t l = 0; l < spec.loops.size(); ++l) {
+      const LoopOp& op = spec.loops[l];
+      const char* name = names[l].c_str();
+      op2::Set& set = *sets[static_cast<std::size_t>(op.set)];
+      const auto entry = [&](int s, int slot) {
+        return static_cast<std::size_t>(s * dps + slot);
+      };
+      const double k1 = op.k1, k2 = op.k2;
+      switch (op.kind) {
+        case OpKind::StampDirect: {
+          auto& a = *dats[entry(op.set, op.a)];
+          const int ad = a.dim();
+          op2::par_loop(name, set,
+                        [=](double* av, const index_t* gid) {
+                          const auto g = static_cast<double>(*gid);
+                          for (int c = 0; c < ad; ++c) {
+                            av[c] = k1 * (std::fmod(g, 19.0) + 1.0) +
+                                    k2 * static_cast<double>(c + 1) *
+                                        (std::fmod(g, 7.0) + 1.0);
+                          }
+                        },
+                        op2::write(a), op2::arg_idx());
+          break;
+        }
+        case OpKind::ScaleDirect: {
+          auto& a = *dats[entry(op.set, op.a)];
+          const int ad = a.dim();
+          op2::par_loop(name, set,
+                        [=](double* av) {
+                          for (int c = 0; c < ad; ++c) av[c] = k1 * av[c] + k2;
+                        },
+                        op2::rw(a));
+          break;
+        }
+        case OpKind::AxpyDirect: {
+          auto& a = *dats[entry(op.set, op.a)];
+          auto& b = *dats[entry(op.set, op.b)];
+          const int ad = a.dim(), bd = b.dim();
+          op2::par_loop(name, set,
+                        [=](double* av, const double* bv) {
+                          for (int c = 0; c < ad; ++c) av[c] += k1 * bv[c % bd];
+                        },
+                        op2::rw(a), op2::read(b));
+          break;
+        }
+        case OpKind::GatherRead: {
+          const op2::Map& m = *maps[static_cast<std::size_t>(op.map)];
+          auto& a = *dats[entry(op.set, op.a)];
+          auto& b = *dats[entry(tables.map_to[static_cast<std::size_t>(op.map)], op.b)];
+          const int ad = a.dim(), bd = b.dim();
+          op2::par_loop(name, set,
+                        [=](double* av, const double* bv) {
+                          for (int c = 0; c < ad; ++c) av[c] += k1 * bv[c % bd];
+                        },
+                        op2::rw(a), op2::read(b, m, op.idx));
+          break;
+        }
+        case OpKind::ScatterInc: {
+          const op2::Map& m = *maps[static_cast<std::size_t>(op.map)];
+          auto& a = *dats[entry(op.set, op.a)];
+          auto& b = *dats[entry(tables.map_to[static_cast<std::size_t>(op.map)], op.b)];
+          const int ad = a.dim(), bd = b.dim();
+          if (op.idx2 >= 0) {
+            op2::par_loop(name, set,
+                          [=](const double* av, double* b1, double* b2) {
+                            for (int c = 0; c < bd; ++c) {
+                              const double v = k1 * av[c % ad];
+                              b1[c] += v;
+                              b2[c] -= v;
+                            }
+                          },
+                          op2::read(a), op2::inc(b, m, op.idx), op2::inc(b, m, op.idx2));
+          } else {
+            op2::par_loop(name, set,
+                          [=](const double* av, double* bv) {
+                            for (int c = 0; c < bd; ++c) bv[c] += k1 * av[c % ad];
+                          },
+                          op2::read(a), op2::inc(b, m, op.idx));
+          }
+          break;
+        }
+        case OpKind::ScatterWrite: {
+          const op2::Map& m = *maps[static_cast<std::size_t>(op.map)];
+          auto& b = *dats[entry(tables.map_to[static_cast<std::size_t>(op.map)], op.b)];
+          const int bd = b.dim();
+          op2::par_loop(name, set,
+                        [=](double* bv) {
+                          for (int c = 0; c < bd; ++c) {
+                            bv[c] = k1 + static_cast<double>(c);
+                          }
+                        },
+                        op2::write(b, m, op.idx));
+          break;
+        }
+        case OpKind::ReduceSum: {
+          auto& a = *dats[entry(op.set, op.a)];
+          const int ad = a.dim();
+          op2::par_loop(name, set,
+                        [=](const double* av, double* g) {
+                          for (int c = 0; c < ad; ++c) *g += k1 * av[c];
+                        },
+                        op2::read(a), op2::reduce_sum(*reds[l].g0));
+          break;
+        }
+        case OpKind::ReduceMinMax: {
+          auto& a = *dats[entry(op.set, op.a)];
+          const int ad = a.dim();
+          op2::par_loop(name, set,
+                        [=](const double* av, double* gmin, double* gmax) {
+                          for (int c = 0; c < ad; ++c) {
+                            if (av[c] < *gmin) *gmin = av[c];
+                            if (av[c] > *gmax) *gmax = av[c];
+                          }
+                        },
+                        op2::read(a), op2::reduce_min(*reds[l].g0),
+                        op2::reduce_max(*reds[l].g1));
+          break;
+        }
+      }
+    }
+  }
+
+  // Collect results (collective: fetch_global allgathers on every rank).
+  std::vector<std::vector<double>> fetched(dats.size());
+  for (std::size_t e = 0; e < dats.size(); ++e) fetched[e] = ctx.fetch_global(*dats[e]);
+
+  // Fingerprints: per-rank structural hashes folded in rank order (the plan
+  // name set is identical on every rank — loops are collective).
+  const auto local = ctx.plan_fingerprints();
+  std::map<std::string, std::uint64_t> combined;
+  if (!ctx.distributed()) {
+    combined = local;
+  } else {
+    std::vector<std::uint64_t> vals;
+    vals.reserve(local.size());
+    for (const auto& [n, v] : local) vals.push_back(v);
+    const auto all = ctx.comm().allgatherv(std::span<const std::uint64_t>(vals));
+    const std::size_t n = vals.size();
+    std::size_t i = 0;
+    for (const auto& [name2, v] : local) {
+      std::uint64_t h = 0xcbf29ce484222325ull;
+      for (int r = 0; r < ctx.nranks(); ++r) {
+        h = fp_fold(h, all[static_cast<std::size_t>(r) * n + i]);
+      }
+      combined[name2] = h;
+      ++i;
+      (void)v;
+    }
+  }
+
+  if (ctx.rank() == 0 && out) {
+    out->dats = std::move(fetched);
+    for (std::size_t l = 0; l < spec.loops.size(); ++l) {
+      if (reds[l].g0) out->reductions.push_back(reds[l].g0->value());
+      if (reds[l].g1) out->reductions.push_back(reds[l].g1->value());
+    }
+    out->fingerprints = std::move(combined);
+    out->ok = true;
+  }
+}
+
+}  // namespace
+
+RunResult run_case(const CaseSpec& spec, const MeshTables& tables, const ExecConfig& cfg) {
+  RunResult result;
+  try {
+    if (cfg.nranks <= 1) {
+      op2::Context ctx(to_op2_config(cfg));
+      exec_program(ctx, spec, tables, cfg, &result);
+    } else {
+      minimpi::WorldOptions opts;
+      if (cfg.faults) {
+        minimpi::FaultConfig fc;
+        fc.seed = spec.seed ^ 0xFA417ull;
+        fc.p_delay = 0.05;
+        fc.delay_seconds = 2e-5;
+        fc.p_duplicate = 0.08;
+        fc.p_reorder = 0.08;
+        fc.p_drop = 0.03;
+        fc.drop_attempts = 1;
+        opts.fault = std::make_shared<minimpi::FaultPlan>(fc);
+      }
+      minimpi::World::run(
+          cfg.nranks,
+          [&](minimpi::Comm& comm) {
+            op2::Context ctx(comm, to_op2_config(cfg));
+            exec_program(ctx, spec, tables, cfg, &result);
+          },
+          opts);
+    }
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  return result;
+}
+
+}  // namespace vcgt::verify

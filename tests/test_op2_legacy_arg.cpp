@@ -7,6 +7,7 @@
 #include <cmath>
 #include <type_traits>
 
+#include "src/minimpi/minimpi.hpp"
 #include "src/op2/op2.hpp"
 #include "tests/testmesh.hpp"
 
@@ -58,8 +59,7 @@ struct Result {
 };
 
 template <bool UseLegacy>
-Result run(const test::GridMesh& mesh) {
-  op2::Context ctx;
+Result run_body(op2::Context& ctx, const test::GridMesh& mesh) {
   auto& nodes = ctx.decl_set("nodes", mesh.nnode);
   auto& edges = ctx.decl_set("edges", mesh.nedge);
   auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
@@ -137,6 +137,30 @@ Result run(const test::GridMesh& mesh) {
   return out;
 }
 
+template <bool UseLegacy>
+Result run(const test::GridMesh& mesh) {
+  op2::Context ctx;
+  return run_body<UseLegacy>(ctx, mesh);
+}
+
+/// The same pseudo-solver under a distributed context with the requested
+/// halo strategy; fetch_global is collective, so every rank sees the full
+/// array and rank 0's copy is returned.
+template <bool UseLegacy>
+Result run_dist(const test::GridMesh& mesh, int nranks, bool partial_halos,
+                bool grouped_halos) {
+  Result out;
+  minimpi::World::run(nranks, [&](minimpi::Comm& comm) {
+    op2::Config cfg;
+    cfg.partial_halos = partial_halos;
+    cfg.grouped_halos = grouped_halos;
+    op2::Context ctx(comm, cfg);
+    const auto local = run_body<UseLegacy>(ctx, mesh);
+    if (ctx.rank() == 0) out = local;
+  });
+  return out;
+}
+
 TEST(LegacyArg, BuilderTypesCarryAccessTags) { static_checks(); }
 
 TEST(LegacyArg, MatchesTypedBuildersBitForBit) {
@@ -151,6 +175,55 @@ TEST(LegacyArg, MatchesTypedBuildersBitForBit) {
   EXPECT_EQ(legacy.lo, typed.lo);
   EXPECT_EQ(legacy.hi, typed.hi);
 }
+
+// Legacy descriptors feed the same ArgInfo as the typed builders, so under
+// a distributed context with any halo strategy the two spellings build the
+// same plans, exchange the same halos and must agree bit-for-bit; both stay
+// within round-off of the serial reference.
+struct HaloCase {
+  int nranks;
+  bool partial_halos;
+  bool grouped_halos;
+};
+
+class LegacyArgDist : public testing::TestWithParam<HaloCase> {};
+
+TEST_P(LegacyArgDist, MatchesTypedBuildersUnderPHGH) {
+  const auto c = GetParam();
+  const auto mesh = test::make_grid(11, 7);
+  const auto serial = run<false>(mesh);
+  const auto typed = run_dist<false>(mesh, c.nranks, c.partial_halos, c.grouped_halos);
+  const auto legacy = run_dist<true>(mesh, c.nranks, c.partial_halos, c.grouped_halos);
+
+  ASSERT_EQ(legacy.x.size(), typed.x.size());
+  for (std::size_t i = 0; i < typed.x.size(); ++i) {
+    EXPECT_EQ(legacy.x[i], typed.x[i]) << "node " << i;
+  }
+  EXPECT_EQ(legacy.rms, typed.rms);
+  EXPECT_EQ(legacy.lo, typed.lo);
+  EXPECT_EQ(legacy.hi, typed.hi);
+
+  ASSERT_EQ(legacy.x.size(), serial.x.size());
+  for (std::size_t i = 0; i < serial.x.size(); ++i) {
+    EXPECT_NEAR(legacy.x[i], serial.x[i], 1e-12) << "node " << i;
+  }
+  EXPECT_NEAR(legacy.rms, serial.rms, 1e-10);
+  EXPECT_EQ(legacy.lo, serial.lo);  // min/max folds are order-invariant
+  EXPECT_EQ(legacy.hi, serial.hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LegacyArgDist,
+                         testing::Values(HaloCase{2, false, false},
+                                         HaloCase{2, true, false},
+                                         HaloCase{3, false, true},
+                                         HaloCase{3, true, true},
+                                         HaloCase{4, true, true}),
+                         [](const testing::TestParamInfo<HaloCase>& info) {
+                           const auto& c = info.param;
+                           return "r" + std::to_string(c.nranks) +
+                                  (c.partial_halos ? "_ph" : "") +
+                                  (c.grouped_halos ? "_gh" : "");
+                         });
 
 TEST(LegacyArg, WorksUnderNonDefaultLayouts) {
   // The legacy path stages through the same scratch machinery; a SoA dat

@@ -6,6 +6,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -465,6 +466,30 @@ TEST(TraceCoupled, CoupledRunProducesAttributablePhases) {
   EXPECT_GT(phases.total(), 0.0);
   EXPECT_GT(phases.compute, 0.0);
   EXPECT_GE(phases.coupler_wait, 0.0);
+}
+
+TEST(TraceCoupled, AttributePhasesSkipsNonFiniteRows) {
+  // A clock misbehaving on one rank (negative span aggregated to NaN, or an
+  // overflowed total) must not poison the whole attribution: non-finite rows
+  // are dropped, finite ones still land in their phase buckets.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<trace::SummaryRow> rows;
+  rows.push_back({"mpi:wait_recv", 4, 0.25, 0.0625, 0, 0});
+  rows.push_back({"mpi:wait_recv", 1, nan, nan, 0, 0});
+  rows.push_back({"halo:pack_send", 2, 0.5, 0.25, 0, 0});
+  rows.push_back({"halo:pack_send", 1, inf, inf, 0, 0});
+  rows.push_back({"cu:search_interp", 1, nan, nan, 0, 0});
+  rows.push_back({"row0:rk_update", 3, 2.0, 2.0 / 3.0, 0, 0});
+  rows.push_back({"row0:rk_update", 1, -inf, -inf, 0, 0});
+
+  const auto phases = perf::attribute_phases(rows);
+  EXPECT_TRUE(std::isfinite(phases.total()));
+  EXPECT_DOUBLE_EQ(phases.mpi_wait, 0.25);
+  EXPECT_DOUBLE_EQ(phases.halo, 0.5);
+  EXPECT_DOUBLE_EQ(phases.search, 0.0);  // its only row was NaN
+  // compute = loop total minus the halo it brackets.
+  EXPECT_DOUBLE_EQ(phases.compute, 2.0 - 0.5);
 }
 
 TEST(TraceCoupled, SpansSurviveTransferErrorUnwind) {
