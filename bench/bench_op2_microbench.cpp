@@ -117,6 +117,54 @@ void BM_MeshGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_MeshGeneration)->Arg(1)->Arg(2)->Arg(4);
 
+// Chained vs unchained three-loop relax pipeline (zero -> indirect flux ->
+// direct update) — the micro-scale version of the hydra RK chain that
+// bench_chain times end-to-end. The chained variant declares one LoopChain
+// per step so cross-loop tiles keep `res`/`x` cache-resident between loops.
+void relax_unchained(LoopFixture& f) {
+  op2::par_loop("zero", f.cells, [](double* v) { *v = 0.0; }, op2::write(f.res));
+  op2::par_loop("flux", f.faces,
+                [](const double* a, const double* b, double* ra, double* rb) {
+                  const double fl = 0.5 * (*a + *b);
+                  *ra += fl;
+                  *rb -= fl;
+                },
+                op2::read(f.x, f.f2c, 0), op2::read(f.x, f.f2c, 1),
+                op2::inc(f.res, f.f2c, 0), op2::inc(f.res, f.f2c, 1));
+  op2::par_loop("update", f.cells,
+                [](double* x, const double* r) { *x += 0.01 * *r; },
+                op2::rw(f.x), op2::read(f.res));
+}
+
+void BM_RelaxUnchained(benchmark::State& state) {
+  LoopFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) relax_unchained(f);
+  state.SetItemsProcessed(state.iterations() * (2 * f.mesh.ncell + f.mesh.nface));
+}
+BENCHMARK(BM_RelaxUnchained)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_RelaxChained(benchmark::State& state) {
+  LoopFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    op2::LoopChain chain(f.ctx, "relax");
+    chain.add("zero", f.cells, [](double* v) { *v = 0.0; }, op2::write(f.res));
+    chain.add("flux", f.faces,
+              [](const double* a, const double* b, double* ra, double* rb) {
+                const double fl = 0.5 * (*a + *b);
+                *ra += fl;
+                *rb -= fl;
+              },
+              op2::read(f.x, f.f2c, 0), op2::read(f.x, f.f2c, 1),
+              op2::inc(f.res, f.f2c, 0), op2::inc(f.res, f.f2c, 1));
+    chain.add("update", f.cells,
+              [](double* x, const double* r) { *x += 0.01 * *r; },
+              op2::rw(f.x), op2::read(f.res));
+    chain.execute();
+  }
+  state.SetItemsProcessed(state.iterations() * (2 * f.mesh.ncell + f.mesh.nface));
+}
+BENCHMARK(BM_RelaxChained)->Arg(1)->Arg(2)->Arg(4);
+
 std::vector<double> interface_boxes(int scale) {
   rig::RowSpec row;
   row.x_min = 0;

@@ -1,7 +1,9 @@
 #include "src/hydra/solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <numeric>
 #include <stdexcept>
 
 #include "src/op2/io.hpp"
@@ -91,6 +93,25 @@ void RowSolver::declare(const rig::AnnulusMesh& mesh) {
   fnorm_ = &ctx_.decl_dat<double>(*faces_, 3, pfx_ + "fnorm", mesh.face_normal);
   fcent_ = &ctx_.decl_dat<double>(*faces_, 3, pfx_ + "fcent", mesh.face_center);
 
+  if (cfg_.sort_faces) {
+    // Interior faces carry only f2c/fnorm/fcent, all declared above, so the
+    // renumbering rewrites everything that references the set.
+    const index_t nf = mesh.nface;
+    std::vector<index_t> order(static_cast<std::size_t>(nf));
+    std::iota(order.begin(), order.end(), index_t{0});
+    const auto key = [&](index_t f) {
+      return std::max(mesh.face2cell[static_cast<std::size_t>(f) * 2],
+                      mesh.face2cell[static_cast<std::size_t>(f) * 2 + 1]);
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](index_t a, index_t b) { return key(a) < key(b); });
+    std::vector<index_t> perm(static_cast<std::size_t>(nf));
+    for (index_t k = 0; k < nf; ++k) {
+      perm[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = k;
+    }
+    ctx_.renumber_set(*faces_, perm);
+  }
+
   // Boundary groups as separate sets (group-specific kernels iterate their
   // own set, the unstructured-FV idiom OP2-Hydra uses for BC loops).
   for (std::size_t g = 0; g < kGroups; ++g) {
@@ -159,22 +180,33 @@ void RowSolver::initialize() {
   }
 }
 
-void RowSolver::flux_and_sources(int stage) {
+void RowSolver::flux_and_sources(int stage, op2::LoopChain* chain) {
   (void)stage;
   const double gamma = cfg_.gamma;
 
-  op2::par_loop((pfx_ + "zero_res").c_str(), *cells_,
-                [](double* r, double* nr) {
-                  for (int s = 0; s < kNState; ++s) r[s] = 0.0;
-                  *nr = 0.0;
-                },
-                op2::write(*res_), op2::write(*nut_res_));
+  // Pipeline emitter: the same loops either run immediately (unchained
+  // per-loop path) or are declared as members of the RK stage chain, whose
+  // planner fuses their halo exchanges and tiles their execution.
+  auto emit = [&](const std::string& name, op2::Set& set, auto kernel, auto... args) {
+    if (chain) {
+      chain->add(name.c_str(), set, std::move(kernel), args...);
+    } else {
+      op2::par_loop(name.c_str(), set, std::move(kernel), args...);
+    }
+  };
+
+  emit(pfx_ + "zero_res", *cells_,
+       [](double* r, double* nr) {
+         for (int s = 0; s < kNState; ++s) r[s] = 0.0;
+         *nr = 0.0;
+       },
+       op2::write(*res_), op2::write(*nut_res_));
 
   // --- gradients (Green-Gauss), limiter ------------------------------------
   const bool need_grad = cfg_.second_order || cfg_.viscous;
   if (need_grad) {
     const double gas_r = cfg_.gas_constant;
-    op2::par_loop((pfx_ + "grad_init").c_str(), *cells_,
+    emit(pfx_ + "grad_init", *cells_,
                   [](const double* q, double* gq, double* gp, double* gn, double* mn,
                      double* mx, double* lm) {
                     for (int i = 0; i < kNState * 3; ++i) gq[i] = 0.0;
@@ -193,8 +225,8 @@ void RowSolver::flux_and_sources(int stage) {
 
     // Per-face Green-Gauss accumulation (conservative, primitive and SA
     // gradients in one sweep) with neighborhood min/max for the limiter.
-    op2::par_loop(
-        (pfx_ + "grad_face").c_str(), *faces_,
+    emit(
+        pfx_ + "grad_face", *faces_,
         [gamma, gas_r](const double* ql, const double* qr, const double* nl,
                        const double* nr_, const double* area, double* gql, double* gqr,
                        double* gpl, double* gpr, double* gnl, double* gnr, double* mnl,
@@ -243,8 +275,8 @@ void RowSolver::flux_and_sources(int stage) {
     // Boundary closure of the Green-Gauss integral: cell value on walls
     // (zero normal gradient), ghost average on inlet/outlet.
     for (const auto group : {BoundaryGroup::Inlet, BoundaryGroup::Outlet}) {
-      op2::par_loop(
-          (pfx_ + group_tag(group) + "_grad").c_str(), *bsets_[gi(group)],
+      emit(
+          pfx_ + group_tag(group) + "_grad", *bsets_[gi(group)],
           [gamma, gas_r](const double* q, const double* nut, const double* gh,
                          const double* area, double* gq, double* gp, double* gn) {
             for (int d = 0; d < 3; ++d) {
@@ -272,8 +304,8 @@ void RowSolver::flux_and_sources(int stage) {
           op2::inc(*gradnut_, *b2c_[gi(group)], 0));
     }
     for (const auto group : {BoundaryGroup::Hub, BoundaryGroup::Casing}) {
-      op2::par_loop(
-          (pfx_ + group_tag(group) + "_grad").c_str(), *bsets_[gi(group)],
+      emit(
+          pfx_ + group_tag(group) + "_grad", *bsets_[gi(group)],
           [gamma, gas_r](const double* q, const double* nut, const double* area,
                          double* gq, double* gp, double* gn) {
             for (int d = 0; d < 3; ++d) {
@@ -293,7 +325,7 @@ void RowSolver::flux_and_sources(int stage) {
           op2::inc(*gradnut_, *b2c_[gi(group)], 0));
     }
 
-    op2::par_loop((pfx_ + "grad_scale").c_str(), *cells_,
+    emit(pfx_ + "grad_scale", *cells_,
                   [](const double* vol, double* gq, double* gp, double* gn) {
                     const double inv = 1.0 / *vol;
                     for (int i = 0; i < kNState * 3; ++i) gq[i] *= inv;
@@ -306,8 +338,8 @@ void RowSolver::flux_and_sources(int stage) {
 
     if (cfg_.second_order) {
       // Barth-Jespersen: per cell, per variable, the most restrictive face.
-      op2::par_loop(
-          (pfx_ + "limiter_face").c_str(), *faces_,
+      emit(
+          pfx_ + "limiter_face", *faces_,
           [](const double* ql, const double* qr, const double* gql, const double* gqr,
              const double* ccl, const double* ccr, const double* fc, const double* mnl,
              const double* mnr, const double* mxl, const double* mxr, double* lml,
@@ -318,10 +350,16 @@ void RowSolver::flux_and_sources(int stage) {
               for (int s = 0; s < kNState; ++s) {
                 const double d2 =
                     gq[s * 3] * dx + gq[s * 3 + 1] * dy + gq[s * 3 + 2] * dz;
-                if (d2 > 1e-14) {
+                // Vote both sites unconditionally so every lane reaches
+                // them in the same order (keeps SIMT branch slots aligned
+                // across the warp); the limiter's sign split is the RK
+                // pipeline's main data-dependent divergence source.
+                const bool up = op2::simt::branch(d2 > 1e-14);
+                const bool dn = op2::simt::branch(d2 < -1e-14);
+                if (up) {
                   const double r = (mx[s] - q[s]) / d2;
                   if (r < lm[s]) lm[s] = r < 0 ? 0.0 : r;
-                } else if (d2 < -1e-14) {
+                } else if (dn) {
                   const double r = (mn[s] - q[s]) / d2;
                   if (r < lm[s]) lm[s] = r < 0 ? 0.0 : r;
                 }
@@ -356,8 +394,8 @@ void RowSolver::flux_and_sources(int stage) {
     const double pr_t = cfg_.prandtl_turb;
     const double sa_sigma = cfg_.sa_sigma;
     const double cv1 = cfg_.sa_cv1;
-    op2::par_loop(
-        (pfx_ + "flux_face").c_str(), *faces_,
+    emit(
+        pfx_ + "flux_face", *faces_,
         [gamma, second_order, viscous, use_roe, mu_l, cp, k_lam, pr_t, sa_sigma, cv1](
             const double* ql, const double* qr, const double* nl, const double* nr_,
             const double* gql, const double* gqr, const double* gpl, const double* gpr,
@@ -378,7 +416,8 @@ void RowSolver::flux_and_sources(int stage) {
                                          gq[s * 3 + 2] * dz);
               }
               // Positivity guard: fall back to first order on bad states.
-              if (out[0] < 0.05 * q[0] || pressure(out, gamma) <= 0.0) {
+              if (op2::simt::branch(out[0] < 0.05 * q[0] ||
+                                    pressure(out, gamma) <= 0.0)) {
                 for (int s = 0; s < kNState; ++s) out[s] = q[s];
               }
             };
@@ -467,7 +506,7 @@ void RowSolver::flux_and_sources(int stage) {
     const double cp = cfg_.cp();
     const double gas_r = cfg_.gas_constant;
     const double nut_in = cfg_.sa_nut_in;
-    op2::par_loop((pfx_ + "inlet_ghost_tc").c_str(), *bsets_[gi(BoundaryGroup::Inlet)],
+    emit(pfx_ + "inlet_ghost_tc", *bsets_[gi(BoundaryGroup::Inlet)],
                   [gamma, p0, t0, cp, gas_r, nut_in](const double* q, double* gh) {
                     // Interior velocity magnitude, axial inflow direction.
                     const double u2 = (q[1] * q[1] + q[2] * q[2] + q[3] * q[3]) /
@@ -492,7 +531,7 @@ void RowSolver::flux_and_sources(int stage) {
   // coupler-provided ghost.
   if (!coupled_[gi(BoundaryGroup::Outlet)]) {
     const double p_back = cfg_.p_back();
-    op2::par_loop((pfx_ + "outlet_ghost").c_str(), *bsets_[gi(BoundaryGroup::Outlet)],
+    emit(pfx_ + "outlet_ghost", *bsets_[gi(BoundaryGroup::Outlet)],
                   [gamma, p_back](const double* q, double* gh) {
                     const double ke =
                         0.5 * (q[1] * q[1] + q[2] * q[2] + q[3] * q[3]) / q[0];
@@ -511,7 +550,7 @@ void RowSolver::flux_and_sources(int stage) {
   // against the exterior payload, upwinded SA convection on the same face.
   const bool bc_use_roe = cfg_.flux_scheme == FlowConfig::FluxScheme::Roe;
   for (const auto group : {BoundaryGroup::Inlet, BoundaryGroup::Outlet}) {
-    op2::par_loop((pfx_ + group_tag(group) + "_flux").c_str(), *bsets_[gi(group)],
+    emit(pfx_ + group_tag(group) + "_flux", *bsets_[gi(group)],
                   [gamma, bc_use_roe](const double* q, const double* nut, const double* gh,
                                       const double* area, double* r, double* sr) {
                     double f[kNState];
@@ -543,8 +582,8 @@ void RowSolver::flux_and_sources(int stage) {
     const double mu_l = cfg_.mu_laminar;
     const double cv1 = cfg_.sa_cv1;
     for (const auto group : {BoundaryGroup::Hub, BoundaryGroup::Casing}) {
-      op2::par_loop(
-          (pfx_ + group_tag(group) + "_flux").c_str(), *bsets_[gi(group)],
+      emit(
+          pfx_ + group_tag(group) + "_flux", *bsets_[gi(group)],
           [gamma, no_slip, mu_l, cv1](const double* q, const double* nut,
                                       const double* dist, const double* area, double* r) {
             const double p = pressure(q, gamma);
@@ -592,7 +631,7 @@ void RowSolver::flux_and_sources(int stage) {
     const double wake = cfg_.blade_wake_frac;
     const int nblades = row_.nblades;
     const double frame_angle = row_.rotor ? omega_ * time_ : 0.0;
-    op2::par_loop((pfx_ + "blade_force").c_str(), *cells_,
+    emit(pfx_ + "blade_force", *cells_,
                   [omega, tau, frac, rotor, axial_load, wake, nblades, frame_angle](
                       const double* q, const double* rt, const double* vol, double* r) {
                     const double rad = rt[0], th = rt[1];
@@ -624,7 +663,7 @@ void RowSolver::flux_and_sources(int stage) {
   // the steady solution directly).
   if (!cfg_.steady) {
     const double inv2dt = 1.0 / (2.0 * cfg_.dt_phys);
-    op2::par_loop((pfx_ + "dualtime_src").c_str(), *cells_,
+    emit(pfx_ + "dualtime_src", *cells_,
                   [inv2dt](const double* q, const double* qo, const double* qo2,
                            const double* vol, double* r) {
                     for (int s = 0; s < kNState; ++s) {
@@ -640,7 +679,7 @@ void RowSolver::flux_and_sources(int stage) {
   // based (DESIGN.md notes the simplification vs. full SA).
   {
     const double cb1 = cfg_.sa_cb1, cw1 = cfg_.sa_cw1;
-    op2::par_loop((pfx_ + "sa_source").c_str(), *cells_,
+    emit(pfx_ + "sa_source", *cells_,
                   [cb1, cw1](const double* q, const double* nut, const double* d,
                              const double* vol, double* sr) {
                     const double speed =
@@ -717,22 +756,37 @@ void RowSolver::inner_iteration() {
   for (int stage = 0; stage < cfg_.rk_stages; ++stage) {
     trace::Span tstage("hydra:rk_stage");
     tstage.arg("stage", static_cast<double>(stage));
-    flux_and_sources(stage);
     const double alpha = 1.0 / static_cast<double>(cfg_.rk_stages - stage);
-    op2::par_loop((pfx_ + "rk_update").c_str(), *cells_,
-                  [alpha](const double* q0, const double* r, const double* vol,
-                          const double* dt, double* q, const double* nut0,
-                          const double* sr, double* nut) {
-                    const double scale = alpha * *dt / *vol;
-                    for (int s = 0; s < kNState; ++s) q[s] = q0[s] + scale * r[s];
-                    // Keep density/energy physical on transients.
-                    if (q[0] < 1e-3) q[0] = 1e-3;
-                    *nut = std::max(0.0, *nut0 + scale * *sr);
-                  },
-                  op2::read(*q0_), op2::read(*res_),
-                  op2::read(*vol_), op2::read(*dtl_),
-                  op2::write(*q_), op2::read(*nut0_),
-                  op2::read(*nut_res_), op2::write(*nut_));
+    auto rk_update = [alpha](const double* q0, const double* r, const double* vol,
+                             const double* dt, double* q, const double* nut0,
+                             const double* sr, double* nut) {
+      const double scale = alpha * *dt / *vol;
+      for (int s = 0; s < kNState; ++s) q[s] = q0[s] + scale * r[s];
+      // Keep density/energy physical on transients.
+      if (op2::simt::branch(q[0] < 1e-3)) q[0] = 1e-3;
+      *nut = std::max(0.0, *nut0 + scale * *sr);
+    };
+    if (cfg_.chain_rk) {
+      // The whole stage (residual assembly + update) as one declared chain:
+      // the chain planner fuses halo epochs per segment and interleaves the
+      // member loops tile-by-tile. alpha lives in the kernel closure, so the
+      // plan structure is identical across stages and revalidates cheaply.
+      op2::LoopChain chain(ctx_, pfx_ + "rk_stage");
+      flux_and_sources(stage, &chain);
+      chain.add((pfx_ + "rk_update").c_str(), *cells_, rk_update,
+                op2::read(*q0_), op2::read(*res_),
+                op2::read(*vol_), op2::read(*dtl_),
+                op2::write(*q_), op2::read(*nut0_),
+                op2::read(*nut_res_), op2::write(*nut_));
+      chain.execute();
+    } else {
+      flux_and_sources(stage);
+      op2::par_loop((pfx_ + "rk_update").c_str(), *cells_, rk_update,
+                    op2::read(*q0_), op2::read(*res_),
+                    op2::read(*vol_), op2::read(*dtl_),
+                    op2::write(*q_), op2::read(*nut0_),
+                    op2::read(*nut_res_), op2::write(*nut_));
+    }
   }
 }
 

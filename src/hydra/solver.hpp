@@ -108,7 +108,9 @@ class RowSolver {
 
  private:
   void declare(const rig::AnnulusMesh& mesh);
-  void flux_and_sources(int stage);
+  /// Emits the residual-assembly loops: into `chain` when given (the RK
+  /// stage pipeline declared as a LoopChain), else as immediate par_loops.
+  void flux_and_sources(int stage, op2::LoopChain* chain = nullptr);
 
   op2::Context& ctx_;
   rig::RowSpec row_;

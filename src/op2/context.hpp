@@ -187,6 +187,18 @@ class Context {
 
   LoopPlan& get_plan(const std::string& name, const Set& set,
                      const std::vector<ArgInfo>& args);
+  /// Builds (first call) or revalidates the cached plan for a declared loop
+  /// chain: dependence analysis, segmentation, aligned cross-loop tiles,
+  /// tile coloring and the fused-epoch needs. Collective when distributed
+  /// (halo-coverage decisions are agreed by allreduce).
+  ChainPlan& get_chain_plan(const std::string& name,
+                            const std::vector<ChainLoopDecl>& decls);
+  /// Fused halo epoch for one chain segment: exchanges every dirty dat the
+  /// segment reads through halos in one grouped round (one message per
+  /// set and neighbor covering all such dats), completing before return.
+  void chain_exchange(ChainPlan& plan, const ChainSegment& seg);
+  /// Cached chain plan by chain name (tests / benchmarks), else null.
+  [[nodiscard]] const ChainPlan* find_chain(const std::string& name) const;
   /// Posts sends for every dirty dat the loop reads through halos.
   PendingExchange exchange_begin(LoopPlan& plan, const std::vector<ArgInfo>& args);
   /// Completes receives, scattering payloads into halo slots.
@@ -273,8 +285,12 @@ class Context {
   std::vector<std::unique_ptr<Set>> sets_;
   std::vector<std::unique_ptr<Map>> maps_;
   std::vector<std::unique_ptr<DatBase>> dats_;
+  // chain internals (chain.cpp)
+  void build_chain_plan(ChainPlan& plan, const std::vector<ChainLoopDecl>& decls);
+
   std::vector<SetHalo> halos_;  // indexed by set id
   std::map<std::string, std::unique_ptr<LoopPlan>> plans_;
+  std::map<std::string, std::unique_ptr<ChainPlan>> chains_;
   std::uint64_t layout_epoch_ = 1;
   std::uint64_t halo_buf_allocs_ = 0;
 

@@ -37,6 +37,7 @@ namespace {
 constexpr int kTagHaloBase = 1 << 20;   // + dat id
 constexpr int kTagGroupBase = 1 << 21;  // + set id
 constexpr int kTagPlanBase = 1 << 22;   // partial-list setup
+constexpr int kTagChainBase = 1 << 23;  // + set id (fused chain epochs)
 
 /// Per-set, per-rank global import lists (identical on every rank).
 struct ImportTables {
@@ -526,6 +527,87 @@ void Context::exchange_end(LoopPlan& plan, PendingExchange& pending) {
   }
   plan.halo_seconds += t.elapsed();
   pending.recvs.clear();
+}
+
+void Context::chain_exchange(ChainPlan& plan, const ChainSegment& seg) {
+  // One fused halo epoch at segment entry: every dirty dat the segment
+  // reads through halos travels in one grouped round — one message per
+  // (set, neighbor) packing all such dats, always over the full halo lists
+  // (the segment's members collectively touch whole halos; partial
+  // sublists are a solo-loop optimization). Completed blocking before the
+  // first tile runs: within a fused segment there is no per-loop core/tail
+  // split to hide the latency behind — fewer epochs is the chain's lever.
+  if (!distributed() || seg.epoch_needs.empty()) return;
+
+  // Dirty dats grouped per set, in set-id order (rank-symmetric: epoch
+  // needs and cleanliness epochs are identical on every rank).
+  std::map<int, std::vector<DatBase*>> dirty_by_set;
+  for (const auto& [d, region] : seg.epoch_needs) {
+    (void)region;  // full-halo refresh regardless of the required region
+    if (d->halo_dirty()) dirty_by_set[d->set().id()].push_back(d);
+  }
+  if (dirty_by_set.empty()) return;
+
+  trace::Span tspan("chain:epoch");
+  util::Timer t;
+  const std::uint64_t bytes0 = plan.halo_bytes;
+  const std::uint64_t msgs0 = plan.halo_msgs;
+
+  for (auto& [sid, dirty] : dirty_by_set) {
+    const Set& s = dirty.front()->set();
+    const SetHalo& halo = halos_[static_cast<std::size_t>(sid)];
+    PlanSetComm* sc = nullptr;
+    for (auto& c : plan.comms) {
+      if (c.set == &s) sc = &c;
+    }
+    if (sc == nullptr) {
+      throw std::logic_error(vcgt::util::fmt(
+          "op2: chain '{}' epoch for set '{}' has no comm state", plan.name, s.name()));
+    }
+
+    std::size_t group_eb = 0;
+    for (const DatBase* d : dirty) group_eb += d->elem_bytes();
+    for (std::size_t i = 0; i < halo.nbr_send.size(); ++i) {
+      auto& buf = pack_buf(*sc, halo.nbr_send.size(), i,
+                           halo.send_idx[i].size() * group_eb, halo_buf_allocs_);
+      std::size_t off = 0;
+      for (DatBase* d : dirty) {
+        d->gather_elems(halo.send_idx[i], buf.data() + off);
+        off += halo.send_idx[i].size() * d->elem_bytes();
+      }
+      halo_send(comm_, buf, halo.nbr_send[i], kTagChainBase + sid, s);
+      plan.halo_bytes += buf.size();
+      ++plan.halo_msgs;
+    }
+    for (std::size_t i = 0; i < halo.nbr_recv.size(); ++i) {
+      std::vector<std::byte> buf;
+      try {
+        buf = comm_.recv_bytes(halo.nbr_recv[i], kTagChainBase + sid);
+      } catch (const minimpi::RecvTimeout& e) {
+        throw HaloError(
+            util::fmt("op2: chain epoch receive for set '{}' from rank {} timed out: {}",
+                      s.name(), halo.nbr_recv[i], e.what()),
+            s.name(), halo.nbr_recv[i], /*sending=*/false);
+      }
+      if (buf.size() < halo.recv_slots[i].size() * group_eb) {
+        throw std::logic_error("op2: chain epoch message shorter than expected");
+      }
+      std::size_t off = 0;
+      for (DatBase* d : dirty) {
+        d->scatter_elems(halo.recv_slots[i], buf.data() + off);
+        off += halo.recv_slots[i].size() * d->elem_bytes();
+      }
+    }
+    for (DatBase* d : dirty) d->mark_halo_clean();
+  }
+
+  ++plan.halo_epochs;
+  plan.seconds += t.elapsed();
+  if (tspan.active()) {
+    tspan.arg("bytes", static_cast<double>(plan.halo_bytes - bytes0));
+    tspan.arg("msgs", static_cast<double>(plan.halo_msgs - msgs0));
+    tspan.arg("dats", static_cast<double>(seg.epoch_needs.size()));
+  }
 }
 
 }  // namespace vcgt::op2

@@ -26,9 +26,12 @@
 // arguments are staged through per-thread scratch blocks (OP2's gather
 // staging) so kernels never see the layout.
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <string>
 #include <tuple>
 #include <type_traits>
 #include <utility>
@@ -39,6 +42,7 @@
 #include "src/op2/map.hpp"
 #include "src/op2/plan.hpp"
 #include "src/op2/set.hpp"
+#include "src/op2/simt.hpp"
 #include "src/op2/types.hpp"
 #include "src/util/timer.hpp"
 #include "src/util/trace.hpp"
@@ -593,6 +597,39 @@ inline void attach_set(IdxArg& a, const Set& s) { a.l2g = s.local_to_global().da
 template <class A>
 void attach_set(A&, const Set&) {}
 
+// --- SIMT-emulation march (simt.hpp) ----------------------------------------
+
+/// Marches `body(i)` for i in [0, n) as warps of kWarpWidth lanes: lanes run
+/// serially in ascending order (results bit-identical to a plain loop) while
+/// the warp hooks meter occupancy and branch divergence. Tail warps carry
+/// predicated-off lanes (active < kWarpWidth).
+template <class F>
+inline void simt_march(std::size_t n, F&& body) {
+  for (std::size_t w = 0; w < n; w += simt::kWarpWidth) {
+    const int active = static_cast<int>(
+        std::min<std::size_t>(simt::kWarpWidth, n - w));
+    simt::detail::warp_begin();
+    for (int l = 0; l < active; ++l) {
+      simt::detail::lane_begin(l);
+      body(w + static_cast<std::size_t>(l));
+    }
+    simt::detail::warp_end(active);
+  }
+}
+
+/// Emits the process-global SIMT counters as trace counter tracks (called by
+/// the executor after a SIMT-marched loop when tracing is on).
+inline void emit_simt_counters() {
+  const simt::Stats st = simt::stats();
+  trace::counter("simt:warps", static_cast<double>(st.warps));
+  trace::counter("simt:full_warps", static_cast<double>(st.full_warps));
+  trace::counter("simt:partial_warps", static_cast<double>(st.partial_warps));
+  trace::counter("simt:lanes", static_cast<double>(st.lanes));
+  trace::counter("simt:branch_slots", static_cast<double>(st.branch_slots));
+  trace::counter("simt:divergent", static_cast<double>(st.divergent_branches));
+  trace::counter("simt:convergent", static_cast<double>(st.convergent_branches));
+}
+
 }  // namespace detail
 
 /// Executes `kernel` once per element of `set` (owned elements, plus the
@@ -647,11 +684,23 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
   const bool det_run = ctx.config().deterministic_reductions && has_reduction;
   const bool chunk_ok = (plan.colored && !det_run) || !staged_indirect_write;
 
+  const bool simt_on = ctx.config().simt;
   constexpr auto idx_seq = std::index_sequence_for<As...>{};
   auto run_span = [&]<std::size_t... I>(std::span<const index_t> elems, int tid,
                                         std::index_sequence<I...>) {
     auto bound = std::make_tuple(
         detail::bind(std::get<I>(args), std::get<I>(scratch), tid)...);
+    if (simt_on) {
+      // SIMT-emulation lane model: warp-width groups with per-lane
+      // predication, ascending lane order (bit-identical results). The
+      // per-element gather/scatter path is the always-safe one.
+      detail::simt_march(elems.size(), [&](std::size_t i) {
+        const index_t e = elems[i];
+        kernel(detail::pre(std::get<I>(bound), e)...);
+        (detail::post(std::get<I>(bound), e), ...);
+      });
+      return;
+    }
     const bool any_staged = (detail::is_staged(std::get<I>(bound)) || ...);
     if (!any_staged) {
       for (const index_t e : elems) {
@@ -697,7 +746,7 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
       run_span(std::span<const index_t>(flat), 0, idx_seq);
       return;
     }
-    if (plan.vectorizable && contig && !flat.empty()) {
+    if (plan.vectorizable && contig && !flat.empty() && !simt_on) {
       const index_t lo = flat.front();
       if (nthreads <= 1) {
         run_range(lo, lo + static_cast<index_t>(flat.size()), 0, idx_seq);
@@ -744,7 +793,192 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
      ...);
   }(idx_seq);
 
+  if (simt_on && trace::enabled()) detail::emit_simt_counters();
   ctx.post_loop(plan, infos, timer.elapsed());
 }
+
+// --- LoopChain (DESIGN.md §10) ----------------------------------------------
+//
+//   op2::LoopChain chain(ctx, "rk_stage");
+//   chain.add("grad",  cells, grad_kernel,  op2::read(q), op2::write(dq));
+//   chain.add("flux",  edges, flux_kernel,  op2::read(dq, e2c, 0), ...);
+//   chain.add("update", cells, upd_kernel,  op2::read(r), op2::rw(q));
+//   chain.execute();   // collective; repeatable (plan cached by name)
+//
+// Declaring the loops up front hands the planner the whole pipeline at
+// once: it classifies the cross-loop dependences, fuses the per-loop halo
+// exchanges into one grouped epoch per segment, and executes the member
+// loops tile-interleaved — each cross-loop tile walks every member's
+// aligned element range before moving on, so intermediate dats are still
+// cache-hot when the consumer loop touches them. Per-loop ascending element
+// order is preserved inside every tile range, which keeps chained results
+// bit-identical to issuing the same par_loops one by one (vcgt::verify's
+// chained fuzz group holds the executor to that). Members carrying a global
+// reduction run as ordinary standalone par_loops between fused segments.
+class LoopChain {
+ public:
+  LoopChain(Context& ctx, std::string name) : ctx_(ctx), name_(std::move(name)) {}
+  LoopChain(const LoopChain&) = delete;
+  LoopChain& operator=(const LoopChain&) = delete;
+
+  /// Declares the next member loop. Same argument forms as par_loop; the
+  /// kernel and arguments are captured by value.
+  template <class Kernel, class... As>
+  void add(const char* name, const Set& set, Kernel kernel, As... as) {
+    ChainLoopDecl decl;
+    decl.name = name;
+    decl.set = &set;
+    decl.args = {detail::to_info(as)...};
+    decls_.push_back(std::move(decl));
+
+    auto args = std::make_tuple(as...);
+    std::apply([&](auto&... a) { (detail::attach_set(a, set), ...); }, args);
+    const int nthreads = ctx_.config().nthreads;
+    auto scratch = std::apply(
+        [&](auto&... a) { return std::make_tuple(detail::make_scratch(a, nthreads)...); },
+        args);
+
+    Member mem;
+    // Fused-tile executor: one contiguous ascending element range, always
+    // through the per-element gather/scatter path (safe for staged
+    // indirect writes; a tile is too short-lived to amortize chunked
+    // staging anyway). Concurrent calls use distinct tids, and scratch
+    // blocks are per-tid slices, so same-color tiles may run in parallel.
+    mem.run_range = [this, kernel, args, scratch](index_t lo, index_t hi,
+                                                  int tid) mutable {
+      [&]<std::size_t... I>(std::index_sequence<I...>) {
+        auto bound = std::make_tuple(
+            detail::bind(std::get<I>(args), std::get<I>(scratch), tid)...);
+        if (ctx_.config().simt) {
+          detail::simt_march(static_cast<std::size_t>(hi - lo), [&](std::size_t i) {
+            const index_t e = lo + static_cast<index_t>(i);
+            kernel(detail::pre(std::get<I>(bound), e)...);
+            (detail::post(std::get<I>(bound), e), ...);
+          });
+          return;
+        }
+        // Same specialization as the solo executor: when no argument is
+        // staged (every dat unit-stride), post() is dead for every arg —
+        // skipping the calls drops a per-arg scratch check from the hot
+        // per-element loop.
+        if (!(detail::is_staged(std::get<I>(bound)) || ...)) {
+          for (index_t e = lo; e < hi; ++e) {
+            kernel(detail::pre(std::get<I>(bound), e)...);
+          }
+          return;
+        }
+        for (index_t e = lo; e < hi; ++e) {
+          kernel(detail::pre(std::get<I>(bound), e)...);
+          (detail::post(std::get<I>(bound), e), ...);
+        }
+      }(std::index_sequence_for<As...>{});
+    };
+    // Standalone fallback: the member runs as a full par_loop (its own
+    // halo exchange, coloring, reduction merge/finalize machinery).
+    mem.run_loop = [&ctx = ctx_, lname = std::string(name), &set, kernel, args]() {
+      (void)ctx;
+      std::apply([&](const auto&... a) { par_loop(lname.c_str(), set, kernel, a...); },
+                 args);
+    };
+    members_.push_back(std::move(mem));
+  }
+
+  /// Executes the declared chain. Collective across the context's
+  /// communicator; the plan is built on first call and cached by name.
+  void execute() {
+    if (decls_.empty()) return;
+    ChainPlan& plan = ctx_.get_chain_plan(name_, decls_);
+    util::Timer timer;
+    trace::Span tspan("chain:" + name_);
+    if (tspan.active()) {
+      tspan.arg("members", static_cast<double>(plan.members.size()));
+      tspan.arg("segments", static_cast<double>(plan.segments.size()));
+      tspan.arg("deps", static_cast<double>(plan.deps.size()));
+    }
+    const int nthreads = ctx_.config().nthreads;
+    // Per-member time attribution: fused members run tile-interleaved, so no
+    // single span can bracket one member. Accumulate per-member busy time
+    // across tiles and emit one complete event per member at the end, under
+    // the member's loop name (keeping per-loop summaries/attribution working
+    // exactly as for solo par_loops).
+    const bool tr = trace::enabled();
+    const std::int64_t chain_begin_ns = tr ? trace::now_ns() : 0;
+    std::vector<std::atomic<std::int64_t>> member_ns(tr ? members_.size() : 0);
+    for (const auto& seg : plan.segments) {
+      if (!seg.fused) {
+        members_[static_cast<std::size_t>(seg.first)].run_loop();
+        continue;
+      }
+      ctx_.chain_exchange(plan, seg);
+      const int count = seg.last - seg.first + 1;
+      const int ntiles =
+          seg.tile_end.empty() ? 0 : static_cast<int>(seg.tile_end.front().size());
+      auto run_tile = [&](int t, int tid) {
+        for (int m = 0; m < count; ++m) {
+          const auto& be = seg.tile_end[static_cast<std::size_t>(m)];
+          const index_t lo = t == 0 ? 0 : be[static_cast<std::size_t>(t - 1)];
+          const index_t hi = be[static_cast<std::size_t>(t)];
+          if (hi > lo) {
+            const std::int64_t t0 = tr ? trace::now_ns() : 0;
+            members_[static_cast<std::size_t>(seg.first + m)].run_range(lo, hi, tid);
+            if (tr) {
+              member_ns[static_cast<std::size_t>(seg.first + m)].fetch_add(
+                  trace::now_ns() - t0, std::memory_order_relaxed);
+            }
+          }
+        }
+      };
+      if (nthreads <= 1) {
+        for (int t = 0; t < ntiles; ++t) run_tile(t, 0);
+      } else {
+        // Colors ascending: a tile's conflicting predecessors carry
+        // strictly smaller colors, so they have completed; same-color
+        // tiles are conflict-free and run in parallel.
+        for (int c = 0; c < seg.n_colors; ++c) {
+          std::vector<int> tiles;
+          for (int t = 0; t < ntiles; ++t) {
+            if (seg.tile_colors[static_cast<std::size_t>(t)] == c) tiles.push_back(t);
+          }
+          ctx_.pool().parallel_for(tiles.size(), [&](int tid, std::size_t b,
+                                                     std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) run_tile(tiles[i], tid);
+          });
+        }
+      }
+      for (int m = seg.first; m <= seg.last; ++m) {
+        const auto& mp = plan.members[static_cast<std::size_t>(m)];
+        plan.elements += static_cast<std::uint64_t>(mp.n_executed);
+        for (const auto& a : mp.args) {
+          if (a.dat && access_writes(a.acc)) a.dat->mark_written();
+        }
+      }
+    }
+    if (tr) {
+      for (std::size_t m = 0; m < member_ns.size(); ++m) {
+        const std::int64_t ns = member_ns[m].load(std::memory_order_relaxed);
+        if (ns > 0) trace::complete(plan.members[m].name.c_str(), chain_begin_ns, ns);
+      }
+    }
+    ++plan.invocations;
+    plan.seconds += timer.elapsed();
+    if (ctx_.config().simt && trace::enabled()) detail::emit_simt_counters();
+  }
+
+  /// The cached plan (null before the first execute()).
+  [[nodiscard]] const ChainPlan* plan() const { return ctx_.find_chain(name_); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return decls_.size(); }
+
+ private:
+  struct Member {
+    std::function<void(index_t, index_t, int)> run_range;
+    std::function<void()> run_loop;
+  };
+
+  Context& ctx_;
+  std::string name_;
+  std::vector<ChainLoopDecl> decls_;
+  std::vector<Member> members_;
+};
 
 }  // namespace vcgt::op2

@@ -94,6 +94,108 @@ struct LoopPlan {
   std::uint64_t elements = 0;  ///< elements executed across invocations
 };
 
+// --- loop chains (DESIGN.md §10) --------------------------------------------
+// A LoopChain declares a sequence of par_loops up front so the planner can
+// analyse them *together*: classify the cross-loop data dependences, carve
+// the chain into fusible segments, build aligned cross-loop tiles inside
+// each segment (executed loop-interleaved for locality, preserving each
+// loop's ascending element order so results stay bit-identical to the
+// unchained executor whenever that path folds in flat ascending order —
+// serial, or latency hiding off; see chain.cpp's execution-order
+// contract), color the tiles for conflict-free parallel execution, and
+// hoist every member's halo exchange to one grouped epoch at segment
+// entry.
+
+/// Cross-loop dependence kind between two chain members on a shared dat.
+enum class ChainDepKind : std::uint8_t {
+  Raw,  ///< earlier member writes, later member reads
+  War,  ///< earlier member reads, later member writes
+  Waw,  ///< both members write
+};
+
+const char* chain_dep_name(ChainDepKind k);
+
+struct ChainDep {
+  int src = 0;  ///< earlier member index
+  int dst = 0;  ///< later member index
+  const DatBase* dat = nullptr;
+  ChainDepKind kind = ChainDepKind::Raw;
+};
+
+/// How much of a dat's local window holds correct values at a point in the
+/// chain: owned elements only, owned + exec halo (redundantly recomputed),
+/// or the full window including the non-exec halo (freshly exchanged).
+enum class ChainRegion : std::uint8_t { Owned = 0, OwnedExec = 1, Full = 2 };
+
+/// One declared member loop (name, iteration set, access descriptors) —
+/// the planner's view of a LoopChain::add() call.
+struct ChainLoopDecl {
+  std::string name;
+  const Set* set = nullptr;
+  std::vector<ArgInfo> args;
+};
+
+struct ChainMemberPlan {
+  std::string name;
+  const Set* set = nullptr;
+  std::uint64_t signature = 0;  ///< arg-metadata hash, validated per call
+  std::vector<ArgInfo> args;
+  /// Redundant exec-halo iteration forced by an indirect write (the same
+  /// rule a solo par_loop applies).
+  bool exec_halo_iterated = false;
+  /// Chain-forced redundant exec iteration of a *direct* member: writing
+  /// its outputs over the exec halo too lets a later member read them
+  /// there without a mid-chain exchange.
+  bool exec_extended = false;
+  /// Member executes through its own full par_loop (global reductions
+  /// need the deterministic-reduction / merge machinery).
+  bool standalone = false;
+  index_t n_executed = 0;  ///< owned (+ exec when iterated/extended)
+  int segment = 0;
+};
+
+/// A maximal fusible run of members (or a single standalone member).
+struct ChainSegment {
+  int first = 0;  ///< member index range, inclusive
+  int last = 0;
+  bool fused = false;  ///< tiled loop-interleaved execution
+  /// Aligned cross-loop tiles: tile_end[m][t] is the end (exclusive) of
+  /// tile t's contiguous element range for member `first + m`. Boundaries
+  /// are dependence-aligned: every element a tile's later loops consume is
+  /// produced by the same or an earlier tile, and ranges stay ascending so
+  /// per-loop floating-point order is untouched.
+  std::vector<std::vector<index_t>> tile_end;
+  /// Dependence-aware tile colors: conflicting tiles (sharing a written
+  /// element of any member's dat) get strictly increasing colors in tile
+  /// order, so colors ascending respects every dependence and same-color
+  /// tiles are conflict-free (parallel-safe).
+  std::vector<int> tile_colors;
+  int n_colors = 0;
+  /// Fused halo epoch: dats some member reads through halos (with the
+  /// region it needs), exchanged in one grouped epoch at segment entry
+  /// when dirty. Intra-segment producers cover everything else.
+  std::vector<std::pair<DatBase*, ChainRegion>> epoch_needs;
+};
+
+struct ChainPlan {
+  std::string name;
+  std::uint64_t signature = 0;  ///< fold of member signatures
+  std::vector<ChainMemberPlan> members;
+  std::vector<ChainDep> deps;
+  std::vector<ChainSegment> segments;
+  /// Per-set comm state for the fused epochs (full halo lists; owns the
+  /// persistent send buffers).
+  std::vector<PlanSetComm> comms;
+
+  // Metering.
+  std::uint64_t invocations = 0;
+  double seconds = 0.0;
+  std::uint64_t halo_bytes = 0;
+  std::uint64_t halo_msgs = 0;
+  std::uint64_t halo_epochs = 0;  ///< fused epochs that exchanged anything
+  std::uint64_t elements = 0;
+};
+
 /// Structural fingerprint of a plan on this rank: iteration size, redundant
 /// exec-halo flag, core/tail element lists, color shapes and the full halo
 /// communication schedule (neighbors, send indices, receive slots). Two
@@ -104,5 +206,14 @@ struct LoopPlan {
 /// (vcgt::verify). Excludes everything value- or cache-like: metering,
 /// the layout-epoch/vectorizable cache and pack-buffer capacities.
 [[nodiscard]] std::uint64_t plan_fingerprint(const LoopPlan& plan);
+
+/// Chained-plan overload: folds member structure (set, iteration sizes,
+/// exec flags, access descriptors by dat/map id), the dependence edges,
+/// segment boundaries, tile frontiers, tile colors and the fused-epoch
+/// needs. Pointer-free and layout-independent: equivalent executions under
+/// different dat layouts produce equal fingerprints on every rank, which
+/// is what makes chained plans cacheable and lets vcgt::verify compare
+/// chained runs structurally across layout variants.
+[[nodiscard]] std::uint64_t plan_fingerprint(const ChainPlan& plan);
 
 }  // namespace vcgt::op2

@@ -1,10 +1,13 @@
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdlib>
 
 #include <stdexcept>
 
 #include "src/op2/context.hpp"
 #include "src/op2/internal.hpp"
+#include "src/op2/simt.hpp"
 #include "src/util/log.hpp"
 
 namespace vcgt::op2 {
@@ -86,9 +89,63 @@ std::uint64_t plan_fingerprint(const LoopPlan& plan) {
   return h;
 }
 
+std::uint64_t plan_fingerprint(const ChainPlan& plan) {
+  // Pointer-free on purpose: dats and maps enter by declaration id so the
+  // fingerprint is stable across processes and identical for equivalent
+  // runs under different dat layouts (tile frontiers, colors and epoch
+  // needs are all layout-independent by construction).
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto fold_args = [&](const std::vector<ArgInfo>& args) {
+    h = fnv1a(h, args.size());
+    for (const auto& a : args) {
+      h = fnv1a(h, a.dat ? static_cast<std::uint64_t>(a.dat->id()) + 1 : 0u);
+      h = fnv1a(h, a.map ? static_cast<std::uint64_t>(a.map->id()) + 1 : 0u);
+      h = fnv1a(h, static_cast<std::uint64_t>(a.idx));
+      h = fnv1a(h, static_cast<std::uint64_t>(a.acc));
+      h = fnv1a(h, a.is_global ? 1u : 0u);
+    }
+  };
+  h = fnv1a(h, plan.members.size());
+  for (const auto& m : plan.members) {
+    h = fnv1a(h, static_cast<std::uint64_t>(m.set->id()));
+    h = fnv1a(h, static_cast<std::uint64_t>(m.n_executed));
+    h = fnv1a(h, (m.exec_halo_iterated ? 1u : 0u) | (m.exec_extended ? 2u : 0u) |
+                     (m.standalone ? 4u : 0u));
+    h = fnv1a(h, static_cast<std::uint64_t>(m.segment));
+    fold_args(m.args);
+  }
+  h = fnv1a(h, plan.deps.size());
+  for (const auto& d : plan.deps) {
+    h = fnv1a(h, static_cast<std::uint64_t>(d.src));
+    h = fnv1a(h, static_cast<std::uint64_t>(d.dst));
+    h = fnv1a(h, static_cast<std::uint64_t>(d.dat->id()));
+    h = fnv1a(h, static_cast<std::uint64_t>(d.kind));
+  }
+  h = fnv1a(h, plan.segments.size());
+  for (const auto& seg : plan.segments) {
+    h = fnv1a(h, static_cast<std::uint64_t>(seg.first));
+    h = fnv1a(h, static_cast<std::uint64_t>(seg.last));
+    h = fnv1a(h, seg.fused ? 1u : 0u);
+    h = fnv1a(h, seg.tile_end.size());
+    for (const auto& te : seg.tile_end) h = fnv1a(h, te);
+    h = fnv1a(h, seg.tile_colors.size());
+    for (const int c : seg.tile_colors) h = fnv1a(h, static_cast<std::uint64_t>(c));
+    h = fnv1a(h, static_cast<std::uint64_t>(seg.n_colors));
+    h = fnv1a(h, seg.epoch_needs.size());
+    for (const auto& [dat, region] : seg.epoch_needs) {
+      h = fnv1a(h, static_cast<std::uint64_t>(dat->id()));
+      h = fnv1a(h, static_cast<std::uint64_t>(region));
+    }
+  }
+  return h;
+}
+
 std::map<std::string, std::uint64_t> Context::plan_fingerprints() const {
   std::map<std::string, std::uint64_t> out;
   for (const auto& [name, plan] : plans_) out[name] = plan_fingerprint(*plan);
+  for (const auto& [name, plan] : chains_) {
+    out["chain:" + name] = plan_fingerprint(*plan);
+  }
   return out;
 }
 
@@ -105,8 +162,22 @@ Context::Context(minimpi::Comm comm, Config cfg)
       util::warn("op2: ignoring unrecognized VCGT_OP2_LAYOUT '{}'", env);
     }
   }
+  if (const char* env = std::getenv("VCGT_OP2_SIMT")) {
+    cfg_.simt = env[0] != '\0' && env[0] != '0';
+  }
+  if (const char* env = std::getenv("VCGT_OP2_CHAIN_TILE")) {
+    const int v = std::atoi(env);
+    if (v > 0) {
+      cfg_.chain_tile = v;
+    } else {
+      util::warn("op2: ignoring non-positive VCGT_OP2_CHAIN_TILE '{}'", env);
+    }
+  }
   if (cfg_.aosoa_block < 1 || (cfg_.aosoa_block & (cfg_.aosoa_block - 1)) != 0) {
     throw std::invalid_argument("op2: Config::aosoa_block must be a power of two");
+  }
+  if (cfg_.chain_tile < 1) {
+    throw std::invalid_argument("op2: Config::chain_tile must be positive");
   }
 }
 
@@ -300,6 +371,15 @@ Context::LoopStatsView Context::total_stats() const {
     total.halo_msgs += plan->halo_msgs;
     total.elements += plan->elements;
   }
+  // Chain executions meter outside plans_ (fused epochs, interleaved tiles);
+  // fold them in so the context-wide totals stay accurate under chaining.
+  for (const auto& [name, plan] : chains_) {
+    total.invocations += plan->invocations;
+    total.seconds += plan->seconds;
+    total.halo_bytes += plan->halo_bytes;
+    total.halo_msgs += plan->halo_msgs;
+    total.elements += plan->elements;
+  }
   return total;
 }
 
@@ -324,6 +404,28 @@ std::string Context::describe_plans() const {
     out += vcgt::util::fmt(" [{} calls, {} B exchanged]\n", plan->invocations,
                            plan->halo_bytes);
   }
+  for (const auto& [name, cp] : chains_) {
+    out += vcgt::util::fmt("chain '{}': {} members, {} deps, {} segments (", name,
+                           cp->members.size(), cp->deps.size(), cp->segments.size());
+    for (std::size_t i = 0; i < cp->segments.size(); ++i) {
+      const auto& seg = cp->segments[i];
+      out += vcgt::util::fmt(
+          "{}{}[{}..{}]", i ? " " : "", seg.fused ? "fused" : "solo", seg.first, seg.last);
+      if (seg.fused && !seg.tile_end.empty()) {
+        out += vcgt::util::fmt(" tiles {} colors {}", seg.tile_end.front().size(),
+                               seg.n_colors);
+      }
+    }
+    out += vcgt::util::fmt(") [{} calls, {} epochs, {} B exchanged]\n", cp->invocations,
+                           cp->halo_epochs, cp->halo_bytes);
+    for (const auto& mp : cp->members) {
+      out += vcgt::util::fmt("  member '{}' over '{}': exec {}{}{}{}\n", mp.name,
+                             mp.set->name(), mp.n_executed,
+                             mp.exec_halo_iterated ? ", redundant exec halo" : "",
+                             mp.exec_extended ? " (extended)" : "",
+                             mp.standalone ? ", standalone" : "");
+    }
+  }
   return out;
 }
 
@@ -336,6 +438,99 @@ void Context::reset_stats() {
     plan->halo_msgs = 0;
     plan->elements = 0;
   }
+  for (auto& [name, plan] : chains_) {
+    plan->invocations = 0;
+    plan->seconds = 0.0;
+    plan->halo_bytes = 0;
+    plan->halo_msgs = 0;
+    plan->halo_epochs = 0;
+    plan->elements = 0;
+  }
 }
 
 }  // namespace vcgt::op2
+
+// --- SIMT-emulation counters (simt.hpp) --------------------------------------
+namespace vcgt::op2::simt {
+
+namespace {
+
+std::atomic<std::uint64_t> g_warps{0}, g_full{0}, g_partial{0}, g_lanes{0};
+std::atomic<std::uint64_t> g_slots{0}, g_divergent{0}, g_convergent{0};
+
+/// Per-thread warp state. Branch votes are indexed by call order within the
+/// lane: slot k is the k-th simt::branch() the lane executed, which aligns
+/// slots across lanes exactly when lanes reach the vote sites in the same
+/// order (the hardware analogy: one static branch per program point). A
+/// lane skipping a site entirely shows up as reach < active — divergent.
+struct WarpState {
+  bool in_warp = false;
+  std::size_t slot = 0;
+  std::vector<std::array<int, 2>> votes;  ///< per slot: {taken, reach}
+};
+thread_local WarpState tls;
+
+}  // namespace
+
+bool branch(bool cond) {
+  if (tls.in_warp) {
+    if (tls.slot >= tls.votes.size()) tls.votes.push_back({0, 0});
+    auto& v = tls.votes[tls.slot];
+    if (cond) ++v[0];
+    ++v[1];
+    ++tls.slot;
+  }
+  return cond;
+}
+
+Stats stats() {
+  Stats s;
+  s.warps = g_warps.load();
+  s.full_warps = g_full.load();
+  s.partial_warps = g_partial.load();
+  s.lanes = g_lanes.load();
+  s.branch_slots = g_slots.load();
+  s.divergent_branches = g_divergent.load();
+  s.convergent_branches = g_convergent.load();
+  return s;
+}
+
+void reset() {
+  g_warps = 0;
+  g_full = 0;
+  g_partial = 0;
+  g_lanes = 0;
+  g_slots = 0;
+  g_divergent = 0;
+  g_convergent = 0;
+}
+
+namespace detail {
+
+void warp_begin() {
+  tls.in_warp = true;
+  tls.votes.clear();
+  tls.slot = 0;
+}
+
+void lane_begin(int lane) {
+  (void)lane;
+  tls.slot = 0;
+}
+
+void warp_end(int active) {
+  tls.in_warp = false;
+  g_warps.fetch_add(1, std::memory_order_relaxed);
+  (active == kWarpWidth ? g_full : g_partial).fetch_add(1, std::memory_order_relaxed);
+  g_lanes.fetch_add(static_cast<std::uint64_t>(active), std::memory_order_relaxed);
+  for (const auto& v : tls.votes) {
+    g_slots.fetch_add(1, std::memory_order_relaxed);
+    const bool divergent = v[1] < active || (v[0] > 0 && v[0] < v[1]);
+    (divergent ? g_divergent : g_convergent).fetch_add(1, std::memory_order_relaxed);
+  }
+  tls.votes.clear();
+}
+
+}  // namespace detail
+
+}  // namespace vcgt::op2::simt

@@ -1,0 +1,57 @@
+#pragma once
+// op2::simt — the SIMT-emulation lane model (DESIGN.md §10).
+//
+// GPU-shaped hardware executes a par_loop as warps of lockstep lanes: a
+// warp of `kWarpWidth` consecutive elements issues together, lanes past
+// the end of the element list are predicated off, and data-dependent
+// branches that split a warp's lanes serialize both sides (divergence).
+// Plan quality for such hardware is therefore visible on a CPU by
+// *emulating* the lane model: the executor marches warp-width groups over
+// the element lists (Config::simt), runs the lanes in ascending element
+// order — so every result stays bit-identical to the scalar executor —
+// and meters what a real warp scheduler would have done:
+//   * warps / full_warps / partial_warps — occupancy (per-lane predication
+//     on non-multiple-of-warp spans shows up as partial warps);
+//   * branch_slots / divergent_branches / convergent_branches — kernels
+//     voting through simt::branch() are checked per warp: a slot where the
+//     active lanes disagree (or which only some lanes reach) is divergent.
+// Counters are process-global, monotone between reset() calls, and
+// surfaced through vcgt::trace as "simt:*" counter tracks by the executor.
+#include <cstdint>
+
+namespace vcgt::op2::simt {
+
+/// Emulated warp width (lanes per warp). Matches the ubiquitous hardware
+/// width; AoSoA blocks (power-of-two <= 32) pack evenly into a warp.
+constexpr int kWarpWidth = 32;
+
+/// Kernel-side branch vote: returns `cond` unchanged, and — when called
+/// from inside the SIMT executor — records the outcome for the current
+/// lane so warp_end can classify the branch slot as convergent or
+/// divergent. Outside the SIMT executor this is just the identity.
+[[nodiscard]] bool branch(bool cond);
+
+/// Snapshot of the process-global SIMT counters.
+struct Stats {
+  std::uint64_t warps = 0;
+  std::uint64_t full_warps = 0;     ///< all kWarpWidth lanes active
+  std::uint64_t partial_warps = 0;  ///< tail warps with predicated-off lanes
+  std::uint64_t lanes = 0;          ///< active lanes executed
+  std::uint64_t branch_slots = 0;   ///< branch() call sites seen, per warp
+  std::uint64_t divergent_branches = 0;
+  std::uint64_t convergent_branches = 0;
+};
+
+[[nodiscard]] Stats stats();
+void reset();
+
+namespace detail {
+// Executor hooks (parloop.hpp's simt_march): bracket one warp and its
+// lanes. Lanes must be begun in ascending order; `active` is the number of
+// unpredicated lanes (< kWarpWidth on tail warps).
+void warp_begin();
+void lane_begin(int lane);
+void warp_end(int active);
+}  // namespace detail
+
+}  // namespace vcgt::op2::simt

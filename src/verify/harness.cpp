@@ -119,6 +119,52 @@ std::vector<MatrixGroup> default_matrix() {
     g.variants[0].partitioner = op2::Partitioner::Kway;
     m.push_back(std::move(g));
   }
+  // Chained execution (DESIGN.md §10): the same program re-expressed as
+  // declared LoopChains of 2–4 consecutive loops. Each chained base runs
+  // under the oracle tolerance policy (untainted dats bit-exact); layout
+  // variants must match their chained base bit-for-bit with equal chain
+  // fingerprints (the chain plan is layout-invariant by construction).
+  {  // Serial chained, all layouts.
+    MatrixGroup g;
+    g.base = cell("chain-serial-aos", 1, 1, Layout::AoS);
+    g.base.chained = true;
+    g.variants = {cell("chain-serial-soa", 1, 1, Layout::SoA),
+                  cell("chain-serial-aosoa4", 1, 1, Layout::AoSoA, 4)};
+    for (auto& v : g.variants) v.chained = true;
+    m.push_back(std::move(g));
+  }
+  {  // Distributed chained: fused halo epochs across the chain.
+    MatrixGroup g;
+    g.base = cell("chain-dist2-aos", 2, 1, Layout::AoS);
+    g.base.chained = true;
+    g.variants = {cell("chain-dist2-soa", 2, 1, Layout::SoA)};
+    g.variants[0].chained = true;
+    m.push_back(std::move(g));
+  }
+  {  // Distributed chained over 3 ranks with the PH/GH halo options (the
+    // fused epoch ignores them — it always sends full lists — but the solo
+    // leftover loops and standalone members run under them).
+    MatrixGroup g;
+    g.base = cell("chain-dist3-phgh-aos", 3, 1, Layout::AoS);
+    g.base.chained = true;
+    g.base.partial_halos = true;
+    g.base.grouped_halos = true;
+    g.variants = {cell("chain-dist3-phgh-soa", 3, 1, Layout::SoA)};
+    for (auto& v : g.variants) {
+      v.chained = true;
+      v.partial_halos = true;
+      v.grouped_halos = true;
+    }
+    m.push_back(std::move(g));
+  }
+  {  // Threaded chained: dependence-aware tile coloring drives the workers.
+    // Threaded tile interleaving reorders indirect-increment folds, so this
+    // group is its own base (ULP policy vs oracle) like threads2-nondet.
+    MatrixGroup g;
+    g.base = cell("chain-threads2-aos", 1, 2, Layout::AoS);
+    g.base.chained = true;
+    m.push_back(std::move(g));
+  }
   return m;
 }
 

@@ -34,7 +34,151 @@ op2::Config to_op2_config(const ExecConfig& cfg) {
   c.default_layout = cfg.layout;
   c.aosoa_block = cfg.aosoa_block;
   c.deterministic_reductions = cfg.deterministic_reductions;
+  c.chain_tile = cfg.chain_tile;
   return c;
+}
+
+struct Reduction {
+  std::unique_ptr<op2::Global<double>> g0, g1;  ///< sum, or min+max
+};
+
+/// Loop sinks: the same generated kernel either runs immediately as a
+/// par_loop or is declared as a chain member.
+struct ParLoopEmit {
+  template <class K, class... As>
+  void operator()(const char* name, op2::Set& set, K kernel, As... as) const {
+    op2::par_loop(name, set, std::move(kernel), as...);
+  }
+};
+
+struct ChainEmit {
+  op2::LoopChain* chain;
+  template <class K, class... As>
+  void operator()(const char* name, op2::Set& set, K kernel, As... as) const {
+    chain->add(name, set, std::move(kernel), as...);
+  }
+};
+
+/// Emits one LoopOp of the algebra through `emit` — the single place the
+/// generated kernels are written, shared by the unchained and chained paths.
+template <class Emit>
+void emit_op(const Emit& emit, const LoopOp& op, const char* name, op2::Set& set,
+             const MeshTables& tables, int dps,
+             const std::vector<op2::Dat<double>*>& dats,
+             const std::vector<op2::Map*>& maps, Reduction& red) {
+  const auto entry = [&](int s, int slot) {
+    return static_cast<std::size_t>(s * dps + slot);
+  };
+  const double k1 = op.k1, k2 = op.k2;
+  switch (op.kind) {
+    case OpKind::StampDirect: {
+      auto& a = *dats[entry(op.set, op.a)];
+      const int ad = a.dim();
+      emit(name, set,
+           [=](double* av, const index_t* gid) {
+             const auto g = static_cast<double>(*gid);
+             for (int c = 0; c < ad; ++c) {
+               av[c] = k1 * (std::fmod(g, 19.0) + 1.0) +
+                       k2 * static_cast<double>(c + 1) * (std::fmod(g, 7.0) + 1.0);
+             }
+           },
+           op2::write(a), op2::arg_idx());
+      break;
+    }
+    case OpKind::ScaleDirect: {
+      auto& a = *dats[entry(op.set, op.a)];
+      const int ad = a.dim();
+      emit(name, set,
+           [=](double* av) {
+             for (int c = 0; c < ad; ++c) av[c] = k1 * av[c] + k2;
+           },
+           op2::rw(a));
+      break;
+    }
+    case OpKind::AxpyDirect: {
+      auto& a = *dats[entry(op.set, op.a)];
+      auto& b = *dats[entry(op.set, op.b)];
+      const int ad = a.dim(), bd = b.dim();
+      emit(name, set,
+           [=](double* av, const double* bv) {
+             for (int c = 0; c < ad; ++c) av[c] += k1 * bv[c % bd];
+           },
+           op2::rw(a), op2::read(b));
+      break;
+    }
+    case OpKind::GatherRead: {
+      const op2::Map& m = *maps[static_cast<std::size_t>(op.map)];
+      auto& a = *dats[entry(op.set, op.a)];
+      auto& b = *dats[entry(tables.map_to[static_cast<std::size_t>(op.map)], op.b)];
+      const int ad = a.dim(), bd = b.dim();
+      emit(name, set,
+           [=](double* av, const double* bv) {
+             for (int c = 0; c < ad; ++c) av[c] += k1 * bv[c % bd];
+           },
+           op2::rw(a), op2::read(b, m, op.idx));
+      break;
+    }
+    case OpKind::ScatterInc: {
+      const op2::Map& m = *maps[static_cast<std::size_t>(op.map)];
+      auto& a = *dats[entry(op.set, op.a)];
+      auto& b = *dats[entry(tables.map_to[static_cast<std::size_t>(op.map)], op.b)];
+      const int ad = a.dim(), bd = b.dim();
+      if (op.idx2 >= 0) {
+        emit(name, set,
+             [=](const double* av, double* b1, double* b2) {
+               for (int c = 0; c < bd; ++c) {
+                 const double v = k1 * av[c % ad];
+                 b1[c] += v;
+                 b2[c] -= v;
+               }
+             },
+             op2::read(a), op2::inc(b, m, op.idx), op2::inc(b, m, op.idx2));
+      } else {
+        emit(name, set,
+             [=](const double* av, double* bv) {
+               for (int c = 0; c < bd; ++c) bv[c] += k1 * av[c % ad];
+             },
+             op2::read(a), op2::inc(b, m, op.idx));
+      }
+      break;
+    }
+    case OpKind::ScatterWrite: {
+      const op2::Map& m = *maps[static_cast<std::size_t>(op.map)];
+      auto& b = *dats[entry(tables.map_to[static_cast<std::size_t>(op.map)], op.b)];
+      const int bd = b.dim();
+      emit(name, set,
+           [=](double* bv) {
+             for (int c = 0; c < bd; ++c) {
+               bv[c] = k1 + static_cast<double>(c);
+             }
+           },
+           op2::write(b, m, op.idx));
+      break;
+    }
+    case OpKind::ReduceSum: {
+      auto& a = *dats[entry(op.set, op.a)];
+      const int ad = a.dim();
+      emit(name, set,
+           [=](const double* av, double* g) {
+             for (int c = 0; c < ad; ++c) *g += k1 * av[c];
+           },
+           op2::read(a), op2::reduce_sum(*red.g0));
+      break;
+    }
+    case OpKind::ReduceMinMax: {
+      auto& a = *dats[entry(op.set, op.a)];
+      const int ad = a.dim();
+      emit(name, set,
+           [=](const double* av, double* gmin, double* gmax) {
+             for (int c = 0; c < ad; ++c) {
+               if (av[c] < *gmin) *gmin = av[c];
+               if (av[c] > *gmax) *gmax = av[c];
+             }
+           },
+           op2::read(a), op2::reduce_min(*red.g0), op2::reduce_max(*red.g1));
+      break;
+    }
+  }
 }
 
 /// Builds the universe, runs the program, and (on rank 0 / serial) fills
@@ -72,9 +216,6 @@ void exec_program(op2::Context& ctx, const CaseSpec& spec, const MeshTables& tab
 
   if (ctx.distributed()) ctx.partition(cfg.partitioner, coords);
 
-  struct Reduction {
-    std::unique_ptr<op2::Global<double>> g0, g1;  ///< sum, or min+max
-  };
   std::vector<Reduction> reds(spec.loops.size());
   for (std::size_t l = 0; l < spec.loops.size(); ++l) {
     const LoopOp& op = spec.loops[l];
@@ -96,125 +237,32 @@ void exec_program(op2::Context& ctx, const CaseSpec& spec, const MeshTables& tab
   }
 
   for (int it = 0; it < spec.iters; ++it) {
-    for (std::size_t l = 0; l < spec.loops.size(); ++l) {
-      const LoopOp& op = spec.loops[l];
-      const char* name = names[l].c_str();
-      op2::Set& set = *sets[static_cast<std::size_t>(op.set)];
-      const auto entry = [&](int s, int slot) {
-        return static_cast<std::size_t>(s * dps + slot);
-      };
-      const double k1 = op.k1, k2 = op.k2;
-      switch (op.kind) {
-        case OpKind::StampDirect: {
-          auto& a = *dats[entry(op.set, op.a)];
-          const int ad = a.dim();
-          op2::par_loop(name, set,
-                        [=](double* av, const index_t* gid) {
-                          const auto g = static_cast<double>(*gid);
-                          for (int c = 0; c < ad; ++c) {
-                            av[c] = k1 * (std::fmod(g, 19.0) + 1.0) +
-                                    k2 * static_cast<double>(c + 1) *
-                                        (std::fmod(g, 7.0) + 1.0);
-                          }
-                        },
-                        op2::write(a), op2::arg_idx());
-          break;
-        }
-        case OpKind::ScaleDirect: {
-          auto& a = *dats[entry(op.set, op.a)];
-          const int ad = a.dim();
-          op2::par_loop(name, set,
-                        [=](double* av) {
-                          for (int c = 0; c < ad; ++c) av[c] = k1 * av[c] + k2;
-                        },
-                        op2::rw(a));
-          break;
-        }
-        case OpKind::AxpyDirect: {
-          auto& a = *dats[entry(op.set, op.a)];
-          auto& b = *dats[entry(op.set, op.b)];
-          const int ad = a.dim(), bd = b.dim();
-          op2::par_loop(name, set,
-                        [=](double* av, const double* bv) {
-                          for (int c = 0; c < ad; ++c) av[c] += k1 * bv[c % bd];
-                        },
-                        op2::rw(a), op2::read(b));
-          break;
-        }
-        case OpKind::GatherRead: {
-          const op2::Map& m = *maps[static_cast<std::size_t>(op.map)];
-          auto& a = *dats[entry(op.set, op.a)];
-          auto& b = *dats[entry(tables.map_to[static_cast<std::size_t>(op.map)], op.b)];
-          const int ad = a.dim(), bd = b.dim();
-          op2::par_loop(name, set,
-                        [=](double* av, const double* bv) {
-                          for (int c = 0; c < ad; ++c) av[c] += k1 * bv[c % bd];
-                        },
-                        op2::rw(a), op2::read(b, m, op.idx));
-          break;
-        }
-        case OpKind::ScatterInc: {
-          const op2::Map& m = *maps[static_cast<std::size_t>(op.map)];
-          auto& a = *dats[entry(op.set, op.a)];
-          auto& b = *dats[entry(tables.map_to[static_cast<std::size_t>(op.map)], op.b)];
-          const int ad = a.dim(), bd = b.dim();
-          if (op.idx2 >= 0) {
-            op2::par_loop(name, set,
-                          [=](const double* av, double* b1, double* b2) {
-                            for (int c = 0; c < bd; ++c) {
-                              const double v = k1 * av[c % ad];
-                              b1[c] += v;
-                              b2[c] -= v;
-                            }
-                          },
-                          op2::read(a), op2::inc(b, m, op.idx), op2::inc(b, m, op.idx2));
-          } else {
-            op2::par_loop(name, set,
-                          [=](const double* av, double* bv) {
-                            for (int c = 0; c < bd; ++c) bv[c] += k1 * av[c % ad];
-                          },
-                          op2::read(a), op2::inc(b, m, op.idx));
-          }
-          break;
-        }
-        case OpKind::ScatterWrite: {
-          const op2::Map& m = *maps[static_cast<std::size_t>(op.map)];
-          auto& b = *dats[entry(tables.map_to[static_cast<std::size_t>(op.map)], op.b)];
-          const int bd = b.dim();
-          op2::par_loop(name, set,
-                        [=](double* bv) {
-                          for (int c = 0; c < bd; ++c) {
-                            bv[c] = k1 + static_cast<double>(c);
-                          }
-                        },
-                        op2::write(b, m, op.idx));
-          break;
-        }
-        case OpKind::ReduceSum: {
-          auto& a = *dats[entry(op.set, op.a)];
-          const int ad = a.dim();
-          op2::par_loop(name, set,
-                        [=](const double* av, double* g) {
-                          for (int c = 0; c < ad; ++c) *g += k1 * av[c];
-                        },
-                        op2::read(a), op2::reduce_sum(*reds[l].g0));
-          break;
-        }
-        case OpKind::ReduceMinMax: {
-          auto& a = *dats[entry(op.set, op.a)];
-          const int ad = a.dim();
-          op2::par_loop(name, set,
-                        [=](const double* av, double* gmin, double* gmax) {
-                          for (int c = 0; c < ad; ++c) {
-                            if (av[c] < *gmin) *gmin = av[c];
-                            if (av[c] > *gmax) *gmax = av[c];
-                          }
-                        },
-                        op2::read(a), op2::reduce_min(*reds[l].g0),
-                        op2::reduce_max(*reds[l].g1));
-          break;
-        }
+    const std::size_t nloops = spec.loops.size();
+    const std::size_t clen = 2 + static_cast<std::size_t>(spec.seed % 3);
+    std::size_t l = 0;
+    int ci = 0;
+    while (l < nloops) {
+      const std::size_t left = nloops - l;
+      if (!cfg.chained || left < 2) {
+        const LoopOp& op = spec.loops[l];
+        emit_op(ParLoopEmit{}, op, names[l].c_str(),
+                *sets[static_cast<std::size_t>(op.set)], tables, dps, dats, maps,
+                reds[l]);
+        ++l;
+        continue;
       }
+      // Consecutive runs of 2..4 loops (length seeded per case) become one
+      // declared chain. Chain names repeat identically every iteration, so
+      // the cached plan revalidates instead of rebuilding.
+      const std::size_t n = std::min(clen, left);
+      op2::LoopChain chain(ctx, util::fmt("chain{}", ci++));
+      const ChainEmit ce{&chain};
+      for (std::size_t j = 0; j < n; ++j, ++l) {
+        const LoopOp& op = spec.loops[l];
+        emit_op(ce, op, names[l].c_str(), *sets[static_cast<std::size_t>(op.set)],
+                tables, dps, dats, maps, reds[l]);
+      }
+      chain.execute();
     }
   }
 

@@ -152,6 +152,16 @@ struct ExecConfig {
   /// Run under a seeded delay/duplicate/reorder/drop FaultPlan derived from
   /// the case seed (distributed configs only).
   bool faults = false;
+  /// Execute the program through declared op2::LoopChains: consecutive runs
+  /// of 2–4 loops (length = 2 + seed % 3) become one chain each, a trailing
+  /// leftover of fewer than 2 loops stays unchained. Same results as the
+  /// unchained program under the same tolerance policy (bit-exact for
+  /// untainted dats); layout variants of a chained base must match it
+  /// bit-exactly with equal chain fingerprints.
+  bool chained = false;
+  /// op2::Config::chain_tile for chained runs (small, so the tiny fuzz
+  /// meshes actually produce multi-tile segments).
+  int chain_tile = 16;
 };
 
 struct RunResult {
