@@ -1,0 +1,163 @@
+// bench_krylov — measures what the implicit dual-time path (DESIGN.md §11)
+// buys over the explicit RK march at a stiff steady operating point: a
+// throttled duct (elevated back-pressure) marched with local time stepping.
+// The explicit path is CFL-bound at ~O(1); the implicit path solves the
+// spectral-radius-Jacobian system M·dq = res with vcgt::krylov (CG + Jacobi,
+// SpMV through the fused-halo LoopChain) each inner step, so its pseudo-CFL
+// can sit an order of magnitude higher and the outer iteration count
+// collapses. (Not arbitrarily higher: the first-order Jacobian overshoots
+// at very large pseudo-CFL — sweep with --icfl to see the stability edge.)
+//
+//  1. Outer-iteration count to a fixed residual drop, explicit vs implicit.
+//     The headline metric is outer_reduction = iters_explicit /
+//     iters_implicit, with a >= 2x acceptance floor (ISSUE 7 / CI gate).
+//  2. Wall-clock for the same marches: the implicit step is individually
+//     more expensive (a Krylov solve per step), so this reports whether the
+//     iteration collapse survives as end-to-end speedup at mini scale.
+//
+// Writes BENCH_krylov.json (iters_explicit, iters_implicit, outer_reduction,
+// wall seconds and speedup, final residuals). Options: --scale=N (mesh
+// scale, default 2), --drop=X (relative residual target, default 1e-3),
+// --max_iters=N (march cap, default 4000), --quick (CI smoke: scale 1,
+// cap 1500).
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/hydra/solver.hpp"
+#include "src/op2/op2.hpp"
+#include "src/rig/annulus.hpp"
+#include "src/rig/rowspec.hpp"
+#include "src/util/timer.hpp"
+
+using namespace vcgt;
+
+namespace {
+
+rig::RowSpec bench_row() {
+  rig::RowSpec row;
+  row.name = "B";
+  row.rotor = false;
+  row.x_min = 0.0;
+  row.x_max = 0.1;
+  row.r_hub = 0.3;
+  row.r_casing = 0.5;
+  return row;
+}
+
+/// Throttled steady duct: the back-pressure rise makes the inflow/outflow
+/// balance stiff — the explicit march crawls toward it at CFL-limited pace.
+hydra::FlowConfig stiff_flow(bool implicit, double icfl) {
+  hydra::FlowConfig cfg;
+  cfg.steady = true;
+  cfg.p_back_ratio = 1.05;
+  cfg.implicit_dual_time = implicit;
+  cfg.implicit_cfl = icfl;
+  cfg.implicit_max_iters = 120;
+  cfg.implicit_rtol = 1e-5;
+  return cfg;
+}
+
+struct March {
+  int iters = 0;          ///< outer (inner_iteration) steps taken
+  bool reached = false;   ///< hit the residual-drop target before the cap
+  double rms0 = 0.0;
+  double rms = 0.0;
+  double seconds = 0.0;
+};
+
+/// Marches a fresh solver until residual_rms falls below drop * initial
+/// (checked every `check` steps) or `cap` steps elapse.
+March run_march(const rig::AnnulusMesh& mesh, bool implicit, double icfl,
+                double drop, int cap, int check) {
+  op2::Context ctx;
+  const auto row = bench_row();
+  hydra::RowSolver solver(ctx, mesh, row, /*omega=*/0.0, stiff_flow(implicit, icfl));
+  ctx.partition(op2::Partitioner::Rcb, solver.cell_center());
+  solver.initialize();
+
+  March out;
+  util::Timer t;
+  solver.inner_iteration();  // populates res_ for the baseline RMS
+  out.iters = 1;
+  out.rms0 = solver.residual_rms();
+  out.rms = out.rms0;
+  const double target = drop * out.rms0;
+  while (out.iters < cap) {
+    solver.advance_inner(check);
+    out.iters += check;
+    out.rms = solver.residual_rms();
+    if (!std::isfinite(out.rms)) break;
+    if (out.rms <= target) {
+      out.reached = true;
+      break;
+    }
+  }
+  out.seconds = t.elapsed();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.has("quick");
+  const int scale = static_cast<int>(cli.get_int("scale", quick ? 1 : 2));
+  const double drop = cli.get_double("drop", 1e-3);
+  const int cap = static_cast<int>(cli.get_int("max_iters", quick ? 1500 : 4000));
+
+  bench::header("Implicit dual-time (vcgt::krylov) vs explicit RK march",
+                "DESIGN.md §11; paper §III implicit smoothing / solver stack");
+
+  const auto row = bench_row();
+  const rig::AnnulusMesh mesh =
+      rig::generate_row_mesh(row, {4 * scale, 3 * scale, 12 * scale});
+  std::cout << util::fmt("mesh: {} cells, {} faces; target residual drop {}\n",
+                         mesh.ncell, mesh.nface, util::Table::num(drop, 1));
+
+  const double icfl = cli.get_double("icfl", hydra::FlowConfig{}.implicit_cfl);
+  bench::section("outer iterations to target at the stiff operating point");
+  const March ex = run_march(mesh, /*implicit=*/false, icfl, drop, cap, /*check=*/10);
+  const March im = run_march(mesh, /*implicit=*/true, icfl, drop, cap, /*check=*/1);
+
+  util::Table tbl({"path", "outer iters", "reached", "rms0", "rms", "seconds"});
+  tbl.add_row({"explicit RK", std::to_string(ex.iters), ex.reached ? "yes" : "NO",
+               util::Table::num(ex.rms0, 3), util::Table::num(ex.rms, 3),
+               util::Table::num(ex.seconds, 3)});
+  tbl.add_row({"implicit CG", std::to_string(im.iters), im.reached ? "yes" : "NO",
+               util::Table::num(im.rms0, 3), util::Table::num(im.rms, 3),
+               util::Table::num(im.seconds, 3)});
+  tbl.print_text(std::cout);
+
+  const double reduction =
+      im.iters > 0 ? static_cast<double>(ex.iters) / static_cast<double>(im.iters)
+                   : 0.0;
+  const double wall_speedup = im.seconds > 0.0 ? ex.seconds / im.seconds : 0.0;
+  std::cout << util::fmt(
+      "  outer-iteration reduction {}x (acceptance floor 2x), wall speedup {}x\n",
+      util::Table::num(reduction, 2), util::Table::num(wall_speedup, 2));
+  if (!im.reached) {
+    std::cout << "  WARNING: implicit march missed the target within the cap\n";
+  }
+
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("ncell", static_cast<double>(mesh.ncell));
+  metrics.emplace_back("target_drop", drop);
+  metrics.emplace_back("iters_explicit", static_cast<double>(ex.iters));
+  metrics.emplace_back("iters_implicit", static_cast<double>(im.iters));
+  metrics.emplace_back("explicit_reached", ex.reached ? 1.0 : 0.0);
+  metrics.emplace_back("implicit_reached", im.reached ? 1.0 : 0.0);
+  metrics.emplace_back("outer_reduction", reduction);
+  metrics.emplace_back("seconds_explicit", ex.seconds);
+  metrics.emplace_back("seconds_implicit", im.seconds);
+  metrics.emplace_back("wall_speedup", wall_speedup);
+  metrics.emplace_back("rms_final_explicit", ex.rms);
+  metrics.emplace_back("rms_final_implicit", im.rms);
+  bench::write_bench_json("krylov", metrics);
+
+  // CI gate: the implicit path must reach the target in at least 2x fewer
+  // outer iterations than the explicit march.
+  return (im.reached && reduction >= 2.0) ? 0 : 1;
+}

@@ -59,6 +59,25 @@ struct FlowConfig {
   int inner_iters = 10;      ///< pseudo-time iterations per physical step
   double dt_phys = 2.75e-6;  ///< physical (outer) step [s]; paper Table IV setup
 
+  /// Implicit pseudo-time (DESIGN.md §11): each inner iteration solves the
+  /// linearized system M·dq = res with vcgt::krylov (CG over op2 par_loops,
+  /// stencil SpMV through the fused-halo LoopChain) instead of marching
+  /// explicit RK stages. M is the first-order spectral-radius Jacobian
+  /// approximation — SPD and diagonally dominant — so the pseudo-time CFL
+  /// can sit orders of magnitude above the explicit stability bound.
+  bool implicit_dual_time = false;
+  /// Pseudo-CFL for the implicit march. Sits an order of magnitude above
+  /// the explicit stability bound, but not arbitrarily high: M is only the
+  /// first-order spectral-radius linearization (no pressure coupling), so
+  /// at large pseudo-CFL the step approaches an inexact Newton update that
+  /// overshoots the true residual slope and the outer march diverges — and
+  /// the edge tightens as the mesh resolves more of what the linearization
+  /// misses. O(5) is robust across the rig meshes (bench_krylov --icfl
+  /// sweeps the edge).
+  double implicit_cfl = 5.0;
+  int implicit_max_iters = 100;   ///< Krylov iteration cap per inner step
+  double implicit_rtol = 1e-4;    ///< Krylov relative residual tolerance
+
   /// Steady RANS mode (the industrial baseline of paper §I/II): no dual-time
   /// term, pure local-time-stepping pseudo-time march to convergence; used
   /// with mixing-plane interfaces and circumferential averaging.

@@ -141,6 +141,47 @@ void RowSolver::declare(const rig::AnnulusMesh& mesh) {
                                          pfx_ + std::string(group_tag(group)) + "_ghost");
     }
   }
+
+  if (cfg_.implicit_dual_time) {
+    // Cell-neighbor stencil from the interior face graph: slot 0 the
+    // diagonal, slots 1.. the face neighbors with their outward area
+    // vectors; unused slots stay (self, zero-vector) pads, which the
+    // spectral-radius assembly maps to a zero coefficient (zero-area
+    // wavespeed) so no pad branch is needed anywhere.
+    const auto nc = static_cast<std::size_t>(mesh.ncell);
+    std::vector<std::vector<std::pair<index_t, std::array<double, 3>>>> adj(nc);
+    for (index_t f = 0; f < mesh.nface; ++f) {
+      const auto fs = static_cast<std::size_t>(f);
+      const index_t cl = mesh.face2cell[fs * 2];
+      const index_t cr = mesh.face2cell[fs * 2 + 1];
+      const std::array<double, 3> a{mesh.face_normal[fs * 3], mesh.face_normal[fs * 3 + 1],
+                                    mesh.face_normal[fs * 3 + 2]};
+      adj[static_cast<std::size_t>(cl)].push_back({cr, a});
+      adj[static_cast<std::size_t>(cr)].push_back({cl, {-a[0], -a[1], -a[2]}});
+    }
+    std::size_t deg = 0;
+    for (const auto& row : adj) deg = std::max(deg, row.size());
+    const int width = 1 + static_cast<int>(deg);
+
+    imat_ = krylov::declare_stencil(
+        ctx_, *cells_, width, pfx_ + "imat",
+        [&adj](index_t row, std::span<index_t> cols, std::span<double>) {
+          const auto& nb = adj[static_cast<std::size_t>(row)];
+          for (std::size_t j = 0; j < nb.size(); ++j) cols[1 + j] = nb[j].first;
+        });
+
+    std::vector<double> fg(nc * static_cast<std::size_t>(3 * width), 0.0);
+    for (std::size_t c = 0; c < nc; ++c) {
+      for (std::size_t j = 0; j < adj[c].size(); ++j) {
+        for (std::size_t d = 0; d < 3; ++d) {
+          fg[c * static_cast<std::size_t>(3 * width) + (1 + j) * 3 + d] = adj[c][j].second[d];
+        }
+      }
+    }
+    fgeom_ = &ctx_.decl_dat<double>(*cells_, 3 * width, pfx_ + "fgeom", std::move(fg));
+    dq_ = &ctx_.decl_dat<double>(*cells_, kNState, pfx_ + "dq");
+    ksolver_ = std::make_unique<krylov::Solver>(ctx_, imat_, kNState, pfx_ + "ksolve");
+  }
 }
 
 void RowSolver::initialize() {
@@ -696,8 +737,7 @@ void RowSolver::flux_and_sources(int stage, op2::LoopChain* chain) {
   }
 }
 
-void RowSolver::inner_iteration() {
-  trace::Span titer("hydra:inner_iter");
+void RowSolver::wavespeed_and_dt(double cfl, double dt_cap) {
   const double gamma = cfg_.gamma;
 
   // Local pseudo-time step from the convective spectral radius, clamped for
@@ -723,26 +763,33 @@ void RowSolver::inner_iteration() {
                   op2::read(*bnorm_[g]),
                   op2::inc(*ws_, *b2c_[g], 0));
   }
-  {
-    // CFL ramping for robust cold starts: geometric growth from cfl_start
-    // to the target over cfl_ramp_iters pseudo-iterations.
-    double cfl = cfg_.cfl;
-    if (cfg_.cfl_ramp_iters > 0 && cfg_.cfl_start > 0.0 &&
-        inner_count_ < cfg_.cfl_ramp_iters) {
-      const double f = static_cast<double>(inner_count_) / cfg_.cfl_ramp_iters;
-      cfl = cfg_.cfl_start * std::pow(cfg_.cfl / cfg_.cfl_start, f);
-    }
-    ++inner_count_;
-    // Dual-time stability bounds the pseudo step by the physical step;
-    // steady mode has no such bound (pure local time stepping).
-    const double dt_cap = cfg_.steady ? 1e30 : 0.3 * cfg_.dt_phys;
-    op2::par_loop((pfx_ + "local_dt").c_str(), *cells_,
-                  [cfl, dt_cap](const double* vol, const double* w, double* dt) {
-                    *dt = std::min(cfl * *vol / std::max(*w, 1e-12), dt_cap);
-                  },
-                  op2::read(*vol_), op2::read(*ws_),
-                  op2::write(*dtl_));
+  op2::par_loop((pfx_ + "local_dt").c_str(), *cells_,
+                [cfl, dt_cap](const double* vol, const double* w, double* dt) {
+                  *dt = std::min(cfl * *vol / std::max(*w, 1e-12), dt_cap);
+                },
+                op2::read(*vol_), op2::read(*ws_),
+                op2::write(*dtl_));
+}
+
+void RowSolver::inner_iteration() {
+  if (cfg_.implicit_dual_time) {
+    implicit_iteration();
+    return;
   }
+  trace::Span titer("hydra:inner_iter");
+
+  // CFL ramping for robust cold starts: geometric growth from cfl_start
+  // to the target over cfl_ramp_iters pseudo-iterations.
+  double cfl = cfg_.cfl;
+  if (cfg_.cfl_ramp_iters > 0 && cfg_.cfl_start > 0.0 &&
+      inner_count_ < cfg_.cfl_ramp_iters) {
+    const double f = static_cast<double>(inner_count_) / cfg_.cfl_ramp_iters;
+    cfl = cfg_.cfl_start * std::pow(cfg_.cfl / cfg_.cfl_start, f);
+  }
+  ++inner_count_;
+  // Dual-time stability bounds the pseudo step by the physical step;
+  // steady mode has no such bound (pure local time stepping).
+  wavespeed_and_dt(cfl, cfg_.steady ? 1e30 : 0.3 * cfg_.dt_phys);
 
   // RK stage base.
   op2::par_loop((pfx_ + "save_q0").c_str(), *cells_,
@@ -788,6 +835,74 @@ void RowSolver::inner_iteration() {
                     op2::read(*nut_res_), op2::write(*nut_));
     }
   }
+}
+
+void RowSolver::implicit_iteration() {
+  trace::Span titer("hydra:implicit_iter");
+  const double gamma = cfg_.gamma;
+  ++inner_count_;
+
+  // Implicit march: no explicit stability bound, so the pseudo step comes
+  // straight from implicit_cfl (an order of magnitude above the RK limit;
+  // see FlowConfig::implicit_cfl for why not more).
+  wavespeed_and_dt(cfg_.implicit_cfl, 1e30);
+
+  // Right-hand side: the full nonlinear residual (including the BDF2
+  // dual-time source when unsteady), exactly the explicit path's increment
+  // direction.
+  flux_and_sources(0);
+
+  // Spectral-radius Jacobian on the cell stencil (first-order linearization
+  // of the Rusanov flux): off-diagonal -1/2 lambda_f per face neighbor,
+  // diagonal V/dtau (+ 3V/(2 dt) BDF2 shift when unsteady) + 1/2 of the
+  // cell's total wavespeed (interior + boundary closure, already summed in
+  // ws_). SPD and strictly diagonally dominant, so CG applies. Pad slots
+  // carry a zero area vector -> zero wavespeed -> zero coefficient.
+  const int width = imat_.width();
+  const double shift = cfg_.steady ? 0.0 : 1.5 / cfg_.dt_phys;
+  op2::par_loop((pfx_ + "implicit_assemble").c_str(), *cells_,
+                [gamma, width, shift](const double* q, op2::DatSpan<double> qn,
+                                      const index_t* cols, const double* fg,
+                                      const double* vol, const double* dt,
+                                      const double* w, double* a) {
+                  a[0] = *vol / *dt + shift * *vol + 0.5 * *w;
+                  for (int k = 1; k < width; ++k) {
+                    double qnb[kNState];
+                    for (int s = 0; s < kNState; ++s) qnb[s] = qn.at(cols[k], s);
+                    const double lam = 0.5 * (face_wavespeed(q, fg + 3 * k, gamma) +
+                                              face_wavespeed(qnb, fg + 3 * k, gamma));
+                    a[k] = -0.5 * lam;
+                  }
+                },
+                op2::read(*q_), op2::read_span(*q_, *imat_.cols), op2::row(*imat_.cols),
+                op2::read(*fgeom_), op2::read(*vol_), op2::read(*dtl_), op2::read(*ws_),
+                op2::write(*imat_.a));
+
+  op2::par_loop((pfx_ + "zero_dq").c_str(), *cells_,
+                [](double* d) {
+                  for (int s = 0; s < kNState; ++s) d[s] = 0.0;
+                },
+                op2::write(*dq_));
+
+  krylov::SolveOptions opts;
+  opts.method = krylov::Method::CG;
+  opts.precond = krylov::Precond::Jacobi;
+  opts.max_iters = cfg_.implicit_max_iters;
+  opts.rtol = cfg_.implicit_rtol;
+  ksolver_->solve(*dq_, *res_, opts);
+
+  // State update; SA stays on its explicit pseudo step (cfl/ws) — the
+  // one-equation transport is not part of the linearized system.
+  const double sa_cfl = cfg_.cfl;
+  op2::par_loop((pfx_ + "implicit_update").c_str(), *cells_,
+                [sa_cfl](const double* d, const double* w, const double* sr, double* q,
+                         double* nut) {
+                  for (int s = 0; s < kNState; ++s) q[s] += d[s];
+                  if (op2::simt::branch(q[0] < 1e-3)) q[0] = 1e-3;
+                  *nut = std::max(0.0, *nut + sa_cfl / std::max(*w, 1e-12) * *sr);
+                },
+                op2::read(*dq_), op2::read(*ws_), op2::read(*nut_res_), op2::rw(*q_),
+                op2::rw(*nut_));
 }
 
 void RowSolver::advance_inner(int n) {

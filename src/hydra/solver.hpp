@@ -18,12 +18,14 @@
 // value written by the JM76 coupler (scatter_ghosts) instead of a physical
 // boundary condition.
 #include <array>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/hydra/config.hpp"
 #include "src/hydra/gas.hpp"
+#include "src/krylov/krylov.hpp"
 #include "src/op2/op2.hpp"
 #include "src/rig/annulus.hpp"
 #include "src/rig/rowspec.hpp"
@@ -111,6 +113,12 @@ class RowSolver {
   /// Emits the residual-assembly loops: into `chain` when given (the RK
   /// stage pipeline declared as a LoopChain), else as immediate par_loops.
   void flux_and_sources(int stage, op2::LoopChain* chain = nullptr);
+  /// Wavespeed accumulation + local pseudo step (shared by the explicit and
+  /// implicit paths; only the CFL and the dual-time cap differ).
+  void wavespeed_and_dt(double cfl, double dt_cap);
+  /// Implicit inner iteration: assemble the spectral-radius Jacobian into
+  /// the cell stencil and solve M·dq = res with vcgt::krylov CG.
+  void implicit_iteration();
 
   op2::Context& ctx_;
   rig::RowSpec row_;
@@ -159,6 +167,14 @@ class RowSolver {
   op2::Dat<double>* fcent_ = nullptr;  ///< interior face centers (3)
   std::array<op2::Dat<double>*, 4> bnorm_{};
   std::array<op2::Dat<double>*, 4> ghost_{};  ///< exterior payload per bface (6)
+
+  // Implicit dual-time (FlowConfig::implicit_dual_time): cell stencil matrix
+  // + Krylov solver + per-slot outward face area vectors (3K, slot 0 zero)
+  // feeding the spectral-radius assembly.
+  krylov::StencilMatrix imat_{};
+  std::unique_ptr<krylov::Solver> ksolver_;
+  op2::Dat<double>* dq_ = nullptr;     ///< implicit state update (5)
+  op2::Dat<double>* fgeom_ = nullptr;  ///< stencil-slot area vectors (3K)
 
  public:
   /// Checkpoint the solver state (q, qold, qold2, nut) as op2 binary dats

@@ -320,7 +320,12 @@ class Comm {
     return allgatherv(std::span<const T>(&v, 1));
   }
 
-  /// Reduction with an arbitrary associative op; deterministic rank order.
+  /// Reduction with an arbitrary associative op. The fold walks
+  /// contributions in strictly ascending rank order *regardless of root*:
+  /// the root buffers every remote value and folds from rank 0 upward
+  /// (its own value taken in place at its own rank), so non-associative
+  /// floating-point folds produce bit-identical results for every root
+  /// choice (certification-grade reproducibility; see DESIGN.md §11).
   template <class T, class Op>
   T reduce(const T& v, Op op, int root) {
     constexpr int kTag = kTagReduce;
@@ -328,10 +333,10 @@ class Comm {
       send_value(v, root, kTag);
       return v;
     }
-    T acc = v;
-    for (int r = 0; r < size(); ++r) {
-      if (r == rank_) continue;
-      acc = op(acc, recv_value<T>(r, kTag));
+    T acc = rank_ == 0 ? v : recv_value<T>(0, kTag);
+    for (int r = 1; r < size(); ++r) {
+      const T vr = r == rank_ ? v : recv_value<T>(r, kTag);
+      acc = op(acc, vr);
     }
     return acc;
   }
@@ -350,6 +355,29 @@ class Comm {
   }
   std::uint64_t allreduce_sum_u64(std::uint64_t v) {
     return allreduce(v, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  }
+
+  /// Component-wise sum allreduce of a whole vector in one collective round:
+  /// one message per non-root rank carries every component, so batched dot
+  /// products (op2 Global reductions of dim > 1) ride a single reduce+bcast
+  /// instead of one collective per component. Per component the fold order
+  /// is strictly ascending rank order — bit-identical to calling the scalar
+  /// allreduce_sum once per component. All ranks must pass equal lengths.
+  std::vector<double> allreduce_sum(std::span<const double> v) {
+    constexpr int kTag = kTagReduce;
+    std::vector<double> acc(v.begin(), v.end());
+    if (rank_ != 0) {
+      send(v, 0, kTag);
+    } else {
+      for (int r = 1; r < size(); ++r) {
+        const auto part = recv<double>(r, kTag);
+        if (part.size() != acc.size()) {
+          throw std::invalid_argument("allreduce_sum: vector length mismatch across ranks");
+        }
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += part[i];
+      }
+    }
+    return bcast(std::move(acc), 0);
   }
 
   /// All-to-all with per-destination variable payloads.

@@ -123,7 +123,7 @@ void Context::build_chain_plan(ChainPlan& plan, const std::vector<ChainLoopDecl>
                       (plan.signature >> 2);
     for (const auto& a : d.args) {
       if (a.dat && a.map && access_writes(a.acc)) mp.exec_halo_iterated = true;
-      if (a.dat && a.map && &a.map->from() != d.set) {
+      if (a.map && &a.map->from() != d.set) {
         throw std::logic_error(vcgt::util::fmt(
             "op2: chain member '{}' uses map '{}' whose from-set is not the iteration set",
             d.name, a.map->name()));
@@ -175,11 +175,15 @@ void Context::build_chain_plan(ChainPlan& plan, const std::vector<ChainLoopDecl>
       if (!a.dat || !a.map || !access_reads(a.acc)) continue;
       const Set& tset = a.map->to();
       const index_t lim_oe = tset.n_owned() + tset.n_exec();
+      const int i0 = a.idx == kIdxAll ? 0 : a.idx;
+      const int i1 = a.idx == kIdxAll ? a.map->dim() : a.idx + 1;
       int local = 0;
       for (index_t e = 0; e < natural && local < 2; ++e) {
-        const index_t t = (*a.map)(e, a.idx);
-        if (t >= lim_oe) local = 2;
-        else if (t >= tset.n_owned()) local = local < 1 ? 1 : local;
+        for (int i = i0; i < i1 && local < 2; ++i) {
+          const index_t t = (*a.map)(e, i);
+          if (t >= lim_oe) local = 2;
+          else if (t >= tset.n_owned()) local = local < 1 ? 1 : local;
+        }
       }
       if (distributed()) {
         local = static_cast<int>(comm_.allreduce(
@@ -354,10 +358,14 @@ void Context::build_chain_plan(ChainPlan& plan, const std::vector<ChainLoopDecl>
                        : !(access_reads(a.acc) || a.acc == Access::Inc)) {
             continue;
           }
+          const int i0 = !a.map || a.idx != kIdxAll ? a.idx : 0;
+          const int i1 = !a.map ? a.idx + 1 : a.idx == kIdxAll ? a.map->dim() : a.idx + 1;
           for (index_t e = 0; e < pi.n_executed; ++e) {
-            const index_t n = a.map ? (*a.map)(e, a.idx) : e;
-            auto& slot = A[static_cast<std::size_t>(n)];
-            slot = std::max(slot, e);
+            for (int i = i0; i < i1; ++i) {
+              const index_t n = a.map ? (*a.map)(e, i) : e;
+              auto& slot = A[static_cast<std::size_t>(n)];
+              slot = std::max(slot, e);
+            }
           }
         }
         // need[e] = last i-element member j's element e depends on;
@@ -370,10 +378,14 @@ void Context::build_chain_plan(ChainPlan& plan, const std::vector<ChainLoopDecl>
                       : !access_writes(a.acc)) {
             continue;
           }
+          const int i0 = !a.map || a.idx != kIdxAll ? a.idx : 0;
+          const int i1 = !a.map ? a.idx + 1 : a.idx == kIdxAll ? a.map->dim() : a.idx + 1;
           for (index_t e = 0; e < pj.n_executed; ++e) {
-            const index_t n = a.map ? (*a.map)(e, a.idx) : e;
-            auto& slot = need[static_cast<std::size_t>(e)];
-            slot = std::max(slot, A[static_cast<std::size_t>(n)]);
+            for (int i = i0; i < i1; ++i) {
+              const index_t n = a.map ? (*a.map)(e, i) : e;
+              auto& slot = need[static_cast<std::size_t>(e)];
+              slot = std::max(slot, A[static_cast<std::size_t>(n)]);
+            }
           }
         }
         for (std::size_t e = 1; e < need.size(); ++e) {
@@ -432,8 +444,10 @@ void Context::build_chain_plan(ChainPlan& plan, const std::vector<ChainLoopDecl>
           const bool w = access_writes(a.acc);
           const bool r = access_reads(a.acc) || a.acc == Access::Inc;
           auto& mk = marks.at(a.dat);
+          const int i0 = !a.map || a.idx != kIdxAll ? a.idx : 0;
+          const int i1 = !a.map ? a.idx + 1 : a.idx == kIdxAll ? a.map->dim() : a.idx + 1;
           for (index_t e = lo; e < hi; ++e) {
-            fn(mk, a.map ? (*a.map)(e, a.idx) : e, r, w);
+            for (int i = i0; i < i1; ++i) fn(mk, a.map ? (*a.map)(e, i) : e, r, w);
           }
         }
       }

@@ -17,12 +17,14 @@
 // exec/non-exec halos, localizes every map and dat, and builds the halo
 // exchange schedules. After partition() all par_loops execute distributed
 // with OP2's owner-compute + redundant-computation semantics.
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "src/minimpi/minimpi.hpp"
@@ -210,6 +212,24 @@ class Context {
   template <class T>
   void finalize_global(Global<T>& g, Access acc, std::span<const T> initial) {
     if (!distributed()) return;
+    if constexpr (std::is_same_v<T, double>) {
+      if (acc == Access::Inc) {
+        // Batched: every component of the global rides one vector
+        // allreduce instead of one collective per component — a dim-2d
+        // Global carrying CG's fused dot pair pays a single round.
+        std::vector<double> local_inc(static_cast<std::size_t>(g.dim()));
+        for (int c = 0; c < g.dim(); ++c) {
+          local_inc[static_cast<std::size_t>(c)] =
+              g.data()[c] - initial[static_cast<std::size_t>(c)];
+        }
+        const auto sums = comm_.allreduce_sum(std::span<const double>(local_inc));
+        for (int c = 0; c < g.dim(); ++c) {
+          g.data()[c] =
+              initial[static_cast<std::size_t>(c)] + sums[static_cast<std::size_t>(c)];
+        }
+        return;
+      }
+    }
     for (int c = 0; c < g.dim(); ++c) {
       T& v = g.data()[c];
       switch (acc) {
@@ -228,6 +248,38 @@ class Context {
         default:
           break;
       }
+    }
+  }
+
+  /// Deterministic distributed Inc finalization (delta capture, DESIGN.md
+  /// §11): every rank contributes its owned elements' per-element reduction
+  /// deltas keyed by global id; all records are gathered, sorted by gid and
+  /// folded ascending from zero, and the pre-loop value is added once —
+  /// exactly the serial executor's fold, so the result is bit-identical
+  /// across rank counts for kernels folding one value per component per
+  /// element. `deltas` is strided: `stride` doubles per record, this
+  /// global's dim() values at `offset`.
+  template <class T>
+  void finalize_global_det(Global<T>& g, std::span<const T> initial,
+                           std::span<const index_t> gids, std::span<const double> deltas,
+                           std::size_t stride, std::size_t offset) {
+    const auto d = static_cast<std::size_t>(g.dim());
+    std::vector<double> mine(gids.size() * d);
+    for (std::size_t i = 0; i < gids.size(); ++i) {
+      for (std::size_t c = 0; c < d; ++c) {
+        mine[i * d + c] = deltas[i * stride + offset + c];
+      }
+    }
+    const auto all_gids = comm_.allgatherv(gids);
+    const auto all_vals = comm_.allgatherv(std::span<const double>(mine));
+    std::vector<std::size_t> order(all_gids.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return all_gids[a] < all_gids[b]; });
+    for (std::size_t c = 0; c < d; ++c) {
+      T s{};
+      for (const std::size_t i : order) s += static_cast<T>(all_vals[i * d + c]);
+      g.data()[c] = initial[c] + s;
     }
   }
 

@@ -275,9 +275,13 @@ std::vector<index_t> Context::needed_halo_slots(const LoopPlan& plan, const Set&
   std::unordered_set<index_t> slots;
   for (const auto& a : args) {
     if (!a.dat || !a.map || &a.map->to() != &target || !access_reads(a.acc)) continue;
+    const int i0 = a.idx == kIdxAll ? 0 : a.idx;
+    const int i1 = a.idx == kIdxAll ? a.map->dim() : a.idx + 1;
     for (index_t e = 0; e < plan.n_executed; ++e) {
-      const index_t t = (*a.map)(e, a.idx);
-      if (t >= target.n_owned()) slots.insert(t);
+      for (int i = i0; i < i1; ++i) {
+        const index_t t = (*a.map)(e, i);
+        if (t >= target.n_owned()) slots.insert(t);
+      }
     }
   }
   if (include_exec_direct) {

@@ -171,6 +171,60 @@ template <class T>
 /// element's global id.
 [[nodiscard]] inline IdxArg arg_idx() { return {}; }
 
+// --- gather-free row access (CSR/stencil pattern, DESIGN.md §11) ------------
+
+/// Kernel-facing whole-dat read view handed out by op2::read_span: indexes
+/// the dat by *local* element id — normally a column id taken from the
+/// map row an op2::row argument supplies — with layout-aware addressing,
+/// so SpMV-style kernels walk a stencil row without per-slot gathers under
+/// any storage layout.
+template <class T>
+struct DatSpan {
+  const T* base = nullptr;
+  int ddim = 0;
+  Layout layout = Layout::AoS;
+  std::size_t cap = 0;  ///< SoA column height (padded element capacity)
+  int bshift = 0;       ///< log2(AoSoA block)
+  index_t bmask = 0;    ///< AoSoA block - 1
+  [[nodiscard]] const T& at(index_t e, int c) const {
+    const auto eu = static_cast<std::size_t>(e);
+    const auto cu = static_cast<std::size_t>(c);
+    const auto du = static_cast<std::size_t>(ddim);
+    switch (layout) {
+      case Layout::SoA: return base[cu * cap + eu];
+      case Layout::AoSoA: {
+        const std::size_t o0 =
+            (((eu >> bshift) * du) << bshift) + (eu & static_cast<std::size_t>(bmask));
+        return base[o0 + (cu << bshift)];
+      }
+      default: return base[eu * du + cu];
+    }
+  }
+  [[nodiscard]] int dim() const { return ddim; }
+};
+
+/// Whole-dat indirect read through every slot of a map row: the kernel
+/// receives a DatSpan<T> view. The planner treats the argument as reading
+/// all map components (ArgInfo::idx = kIdxAll) for halo needs, core/tail
+/// splits and chain regions.
+template <class T>
+struct SpanReadArg {
+  Dat<T>* dat;
+  const Map* map;
+};
+template <class T>
+[[nodiscard]] SpanReadArg<T> read_span(Dat<T>& d, const Map& m) {
+  return {&d, &m};
+}
+
+/// Map-row argument: the kernel receives `const index_t*` pointing at the
+/// element's localized map row (`m.dim()` column ids) — the stencil
+/// structure itself, with no dat attached.
+struct RowArg {
+  const Map* map;
+};
+[[nodiscard]] inline RowArg row(const Map& m) { return {&m}; }
+
 // --- deprecated runtime-enum builders ---------------------------------------
 
 /// Indirect access: dat[ map(e, idx) ].
@@ -218,6 +272,13 @@ ArgInfo to_info(const LegacyGblArg<T>& a) {
 inline ArgInfo to_info(const IdxArg&) {
   return ArgInfo{nullptr, nullptr, -1, Access::Read, false};
 }
+template <class T>
+ArgInfo to_info(const SpanReadArg<T>& a) {
+  return ArgInfo{a.dat, a.map, kIdxAll, Access::Read, false};
+}
+inline ArgInfo to_info(const RowArg& a) {
+  return ArgInfo{nullptr, a.map, kIdxAll, Access::Read, false};
+}
 
 // --- bound (per-thread) argument views used in the hot loop -----------------
 
@@ -244,6 +305,14 @@ struct BoundGbl {
 };
 struct BoundIdx {
   const index_t* l2g;  ///< local -> global of the iteration set
+};
+template <class T>
+struct BoundSpan {
+  DatSpan<T> view;
+};
+struct BoundRow {
+  const index_t* table;
+  int mdim;
 };
 
 /// Typed veneers re-apply the compile-time access tag (constness) over the
@@ -335,10 +404,20 @@ template <class T, Access A>
 }
 [[nodiscard]] inline const index_t* pre(BoundIdx& b, index_t e) { return b.l2g + e; }
 template <class T>
+[[nodiscard]] inline DatSpan<T> pre(BoundSpan<T>& b, index_t) {
+  return b.view;
+}
+[[nodiscard]] inline const index_t* pre(BoundRow& b, index_t e) {
+  return b.table + static_cast<std::size_t>(e) * static_cast<std::size_t>(b.mdim);
+}
+template <class T>
 inline void post(BoundGbl<T>&, index_t) {}
 template <class T, Access A>
 inline void post(TBoundGbl<T, A>&, index_t) {}
 inline void post(BoundIdx&, index_t) {}
+template <class T>
+inline void post(BoundSpan<T>&, index_t) {}
+inline void post(BoundRow&, index_t) {}
 
 // --- chunked staging (scalar path over colored/conflict-free spans) ---------
 
@@ -475,6 +554,11 @@ auto make_scratch(const LegacyGblArg<T>& a, int nthreads) {
   return gbl_scratch(*a.g, a.acc, nthreads);
 }
 inline NoScratch make_scratch(const IdxArg&, int) { return {}; }
+template <class T>
+NoScratch make_scratch(const SpanReadArg<T>&, int) {
+  return {};
+}
+inline NoScratch make_scratch(const RowArg&, int) { return {}; }
 
 // --- binding ----------------------------------------------------------------
 
@@ -523,6 +607,17 @@ BoundGbl<T> bind(const LegacyGblArg<T>& a, GblScratch<T>& s, int tid) {
   return {gbl_bind(a.g, a.acc, s, tid)};
 }
 inline BoundIdx bind(const IdxArg& a, NoScratch&, int) { return BoundIdx{a.l2g}; }
+template <class T>
+BoundSpan<T> bind(const SpanReadArg<T>& a, NoScratch&, int) {
+  int bshift = 0;
+  while ((1 << bshift) < a.dat->block()) ++bshift;
+  return BoundSpan<T>{DatSpan<T>{a.dat->data(), a.dat->dim(), a.dat->layout(),
+                                 static_cast<std::size_t>(a.dat->capacity()), bshift,
+                                 static_cast<index_t>(a.dat->block() - 1)}};
+}
+inline BoundRow bind(const RowArg& a, NoScratch&, int) {
+  return BoundRow{a.map->table().data(), a.map->dim()};
+}
 
 // --- reduction merge / finalize ---------------------------------------------
 
@@ -555,6 +650,52 @@ void merge_scratch(const LegacyGblArg<T>& a, const GblScratch<T>& s, int nthread
 }
 template <class A, class S>
 void merge_scratch(const A&, const S&, int) {}
+
+// --- deterministic distributed Inc capture (delta fold by global id) --------
+// With Config::deterministic_reductions on, a *distributed* loop carrying an
+// Inc global cannot just allreduce rank partials: the fold order would then
+// depend on the partitioning, breaking bit-identity across rank counts. The
+// executor instead runs per-element, captures each element's reduction
+// delta from the tid-0 scratch (read, then reset to zero), records it with
+// the element's global id for owned elements (exec-halo elements are reset
+// but not recorded, so redundant computation never double-counts), and the
+// finalize step gathers every rank's (gid, delta) records, sorts by gid and
+// folds ascending from zero — exactly the serial executor's flat ascending
+// fold for kernels that accumulate one value per component per element
+// (multi-accumulation kernels differ only at re-association rounding level,
+// within vcgt::verify's ULP policy).
+
+template <class T>
+inline void gbl_capture(Access acc, GblScratch<T>& s, std::vector<double>* out) {
+  if (acc != Access::Inc) return;
+  for (int c = 0; c < s.dim; ++c) {
+    T& v = s.buf[static_cast<std::size_t>(c)];
+    if (out) out->push_back(static_cast<double>(v));
+    v = T{};
+  }
+}
+template <class T, Access A>
+inline void capture_delta(const GblArg<T, A>&, GblScratch<T>& s, std::vector<double>* out) {
+  gbl_capture(A, s, out);
+}
+template <class T>
+inline void capture_delta(const LegacyGblArg<T>& a, GblScratch<T>& s,
+                          std::vector<double>* out) {
+  gbl_capture(a.acc, s, out);
+}
+template <class A, class S>
+inline void capture_delta(const A&, S&, std::vector<double>*) {}
+
+template <class T, Access A>
+inline void count_inc_dims(const GblArg<T, A>& a, std::size_t& n) {
+  if (A == Access::Inc) n += static_cast<std::size_t>(a.g->dim());
+}
+template <class T>
+inline void count_inc_dims(const LegacyGblArg<T>& a, std::size_t& n) {
+  if (a.acc == Access::Inc) n += static_cast<std::size_t>(a.g->dim());
+}
+template <class A>
+inline void count_inc_dims(const A&, std::size_t&) {}
 
 template <class T, Access A>
 void snapshot_global(const GblArg<T, A>& a, std::vector<double>& out) {
@@ -591,6 +732,46 @@ void finalize_arg(Context& ctx, const LegacyGblArg<T>& a, std::span<const double
 }
 template <class A>
 void finalize_arg(Context&, const A&, std::span<const double>, std::size_t&) {}
+
+// Finalization under the distributed deterministic-capture path: Inc
+// globals fold the gathered (gid, delta) records; Min/Max keep the plain
+// order-insensitive allreduce.
+template <class T>
+void gbl_finalize_det(Context& ctx, Global<T>& g, Access acc,
+                      std::span<const double> initial, std::size_t& cursor,
+                      std::span<const index_t> gids, std::span<const double> deltas,
+                      std::size_t stride, std::size_t& off) {
+  std::vector<T> init(static_cast<std::size_t>(g.dim()));
+  for (int c = 0; c < g.dim(); ++c) {
+    init[static_cast<std::size_t>(c)] =
+        static_cast<T>(initial[cursor + static_cast<std::size_t>(c)]);
+  }
+  cursor += static_cast<std::size_t>(g.dim());
+  if (acc == Access::Inc) {
+    ctx.finalize_global_det(g, std::span<const T>(init), gids, deltas, stride, off);
+    off += static_cast<std::size_t>(g.dim());
+  } else {
+    ctx.finalize_global(g, acc, std::span<const T>(init));
+  }
+}
+template <class T, Access A>
+void finalize_arg_det(Context& ctx, const GblArg<T, A>& a, std::span<const double> initial,
+                      std::size_t& cursor, std::span<const index_t> gids,
+                      std::span<const double> deltas, std::size_t stride,
+                      std::size_t& off) {
+  gbl_finalize_det(ctx, *a.g, A, initial, cursor, gids, deltas, stride, off);
+}
+template <class T>
+void finalize_arg_det(Context& ctx, const LegacyGblArg<T>& a,
+                      std::span<const double> initial, std::size_t& cursor,
+                      std::span<const index_t> gids, std::span<const double> deltas,
+                      std::size_t stride, std::size_t& off) {
+  gbl_finalize_det(ctx, *a.g, a.acc, initial, cursor, gids, deltas, stride, off);
+}
+template <class A>
+void finalize_arg_det(Context&, const A&, std::span<const double>, std::size_t&,
+                      std::span<const index_t>, std::span<const double>, std::size_t,
+                      std::size_t&) {}
 
 // par_loop wires the iteration set's numbering into IdxArgs.
 inline void attach_set(IdxArg& a, const Set& s) { a.l2g = s.local_to_global().data(); }
@@ -683,6 +864,16 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
   // aliasing guard as if uncolored.
   const bool det_run = ctx.config().deterministic_reductions && has_reduction;
   const bool chunk_ok = (plan.colored && !det_run) || !staged_indirect_write;
+  // Distributed deterministic reductions: capture per-element Inc deltas
+  // keyed by global id so finalize can fold them in ascending-gid order —
+  // bit-identical to the serial fold regardless of rank count (see the
+  // capture_delta block above and DESIGN.md §11).
+  std::size_t inc_gbl_dims = 0;
+  std::apply([&](const auto&... a) { (detail::count_inc_dims(a, inc_gbl_dims), ...); },
+             args);
+  const bool det_capture = det_run && ctx.distributed() && inc_gbl_dims > 0;
+  std::vector<index_t> delta_gids;
+  std::vector<double> delta_vals;
 
   const bool simt_on = ctx.config().simt;
   constexpr auto idx_seq = std::index_sequence_for<As...>{};
@@ -740,8 +931,35 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
     }
   };
 
+  // Deterministic-capture executor: per-element (gather/scatter path, safe
+  // for staged indirect writes), tid 0 only, recording Inc deltas for owned
+  // elements. SIMT marching is skipped here — lane order is ascending
+  // either way, so values are identical; only the occupancy counters are
+  // not metered for these loops.
+  auto run_capture = [&]<std::size_t... I>(std::span<const index_t> elems,
+                                           std::index_sequence<I...>) {
+    auto bound = std::make_tuple(
+        detail::bind(std::get<I>(args), std::get<I>(scratch), 0)...);
+    const auto& l2g = set.local_to_global();
+    const index_t nown = set.n_owned();
+    for (const index_t e : elems) {
+      kernel(detail::pre(std::get<I>(bound), e)...);
+      (detail::post(std::get<I>(bound), e), ...);
+      std::vector<double>* rec = nullptr;
+      if (e < nown) {
+        delta_gids.push_back(l2g[static_cast<std::size_t>(e)]);
+        rec = &delta_vals;
+      }
+      (detail::capture_delta(std::get<I>(args), std::get<I>(scratch), rec), ...);
+    }
+  };
+
   auto run_phase = [&](const std::vector<index_t>& flat,
                        const std::vector<std::vector<index_t>>& colors, bool contig) {
+    if (det_capture) {
+      run_capture(std::span<const index_t>(flat), idx_seq);
+      return;
+    }
     if (det_run) {
       run_span(std::span<const index_t>(flat), 0, idx_seq);
       return;
@@ -788,10 +1006,21 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
   }(idx_seq);
 
   std::size_t cursor = 0;
-  [&]<std::size_t... I>(std::index_sequence<I...>) {
-    (detail::finalize_arg(ctx, std::get<I>(args), std::span<const double>(initial), cursor),
-     ...);
-  }(idx_seq);
+  if (det_capture) {
+    std::size_t off = 0;
+    [&]<std::size_t... I>(std::index_sequence<I...>) {
+      (detail::finalize_arg_det(ctx, std::get<I>(args), std::span<const double>(initial),
+                                cursor, std::span<const index_t>(delta_gids),
+                                std::span<const double>(delta_vals), inc_gbl_dims, off),
+       ...);
+    }(idx_seq);
+  } else {
+    [&]<std::size_t... I>(std::index_sequence<I...>) {
+      (detail::finalize_arg(ctx, std::get<I>(args), std::span<const double>(initial),
+                            cursor),
+       ...);
+    }(idx_seq);
+  }
 
   if (simt_on && trace::enabled()) detail::emit_simt_counters();
   ctx.post_loop(plan, infos, timer.elapsed());

@@ -18,11 +18,18 @@ class Set;
 class Map;
 class DatBase;
 
+/// ArgInfo::idx sentinel: the argument reaches *every* component of its map
+/// row, not a single slot. Produced by the gather-free access builders
+/// (op2::read_span — kernel indexes the whole dat through the row — and
+/// op2::row, which has no dat at all); every planner scan that dereferences
+/// `(*map)(e, idx)` expands it to the full 0..map.dim()-1 range.
+constexpr int kIdxAll = -1;
+
 /// Per-argument metadata extracted from the typed par_loop arguments.
 struct ArgInfo {
-  DatBase* dat = nullptr;   ///< null for globals
+  DatBase* dat = nullptr;   ///< null for globals and op2::row
   const Map* map = nullptr; ///< null for direct access
-  int idx = 0;              ///< which map component (0..map.dim-1)
+  int idx = 0;              ///< map component (0..map.dim-1), or kIdxAll
   Access acc = Access::Read;
   bool is_global = false;
 };

@@ -272,7 +272,7 @@ LoopPlan& Context::get_plan(const std::string& name, const Set& set,
 
   for (const auto& a : args) {
     if (a.dat && a.map && access_writes(a.acc)) plan.exec_halo_iterated = true;
-    if (a.dat && a.map && &a.map->from() != &set) {
+    if (a.map && &a.map->from() != &set) {
       throw std::logic_error(vcgt::util::fmt(
           "op2: loop '{}' uses map '{}' whose from-set is not the iteration set", name,
           a.map->name()));
@@ -288,10 +288,12 @@ LoopPlan& Context::get_plan(const std::string& name, const Set& set,
     if (core) {
       for (const auto& a : args) {
         if (!a.dat || !a.map) continue;
-        if ((*a.map)(e, a.idx) >= a.map->to().n_owned()) {
-          core = false;
-          break;
+        const int i0 = a.idx == kIdxAll ? 0 : a.idx;
+        const int i1 = a.idx == kIdxAll ? a.map->dim() : a.idx + 1;
+        for (int i = i0; i < i1 && core; ++i) {
+          if ((*a.map)(e, i) >= a.map->to().n_owned()) core = false;
         }
+        if (!core) break;
       }
     }
     (core ? plan.core : plan.tail).push_back(e);

@@ -45,6 +45,8 @@ const char* op_kind_name(OpKind k) {
     case OpKind::ScatterWrite: return "scatter_write";
     case OpKind::ReduceSum: return "reduce_sum";
     case OpKind::ReduceMinMax: return "reduce_minmax";
+    case OpKind::SpmvRow: return "spmv_row";
+    case OpKind::GlobalAxpy: return "global_axpy";
   }
   return "?";
 }
@@ -52,7 +54,8 @@ const char* op_kind_name(OpKind k) {
 bool parse_op_kind(const std::string& text, OpKind* out) {
   for (const OpKind k :
        {OpKind::StampDirect, OpKind::ScaleDirect, OpKind::AxpyDirect, OpKind::GatherRead,
-        OpKind::ScatterInc, OpKind::ScatterWrite, OpKind::ReduceSum, OpKind::ReduceMinMax}) {
+        OpKind::ScatterInc, OpKind::ScatterWrite, OpKind::ReduceSum, OpKind::ReduceMinMax,
+        OpKind::SpmvRow, OpKind::GlobalAxpy}) {
     if (text == op_kind_name(k)) {
       *out = k;
       return true;
@@ -215,7 +218,7 @@ CaseSpec gen_case(std::uint64_t campaign_seed, std::uint64_t case_index) {
 
   for (int l = 0; l < n_loops; ++l) {
     LoopOp op;
-    const auto pick = rng.bounded(16);
+    const auto pick = rng.bounded(20);
     if (pick < 3) op.kind = OpKind::StampDirect;
     else if (pick < 6) op.kind = OpKind::ScaleDirect;
     else if (pick < 8) op.kind = OpKind::AxpyDirect;
@@ -223,7 +226,9 @@ CaseSpec gen_case(std::uint64_t campaign_seed, std::uint64_t case_index) {
     else if (pick < 13) op.kind = OpKind::ScatterInc;
     else if (pick < 14) op.kind = OpKind::ScatterWrite;
     else if (pick < 15) op.kind = OpKind::ReduceSum;
-    else op.kind = OpKind::ReduceMinMax;
+    else if (pick < 16) op.kind = OpKind::ReduceMinMax;
+    else if (pick < 18) op.kind = OpKind::SpmvRow;
+    else op.kind = OpKind::GlobalAxpy;
     op.k1 = draw_coeff(rng);
     op.k2 = draw_coeff(rng);
 
@@ -235,7 +240,8 @@ CaseSpec gen_case(std::uint64_t campaign_seed, std::uint64_t case_index) {
         op.set = live_sets[rng.bounded(live_sets.size())];
         op.a = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(dps)));
         break;
-      case OpKind::AxpyDirect: {
+      case OpKind::AxpyDirect:
+      case OpKind::GlobalAxpy: {
         // Distinct slots: the kernel reads b while writing a, so a == b
         // would alias one element through two pointers. Degrade to Scale
         // when the universe only has one slot per set.
@@ -253,7 +259,8 @@ CaseSpec gen_case(std::uint64_t campaign_seed, std::uint64_t case_index) {
       }
       case OpKind::GatherRead:
       case OpKind::ScatterInc:
-      case OpKind::ScatterWrite: {
+      case OpKind::ScatterWrite:
+      case OpKind::SpmvRow: {
         op.map = live_maps[rng.bounded(live_maps.size())];
         op.set = 1;  // all universe maps originate from a concrete from-set
         if (op.map == 1) op.set = 2;
@@ -304,6 +311,8 @@ TaintInfo analyze_taint(const CaseSpec& spec, const MeshTables& tables) {
         case OpKind::ScaleDirect:
           break;  // per-element, order-free
         case OpKind::AxpyDirect:
+        case OpKind::GlobalAxpy:  // the Read global is a compile-time-fixed
+                                  // scalar; taint flows from b exactly as Axpy
           if (info.dat[entry(op.set, op.b)]) info.dat[entry(op.set, op.a)] = true;
           break;
         case OpKind::GatherRead: {
@@ -316,6 +325,13 @@ TaintInfo analyze_taint(const CaseSpec& spec, const MeshTables& tables) {
           // depends on the fold order the backend chooses.
           const int to = tables.map_to[static_cast<std::size_t>(op.map)];
           info.dat[entry(to, op.b)] = true;
+          break;
+        }
+        case OpKind::SpmvRow: {
+          // Full overwrite from a fixed ascending in-row fold: the result
+          // carries exactly the input's taint (bit-exact when b is clean).
+          const int to = tables.map_to[static_cast<std::size_t>(op.map)];
+          info.dat[entry(op.set, op.a)] = info.dat[entry(to, op.b)];
           break;
         }
         case OpKind::ScatterWrite:

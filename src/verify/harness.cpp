@@ -61,7 +61,11 @@ std::vector<MatrixGroup> default_matrix() {
   }
   {  // Threading with the production per-thread reduction partials: sum
     // reductions legitimately reassociate, so this group is its own base
-    // (ULP policy vs oracle) with no bit-exact variants.
+    // (ULP policy vs oracle) with no bit-exact variants. This is the one
+    // place the matrix deliberately overrides ExecConfig's
+    // deterministic_reductions=true default (see the field's doc in
+    // verify.hpp): it covers the op2::Config production default (false),
+    // which every other group turns on to earn the bit-exact sum policy.
     MatrixGroup g;
     g.base = cell("threads2-nondet-aos", 1, 2, Layout::AoS);
     g.base.deterministic_reductions = false;

@@ -178,6 +178,39 @@ void emit_op(const Emit& emit, const LoopOp& op, const char* name, op2::Set& set
            op2::read(a), op2::reduce_min(*red.g0), op2::reduce_max(*red.g1));
       break;
     }
+    case OpKind::SpmvRow: {
+      // The krylov SpMV access shape: whole-row column ids (op2::row) plus
+      // a gather-free layout-aware view of the target dat (op2::read_span),
+      // folding the row in fixed ascending slot order.
+      const op2::Map& m = *maps[static_cast<std::size_t>(op.map)];
+      auto& a = *dats[entry(op.set, op.a)];
+      auto& b = *dats[entry(tables.map_to[static_cast<std::size_t>(op.map)], op.b)];
+      const int ad = a.dim(), bd = b.dim(), md = m.dim();
+      emit(name, set,
+           [=](double* av, const index_t* cols, op2::DatSpan<double> x) {
+             for (int c = 0; c < ad; ++c) {
+               double s = 0.0;
+               for (int k = 0; k < md; ++k) s += x.at(cols[k], c % bd);
+               av[c] = k1 * s + k2;
+             }
+           },
+           op2::write(a), op2::row(m), op2::read_span(b, m));
+      break;
+    }
+    case OpKind::GlobalAxpy: {
+      // Read-mode global coefficient (krylov's alpha/beta shape): red.g0
+      // holds a constant initialized to k2 and is never finalized as a
+      // reduction (the runner skips it at collection).
+      auto& a = *dats[entry(op.set, op.a)];
+      auto& b = *dats[entry(op.set, op.b)];
+      const int ad = a.dim(), bd = b.dim();
+      emit(name, set,
+           [=](double* av, const double* bv, const double* g) {
+             for (int c = 0; c < ad; ++c) av[c] += k1 * *g * bv[c % bd];
+           },
+           op2::rw(a), op2::read(b), op2::read(*red.g0));
+      break;
+    }
   }
 }
 
@@ -227,6 +260,9 @@ void exec_program(op2::Context& ctx, const CaseSpec& spec, const MeshTables& tab
           ctx.decl_global<double>(util::fmt("rmin{}", l), 1, {1e300}));
       reds[l].g1 = std::make_unique<op2::Global<double>>(
           ctx.decl_global<double>(util::fmt("rmax{}", l), 1, {-1e300}));
+    } else if (op.kind == OpKind::GlobalAxpy) {
+      reds[l].g0 = std::make_unique<op2::Global<double>>(
+          ctx.decl_global<double>(util::fmt("gco{}", l), 1, {op.k2}));
     }
   }
 
@@ -297,6 +333,9 @@ void exec_program(op2::Context& ctx, const CaseSpec& spec, const MeshTables& tab
   if (ctx.rank() == 0 && out) {
     out->dats = std::move(fetched);
     for (std::size_t l = 0; l < spec.loops.size(); ++l) {
+      // GlobalAxpy's g0 is a Read-mode constant, not a reduction result —
+      // compare_to_oracle's cursor walk only expects ReduceSum/ReduceMinMax.
+      if (spec.loops[l].kind == OpKind::GlobalAxpy) continue;
       if (reds[l].g0) out->reductions.push_back(reds[l].g0->value());
       if (reds[l].g1) out->reductions.push_back(reds[l].g1->value());
     }

@@ -44,6 +44,11 @@ enum class OpKind : std::uint8_t {
   ScatterWrite,  ///< over map.from: b[map(e, idx)][c] = k1 + c (writer-free)
   ReduceSum,     ///< global += k1 * sum_c a[c]  over the set
   ReduceMinMax,  ///< global min/max fold of a over the set
+  SpmvRow,       ///< over map.from: a[c] = k1 * sum_k b[map(e, k)][c%bd] + k2
+                 ///< via op2::row + op2::read_span (the krylov SpMV shape:
+                 ///< whole-row gather-free indirect read, full overwrite)
+  GlobalAxpy,    ///< direct: a[c] += k1 * (*g) * b[c%bd] with g a Read
+                 ///< global initialized to k2 (krylov's alpha/beta shape)
 };
 
 const char* op_kind_name(OpKind k);
@@ -148,6 +153,15 @@ struct ExecConfig {
   op2::Partitioner partitioner = op2::Partitioner::Rcb;
   /// Single-threaded ascending-order reduction folds (Config field added for
   /// this subsystem): on one rank the fold order equals the oracle's.
+  ///
+  /// Intentional default mismatch vs op2::Config (which defaults false):
+  /// production runs keep the fast per-thread/rank-grouped partials, while
+  /// the verification matrix wants the strictest comparable policy — with
+  /// this on, single-rank sum reductions are held bit-exact against the
+  /// oracle (see compare_to_oracle). The production nondeterministic path
+  /// is still covered: default_matrix() carries dedicated *-nondet groups
+  /// that force this off and are compared under the ULP policy as their own
+  /// base. Pinned by VerifyMatrixTest.DeterministicReductionPolicy.
   bool deterministic_reductions = true;
   /// Run under a seeded delay/duplicate/reorder/drop FaultPlan derived from
   /// the case seed (distributed configs only).

@@ -1,0 +1,346 @@
+// vcgt::krylov manufactured-solution suite: an SPD Laplacian assembled on
+// the rig annulus mesh's cell graph, solved by CG/BiCGStab composed from
+// op2 par_loops. The load-bearing property is the reduction-determinism
+// contract: with op2::Config::deterministic_reductions on, the residual
+// history (and the solution bits) must be identical across serial,
+// threaded and distributed executions, because every dot product folds in
+// ascending global-id order regardless of partition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/hydra/solver.hpp"
+#include "src/krylov/krylov.hpp"
+#include "src/minimpi/minimpi.hpp"
+#include "src/op2/op2.hpp"
+#include "src/rig/annulus.hpp"
+
+namespace {
+
+using namespace vcgt;
+using op2::index_t;
+
+rig::RowSpec test_row() {
+  rig::RowSpec row;
+  row.name = "K";
+  row.rotor = false;
+  row.x_min = 0.0;
+  row.x_max = 0.1;
+  row.r_hub = 0.3;
+  row.r_casing = 0.5;
+  return row;
+}
+
+/// ELL Laplacian over the mesh's cell-face graph: diag = sigma + degree,
+/// off-diag -1 per face neighbor (+ a deterministic asymmetric perturbation
+/// when skew != 0). sigma > 0 keeps it strictly diagonally dominant SPD.
+struct Ell {
+  int width = 0;
+  std::vector<index_t> cols;  ///< ncell * width, slot 0 = self
+  std::vector<double> a;      ///< matching coefficients, pads 0
+};
+
+double hash01(std::uint64_t k) {
+  k += 0x9E3779B97F4A7C15ull;
+  k = (k ^ (k >> 30)) * 0xBF58476D1CE4E5B9ull;
+  k = (k ^ (k >> 27)) * 0x94D049BB133111EBull;
+  return static_cast<double>((k ^ (k >> 31)) >> 11) * 0x1.0p-53;
+}
+
+Ell build_laplacian(const rig::AnnulusMesh& mesh, double sigma, double skew) {
+  const auto nc = static_cast<std::size_t>(mesh.ncell);
+  std::vector<std::vector<index_t>> adj(nc);
+  for (index_t f = 0; f < mesh.nface; ++f) {
+    const index_t cl = mesh.face2cell[static_cast<std::size_t>(f) * 2];
+    const index_t cr = mesh.face2cell[static_cast<std::size_t>(f) * 2 + 1];
+    adj[static_cast<std::size_t>(cl)].push_back(cr);
+    adj[static_cast<std::size_t>(cr)].push_back(cl);
+  }
+  std::size_t deg = 0;
+  for (const auto& r : adj) deg = std::max(deg, r.size());
+
+  Ell e;
+  e.width = 1 + static_cast<int>(deg);
+  e.cols.assign(nc * static_cast<std::size_t>(e.width), 0);
+  e.a.assign(nc * static_cast<std::size_t>(e.width), 0.0);
+  for (std::size_t c = 0; c < nc; ++c) {
+    const auto base = c * static_cast<std::size_t>(e.width);
+    for (int k = 0; k < e.width; ++k) e.cols[base + static_cast<std::size_t>(k)] =
+        static_cast<index_t>(c);  // pads = (self, 0.0)
+    e.a[base] = sigma + static_cast<double>(adj[c].size());
+    for (std::size_t j = 0; j < adj[c].size(); ++j) {
+      e.cols[base + 1 + j] = adj[c][j];
+      e.a[base + 1 + j] = -1.0 + skew * hash01(c * 131 + j);
+    }
+  }
+  return e;
+}
+
+std::vector<double> manufactured_x(index_t n, int d) {
+  std::vector<double> x(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  for (index_t r = 0; r < n; ++r) {
+    for (int c = 0; c < d; ++c) {
+      x[static_cast<std::size_t>(r) * static_cast<std::size_t>(d) +
+        static_cast<std::size_t>(c)] =
+          0.3 + 0.5 * std::cos(0.17 * static_cast<double>(r) + 0.3 * (c + 1));
+    }
+  }
+  return x;
+}
+
+std::vector<double> apply_ell(const Ell& e, index_t n, int d, const std::vector<double>& x) {
+  std::vector<double> b(static_cast<std::size_t>(n) * static_cast<std::size_t>(d), 0.0);
+  for (index_t r = 0; r < n; ++r) {
+    const auto base = static_cast<std::size_t>(r) * static_cast<std::size_t>(e.width);
+    for (int c = 0; c < d; ++c) {
+      double s = 0.0;
+      for (int k = 0; k < e.width; ++k) {
+        const index_t col = e.cols[base + static_cast<std::size_t>(k)];
+        s += e.a[base + static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col) * static_cast<std::size_t>(d) +
+               static_cast<std::size_t>(c)];
+      }
+      b[static_cast<std::size_t>(r) * static_cast<std::size_t>(d) +
+        static_cast<std::size_t>(c)] = s;
+    }
+  }
+  return b;
+}
+
+struct SolveCase {
+  int nranks = 1;
+  int nthreads = 1;
+  int d = 1;
+  krylov::SolveOptions opts;
+};
+
+struct SolveOut {
+  krylov::SolveStats stats;
+  std::vector<double> x;
+};
+
+SolveOut run_one(op2::Context& ctx, const rig::AnnulusMesh& mesh, const Ell& ell,
+                 const std::vector<double>& b_init, const SolveCase& sc) {
+  auto& rows = ctx.decl_set("cells", mesh.ncell);
+  const auto m = krylov::declare_stencil(
+      ctx, rows, ell.width, "lap",
+      [&ell](index_t row, std::span<index_t> cols, std::span<double> a) {
+        const auto base = static_cast<std::size_t>(row) * cols.size();
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          cols[k] = ell.cols[base + k];
+          a[k] = ell.a[base + k];
+        }
+      });
+  auto& cc = ctx.decl_dat<double>(rows, 3, "cc", mesh.cell_center);
+  auto& x = ctx.decl_dat<double>(rows, sc.d, "x");
+  auto& b = ctx.decl_dat<double>(rows, sc.d, "b", b_init);
+  krylov::Solver solver(ctx, m, sc.d, "k");
+  ctx.partition(op2::Partitioner::Rcb, cc);
+
+  SolveOut out;
+  out.stats = solver.solve(x, b, sc.opts);
+  out.x = ctx.fetch_global(x);
+  return out;
+}
+
+SolveOut run_case(const rig::AnnulusMesh& mesh, const Ell& ell,
+                  const std::vector<double>& b_init, const SolveCase& sc) {
+  SolveOut out;
+  if (sc.nranks <= 1 && sc.nthreads <= 1) {
+    op2::Config cfg;
+    cfg.deterministic_reductions = true;
+    op2::Context ctx(cfg);
+    out = run_one(ctx, mesh, ell, b_init, sc);
+  } else {
+    minimpi::World::run(sc.nranks, [&](minimpi::Comm& comm) {
+      op2::Config cfg;
+      cfg.nthreads = sc.nthreads;
+      cfg.deterministic_reductions = true;
+      op2::Context ctx(comm, cfg);
+      auto r = run_one(ctx, mesh, ell, b_init, sc);
+      if (ctx.rank() == 0) out = std::move(r);
+    });
+  }
+  return out;
+}
+
+void expect_recovers(const SolveOut& out, const std::vector<double>& xstar, double tol) {
+  ASSERT_EQ(out.x.size(), xstar.size());
+  for (std::size_t i = 0; i < xstar.size(); ++i) {
+    EXPECT_NEAR(out.x[i], xstar[i], tol) << "entry " << i;
+  }
+}
+
+TEST(Krylov, CgConvergesOnRigLaplacian) {
+  const auto mesh = rig::generate_row_mesh(test_row(), {3, 2, 8});
+  const auto ell = build_laplacian(mesh, 0.5, 0.0);
+  const auto xstar = manufactured_x(mesh.ncell, 1);
+  const auto b = apply_ell(ell, mesh.ncell, 1, xstar);
+
+  SolveCase sc;
+  sc.opts.precond = krylov::Precond::Jacobi;
+  sc.opts.rtol = 1e-10;
+  const auto out = run_case(mesh, ell, b, sc);
+
+  EXPECT_TRUE(out.stats.converged);
+  // CG on an SPD n x n system terminates within n iterations (up to
+  // rounding); the manufactured spectrum converges far sooner.
+  EXPECT_LE(out.stats.iters, mesh.ncell);
+  EXPECT_GT(out.stats.rnorm0, 0.0);
+  EXPECT_LT(out.stats.rnorm, 1e-9 * out.stats.rnorm0 * 10);
+  ASSERT_EQ(out.stats.history.size(), static_cast<std::size_t>(out.stats.iters) + 1);
+  expect_recovers(out, xstar, 1e-7);
+}
+
+TEST(Krylov, CgRecoversEachComponentOfMultiRhs) {
+  const auto mesh = rig::generate_row_mesh(test_row(), {3, 2, 8});
+  const auto ell = build_laplacian(mesh, 0.5, 0.0);
+  const int d = 3;
+  const auto xstar = manufactured_x(mesh.ncell, d);
+  const auto b = apply_ell(ell, mesh.ncell, d, xstar);
+
+  SolveCase sc;
+  sc.d = d;
+  sc.opts.precond = krylov::Precond::Jacobi;
+  sc.opts.rtol = 1e-10;
+  const auto out = run_case(mesh, ell, b, sc);
+  EXPECT_TRUE(out.stats.converged);
+  expect_recovers(out, xstar, 1e-7);
+}
+
+TEST(Krylov, CgHistoryBitIdenticalAcrossBackends) {
+  const auto mesh = rig::generate_row_mesh(test_row(), {3, 2, 8});
+  const auto ell = build_laplacian(mesh, 0.5, 0.0);
+  const int d = 2;
+  const auto xstar = manufactured_x(mesh.ncell, d);
+  const auto b = apply_ell(ell, mesh.ncell, d, xstar);
+
+  SolveCase serial;
+  serial.d = d;
+  serial.opts.precond = krylov::Precond::Jacobi;
+  serial.opts.rtol = 1e-9;
+  const auto ref = run_case(mesh, ell, b, serial);
+  EXPECT_TRUE(ref.stats.converged);
+
+  for (const auto& [nranks, nthreads] : std::vector<std::pair<int, int>>{
+           {1, 2}, {2, 1}, {3, 1}}) {
+    SolveCase sc = serial;
+    sc.nranks = nranks;
+    sc.nthreads = nthreads;
+    const auto out = run_case(mesh, ell, b, sc);
+    SCOPED_TRACE(testing::Message() << nranks << " ranks, " << nthreads << " threads");
+    EXPECT_EQ(out.stats.iters, ref.stats.iters);
+    ASSERT_EQ(out.stats.history.size(), ref.stats.history.size());
+    for (std::size_t i = 0; i < ref.stats.history.size(); ++i) {
+      // Bit-identical, not approximately equal: the determinism contract.
+      EXPECT_EQ(out.stats.history[i], ref.stats.history[i]) << "iteration " << i;
+    }
+    ASSERT_EQ(out.x.size(), ref.x.size());
+    for (std::size_t i = 0; i < ref.x.size(); ++i) {
+      EXPECT_EQ(out.x[i], ref.x[i]) << "x entry " << i;
+    }
+  }
+}
+
+TEST(Krylov, ChainedAndUnchainedSpmvBitIdentical) {
+  const auto mesh = rig::generate_row_mesh(test_row(), {3, 2, 8});
+  const auto ell = build_laplacian(mesh, 0.5, 0.0);
+  const auto xstar = manufactured_x(mesh.ncell, 1);
+  const auto b = apply_ell(ell, mesh.ncell, 1, xstar);
+
+  for (const int nranks : {1, 2}) {
+    SolveCase chained;
+    chained.nranks = nranks;
+    chained.opts.rtol = 1e-9;
+    chained.opts.chain_spmv = true;
+    SolveCase solo = chained;
+    solo.opts.chain_spmv = false;
+
+    const auto oc = run_case(mesh, ell, b, chained);
+    const auto os = run_case(mesh, ell, b, solo);
+    SCOPED_TRACE(testing::Message() << nranks << " ranks");
+    ASSERT_EQ(oc.stats.history.size(), os.stats.history.size());
+    for (std::size_t i = 0; i < oc.stats.history.size(); ++i) {
+      EXPECT_EQ(oc.stats.history[i], os.stats.history[i]) << "iteration " << i;
+    }
+    for (std::size_t i = 0; i < oc.x.size(); ++i) {
+      EXPECT_EQ(oc.x[i], os.x[i]) << "x entry " << i;
+    }
+  }
+}
+
+TEST(Krylov, BicgstabConvergesOnNonsymmetricSystem) {
+  const auto mesh = rig::generate_row_mesh(test_row(), {3, 2, 8});
+  // skew breaks A = A^T, which is exactly BiCGStab's territory.
+  const auto ell = build_laplacian(mesh, 0.8, 0.15);
+  const auto xstar = manufactured_x(mesh.ncell, 1);
+  const auto b = apply_ell(ell, mesh.ncell, 1, xstar);
+
+  SolveCase sc;
+  sc.opts.method = krylov::Method::BiCGStab;
+  sc.opts.precond = krylov::Precond::Jacobi;
+  sc.opts.rtol = 1e-10;
+  const auto out = run_case(mesh, ell, b, sc);
+  EXPECT_TRUE(out.stats.converged);
+  expect_recovers(out, xstar, 1e-6);
+}
+
+TEST(Krylov, BlockIlu0BeatsUnpreconditionedIterationCount) {
+  const auto mesh = rig::generate_row_mesh(test_row(), {3, 2, 8});
+  const auto ell = build_laplacian(mesh, 0.05, 0.0);  // weak shift: slower CG
+  const auto xstar = manufactured_x(mesh.ncell, 1);
+  const auto b = apply_ell(ell, mesh.ncell, 1, xstar);
+
+  SolveCase plain;
+  plain.opts.precond = krylov::Precond::None;
+  plain.opts.rtol = 1e-10;
+  SolveCase ilu = plain;
+  ilu.opts.precond = krylov::Precond::BlockILU0;
+
+  const auto op = run_case(mesh, ell, b, plain);
+  const auto oi = run_case(mesh, ell, b, ilu);
+  EXPECT_TRUE(op.stats.converged);
+  EXPECT_TRUE(oi.stats.converged);
+  // Serial BlockILU0 is a full ILU(0) of the whole matrix — it must not be
+  // slower than no preconditioner on this diagonally dominant system.
+  EXPECT_LE(oi.stats.iters, op.stats.iters);
+  expect_recovers(oi, xstar, 1e-6);
+}
+
+TEST(Krylov, HydraImplicitInnerIterationSmoke) {
+  using hydra::FlowConfig;
+  using hydra::RowSolver;
+
+  op2::Context ctx;
+  const auto row = test_row();
+  const auto mesh = rig::generate_row_mesh(row, {4, 3, 16});
+  FlowConfig cfg;
+  cfg.steady = true;
+  cfg.blade_relax = 1e9;  // force-free duct
+  cfg.rotor_swirl_frac = 0.0;
+  cfg.stator_swirl_frac = 0.0;
+  cfg.p_back_ratio = 1.01;
+  cfg.implicit_dual_time = true;
+  cfg.implicit_max_iters = 60;
+  cfg.implicit_rtol = 1e-6;
+
+  RowSolver solver(ctx, mesh, row, 0.0, cfg);
+  ctx.partition(op2::Partitioner::Rcb, solver.cell_center());
+  solver.initialize();
+
+  solver.inner_iteration();
+  const double r1 = solver.residual_rms();
+  EXPECT_TRUE(std::isfinite(r1));
+  solver.advance_inner(10);
+  const double r2 = solver.residual_rms();
+  EXPECT_TRUE(std::isfinite(r2));
+  // The implicit march must be heading toward the throttled steady state:
+  // ten more iterations at the default pseudo-CFL cut the residual.
+  EXPECT_LT(r2, r1);
+  const auto q = ctx.fetch_global(solver.q());
+  for (const double v : q) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 
@@ -134,6 +135,50 @@ TEST(MiniMpi, AllreduceSumMax) {
     EXPECT_DOUBLE_EQ(sum, 15.0);
     const double mx = c.allreduce_max(static_cast<double>(c.rank()));
     EXPECT_DOUBLE_EQ(mx, 4.0);
+  });
+}
+
+// Regression: the reduce fold must walk contributions in strictly ascending
+// rank order regardless of which rank is root. The old implementation
+// started the fold with the root's own value, so for a non-associative
+// float payload reduce(root=k) diverged bitwise from reduce(root=0). With
+// v = {1e16, -1e16, 1} the ascending fold gives (1e16 + -1e16) + 1 = 1,
+// while a root-2-first fold gives (1 + 1e16) + -1e16 = 0 — this test fails
+// hard pre-fix, not just at the last bit.
+TEST(MiniMpi, ReduceFoldOrderIndependentOfRoot) {
+  const double payload[3] = {1e16, -1e16, 1.0};
+  World::run(3, [&](Comm& c) {
+    const double mine = payload[c.rank()];
+    const auto plus = [](double a, double b) { return a + b; };
+    std::array<double, 3> at_root{};
+    for (int root = 0; root < 3; ++root) {
+      const double r = c.reduce(mine, plus, root);
+      at_root[static_cast<std::size_t>(root)] = r;
+    }
+    // Each rank only holds the authoritative value where it was root; share
+    // them so every rank checks the full set.
+    for (int root = 0; root < 3; ++root) {
+      std::vector<double> v;
+      if (c.rank() == root) v.push_back(at_root[static_cast<std::size_t>(root)]);
+      const auto got = c.bcast(v, root);
+      ASSERT_EQ(got.size(), 1u);
+      EXPECT_EQ(got[0], 1.0) << "root " << root;
+    }
+  });
+}
+
+// The vector allreduce_sum must be bit-identical per component to the
+// scalar path (both fold strictly ascending from rank 0's value).
+TEST(MiniMpi, VectorAllreduceSumMatchesScalarBitwise) {
+  World::run(3, [](Comm& c) {
+    const double base = c.rank() == 0 ? 1e16 : c.rank() == 1 ? -1e16 : 1.0;
+    const std::vector<double> mine{base, 0.1 * (c.rank() + 1), -3.5 * c.rank()};
+    const auto vec = c.allreduce_sum(std::span<const double>(mine));
+    ASSERT_EQ(vec.size(), mine.size());
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      const double scalar = c.allreduce_sum(mine[i]);
+      EXPECT_EQ(vec[i], scalar) << "component " << i;
+    }
   });
 }
 

@@ -219,7 +219,7 @@ TEST(Repro, MalformedInputThrowsWithLineInfo) {
 }
 
 TEST(OpKindNames, RoundTrip) {
-  for (int k = 0; k <= static_cast<int>(OpKind::ReduceMinMax); ++k) {
+  for (int k = 0; k <= static_cast<int>(OpKind::GlobalAxpy); ++k) {
     const auto kind = static_cast<OpKind>(k);
     OpKind back{};
     ASSERT_TRUE(verify::parse_op_kind(verify::op_kind_name(kind), &back));
@@ -227,6 +227,33 @@ TEST(OpKindNames, RoundTrip) {
   }
   OpKind dummy{};
   EXPECT_FALSE(verify::parse_op_kind("warp", &dummy));
+}
+
+TEST(Repro, KrylovShapedOpsSurviveRoundTrip) {
+  auto spec = tiny_spec();
+  spec.loops.push_back(op(OpKind::StampDirect, 0, -1, 0, 0, 0));
+  spec.loops.push_back(op(OpKind::SpmvRow, 1, 0, 0, 0, 0));    // edges <- nodes
+  spec.loops.push_back(op(OpKind::GlobalAxpy, 1, -1, 0, 1, 0));
+  const auto text = verify::format_repro(spec, "krylov op round-trip");
+  const auto back = verify::parse_repro(text);
+  ASSERT_EQ(back.loops.size(), spec.loops.size());
+  EXPECT_EQ(back.loops[1].kind, OpKind::SpmvRow);
+  EXPECT_EQ(back.loops[2].kind, OpKind::GlobalAxpy);
+  EXPECT_EQ(back.loops[2].k2, spec.loops[2].k2);
+}
+
+TEST(CheckCase, KrylovShapedOpsCleanAcrossMatrix) {
+  // The SpMV row-gather and Read-global axpy shapes the krylov solver is
+  // built from must hold across the whole differential matrix, not just in
+  // the solver's own tests.
+  auto spec = tiny_spec();
+  spec.loops.push_back(op(OpKind::StampDirect, 0, -1, 0, 0, 0));  // nodes s0
+  spec.loops.push_back(op(OpKind::StampDirect, 1, -1, 0, 1, 0));  // edges s1
+  spec.loops.push_back(op(OpKind::SpmvRow, 1, 0, 0, 0, 0));       // edges s0 <- nodes s0
+  spec.loops.push_back(op(OpKind::GlobalAxpy, 1, -1, 0, 0, 1));   // edges s0 += k1*g*edges s1
+  spec.loops.push_back(op(OpKind::ReduceSum, 1, -1, 0, 0, 0));
+  const auto m = verify::check_case(spec);
+  EXPECT_FALSE(m.has_value()) << (m ? m->config + ": " + m->what : "");
 }
 
 // --- op2 introspection hooks ------------------------------------------------
@@ -274,6 +301,36 @@ TEST(Hooks, DeterministicReductionsMatchSerialBitForBit) {
   ASSERT_EQ(b.reductions.size(), 1u);
   // Same ascending fold order on one rank: bit-identical, not just close.
   EXPECT_EQ(a.reductions[0], b.reductions[0]);
+}
+
+// --- deterministic-reduction policy -----------------------------------------
+
+// Pins the intentional default split documented in verify.hpp: op2::Config
+// ships with deterministic_reductions off (production default), the verify
+// ExecConfig ships with it on (strictest comparable policy), and the matrix
+// covers the production default through dedicated *-nondet own-base groups.
+TEST(VerifyMatrixTest, DeterministicReductionPolicy) {
+  EXPECT_TRUE(ExecConfig{}.deterministic_reductions);
+  EXPECT_FALSE(op2::Config{}.deterministic_reductions);
+
+  const auto matrix = verify::default_matrix();
+  int nondet_groups = 0;
+  for (const auto& g : matrix) {
+    if (g.base.name.find("nondet") != std::string::npos) {
+      ++nondet_groups;
+      EXPECT_FALSE(g.base.deterministic_reductions)
+          << g.base.name << " exists to cover the production default";
+      // Nondeterministic folds cannot be compared bit-exactly against
+      // variants, so these groups must stand alone.
+      EXPECT_TRUE(g.variants.empty()) << g.base.name;
+    } else {
+      EXPECT_TRUE(g.base.deterministic_reductions) << g.base.name;
+      for (const auto& v : g.variants) {
+        EXPECT_TRUE(v.deterministic_reductions) << v.name;
+      }
+    }
+  }
+  EXPECT_GE(nondet_groups, 1);
 }
 
 // --- end-to-end over the matrix ---------------------------------------------
