@@ -1,0 +1,201 @@
+// bench_serve — vcgt::serve session throughput and latency (DESIGN.md §12).
+//
+// Three parts, each enforced by exit status where the ISSUE demands it:
+//
+//  1. Cold vs warm session setup on one persistent world. The first job of
+//     a spec builds mesh + partition + plans; the second reuses the parked
+//     rig through reinitialize(). ASSERTS warm setup >= 5x faster than
+//     cold (the tentpole's acceptance floor). Also reports the
+//     cold-on-a-fresh-world setup, which pays rig construction but pulls
+//     every artifact from the plan cache.
+//
+//  2. An open-loop client storm: seeded Poisson arrivals against a bounded
+//     admission queue, reporting sessions/s and p50/p99 completion latency
+//     into BENCH_serve.json.
+//
+//  3. A chaos storm under a seeded delay/drop/kill fault plan. ASSERTS
+//     zero hung jobs (every accepted job resolves — the stall watchdog
+//     converts deadlocks into structured failures), that a scheduled
+//     KillRank job reports a structured per-rank error, and that the plan
+//     cache still serves hits afterwards (a killed job never exports).
+//
+// --quick shrinks the storm for CI gates.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/session_spec.hpp"
+#include "src/serve/storm.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+using namespace vcgt;
+
+namespace {
+
+serve::SessionSpec base_spec() {
+  serve::SessionSpec spec;
+  spec.nrows = 2;
+  spec.tier = "tiny";
+  spec.hs_ranks = {1, 1};
+  spec.cus_per_interface = 1;
+  spec.nsteps = 2;
+  spec.flow.inner_iters = 4;
+  return spec;
+}
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) {
+    std::cout << "  [ok] " << what << "\n";
+  } else {
+    std::cout << "  [FAIL] " << what << "\n";
+    ++failures;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.has("quick");
+  bench::header("vcgt::serve — session service throughput & latency",
+                "DESIGN.md §12 (serving front end; no paper counterpart)");
+
+  std::vector<std::pair<std::string, double>> metrics;
+
+  // --- part 1: cold vs warm setup ----------------------------------------
+  bench::section("cold vs warm session setup (one persistent world)");
+  double cold_setup = 0.0;
+  double warm_setup = 0.0;
+  {
+    serve::Server server;
+    // At "tiny" scale fixed overheads swamp the comparison; "medium" makes
+    // mesh gen + RCB + plan construction the dominant cold cost, which is
+    // what the warm path actually skips.
+    auto spec = base_spec();
+    spec.tier = "medium";
+    const auto t1 = server.submit(spec);
+    const auto oc1 = server.wait(t1.job_id);
+    const auto t2 = server.submit(spec);
+    const auto oc2 = server.wait(t2.job_id);
+    check(oc1.ok && oc2.ok, "both jobs completed");
+    check(!oc1.warm && oc2.warm, "first cold, second warm");
+    cold_setup = oc1.setup_seconds;
+    warm_setup = oc2.setup_seconds;
+    const double speedup = cold_setup / std::max(warm_setup, 1e-12);
+    util::Table t({"path", "setup [ms]", "speedup"});
+    t.add_row({"cold (mesh+partition+plans)", util::Table::num(cold_setup * 1e3, 3), "1.00"});
+    t.add_row({"warm (reinitialize)", util::Table::num(warm_setup * 1e3, 3),
+               util::Table::num(speedup, 1)});
+    t.print_text(std::cout);
+    check(speedup >= 5.0, "warm setup >= 5x faster than cold (acceptance floor)");
+    metrics.emplace_back("cold_setup_seconds", cold_setup);
+    metrics.emplace_back("warm_setup_seconds", warm_setup);
+    metrics.emplace_back("warm_speedup", speedup);
+
+    // Same spec on a different world (distinct fault hash forces a second
+    // pool): rig construction runs again, but meshes/partitions/plans all
+    // come from the shared plan cache.
+    auto chaos_free = spec;
+    chaos_free.fault.seed = 99;
+    chaos_free.fault.p_delay = 1e-9;  // enabled() but effectively silent
+    const auto t3 = server.submit(chaos_free);
+    const auto oc3 = server.wait(t3.job_id);
+    check(oc3.ok && !oc3.warm, "fresh-world job completed cold");
+    check(oc3.partition_cached && oc3.plans_cached,
+          "fresh-world setup pulled partition and plans from the cache");
+    std::cout << util::fmt("  cold-on-fresh-world (cache-fed): {} ms\n",
+                           util::Table::num(oc3.setup_seconds * 1e3, 3));
+    metrics.emplace_back("cold_cached_setup_seconds", oc3.setup_seconds);
+  }
+
+  // --- part 2: open-loop client storm ------------------------------------
+  bench::section("open-loop client storm (bounded admission queue)");
+  {
+    serve::ServerOptions opts;
+    opts.queue_capacity = 4;
+    serve::Server server(opts);
+    serve::StormConfig storm;
+    storm.jobs = quick ? 8 : 32;
+    storm.rate_hz = quick ? 20.0 : 30.0;
+    storm.seed = 1;
+    storm.specs.push_back(base_spec());
+    const auto res = serve::run_storm(server, storm);
+    util::Table t({"metric", "value"});
+    t.add_row({"submitted", std::to_string(res.submitted)});
+    t.add_row({"accepted", std::to_string(res.accepted)});
+    t.add_row({"rejected (backpressure)", std::to_string(res.rejected)});
+    t.add_row({"completed", std::to_string(res.completed)});
+    t.add_row({"sessions/s", util::Table::num(res.sessions_per_second, 2)});
+    t.add_row({"p50 latency [ms]", util::Table::num(res.p50_ms, 2)});
+    t.add_row({"p99 latency [ms]", util::Table::num(res.p99_ms, 2)});
+    t.print_text(std::cout);
+    check(res.hung == 0, "no hung jobs");
+    check(res.completed > 0, "storm completed sessions");
+    metrics.emplace_back("storm_jobs", res.submitted);
+    metrics.emplace_back("storm_accepted", res.accepted);
+    metrics.emplace_back("storm_rejected", res.rejected);
+    metrics.emplace_back("sessions_per_second", res.sessions_per_second);
+    metrics.emplace_back("p50_latency_ms", res.p50_ms);
+    metrics.emplace_back("p99_latency_ms", res.p99_ms);
+  }
+
+  // --- part 3: chaos storm ------------------------------------------------
+  bench::section("chaos storm (seeded delay/drop/kill fault plans)");
+  {
+    serve::ServerOptions opts;
+    opts.queue_capacity = 4;
+    opts.stall_timeout = 5.0;
+    serve::Server server(opts);
+
+    auto flaky = base_spec();
+    flaky.fault.seed = 1234;
+    flaky.fault.p_delay = 0.02;
+    flaky.fault.p_duplicate = 0.01;
+    flaky.fault.p_reorder = 0.01;
+    auto killer = base_spec();
+    killer.fault.seed = 77;
+    // Op 5 lands during world construction on every machine; with a hot
+    // plan cache, rank 1 may run fewer than a few dozen comm ops total, so
+    // a late op index would silently never fire.
+    killer.fault.schedule.push_back({1, 5, minimpi::FaultKind::KillRank});
+
+    serve::StormConfig storm;
+    storm.jobs = quick ? 6 : 18;
+    storm.rate_hz = quick ? 10.0 : 15.0;
+    storm.seed = 2;
+    storm.specs = {flaky, killer, base_spec()};
+    const auto cache_before = server.plan_cache().stats();
+    const auto res = serve::run_storm(server, storm);
+    util::Table t({"metric", "value"});
+    t.add_row({"accepted", std::to_string(res.accepted)});
+    t.add_row({"completed", std::to_string(res.completed)});
+    t.add_row({"failed (structured)", std::to_string(res.failed)});
+    t.add_row({"worlds rebuilt", std::to_string(res.rebuilt)});
+    t.add_row({"hung", std::to_string(res.hung)});
+    t.print_text(std::cout);
+    for (const auto& e : res.errors) std::cout << "  error: " << e << "\n";
+    check(res.hung == 0, "zero hung jobs under chaos (acceptance)");
+    check(res.failed > 0, "scheduled KillRank produced structured failures");
+    check(res.completed > 0, "clean specs completed despite chaos neighbours");
+    const auto cache_after = server.plan_cache().stats();
+    check(cache_after.hits > cache_before.hits,
+          "plan cache kept serving hits after killed jobs (not poisoned)");
+    metrics.emplace_back("chaos_jobs", res.accepted);
+    metrics.emplace_back("chaos_failed", res.failed);
+    metrics.emplace_back("chaos_hung", res.hung);
+  }
+
+  metrics.emplace_back("failures", failures);
+  bench::write_bench_json("serve", metrics);
+  if (failures != 0) {
+    std::cout << "\n" << failures << " acceptance check(s) FAILED\n";
+    return 1;
+  }
+  std::cout << "\nall acceptance checks passed\n";
+  return 0;
+}

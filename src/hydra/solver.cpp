@@ -185,6 +185,11 @@ void RowSolver::declare(const rig::AnnulusMesh& mesh) {
 }
 
 void RowSolver::initialize() {
+  // Full re-initialization contract (warm session reuse): clock and CFL-ramp
+  // state restart along with the flow field, so a second run on a recycled
+  // solver is indistinguishable from a fresh construction.
+  time_ = 0.0;
+  inner_count_ = 0;
   const double rho = cfg_.rho_in, u = cfg_.u_axial_in, E = cfg_.energy_in();
   const double nut_in = cfg_.sa_nut_in;
 

@@ -158,12 +158,23 @@ CoupledRig::CoupledRig(minimpi::Comm& world, const CoupledConfig& cfg)
     stats_.is_cu = 0;
     stats_.row_or_iface = role_.row;
     const auto& row = cfg_.rig.rows[static_cast<std::size_t>(role_.row)];
-    const auto mesh = rig::generate_row_mesh(row, cfg_.res);
+    const auto mesh = row_mesh(role_.row);
     ctx_ = std::make_unique<op2::Context>(row_comm, cfg_.op2cfg);
-    solver_ = std::make_unique<RowSolver>(*ctx_, mesh, row, cfg_.rig.omega(), cfg_.flow);
+    if (cfg_.plan_cache != nullptr) {
+      // Per-row discriminator: every row's context shares the spec hash but
+      // declares a different mesh, so their cache keys must not collide.
+      ctx_->set_plan_cache(cfg_.plan_cache,
+                           cfg_.spec_hash ^
+                               (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(role_.row + 1)));
+    }
+    solver_ = std::make_unique<RowSolver>(*ctx_, *mesh, row, cfg_.rig.omega(), cfg_.flow);
     if (role_.row > 0) solver_->set_coupled(BoundaryGroup::Inlet, true);
     if (role_.row < layout_.nrows() - 1) solver_->set_coupled(BoundaryGroup::Outlet, true);
     ctx_->partition(cfg_.partitioner, solver_->cell_center());
+    // Adopt cached plans before the first par_loop (initialize() below
+    // already runs loops): a warm spec skips every plan build, a cold one
+    // proceeds normally. Collective across the row.
+    ctx_->import_plans_from_cache();
     solver_->initialize();
     stats_.owned_cells = static_cast<std::uint64_t>(solver_->cells().n_owned());
   } else {
@@ -172,19 +183,52 @@ CoupledRig::CoupledRig(minimpi::Comm& world, const CoupledConfig& cfg)
   }
 }
 
+std::shared_ptr<const rig::AnnulusMesh> CoupledRig::row_mesh(int row) const {
+  const auto& spec = cfg_.rig.rows[static_cast<std::size_t>(row)];
+  if (cfg_.plan_cache == nullptr) {
+    return std::make_shared<const rig::AnnulusMesh>(rig::generate_row_mesh(spec, cfg_.res));
+  }
+  // Mesh generation is deterministic from (row spec, resolution), both
+  // covered by the spec hash — every rank that needs row `row`'s mesh (its
+  // HS ranks and the adjacent interfaces' CUs) shares one immutable copy.
+  // Lookup is local (no collective needed: a miss just regenerates).
+  const std::string key = util::fmt("mesh:{}:row{}", cfg_.spec_hash, row);
+  if (auto hit = cfg_.plan_cache->lookup_as<rig::AnnulusMesh>(key)) return hit;
+  auto mesh = std::make_shared<const rig::AnnulusMesh>(rig::generate_row_mesh(spec, cfg_.res));
+  const std::size_t bytes =
+      (mesh->face2cell.size() + mesh->bface2cell.size()) * sizeof(index_t) +
+      (mesh->cell_center.size() + mesh->cell_vol.size() + mesh->cell_rtheta.size() +
+       mesh->face_normal.size() + mesh->face_center.size() + mesh->bface_normal.size() +
+       mesh->bface_center.size() + mesh->bface_rtheta.size()) *
+          sizeof(double) +
+      mesh->bface_group.size() * sizeof(int) + 256;
+  cfg_.plan_cache->insert_value(key, mesh, bytes);
+  return mesh;
+}
+
 CoupledRig::~CoupledRig() = default;
 
-void CoupledRig::run(int nsteps, int inner) {
+void CoupledRig::run(int nsteps, int inner, const StepFn& on_step) {
   if (inner < 0) inner = cfg_.flow.inner_iters;
   if (role_.kind == Role::Kind::HydraSession) {
-    run_hs(nsteps, inner);
+    run_hs(nsteps, inner, on_step);
   } else {
     run_cu(nsteps);
   }
   base_time_ += nsteps * cfg_.flow.dt_phys;
 }
 
-void CoupledRig::run_hs(int nsteps, int inner) {
+void CoupledRig::reinitialize() {
+  if (solver_) solver_->initialize();
+  base_time_ = 0.0;
+  reset_stats();
+}
+
+void CoupledRig::export_plans() {
+  if (ctx_) ctx_->export_plans_to_cache();
+}
+
+void CoupledRig::run_hs(int nsteps, int inner, const StepFn& on_step) {
   RowSolver& solver = *solver_;
   const int row = role_.row;
   const int K = layout_.ninterfaces() > 0 ? layout_.cus_per_interface() : 0;
@@ -288,6 +332,7 @@ void CoupledRig::run_hs(int nsteps, int inner) {
     }
     solver.advance_inner(inner);
     solver.shift_time_levels();
+    if (on_step) on_step(t);
   }
 
   stats_.step_seconds = total.elapsed();
@@ -307,10 +352,10 @@ void CoupledRig::run_cu(int nsteps) {
 
   const auto& row_u = cfg_.rig.rows[static_cast<std::size_t>(iface)];
   const auto& row_d = cfg_.rig.rows[static_cast<std::size_t>(iface) + 1];
-  const auto mesh_u = rig::generate_row_mesh(row_u, cfg_.res);
-  const auto mesh_d = rig::generate_row_mesh(row_d, cfg_.res);
-  const auto side_u = rig::extract_interface(mesh_u, row_u, BoundaryGroup::Outlet);
-  const auto side_d = rig::extract_interface(mesh_d, row_d, BoundaryGroup::Inlet);
+  const auto mesh_u = row_mesh(iface);
+  const auto mesh_d = row_mesh(iface + 1);
+  const auto side_u = rig::extract_interface(*mesh_u, row_u, BoundaryGroup::Outlet);
+  const auto side_d = rig::extract_interface(*mesh_d, row_d, BoundaryGroup::Inlet);
 
   struct Direction {
     const rig::InterfaceSide* donor;

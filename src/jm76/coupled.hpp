@@ -8,12 +8,15 @@
 // Instantiate one CoupledRig inside every rank of a minimpi::World and call
 // run(); roles are derived from the Layout.
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/hydra/solver.hpp"
+#include "src/op2/plancache.hpp"
+#include "src/rig/annulus.hpp"
 #include "src/jm76/interp.hpp"
 #include "src/jm76/mixing.hpp"
 #include "src/jm76/layout.hpp"
@@ -68,6 +71,14 @@ struct CoupledConfig {
   op2::Config op2cfg;
   op2::Partitioner partitioner = op2::Partitioner::Rcb;
 
+  /// Shared setup-artifact cache (vcgt::serve; DESIGN.md §12). When set,
+  /// row meshes, partitions and loop/chain plans are looked up / deposited
+  /// under keys derived from `spec_hash`, which must cover everything above
+  /// (vcgt::SessionSpec::hash() does). Null = no caching. The cache must be
+  /// set on every rank of the world, or on none — plan import is collective.
+  op2::PlanCache* plan_cache = nullptr;
+  std::uint64_t spec_hash = 0;
+
   [[nodiscard]] Layout layout() const { return Layout(hs_ranks, cus_per_interface); }
 };
 
@@ -89,13 +100,19 @@ struct RankStats {
 
 class CoupledRig {
  public:
+  /// Per-step observer, called on HS ranks after each physical step
+  /// completes (step index is 0-based). All HS ranks of a row call it in
+  /// lockstep, so row-collective operations (solver monitors) are safe
+  /// inside; CU ranks never call it.
+  using StepFn = std::function<void(int step)>;
+
   CoupledRig(minimpi::Comm& world, const CoupledConfig& cfg);
   ~CoupledRig();
 
   /// Runs `nsteps` physical time steps with `inner` pseudo-time iterations
   /// each (inner defaults to the FlowConfig value). Collective over the
   /// world.
-  void run(int nsteps, int inner = -1);
+  void run(int nsteps, int inner = -1, const StepFn& on_step = {});
 
   [[nodiscard]] const RankStats& stats() const { return stats_; }
   /// Gathers every rank's stats to world rank 0 (empty elsewhere).
@@ -108,8 +125,20 @@ class CoupledRig {
   /// between repetitions on every rank (no communication involved).
   void reset_stats();
 
+  /// Resets the rig to its just-constructed state for reuse under a new
+  /// job: re-initializes the flow field, rewinds the physical clock and
+  /// zeroes the meters. Much cheaper than reconstruction (no mesh, no
+  /// partition, no plan build) — the warm path of vcgt::serve sessions.
+  /// Call on every rank (no communication involved).
+  void reinitialize();
+
+  /// Deposits this rank's built op2 plans into cfg.plan_cache (no-op
+  /// without a cache). Call after a *successful* run only.
+  void export_plans();
+
   /// HS-only access for examples/tests (null on CU ranks).
   [[nodiscard]] hydra::RowSolver* solver() { return solver_.get(); }
+  [[nodiscard]] op2::Context* context() { return ctx_.get(); }
   [[nodiscard]] const Role& role() const { return role_; }
 
   /// Checkpoints every row's flow state under `prefix` (one file set per
@@ -119,8 +148,11 @@ class CoupledRig {
   bool load_state(const std::string& prefix);
 
  private:
-  void run_hs(int nsteps, int inner);
+  void run_hs(int nsteps, int inner, const StepFn& on_step);
   void run_cu(int nsteps);
+  /// Row mesh through the plan cache when one is attached (one generation
+  /// per spec+row process-wide instead of one per rank per construction).
+  std::shared_ptr<const rig::AnnulusMesh> row_mesh(int row) const;
 
   minimpi::Comm& world_;
   CoupledConfig cfg_;

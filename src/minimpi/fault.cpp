@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "src/minimpi/minimpi.hpp"
+#include "src/util/env_config.hpp"
 #include "src/util/log.hpp"
 
 namespace vcgt::minimpi {
@@ -20,36 +21,31 @@ const char* fault_kind_name(FaultKind k) {
   return "?";
 }
 
-namespace {
-
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v ? std::atof(v) : fallback;
-}
-
-}  // namespace
-
 FaultConfig FaultConfig::from_env() {
   FaultConfig cfg;
-  const char* seed = std::getenv("VCGT_FAULT_SEED");
-  if (seed) {
-    cfg.seed = std::strtoull(seed, nullptr, 10);
+  const util::EnvConfig env = util::env_config();
+  if (env.fault_seed) {
+    cfg.seed = *env.fault_seed;
     // Defaults chosen so a seeded chaos run injects a healthy mix of every
     // transient kind without drowning the workload in backoff sleeps.
-    cfg.p_delay = env_double("VCGT_FAULT_P_DELAY", 0.02);
-    cfg.p_duplicate = env_double("VCGT_FAULT_P_DUP", 0.02);
-    cfg.p_reorder = env_double("VCGT_FAULT_P_REORDER", 0.02);
-    cfg.p_drop = env_double("VCGT_FAULT_P_DROP", 0.02);
+    cfg.p_delay = env.fault_p_delay.value_or(0.02);
+    cfg.p_duplicate = env.fault_p_dup.value_or(0.02);
+    cfg.p_reorder = env.fault_p_reorder.value_or(0.02);
+    cfg.p_drop = env.fault_p_drop.value_or(0.02);
   }
-  if (const char* kill = std::getenv("VCGT_FAULT_KILL")) {
+  if (env.fault_kill) {
     // "<rank>:<op>"
+    const char* kill = env.fault_kill->c_str();
     char* end = nullptr;
     const long rank = std::strtol(kill, &end, 10);
     if (end && *end == ':') {
       const std::uint64_t op = std::strtoull(end + 1, nullptr, 10);
       cfg.schedule.push_back({static_cast<int>(rank), op, FaultKind::KillRank});
+    } else {
+      util::warn("VCGT_FAULT_KILL: expected '<rank>:<op>', got '{}'", *env.fault_kill);
     }
   }
+  for (const auto& w : env.warnings) util::warn("env_config: {}", w);
   return cfg;
 }
 

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "src/minimpi/fault.hpp"
+#include "src/minimpi/state.hpp"
+#include "src/util/env_config.hpp"
 #include "src/util/log.hpp"
 #include "src/util/timer.hpp"
 #include "src/util/trace.hpp"
@@ -19,8 +21,6 @@ thread_local int t_world_rank = -1;
 
 int current_world_rank() { return t_world_rank; }
 
-namespace {
-
 std::int64_t now_ns() {
   return std::chrono::steady_clock::now().time_since_epoch().count();
 }
@@ -29,7 +29,16 @@ void sleep_seconds(double s) {
   if (s > 0) std::this_thread::sleep_for(std::chrono::duration<double>(s));
 }
 
-}  // namespace
+std::shared_ptr<CommState> make_world_state(int nranks, const WorldOptions& opts) {
+  auto state = std::make_shared<CommState>(nranks);
+  state->opts = opts;
+  if (state->opts.fault) state->opts.fault->ensure_ranks(nranks);
+  state->slots.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    state->slots.push_back(std::make_unique<BlockedSlot>());
+  }
+  return state;
+}
 
 void Mailbox::flush_deferred_locked() {
   while (!deferred_.empty()) {
@@ -149,126 +158,6 @@ bool Mailbox::poisoned() {
   std::scoped_lock lock(mutex_);
   return poisoned_;
 }
-
-/// Per-world-rank blocked-op slot sampled by the progress watchdog. Written
-/// only by the owning rank thread; all fields atomic so the watchdog can read
-/// a consistent-enough snapshot without locks.
-struct BlockedSlot {
-  std::atomic<int> active{0};  ///< 0 idle, 1 recv, 2 barrier
-  std::atomic<int> peer{kAnySource};
-  std::atomic<int> tag{0};
-  std::atomic<std::int64_t> since_ns{0};
-  std::atomic<std::uint64_t> ops{0};  ///< completed comm ops on this rank
-};
-
-/// Shared state of one communicator: mailboxes, barrier, split rendezvous,
-/// traffic meters. Ranks hold it via shared_ptr; child comms register with
-/// the root state so poisoning reaches every mailbox in the world. The root
-/// state additionally owns the WorldOptions and the watchdog's slots.
-struct CommState {
-  explicit CommState(int n)
-      : size(n),
-        mailboxes(static_cast<std::size_t>(n)),
-        send_seq(static_cast<std::size_t>(n)),
-        rank_messages(static_cast<std::size_t>(n)),
-        rank_bytes(static_cast<std::size_t>(n)),
-        rank_retries(static_cast<std::size_t>(n)),
-        rank_wait(static_cast<std::size_t>(n)) {
-    for (auto& box : mailboxes) box = std::make_unique<Mailbox>();
-    for (auto& c : send_seq) c.store(0, std::memory_order_relaxed);
-    for (auto& c : rank_messages) c.store(0, std::memory_order_relaxed);
-    for (auto& c : rank_bytes) c.store(0, std::memory_order_relaxed);
-    for (auto& c : rank_retries) c.store(0, std::memory_order_relaxed);
-    for (auto& c : rank_wait) c.store(0.0, std::memory_order_relaxed);
-  }
-
-  int size;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes;
-  /// Per-source send sequence counters (assigned once per message, before any
-  /// retry, so retransmissions are idempotent under the mailbox watermark).
-  std::vector<std::atomic<std::uint64_t>> send_seq;
-
-  // Barrier (generation counting). `poisoned` is flipped under barrier_mutex
-  // so a poison-wake is never lost by a rank entering the wait.
-  std::mutex barrier_mutex;
-  std::condition_variable barrier_cv;
-  int barrier_arrived = 0;
-  std::uint64_t barrier_generation = 0;
-  std::atomic<bool> poisoned{false};
-
-  // Split rendezvous: first member of a (epoch, color) group creates the
-  // child state, the rest pick it up.
-  std::mutex split_mutex;
-  std::condition_variable split_cv;
-  std::map<std::pair<std::uint64_t, int>, std::shared_ptr<CommState>> split_children;
-
-  // Traffic meters (atomic so traffic() may be sampled concurrently).
-  std::vector<std::atomic<std::uint64_t>> rank_messages;
-  std::vector<std::atomic<std::uint64_t>> rank_bytes;
-  std::vector<std::atomic<std::uint64_t>> rank_retries;
-  std::vector<std::atomic<double>> rank_wait;
-
-  // Poison propagation: the world-root state tracks every descendant.
-  // Atomic: the split creator publishes the child before register_child
-  // stores the root pointer, so peers may read it concurrently.
-  std::atomic<CommState*> root{nullptr};  // null for the root itself
-  std::mutex registry_mutex;  // root only
-  std::vector<std::weak_ptr<CommState>> registry;  // root only
-
-  // Root only: robustness options and the watchdog's per-world-rank slots.
-  WorldOptions opts;
-  std::vector<std::unique_ptr<BlockedSlot>> slots;
-  std::atomic<std::uint64_t> ops_total{0};
-
-  CommState* root_state() {
-    CommState* r = root.load(std::memory_order_acquire);
-    return r ? r : this;
-  }
-
-  BlockedSlot* slot_for(int world_rank) {
-    CommState* r = root_state();
-    if (world_rank < 0 || world_rank >= static_cast<int>(r->slots.size())) return nullptr;
-    return r->slots[static_cast<std::size_t>(world_rank)].get();
-  }
-
-  /// One comm op (send/recv/barrier) completed on `world_rank`: the signal
-  /// the watchdog distinguishes "slow" from "stalled" by.
-  void note_progress(int world_rank) {
-    CommState* r = root_state();
-    if (BlockedSlot* s = slot_for(world_rank)) s->ops.fetch_add(1, std::memory_order_relaxed);
-    r->ops_total.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  void poison_state(CommState& s) {
-    {
-      std::scoped_lock lock(s.barrier_mutex);
-      s.poisoned.store(true, std::memory_order_relaxed);
-    }
-    s.barrier_cv.notify_all();
-    for (auto& box : s.mailboxes) box->poison();
-  }
-
-  void register_child(const std::shared_ptr<CommState>& child) {
-    CommState* r = root_state();
-    child->root.store(r, std::memory_order_release);
-    {
-      std::scoped_lock lock(r->registry_mutex);
-      r->registry.push_back(child);
-    }
-    // A child created after the world died must be born poisoned, or its
-    // ranks would block forever in a world nobody else inhabits.
-    if (r->poisoned.load(std::memory_order_relaxed)) poison_state(*child);
-  }
-
-  void poison_world() {
-    CommState* r = root_state();
-    poison_state(*r);
-    std::scoped_lock lock(r->registry_mutex);
-    for (auto& weak : r->registry) {
-      if (auto child = weak.lock()) poison_state(*child);
-    }
-  }
-};
 
 namespace {
 
@@ -514,7 +403,8 @@ Comm Comm::split(int color, int key) {
   const Entry mine{color, key, rank_};
   const auto all = allgather_value(mine);
 
-  const std::uint64_t epoch = split_epoch_++;
+  const std::uint64_t epoch =
+      state_->split_seq[static_cast<std::size_t>(rank_)].fetch_add(1, std::memory_order_relaxed);
   if (color < 0) return Comm{};  // MPI_UNDEFINED
 
   std::vector<Entry> members;
@@ -529,21 +419,25 @@ Comm Comm::split(int color, int key) {
     if (members[i].parent_rank == rank_) child_rank = static_cast<int>(i);
   }
 
-  // Rendezvous on the shared child state.
+  // Rendezvous on the shared child state; the last member to pick it up
+  // retires the entry.
   std::shared_ptr<detail::CommState> child;
   {
     std::unique_lock lock(state_->split_mutex);
     const auto it_key = std::make_pair(epoch, color);
     auto it = state_->split_children.find(it_key);
     if (it == state_->split_children.end()) {
-      child = std::make_shared<detail::CommState>(static_cast<int>(members.size()));
-      state_->split_children.emplace(it_key, child);
+      detail::CommState::SplitChild sc{
+          std::make_shared<detail::CommState>(static_cast<int>(members.size())),
+          static_cast<int>(members.size())};
+      it = state_->split_children.emplace(it_key, std::move(sc)).first;
       lock.unlock();
-      state_->register_child(child);
+      state_->register_child(it->second.state);
       state_->split_cv.notify_all();
-    } else {
-      child = it->second;
+      lock.lock();
     }
+    child = it->second.state;
+    if (--it->second.remaining == 0) state_->split_children.erase(it);
   }
   return Comm{std::move(child), child_rank};
 }
@@ -581,11 +475,12 @@ void Comm::reset_traffic() {
 
 WorldOptions World::options_from_env() {
   WorldOptions opts;
+  const util::EnvConfig env = util::env_config();
   FaultConfig cfg = FaultConfig::from_env();
   if (cfg.enabled()) opts.fault = std::make_shared<FaultPlan>(std::move(cfg));
-  if (const char* v = std::getenv("VCGT_RECV_TIMEOUT")) opts.recv_timeout = std::atof(v);
-  if (const char* v = std::getenv("VCGT_RECV_RETRIES")) opts.recv_retries = std::atoi(v);
-  if (const char* v = std::getenv("VCGT_STALL_TIMEOUT")) opts.stall_timeout = std::atof(v);
+  if (env.recv_timeout) opts.recv_timeout = *env.recv_timeout;
+  if (env.recv_retries) opts.recv_retries = *env.recv_retries;
+  if (env.stall_timeout) opts.stall_timeout = *env.stall_timeout;
   return opts;
 }
 
@@ -595,13 +490,7 @@ void World::run(int nranks, const std::function<void(Comm&)>& fn) {
 
 void World::run(int nranks, const std::function<void(Comm&)>& fn, const WorldOptions& opts) {
   if (nranks <= 0) throw std::invalid_argument("minimpi::World: nranks must be positive");
-  auto state = std::make_shared<detail::CommState>(nranks);
-  state->opts = opts;
-  if (state->opts.fault) state->opts.fault->ensure_ranks(nranks);
-  state->slots.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    state->slots.push_back(std::make_unique<detail::BlockedSlot>());
-  }
+  auto state = detail::make_world_state(nranks, opts);
 
   std::mutex error_mutex;
   std::exception_ptr first_error;

@@ -420,6 +420,7 @@ class Comm {
 
  private:
   friend class World;
+  friend class WorkerPool;
   Comm(std::shared_ptr<detail::CommState> state, int rank)
       : state_(std::move(state)), rank_(rank) {}
 
@@ -433,7 +434,6 @@ class Comm {
 
   std::shared_ptr<detail::CommState> state_;
   int rank_ = -1;
-  std::uint64_t split_epoch_ = 0;  ///< local count of split() calls (keys the rendezvous)
 };
 
 /// In-flight nonblocking operation handle (see Comm::isend_bytes/irecv_bytes).

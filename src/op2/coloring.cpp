@@ -74,9 +74,14 @@ std::uint64_t arg_signature(const std::vector<ArgInfo>& args) {
   auto mix = [&h](std::uint64_t v) {
     h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
   };
+  // Dats and maps enter by declaration id, not address: two Contexts built
+  // from the same SessionSpec declare in the same order, so signatures are
+  // stable across processes/sessions — what lets the PlanCache validate an
+  // imported plan against this context's loops. Within one context ids are
+  // as unique as pointers, so the reuse check loses nothing.
   for (const auto& a : args) {
-    mix(reinterpret_cast<std::uintptr_t>(a.dat));
-    mix(reinterpret_cast<std::uintptr_t>(a.map));
+    mix(a.dat ? static_cast<std::uint64_t>(a.dat->id()) + 1 : 0);
+    mix(a.map ? static_cast<std::uint64_t>(a.map->id()) + 1 : 0);
     mix(static_cast<std::uint64_t>(a.idx));
     mix(static_cast<std::uint64_t>(a.acc));
     mix(a.is_global ? 1 : 0);

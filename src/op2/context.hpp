@@ -37,6 +37,8 @@
 
 namespace vcgt::op2 {
 
+class PlanCache;  // plancache.hpp
+
 /// Halo exchange schedule for one set (built by partition()).
 struct SetHalo {
   std::vector<int> nbr_send;                    ///< ranks importing my elements
@@ -139,6 +141,31 @@ class Context {
   /// Times a persistent halo pack buffer grew (capacity allocation). After
   /// warm-up, steady-state iterations must not grow this (tested).
   [[nodiscard]] std::uint64_t halo_buffer_allocs() const { return halo_buf_allocs_; }
+
+  // --- plan cache (serve front end; DESIGN.md §12) --------------------------
+  /// Attaches a shared PlanCache. `spec_key` must cover *everything* that
+  /// shapes this context's setup artifacts — mesh/declaration structure,
+  /// renumbering, the op2 Config — typically vcgt::SessionSpec::hash()
+  /// folded with a per-row discriminator. SPMD rule: set the same cache and
+  /// key on every rank of the communicator, or on none (the import paths
+  /// agree hit/miss collectively). Call before partition().
+  void set_plan_cache(PlanCache* cache, std::uint64_t spec_key);
+  [[nodiscard]] PlanCache* plan_cache() const { return plan_cache_; }
+  /// True when the last partition() consumed cached element owners instead
+  /// of running the partitioner.
+  [[nodiscard]] bool partition_was_cached() const { return partition_cached_; }
+  /// True when import_plans_from_cache() adopted cached plans.
+  [[nodiscard]] bool plans_were_imported() const { return plans_imported_; }
+  /// Collective when distributed: adopts every loop/chain plan snapshot a
+  /// previous context of the same spec exported, iff *all* ranks hit (a
+  /// mixed hit/miss would send some ranks down the cached path while their
+  /// peers enter the collective plan build — deadlock). Call after
+  /// partition() and before the first par_loop. Returns true on import.
+  bool import_plans_from_cache();
+  /// Snapshots every built plan into the cache under this rank's key. Call
+  /// only after a *successful* run — failure paths must never export, so a
+  /// killed or faulted job cannot poison the cache. Local, never blocks.
+  bool export_plans_to_cache();
 
   /// Shared-memory worker pool (created from config().nthreads).
   [[nodiscard]] util::ThreadPool& pool() { return *pool_; }
@@ -310,6 +337,7 @@ class Context {
 
   [[nodiscard]] const std::vector<std::unique_ptr<Set>>& sets() const { return sets_; }
   [[nodiscard]] const std::vector<std::unique_ptr<Map>>& maps() const { return maps_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<DatBase>>& dats() const { return dats_; }
 
  private:
   friend class Set;
@@ -345,6 +373,13 @@ class Context {
   std::map<std::string, std::unique_ptr<ChainPlan>> chains_;
   std::uint64_t layout_epoch_ = 1;
   std::uint64_t halo_buf_allocs_ = 0;
+
+  // Plan cache wiring (plansnap.cpp); not owned.
+  std::string cache_key(const char* kind) const;
+  PlanCache* plan_cache_ = nullptr;
+  std::uint64_t spec_key_ = 0;
+  bool partition_cached_ = false;
+  bool plans_imported_ = false;
 
   // Kept from partitioning for plan construction: per set, global->owner and
   // per-rank global exec/nonexec import lists are discarded; only the local

@@ -12,8 +12,8 @@
 // declaring a mutable `T*` parameter for it fails to compile instead of
 // silently racing. `write()`, `rw()` and `inc()` hand out `T*`;
 // `reduce_sum/min/max()` mark global reduction targets. The pre-redesign
-// runtime-enum spelling `op2::arg(..., Access::X)` survives as a thin
-// deprecated wrapper with the old `T*`-everywhere typing.
+// runtime-enum spelling `op2::arg(..., Access::X)` is gone: access modes
+// live in the type, and the old spelling no longer compiles.
 //
 // The loop body is written purely element-wise; the runtime supplies the
 // parallelization: distributed halo exchanges with latency hiding,
@@ -86,21 +86,6 @@ struct GblArg {
 /// debugging output.
 struct IdxArg {
   const index_t* l2g = nullptr;  ///< filled by par_loop from the iteration set
-};
-
-// Legacy runtime-enum descriptors (deprecated op2::arg spelling). They bind
-// with the pre-redesign `T*`-everywhere typing.
-template <class T>
-struct LegacyDatArg {
-  Dat<T>* dat;
-  const Map* map;
-  int idx;
-  Access acc;
-};
-template <class T>
-struct LegacyGblArg {
-  Global<T>* g;
-  Access acc;
 };
 
 // --- access-tagged builders -------------------------------------------------
@@ -225,27 +210,6 @@ struct RowArg {
 };
 [[nodiscard]] inline RowArg row(const Map& m) { return {&m}; }
 
-// --- deprecated runtime-enum builders ---------------------------------------
-
-/// Indirect access: dat[ map(e, idx) ].
-template <class T>
-[[deprecated("use op2::read/write/rw/inc(dat, map, idx) — access mode in the type")]]
-[[nodiscard]] LegacyDatArg<T> arg(Dat<T>& d, int idx, const Map& m, Access a) {
-  return {&d, &m, idx, a};
-}
-/// Direct access: dat[e].
-template <class T>
-[[deprecated("use op2::read/write/rw/inc(dat) — access mode in the type")]]
-[[nodiscard]] LegacyDatArg<T> arg(Dat<T>& d, Access a) {
-  return {&d, nullptr, 0, a};
-}
-/// Global parameter (Read) or reduction target (Inc/Min/Max).
-template <class T>
-[[deprecated("use op2::read/reduce_sum/reduce_min/reduce_max(global)")]]
-[[nodiscard]] LegacyGblArg<T> arg(Global<T>& g, Access a) {
-  return {&g, a};
-}
-
 namespace detail {
 
 /// Elements staged per chunk through a scratch block: small enough to stay
@@ -260,14 +224,6 @@ ArgInfo to_info(const DatArg<T, A>& a) {
 template <class T, Access A>
 ArgInfo to_info(const GblArg<T, A>&) {
   return ArgInfo{nullptr, nullptr, 0, A, true};
-}
-template <class T>
-ArgInfo to_info(const LegacyDatArg<T>& a) {
-  return ArgInfo{a.dat, a.map, a.idx, a.acc, false};
-}
-template <class T>
-ArgInfo to_info(const LegacyGblArg<T>& a) {
-  return ArgInfo{nullptr, nullptr, 0, a.acc, true};
 }
 inline ArgInfo to_info(const IdxArg&) {
   return ArgInfo{nullptr, nullptr, -1, Access::Read, false};
@@ -298,10 +254,6 @@ struct BoundDat {
   index_t bmask;        ///< AoSoA block - 1
   T* scratch;           ///< null: direct pointers; else kStage*ddim lane block
   Access acc;
-};
-template <class T>
-struct BoundGbl {
-  T* ptr;
 };
 struct BoundIdx {
   const index_t* l2g;  ///< local -> global of the iteration set
@@ -393,10 +345,6 @@ inline void post(TBoundDat<T, A>& b, index_t e) {
   post(b.core, e);
 }
 
-template <class T>
-[[nodiscard]] inline T* pre(BoundGbl<T>& b, index_t) {
-  return b.ptr;
-}
 template <class T, Access A>
 [[nodiscard]] inline auto pre(TBoundGbl<T, A>& b, index_t) {
   using P = std::conditional_t<A == Access::Read, const T*, T*>;
@@ -410,8 +358,6 @@ template <class T>
 [[nodiscard]] inline const index_t* pre(BoundRow& b, index_t e) {
   return b.table + static_cast<std::size_t>(e) * static_cast<std::size_t>(b.mdim);
 }
-template <class T>
-inline void post(BoundGbl<T>&, index_t) {}
 template <class T, Access A>
 inline void post(TBoundGbl<T, A>&, index_t) {}
 inline void post(BoundIdx&, index_t) {}
@@ -541,17 +487,9 @@ template <class T, Access A>
 auto make_scratch(const DatArg<T, A>& a, int nthreads) {
   return dat_scratch(*a.dat, nthreads);
 }
-template <class T>
-auto make_scratch(const LegacyDatArg<T>& a, int nthreads) {
-  return dat_scratch(*a.dat, nthreads);
-}
 template <class T, Access A>
 auto make_scratch(const GblArg<T, A>& a, int nthreads) {
   return gbl_scratch(*a.g, A, nthreads);
-}
-template <class T>
-auto make_scratch(const LegacyGblArg<T>& a, int nthreads) {
-  return gbl_scratch(*a.g, a.acc, nthreads);
 }
 inline NoScratch make_scratch(const IdxArg&, int) { return {}; }
 template <class T>
@@ -594,17 +532,9 @@ template <class T, Access A>
 TBoundDat<T, A> bind(const DatArg<T, A>& a, DatScratch<T>& s, int tid) {
   return {dat_bind(a.dat, a.map, a.idx, A, s, tid)};
 }
-template <class T>
-BoundDat<T> bind(const LegacyDatArg<T>& a, DatScratch<T>& s, int tid) {
-  return dat_bind(a.dat, a.map, a.idx, a.acc, s, tid);
-}
 template <class T, Access A>
 TBoundGbl<T, A> bind(const GblArg<T, A>& a, GblScratch<T>& s, int tid) {
   return {gbl_bind(a.g, A, s, tid)};
-}
-template <class T>
-BoundGbl<T> bind(const LegacyGblArg<T>& a, GblScratch<T>& s, int tid) {
-  return {gbl_bind(a.g, a.acc, s, tid)};
 }
 inline BoundIdx bind(const IdxArg& a, NoScratch&, int) { return BoundIdx{a.l2g}; }
 template <class T>
@@ -644,10 +574,6 @@ template <class T, Access A>
 void merge_scratch(const GblArg<T, A>& a, const GblScratch<T>& s, int nthreads) {
   gbl_merge(*a.g, A, s, nthreads);
 }
-template <class T>
-void merge_scratch(const LegacyGblArg<T>& a, const GblScratch<T>& s, int nthreads) {
-  gbl_merge(*a.g, a.acc, s, nthreads);
-}
 template <class A, class S>
 void merge_scratch(const A&, const S&, int) {}
 
@@ -678,11 +604,6 @@ template <class T, Access A>
 inline void capture_delta(const GblArg<T, A>&, GblScratch<T>& s, std::vector<double>* out) {
   gbl_capture(A, s, out);
 }
-template <class T>
-inline void capture_delta(const LegacyGblArg<T>& a, GblScratch<T>& s,
-                          std::vector<double>* out) {
-  gbl_capture(a.acc, s, out);
-}
 template <class A, class S>
 inline void capture_delta(const A&, S&, std::vector<double>*) {}
 
@@ -690,19 +611,11 @@ template <class T, Access A>
 inline void count_inc_dims(const GblArg<T, A>& a, std::size_t& n) {
   if (A == Access::Inc) n += static_cast<std::size_t>(a.g->dim());
 }
-template <class T>
-inline void count_inc_dims(const LegacyGblArg<T>& a, std::size_t& n) {
-  if (a.acc == Access::Inc) n += static_cast<std::size_t>(a.g->dim());
-}
 template <class A>
 inline void count_inc_dims(const A&, std::size_t&) {}
 
 template <class T, Access A>
 void snapshot_global(const GblArg<T, A>& a, std::vector<double>& out) {
-  for (int c = 0; c < a.g->dim(); ++c) out.push_back(static_cast<double>(a.g->data()[c]));
-}
-template <class T>
-void snapshot_global(const LegacyGblArg<T>& a, std::vector<double>& out) {
   for (int c = 0; c < a.g->dim(); ++c) out.push_back(static_cast<double>(a.g->data()[c]));
 }
 template <class A>
@@ -724,11 +637,6 @@ template <class T, Access A>
 void finalize_arg(Context& ctx, const GblArg<T, A>& a, std::span<const double> initial,
                   std::size_t& cursor) {
   gbl_finalize(ctx, *a.g, A, initial, cursor);
-}
-template <class T>
-void finalize_arg(Context& ctx, const LegacyGblArg<T>& a, std::span<const double> initial,
-                  std::size_t& cursor) {
-  gbl_finalize(ctx, *a.g, a.acc, initial, cursor);
 }
 template <class A>
 void finalize_arg(Context&, const A&, std::span<const double>, std::size_t&) {}
@@ -760,13 +668,6 @@ void finalize_arg_det(Context& ctx, const GblArg<T, A>& a, std::span<const doubl
                       std::span<const double> deltas, std::size_t stride,
                       std::size_t& off) {
   gbl_finalize_det(ctx, *a.g, A, initial, cursor, gids, deltas, stride, off);
-}
-template <class T>
-void finalize_arg_det(Context& ctx, const LegacyGblArg<T>& a,
-                      std::span<const double> initial, std::size_t& cursor,
-                      std::span<const index_t> gids, std::span<const double> deltas,
-                      std::size_t stride, std::size_t& off) {
-  gbl_finalize_det(ctx, *a.g, a.acc, initial, cursor, gids, deltas, stride, off);
 }
 template <class A>
 void finalize_arg_det(Context&, const A&, std::span<const double>, std::size_t&,

@@ -1,0 +1,69 @@
+#include "src/op2/plancache.hpp"
+
+namespace vcgt::op2 {
+
+std::shared_ptr<const void> PlanCache::lookup(const std::string& key) {
+  std::scoped_lock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+  return it->second->value;
+}
+
+void PlanCache::insert(const std::string& key, std::shared_ptr<const void> value,
+                       std::size_t bytes) {
+  std::scoped_lock lock(mutex_);
+  if (index_.count(key) != 0) return;  // first insertion wins
+  if (bytes > max_bytes_) return;      // would evict everything and still not fit
+  lru_.push_front(Entry{key, std::move(value), bytes});
+  index_[key] = lru_.begin();
+  stats_.bytes += bytes;
+  stats_.entries = index_.size();
+  ++stats_.insertions;
+  evict_locked();
+}
+
+bool PlanCache::contains(const std::string& key) const {
+  std::scoped_lock lock(mutex_);
+  return index_.count(key) != 0;
+}
+
+void PlanCache::invalidate(const std::string& key) {
+  std::scoped_lock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  stats_.bytes -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+  stats_.entries = index_.size();
+}
+
+void PlanCache::clear() {
+  std::scoped_lock lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+void PlanCache::evict_locked() {
+  while (stats_.bytes > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = index_.size();
+}
+
+}  // namespace vcgt::op2

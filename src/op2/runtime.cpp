@@ -7,7 +7,9 @@
 
 #include "src/op2/context.hpp"
 #include "src/op2/internal.hpp"
+#include "src/op2/plancache.hpp"
 #include "src/op2/simt.hpp"
+#include "src/util/env_config.hpp"
 #include "src/util/log.hpp"
 
 namespace vcgt::op2 {
@@ -152,25 +154,23 @@ std::map<std::string, std::uint64_t> Context::plan_fingerprints() const {
 Context::Context(minimpi::Comm comm, Config cfg)
     : comm_(std::move(comm)), cfg_(cfg),
       pool_(std::make_unique<util::ThreadPool>(cfg.nthreads)) {
-  if (const char* env = std::getenv("VCGT_OP2_LAYOUT")) {
+  const util::EnvConfig env = util::env_config();
+  if (env.op2_layout) {
     Layout l = cfg_.default_layout;
     int w = cfg_.aosoa_block;
-    if (parse_layout(env, &l, &w)) {
+    if (parse_layout(*env.op2_layout, &l, &w)) {
       cfg_.default_layout = l;
       cfg_.aosoa_block = w;
     } else {
-      util::warn("op2: ignoring unrecognized VCGT_OP2_LAYOUT '{}'", env);
+      util::warn("op2: ignoring unrecognized VCGT_OP2_LAYOUT '{}'", *env.op2_layout);
     }
   }
-  if (const char* env = std::getenv("VCGT_OP2_SIMT")) {
-    cfg_.simt = env[0] != '\0' && env[0] != '0';
-  }
-  if (const char* env = std::getenv("VCGT_OP2_CHAIN_TILE")) {
-    const int v = std::atoi(env);
-    if (v > 0) {
-      cfg_.chain_tile = v;
+  if (env.op2_simt) cfg_.simt = *env.op2_simt;
+  if (env.op2_chain_tile) {
+    if (*env.op2_chain_tile > 0) {
+      cfg_.chain_tile = *env.op2_chain_tile;
     } else {
-      util::warn("op2: ignoring non-positive VCGT_OP2_CHAIN_TILE '{}'", env);
+      util::warn("op2: ignoring non-positive VCGT_OP2_CHAIN_TILE '{}'", *env.op2_chain_tile);
     }
   }
   if (cfg_.aosoa_block < 1 || (cfg_.aosoa_block & (cfg_.aosoa_block - 1)) != 0) {
@@ -238,8 +238,41 @@ void Context::partition(Partitioner p, const Dat<double>& coords) {
 void Context::partition(Partitioner p, const std::vector<const Dat<double>*>& primaries) {
   if (partitioned_) throw std::logic_error("op2: partition() called twice");
   if (primaries.empty()) throw std::invalid_argument("op2: partition() needs a primary set");
-  const auto owners = compute_owners(p, primaries);
-  build_halos_and_localize(owners);
+  // Fingerprint-keyed owner reuse: owners are computed from replicated
+  // global data and are identical on every rank, so one cached copy (keyed
+  // by spec + partitioner + world size + primary sets) serves the whole
+  // world. A mixed hit/miss would send some ranks down the cached path
+  // while their peers run the collective partitioner, so all ranks agree
+  // (allreduce-min of the local hit bit) before anyone consumes the hit.
+  std::shared_ptr<const std::vector<std::vector<int>>> cached;
+  std::string key;
+  if (plan_cache_) {
+    std::uint64_t prim = 0xcbf29ce484222325ull;
+    for (const auto* d : primaries) {
+      prim = (prim ^ static_cast<std::uint64_t>(d->set().id() + 1)) * 0x100000001b3ull;
+    }
+    key = cache_key("owners") + vcgt::util::fmt(":p{}:d{}", static_cast<int>(p), prim);
+    cached = plan_cache_->lookup_as<std::vector<std::vector<int>>>(key);
+    int hit = cached ? 1 : 0;
+    if (distributed()) {
+      hit = comm_.allreduce(hit, [](int a, int b) { return a < b ? a : b; });
+    }
+    if (hit == 0) cached.reset();
+  }
+  if (cached) {
+    partition_cached_ = true;
+    build_halos_and_localize(*cached);
+  } else {
+    partition_cached_ = false;
+    auto owners =
+        std::make_shared<const std::vector<std::vector<int>>>(compute_owners(p, primaries));
+    build_halos_and_localize(*owners);
+    if (plan_cache_) {
+      std::size_t bytes = 64;
+      for (const auto& v : *owners) bytes += v.size() * sizeof(int) + 32;
+      plan_cache_->insert_value(key, owners, bytes);
+    }
+  }
   partitioned_ = true;
 }
 
@@ -448,6 +481,9 @@ void Context::reset_stats() {
     plan->halo_epochs = 0;
     plan->elements = 0;
   }
+  // Pack-buffer growth is a warm-up artifact: steady-state metrics taken
+  // after a reset must report zero further allocations, not the warm-up's.
+  halo_buf_allocs_ = 0;
 }
 
 }  // namespace vcgt::op2

@@ -1,0 +1,204 @@
+#include "src/serve/protocol.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/util/bytes.hpp"
+
+namespace vcgt::serve {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4;  // version + type, inside the length
+
+std::vector<std::byte> finish(FrameType type, util::ByteWriter body) {
+  util::ByteWriter w;
+  const auto payload = body.take();
+  w.put_u32(static_cast<std::uint32_t>(kHeaderBytes + payload.size()));
+  w.put_u16(kProtocolVersion);
+  w.put_u16(static_cast<std::uint16_t>(type));
+  w.put_bytes(payload);
+  return w.take();
+}
+
+util::ByteReader reader_for(const Frame& f, FrameType expect) {
+  if (f.type != expect) {
+    throw std::runtime_error("serve::Frame: decoded as wrong frame type");
+  }
+  return util::ByteReader(f.body);
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(const HelloFrame& f) {
+  util::ByteWriter w;
+  w.put_u16(f.protocol_version);
+  w.put_string(f.server);
+  return finish(FrameType::Hello, std::move(w));
+}
+
+std::vector<std::byte> encode(const SubmitFrame& f) {
+  util::ByteWriter w;
+  w.put_span(std::span<const std::byte>(f.spec));
+  return finish(FrameType::Submit, std::move(w));
+}
+
+std::vector<std::byte> encode(const JobAcceptedFrame& f) {
+  util::ByteWriter w;
+  w.put_u64(f.job_id);
+  w.put_u64(f.spec_hash);
+  return finish(FrameType::JobAccepted, std::move(w));
+}
+
+std::vector<std::byte> encode(const JobRejectedFrame& f) {
+  util::ByteWriter w;
+  w.put_f64(f.retry_after);
+  w.put_string(f.reason);
+  return finish(FrameType::JobRejected, std::move(w));
+}
+
+std::vector<std::byte> encode(const StepFrame& f) {
+  util::ByteWriter w;
+  w.put_u64(f.job_id);
+  w.put_i32(f.step);
+  w.put_f64(f.time);
+  w.put_f64(f.rms);
+  w.put_f64(f.mdot_in);
+  w.put_f64(f.mdot_out);
+  w.put_f64(f.mean_p);
+  w.put_f64(f.power);
+  w.put_u64(f.halo_bytes);
+  w.put_u64(f.halo_msgs);
+  return finish(FrameType::Step, std::move(w));
+}
+
+std::vector<std::byte> encode(const JobDoneFrame& f) {
+  util::ByteWriter w;
+  w.put_u64(f.job_id);
+  w.put_i32(f.steps);
+  w.put_bool(f.warm);
+  w.put_bool(f.plans_cached);
+  w.put_f64(f.setup_seconds);
+  w.put_f64(f.run_seconds);
+  return finish(FrameType::JobDone, std::move(w));
+}
+
+std::vector<std::byte> encode(const JobErrorFrame& f) {
+  util::ByteWriter w;
+  w.put_u64(f.job_id);
+  w.put_string(f.error);
+  w.put_u32(static_cast<std::uint32_t>(f.rank_errors.size()));
+  for (const auto& e : f.rank_errors) w.put_string(e);
+  w.put_bool(f.world_rebuilt);
+  return finish(FrameType::JobError, std::move(w));
+}
+
+HelloFrame Frame::as_hello() const {
+  auto r = reader_for(*this, FrameType::Hello);
+  HelloFrame f;
+  f.protocol_version = r.get_u16();
+  f.server = r.get_string();
+  return f;
+}
+
+SubmitFrame Frame::as_submit() const {
+  auto r = reader_for(*this, FrameType::Submit);
+  SubmitFrame f;
+  f.spec = r.get_vector<std::byte>();
+  return f;
+}
+
+JobAcceptedFrame Frame::as_job_accepted() const {
+  auto r = reader_for(*this, FrameType::JobAccepted);
+  JobAcceptedFrame f;
+  f.job_id = r.get_u64();
+  f.spec_hash = r.get_u64();
+  return f;
+}
+
+JobRejectedFrame Frame::as_job_rejected() const {
+  auto r = reader_for(*this, FrameType::JobRejected);
+  JobRejectedFrame f;
+  f.retry_after = r.get_f64();
+  f.reason = r.get_string();
+  return f;
+}
+
+StepFrame Frame::as_step() const {
+  auto r = reader_for(*this, FrameType::Step);
+  StepFrame f;
+  f.job_id = r.get_u64();
+  f.step = r.get_i32();
+  f.time = r.get_f64();
+  f.rms = r.get_f64();
+  f.mdot_in = r.get_f64();
+  f.mdot_out = r.get_f64();
+  f.mean_p = r.get_f64();
+  f.power = r.get_f64();
+  f.halo_bytes = r.get_u64();
+  f.halo_msgs = r.get_u64();
+  return f;
+}
+
+JobDoneFrame Frame::as_job_done() const {
+  auto r = reader_for(*this, FrameType::JobDone);
+  JobDoneFrame f;
+  f.job_id = r.get_u64();
+  f.steps = r.get_i32();
+  f.warm = r.get_bool();
+  f.plans_cached = r.get_bool();
+  f.setup_seconds = r.get_f64();
+  f.run_seconds = r.get_f64();
+  return f;
+}
+
+JobErrorFrame Frame::as_job_error() const {
+  auto r = reader_for(*this, FrameType::JobError);
+  JobErrorFrame f;
+  f.job_id = r.get_u64();
+  f.error = r.get_string();
+  const std::uint32_t n = r.get_u32();
+  f.rank_errors.resize(n);
+  for (auto& e : f.rank_errors) e = r.get_string();
+  f.world_rebuilt = r.get_bool();
+  return f;
+}
+
+void FrameSplitter::feed(std::span<const std::byte> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  // Split off every complete frame; keep the trailing partial (if any).
+  std::size_t pos = 0;
+  while (buffer_.size() - pos >= 4) {
+    util::ByteReader len_r(std::span<const std::byte>(buffer_).subspan(pos, 4));
+    const std::uint32_t length = len_r.get_u32();
+    if (length < kHeaderBytes || length > kMaxFrameBytes) {
+      throw std::runtime_error("serve::FrameSplitter: invalid frame length");
+    }
+    if (buffer_.size() - pos - 4 < length) break;  // incomplete: wait for more
+    util::ByteReader hdr(
+        std::span<const std::byte>(buffer_).subspan(pos + 4, kHeaderBytes));
+    const std::uint16_t version = hdr.get_u16();
+    const std::uint16_t type = hdr.get_u16();
+    if (version != kProtocolVersion) {
+      throw std::runtime_error("serve::FrameSplitter: protocol version mismatch");
+    }
+    Frame f;
+    f.type = static_cast<FrameType>(type);
+    const auto body_begin = buffer_.begin() +
+        static_cast<std::ptrdiff_t>(pos + 4 + kHeaderBytes);
+    const auto body_end = buffer_.begin() + static_cast<std::ptrdiff_t>(pos + 4 + length);
+    f.body.assign(body_begin, body_end);
+    ready_.push_back(std::move(f));
+    pos += 4 + length;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+std::optional<Frame> FrameSplitter::pop() {
+  if (ready_.empty()) return std::nullopt;
+  Frame f = std::move(ready_.front());
+  ready_.pop_front();
+  return f;
+}
+
+}  // namespace vcgt::serve

@@ -1,0 +1,140 @@
+#pragma once
+// vcgt::serve wire protocol — length-prefixed binary frames (DESIGN.md §12).
+//
+// Framing: every frame is
+//
+//     u32 length   (bytes after this field: header + body)
+//     u16 version  (kProtocolVersion; receivers reject mismatches)
+//     u16 type     (FrameType)
+//     ...body      (type-specific, ByteWriter encoding)
+//
+// The encoding is the same little-endian ByteWriter/ByteReader discipline
+// the SessionSpec uses, so a spec travels inside a Submit frame verbatim as
+// the bytes its hash is computed over. FrameSplitter turns an arbitrary
+// byte stream (a socket's read() chunks, a file, a test buffer) back into
+// whole frames: feed it bytes, pop complete frames; it never reads past a
+// length prefix and throws on structurally invalid input (oversized or
+// undersized length, bad version) instead of desynchronizing.
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vcgt::serve {
+
+constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Upper bound on a single frame's length field. Frames are telemetry and
+/// control — anything larger is a corrupt stream, not a big message.
+constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class FrameType : std::uint16_t {
+  Hello = 1,        ///< server → client: protocol handshake
+  Submit = 2,       ///< client → server: SessionSpec blob
+  JobAccepted = 3,  ///< server → client: admission granted
+  JobRejected = 4,  ///< server → client: backpressure, retry later
+  Step = 5,         ///< server → client: one per physical step
+  JobDone = 6,      ///< server → client: terminal success
+  JobError = 7,     ///< server → client: terminal failure (structured)
+};
+
+struct HelloFrame {
+  std::uint16_t protocol_version = kProtocolVersion;
+  std::string server = "vcgt-serve";
+};
+
+struct SubmitFrame {
+  std::vector<std::byte> spec;  ///< SessionSpec::serialize() blob
+};
+
+struct JobAcceptedFrame {
+  std::uint64_t job_id = 0;
+  std::uint64_t spec_hash = 0;
+};
+
+struct JobRejectedFrame {
+  double retry_after = 0.0;  ///< seconds; admission backpressure hint
+  std::string reason;
+};
+
+/// Per-physical-step telemetry: the row-0 monitor set plus the op2 halo
+/// traffic counters of the emitting rank's context (cumulative over the
+/// session so far).
+struct StepFrame {
+  std::uint64_t job_id = 0;
+  std::int32_t step = 0;
+  double time = 0.0;      ///< physical time [s]
+  double rms = 0.0;       ///< row-0 residual rms
+  double mdot_in = 0.0;   ///< row-0 inlet mass flow
+  double mdot_out = 0.0;  ///< row-0 outlet mass flow
+  double mean_p = 0.0;    ///< row-0 volume-mean static pressure
+  double power = 0.0;     ///< row-0 shaft power [W]
+  std::uint64_t halo_bytes = 0;
+  std::uint64_t halo_msgs = 0;
+};
+
+struct JobDoneFrame {
+  std::uint64_t job_id = 0;
+  std::int32_t steps = 0;
+  bool warm = false;            ///< setup reused a parked session
+  bool plans_cached = false;    ///< op2 plans came from the plan cache
+  double setup_seconds = 0.0;
+  double run_seconds = 0.0;
+};
+
+struct JobErrorFrame {
+  std::uint64_t job_id = 0;
+  std::string error;                     ///< first failing rank's message
+  std::vector<std::string> rank_errors;  ///< per world rank; empty = clean
+  bool world_rebuilt = false;
+};
+
+// --- encoding ---------------------------------------------------------------
+
+std::vector<std::byte> encode(const HelloFrame& f);
+std::vector<std::byte> encode(const SubmitFrame& f);
+std::vector<std::byte> encode(const JobAcceptedFrame& f);
+std::vector<std::byte> encode(const JobRejectedFrame& f);
+std::vector<std::byte> encode(const StepFrame& f);
+std::vector<std::byte> encode(const JobDoneFrame& f);
+std::vector<std::byte> encode(const JobErrorFrame& f);
+
+// --- decoding ---------------------------------------------------------------
+
+/// One whole frame, split off a stream.
+struct Frame {
+  FrameType type{};
+  std::vector<std::byte> body;  ///< payload after the version/type header
+
+  [[nodiscard]] HelloFrame as_hello() const;
+  [[nodiscard]] SubmitFrame as_submit() const;
+  [[nodiscard]] JobAcceptedFrame as_job_accepted() const;
+  [[nodiscard]] JobRejectedFrame as_job_rejected() const;
+  [[nodiscard]] StepFrame as_step() const;
+  [[nodiscard]] JobDoneFrame as_job_done() const;
+  [[nodiscard]] JobErrorFrame as_job_error() const;
+};
+
+/// Incremental stream splitter (see header comment).
+class FrameSplitter {
+ public:
+  /// Appends stream bytes; throws std::runtime_error on a structurally
+  /// invalid prefix (length over kMaxFrameBytes or under the header size,
+  /// or a version mismatch once the header is readable).
+  void feed(std::span<const std::byte> bytes);
+
+  /// Pops the next complete frame; nullopt when the buffered bytes end
+  /// mid-frame (feed more).
+  std::optional<Frame> pop();
+
+  /// Bytes buffered but not yet popped as frames.
+  [[nodiscard]] std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::byte> buffer_;
+  std::deque<Frame> ready_;
+};
+
+}  // namespace vcgt::serve

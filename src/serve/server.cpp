@@ -1,0 +1,196 @@
+#include "src/serve/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/minimpi/fault.hpp"
+#include "src/util/fmt.hpp"
+#include "src/util/log.hpp"
+
+namespace vcgt::serve {
+
+namespace {
+
+/// Releases one admission unit when the last copy of a job closure dies
+/// (the pool destroys closures after finalize — success, failure and
+/// shutdown all pass through there).
+struct AdmissionGuard {
+  std::shared_ptr<std::atomic<long>> n;
+  ~AdmissionGuard() {
+    if (n) n->fetch_sub(1, std::memory_order_acq_rel);
+  }
+};
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(opts), cache_(opts.cache_bytes),
+      outstanding_(std::make_shared<std::atomic<long>>(0)) {}
+
+Server::~Server() { shutdown(); }
+
+minimpi::WorkerPool* Server::pool_for_locked(const SessionSpec& spec,
+                                             std::string* reason) {
+  const int ws = spec.world_size();
+  const std::string key = util::fmt("w{}:f{}", ws, spec.fault_hash());
+  auto it = pools_.find(key);
+  if (it != pools_.end()) return it->second.get();
+  if (total_ranks_ + ws > opts_.max_total_ranks) {
+    *reason = util::fmt("rank budget exhausted ({} live + {} needed > {})",
+                        total_ranks_, ws, opts_.max_total_ranks);
+    return nullptr;
+  }
+  minimpi::WorldOptions wopts;
+  if (spec.fault.enabled()) {
+    wopts.fault = std::make_shared<minimpi::FaultPlan>(spec.fault);
+  }
+  wopts.stall_timeout = opts_.stall_timeout;
+  wopts.recv_timeout = opts_.recv_timeout;
+  wopts.recv_retries = opts_.recv_retries;
+  auto pool = std::make_unique<minimpi::WorkerPool>(ws, wopts);
+  minimpi::WorkerPool* raw = pool.get();
+  pools_.emplace(key, std::move(pool));
+  total_ranks_ += ws;
+  util::debug("serve::Server: world {} up ({} ranks, {} total)", key, ws, total_ranks_);
+  return raw;
+}
+
+Server::Ticket Server::submit(const SessionSpec& spec) {
+  Ticket t;
+  t.spec_hash = spec.hash();
+  std::scoped_lock lock(mutex_);
+  if (stopped_) {
+    t.reason = "server shut down";
+    return t;
+  }
+  if (outstanding_->load(std::memory_order_acquire) >=
+      static_cast<long>(opts_.queue_capacity)) {
+    t.retry_after = opts_.retry_after;
+    t.reason = util::fmt("admission queue full ({} outstanding)",
+                         opts_.queue_capacity);
+    return t;
+  }
+  std::string reason;
+  minimpi::WorkerPool* pool = pool_for_locked(spec, &reason);
+  if (pool == nullptr) {
+    t.retry_after = opts_.retry_after;
+    t.reason = reason;
+    return t;
+  }
+
+  const std::uint64_t job_id = ++next_job_id_;
+  auto output = std::make_shared<JobOutput>();
+  auto guard = std::make_shared<AdmissionGuard>();
+  guard->n = outstanding_;
+  outstanding_->fetch_add(1, std::memory_order_acq_rel);
+  auto inner = make_session_job(spec, job_id, &cache_, output);
+  Handle handle;
+  handle.result = pool->submit(
+      [inner = std::move(inner), guard = std::move(guard)](
+          minimpi::Comm& comm, std::shared_ptr<void>& slot) { inner(comm, slot); });
+  handle.output = std::move(output);
+  handle.spec_hash = t.spec_hash;
+  jobs_.emplace(job_id, std::move(handle));
+
+  t.accepted = true;
+  t.job_id = job_id;
+  return t;
+}
+
+Server::JobOutcome Server::wait(std::uint64_t job_id) {
+  Handle handle;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) {
+      throw std::invalid_argument(
+          util::fmt("serve::Server::wait: unknown job id {}", job_id));
+    }
+    handle = std::move(it->second);
+    jobs_.erase(it);
+  }
+  const minimpi::WorkerPool::JobResult result = handle.result.get();
+
+  JobOutcome oc;
+  oc.job_id = job_id;
+  oc.ok = result.ok;
+  oc.error = result.error;
+  oc.rank_errors = result.rank_errors;
+  oc.world_rebuilt = result.world_rebuilt;
+  oc.warm = handle.output->warm;
+  oc.partition_cached = handle.output->partition_cached;
+  oc.plans_cached = handle.output->plans_cached;
+  oc.setup_seconds = handle.output->setup_seconds;
+  oc.run_seconds = handle.output->run_seconds;
+  oc.frames = std::move(handle.output->frames);
+  oc.done_ns = handle.output->done_ns.load(std::memory_order_acquire);
+  return oc;
+}
+
+std::vector<std::byte> Server::wait_stream(std::uint64_t job_id) {
+  const JobOutcome oc = wait(job_id);
+  std::vector<std::byte> stream;
+  const auto append = [&stream](std::vector<std::byte> frame) {
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  };
+  JobAcceptedFrame acc;
+  acc.job_id = oc.job_id;
+  append(encode(acc));
+  for (const StepFrame& f : oc.frames) append(encode(f));
+  if (oc.ok) {
+    JobDoneFrame done;
+    done.job_id = oc.job_id;
+    done.steps = static_cast<std::int32_t>(oc.frames.size());
+    done.warm = oc.warm;
+    done.plans_cached = oc.plans_cached;
+    done.setup_seconds = oc.setup_seconds;
+    done.run_seconds = oc.run_seconds;
+    append(encode(done));
+  } else {
+    JobErrorFrame err;
+    err.job_id = oc.job_id;
+    err.error = oc.error;
+    err.rank_errors = oc.rank_errors;
+    err.world_rebuilt = oc.world_rebuilt;
+    append(encode(err));
+  }
+  return stream;
+}
+
+std::vector<std::byte> Server::rejection_stream(const Ticket& ticket) {
+  JobRejectedFrame f;
+  f.retry_after = ticket.retry_after;
+  f.reason = ticket.reason;
+  return encode(f);
+}
+
+std::size_t Server::outstanding() const {
+  return static_cast<std::size_t>(
+      std::max<long>(0, outstanding_->load(std::memory_order_acquire)));
+}
+
+std::size_t Server::worlds() const {
+  std::scoped_lock lock(mutex_);
+  return pools_.size();
+}
+
+int Server::total_ranks() const {
+  std::scoped_lock lock(mutex_);
+  return total_ranks_;
+}
+
+void Server::shutdown() {
+  std::map<std::string, std::unique_ptr<minimpi::WorkerPool>> pools;
+  {
+    std::scoped_lock lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    pools.swap(pools_);
+  }
+  // Pool shutdown outside the lock: in-flight jobs finish, queued jobs fail
+  // with "pool shut down"; their futures stay claimable through wait().
+  for (auto& [key, pool] : pools) pool->shutdown();
+}
+
+}  // namespace vcgt::serve

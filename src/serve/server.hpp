@@ -1,0 +1,145 @@
+#pragma once
+// vcgt::serve::Server — the long-lived simulation-as-a-service front end
+// (DESIGN.md §12).
+//
+// A Server owns
+//  - a pool of persistent minimpi worker worlds (one WorkerPool per
+//    (world_size, fault_hash) the admitted specs require, created lazily,
+//    capped by a total-rank budget),
+//  - one process-wide op2::PlanCache shared by every world, so a spec's
+//    meshes, owner maps and loop/chain plans are computed once ever,
+//  - a bounded admission queue: submit() never blocks; when the number of
+//    outstanding jobs reaches queue_capacity (or a new spec's world would
+//    bust the rank budget) the job is *rejected* with a retry-after hint
+//    instead of queued — open-loop clients see backpressure, not latency.
+//
+// Results stream as protocol frames: wait_stream() renders a finished
+// job's lifecycle (accepted → step* → done/error) as one length-prefixed
+// byte stream; wait() returns the structured form. A job whose worker was
+// killed (chaos fault, stall watchdog) completes with a structured
+// JobError naming the failing ranks — never a hang — and its world is
+// rebuilt before the next job starts; the plan cache is untouched because
+// plans are only exported after a successful run.
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/minimpi/pool.hpp"
+#include "src/op2/plancache.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/session.hpp"
+#include "src/serve/session_spec.hpp"
+
+namespace vcgt::serve {
+
+struct ServerOptions {
+  /// Outstanding jobs (running + queued, across all worlds) admitted
+  /// before submit() starts rejecting.
+  std::size_t queue_capacity = 8;
+  /// Cap on the sum of world sizes across live worker pools; a spec whose
+  /// (new) world would exceed it is rejected.
+  int max_total_ranks = 64;
+  /// Plan-cache resident budget.
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  /// Progress watchdog per worker world: a stalled job is poisoned and
+  /// fails structurally after this long without progress. 0 = off (a
+  /// deadlocked chaos job would then hang its world — keep it on).
+  double stall_timeout = 30.0;
+  /// Bounded receive for worker worlds (0 = wait forever).
+  double recv_timeout = 0.0;
+  int recv_retries = 0;
+  /// Retry-after hint handed to rejected clients [s].
+  double retry_after = 0.05;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admission decision. Rejection is immediate and carries the hint; an
+  /// accepted job's result is claimed with wait()/wait_stream(job_id).
+  struct Ticket {
+    bool accepted = false;
+    std::uint64_t job_id = 0;
+    std::uint64_t spec_hash = 0;   ///< SessionSpec::hash() of the job
+    double retry_after = 0.0;      ///< rejection hint [s]
+    std::string reason;            ///< rejection reason
+  };
+
+  /// Structured terminal result of one job.
+  struct JobOutcome {
+    std::uint64_t job_id = 0;
+    bool ok = false;
+    std::string error;                     ///< first failing rank (empty when ok)
+    std::vector<std::string> rank_errors;  ///< per world rank
+    bool world_rebuilt = false;            ///< job poisoned its world
+    bool warm = false;                     ///< reused a parked session
+    bool partition_cached = false;
+    bool plans_cached = false;
+    double setup_seconds = 0.0;
+    double run_seconds = 0.0;
+    std::vector<StepFrame> frames;         ///< one per completed step
+    /// steady_clock completion stamp [ns] (0 if the job never started).
+    std::int64_t done_ns = 0;
+  };
+
+  /// Never blocks. Thread-safe.
+  Ticket submit(const SessionSpec& spec);
+
+  /// Blocks until `job_id` finishes; consumes the handle (a second wait on
+  /// the same id throws). Thread-safe for distinct ids.
+  JobOutcome wait(std::uint64_t job_id);
+
+  /// wait(), rendered as the protocol byte stream:
+  /// JobAccepted, Step*, then JobDone or JobError.
+  std::vector<std::byte> wait_stream(std::uint64_t job_id);
+
+  /// Encodes a rejection as its protocol frame.
+  static std::vector<std::byte> rejection_stream(const Ticket& ticket);
+
+  [[nodiscard]] op2::PlanCache& plan_cache() { return cache_; }
+  [[nodiscard]] const ServerOptions& options() const { return opts_; }
+  /// Jobs admitted but not yet finished.
+  [[nodiscard]] std::size_t outstanding() const;
+  /// Live worker worlds and the ranks they hold.
+  [[nodiscard]] std::size_t worlds() const;
+  [[nodiscard]] int total_ranks() const;
+
+  /// Stops every worker pool (in-flight jobs finish, queued jobs fail).
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct Handle {
+    std::future<minimpi::WorkerPool::JobResult> result;
+    std::shared_ptr<JobOutput> output;
+    std::uint64_t spec_hash = 0;
+  };
+
+  /// Finds or creates the pool for `spec`; null (+reason) when the rank
+  /// budget forbids it. Called with mutex_ held.
+  minimpi::WorkerPool* pool_for_locked(const SessionSpec& spec, std::string* reason);
+
+  ServerOptions opts_;
+  op2::PlanCache cache_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<minimpi::WorkerPool>> pools_;
+  int total_ranks_ = 0;
+  std::unordered_map<std::uint64_t, Handle> jobs_;
+  std::uint64_t next_job_id_ = 0;
+  /// Shared with every in-flight job's closure; the closure's destruction
+  /// (pool finalize or shutdown) releases one admission unit.
+  std::shared_ptr<std::atomic<long>> outstanding_;
+  bool stopped_ = false;
+};
+
+}  // namespace vcgt::serve

@@ -1,0 +1,102 @@
+#include "src/serve/session.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace vcgt::serve {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double seconds_since(std::int64_t t0_ns) {
+  return static_cast<double>(steady_ns() - t0_ns) * 1e-9;
+}
+
+}  // namespace
+
+minimpi::WorkerPool::Job make_session_job(SessionSpec spec, std::uint64_t job_id,
+                                          op2::PlanCache* cache,
+                                          std::shared_ptr<JobOutput> out) {
+  return [spec = std::move(spec), job_id, cache,
+          out = std::move(out)](minimpi::Comm& comm, std::shared_ptr<void>& slot) {
+    try {
+      const std::uint64_t key = spec.setup_hash();
+      const bool root = comm.rank() == 0;
+
+      // --- setup: warm reuse or cold construction through the cache -------
+      const std::int64_t t_setup = steady_ns();
+      auto session = std::static_pointer_cast<Session>(slot);
+      bool warm = session != nullptr && session->setup_hash == key &&
+                  session->rig != nullptr;
+      if (warm) {
+        session->rig->reinitialize();
+      } else {
+        slot.reset();
+        session.reset();
+        session = std::make_shared<Session>();
+        session->setup_hash = key;
+        session->comm = comm;  // outlives this job; the rig binds to it
+        session->rig = std::make_unique<jm76::CoupledRig>(
+            session->comm, spec.coupled_config(cache));
+        slot = session;
+      }
+      jm76::CoupledRig& rig = *session->rig;
+      if (root) {
+        out->warm = warm;
+        out->setup_seconds = seconds_since(t_setup);
+        if (op2::Context* ctx = rig.context()) {
+          out->partition_cached = ctx->partition_was_cached();
+          out->plans_cached = ctx->plans_were_imported();
+        }
+      }
+
+      // --- run, one telemetry frame per physical step ---------------------
+      // Monitors are collective over the row-0 sub-communicator: every
+      // row-0 HS rank computes them (on_step fires in lockstep per row);
+      // only world rank 0 — which is row 0's rank 0 by Layout construction
+      // — appends the frame.
+      jm76::CoupledRig* rigp = &rig;
+      JobOutput* outp = out.get();
+      const auto on_step = [rigp, outp, job_id, root](int step) {
+        const jm76::Role& role = rigp->role();
+        if (role.kind != jm76::Role::Kind::HydraSession || role.row != 0) return;
+        hydra::RowSolver& solver = *rigp->solver();
+        StepFrame f;
+        f.job_id = job_id;
+        f.step = step;
+        f.time = solver.physical_time();
+        f.rms = solver.residual_rms();
+        f.mdot_in = solver.mass_flow(rig::BoundaryGroup::Inlet);
+        f.mdot_out = solver.mass_flow(rig::BoundaryGroup::Outlet);
+        f.mean_p = solver.mean_pressure();
+        f.power = solver.shaft_power();
+        if (root) {
+          const auto totals = rigp->context()->total_stats();
+          f.halo_bytes = totals.halo_bytes;
+          f.halo_msgs = totals.halo_msgs;
+          outp->frames.push_back(f);
+        }
+      };
+      const std::int64_t t_run = steady_ns();
+      rig.run(spec.nsteps, spec.inner, on_step);
+      if (root) out->run_seconds = seconds_since(t_run);
+
+      // Deposit plans only after a clean run: a job killed mid-flight never
+      // gets to publish artifacts, so a poisoned world cannot poison the
+      // cache (export is also all-or-nothing per rank).
+      rig.export_plans();
+
+      if (root) out->done_ns.store(steady_ns(), std::memory_order_release);
+    } catch (...) {
+      out->done_ns.store(steady_ns(), std::memory_order_release);
+      throw;
+    }
+  };
+}
+
+}  // namespace vcgt::serve

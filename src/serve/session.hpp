@@ -1,0 +1,59 @@
+#pragma once
+// vcgt::serve::Session — the per-rank warm state a WorkerPool slot parks
+// between jobs, plus the SPMD job body that the Server submits.
+//
+// The session facade is what makes the second user of a spec cheap: a job
+// first checks its rank's slot for a parked Session with the same
+// setup_hash(); on a match the rig is reused through
+// CoupledRig::reinitialize() (no mesh, no partition, no plan build — the
+// warm path), otherwise a fresh rig is constructed *through the plan
+// cache*, so even the cold path on a new world skips whatever artifacts an
+// earlier session of the same spec already deposited. The rig holds the
+// Session's own Comm copy (cheap shared-state handle), not the job's
+// stack-local one, so it stays valid across jobs until the pool rebuilds
+// the world.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/jm76/coupled.hpp"
+#include "src/minimpi/pool.hpp"
+#include "src/op2/plancache.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/session_spec.hpp"
+
+namespace vcgt::serve {
+
+/// Warm per-rank state. Destroyed whenever the slot is dropped (spec
+/// mismatch, world rebuild, pool shutdown). `comm` is declared before `rig`
+/// so the rig (which references it) is destroyed first.
+struct Session {
+  std::uint64_t setup_hash = 0;
+  minimpi::Comm comm;
+  std::unique_ptr<jm76::CoupledRig> rig;
+};
+
+/// Cross-rank output of one job. Written by world rank 0 only (the pool's
+/// finalize barrier orders those writes before the future resolves);
+/// `done_ns` is atomic because any rank may stamp it on the error path.
+struct JobOutput {
+  std::vector<StepFrame> frames;
+  bool warm = false;
+  bool partition_cached = false;
+  bool plans_cached = false;
+  double setup_seconds = 0.0;
+  double run_seconds = 0.0;
+  /// steady_clock completion stamp [ns]; 0 until the job body finished on
+  /// rank 0 (or failed on some rank). Open-loop latency measurement.
+  std::atomic<std::int64_t> done_ns{0};
+};
+
+/// Builds the SPMD job closure executing `spec` once: warm-or-cold setup,
+/// run with one StepFrame per physical step (row-0 monitors, emitted by
+/// world rank 0 into `out`), and — only after a successful run — plan
+/// export into `cache`. `cache` may be null (no caching).
+minimpi::WorkerPool::Job make_session_job(SessionSpec spec, std::uint64_t job_id,
+                                          op2::PlanCache* cache,
+                                          std::shared_ptr<JobOutput> out);
+
+}  // namespace vcgt::serve

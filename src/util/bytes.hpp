@@ -1,0 +1,144 @@
+#pragma once
+// Little bounded binary writer/reader pair plus an FNV-1a byte hash.
+//
+// Shared by vcgt::SessionSpec serialization and the vcgt::serve wire
+// protocol so a spec's canonical byte form — the thing its cache hash is
+// computed over — and the framing layer use one encoding discipline:
+// little-endian fixed-width integers, IEEE doubles bit-cast to u64, strings
+// and spans length-prefixed with a u32. The reader bounds-checks every get
+// and throws std::runtime_error on truncation, never reading past the
+// buffer (frames arrive from a wire; trust nothing).
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace vcgt::util {
+
+/// FNV-1a over a byte range, continuing from `h` (seed with fnv1a_basis).
+inline constexpr std::uint64_t kFnv1aBasis = 0xcbf29ce484222325ull;
+
+inline std::uint64_t fnv1a_bytes(std::span<const std::byte> data,
+                                 std::uint64_t h = kFnv1aBasis) {
+  for (const std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { append(&v, 1); }
+  void put_u16(std::uint16_t v) { put_le(v); }
+  void put_u32(std::uint32_t v) { put_le(v); }
+  void put_u64(std::uint64_t v) { put_le(v); }
+  void put_i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+  void put_i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+  }
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    append(s.data(), s.size());
+  }
+  template <class T>
+  void put_span(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_u32(static_cast<std::uint32_t>(v.size()));
+    append(v.data(), v.size_bytes());
+  }
+  void put_bytes(std::span<const std::byte> v) {
+    bytes_.insert(bytes_.end(), v.begin(), v.end());
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const { return bytes_; }
+  std::vector<std::byte> take() { return std::move(bytes_); }
+  [[nodiscard]] std::uint64_t hash() const { return fnv1a_bytes(bytes_); }
+
+ private:
+  template <class T>
+  void put_le(T v) {
+    std::uint8_t buf[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    append(buf, sizeof(T));
+  }
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    bytes_.insert(bytes_.end(), b, b + n);
+  }
+
+  std::vector<std::byte> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t get_u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t get_u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t get_u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_le<std::uint64_t>(); }
+  std::int32_t get_i32() { return static_cast<std::int32_t>(get_le<std::uint32_t>()); }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_le<std::uint64_t>()); }
+  bool get_bool() { return get_u8() != 0; }
+  double get_f64() {
+    const std::uint64_t bits = get_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string get_string() {
+    const std::uint32_t n = get_u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  template <class T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint32_t n = get_u32();
+    need(static_cast<std::size_t>(n) * sizeof(T));
+    std::vector<T> out(n);
+    std::memcpy(out.data(), data_.data() + pos_, out.size() * sizeof(T));
+    pos_ += out.size() * sizeof(T);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  template <class T>
+  T get_le() {
+    need(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<std::uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw std::runtime_error("ByteReader: truncated input");
+    }
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace vcgt::util

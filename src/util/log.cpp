@@ -2,17 +2,18 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
+
+#include "src/util/env_config.hpp"
 
 namespace vcgt::util {
 
 namespace {
 
 LogLevel level_from_env() {
-  const char* env = std::getenv("VCGT_LOG");
-  if (env == nullptr) return LogLevel::Info;
-  std::string_view v{env};
+  const auto env = env_config().log_level;
+  if (!env) return LogLevel::Info;
+  std::string_view v{*env};
   if (v == "debug") return LogLevel::Debug;
   if (v == "info") return LogLevel::Info;
   if (v == "warn") return LogLevel::Warn;

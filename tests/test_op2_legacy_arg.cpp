@@ -1,29 +1,43 @@
-// The deprecated runtime-enum spelling op2::arg(..., Access::X) must keep
-// compiling (with a deprecation warning, silenced here) and produce results
-// identical to the access-tagged builders — legacy and typed arguments feed
-// the same ArgInfo, so plans, halo exchanges and coloring are unchanged.
+// The pre-redesign runtime-enum spelling op2::arg(..., Access::X) is
+// removed: access modes live in the argument *type* (op2::read/write/rw/
+// inc/reduce_*), so a kernel that mutates a Read argument fails to compile
+// instead of silently racing. This suite is the absence check — the legacy
+// spelling must no longer be callable in any overload form — plus a
+// compile-and-run sanity pass over the access-tagged replacements.
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <type_traits>
+#include <utility>
 
-#include "src/minimpi/minimpi.hpp"
 #include "src/op2/op2.hpp"
 #include "tests/testmesh.hpp"
-
-// This suite deliberately exercises the deprecated API.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
 
 namespace {
 
 using namespace vcgt;
 using op2::Access;
-using op2::index_t;
 
-// The access-tagged builders carry the mode in the type; read() must yield a
-// Read-tagged descriptor (kernels receive const T*), the rest mutable tags.
+// Detection idiom over an unqualified call: ADL would find op2::arg for
+// arguments in namespace vcgt::op2 if any overload still existed. A
+// [[deprecated]] survivor would still be detected — this asserts deletion,
+// not just discouragement.
+template <class... A>
+auto probe_arg(int) -> decltype(arg(std::declval<A>()...), std::true_type{});
+template <class... A>
+std::false_type probe_arg(...);
+
+template <class... A>
+constexpr bool legacy_arg_callable = decltype(probe_arg<A...>(0))::value;
+
+static_assert(!legacy_arg_callable<op2::Dat<double>&, Access>,
+              "op2::arg(dat, Access) must be gone");
+static_assert(!legacy_arg_callable<op2::Dat<double>&, int, const op2::Map&, Access>,
+              "op2::arg(dat, idx, map, Access) must be gone");
+static_assert(!legacy_arg_callable<op2::Global<double>&, Access>,
+              "op2::arg(global, Access) must be gone");
+
+// The access-tagged builders remain the one spelling, with the mode in the
+// type.
 void static_checks() {
   op2::Context ctx;
   auto& s = ctx.decl_set("sc", 4);
@@ -45,226 +59,46 @@ void static_checks() {
                                op2::GblArg<double, Access::Min>>);
   static_assert(std::is_same_v<decltype(op2::reduce_max(g)),
                                op2::GblArg<double, Access::Max>>);
-  static_assert(std::is_same_v<decltype(op2::arg(d, Access::Inc)),
-                               op2::LegacyDatArg<double>>);
-  static_assert(std::is_same_v<decltype(op2::arg(g, Access::Inc)),
-                               op2::LegacyGblArg<double>>);
 }
 
-struct Result {
-  std::vector<double> x;
-  double rms = 0.0;
-  double lo = 0.0;
-  double hi = 0.0;
-};
+TEST(LegacyArgRemoved, TypedBuildersCoverEveryAccessMode) {
+  static_checks();
 
-template <bool UseLegacy>
-Result run_body(op2::Context& ctx, const test::GridMesh& mesh) {
+  // And they execute: the canonical two-loop flux pattern through the
+  // typed spellings only.
+  const auto mesh = test::make_grid(4, 4);
+  op2::Context ctx;
   auto& nodes = ctx.decl_set("nodes", mesh.nnode);
   auto& edges = ctx.decl_set("edges", mesh.nedge);
   auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
-  auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
   auto& x = ctx.decl_dat<double>(nodes, 1, "x");
   auto& res = ctx.decl_dat<double>(nodes, 1, "res");
-  ctx.partition(op2::Partitioner::Rcb, coords);
 
-  const auto init_k = [](const double* c, double* v) {
-    *v = 1.0 + 0.01 * c[0] + 0.02 * c[1];
-  };
-  const auto flux_k = [](const double* xa, const double* xb, double* ra, double* rb) {
-    const double f = 0.5 * (*xb - *xa);
-    *ra += f;
-    *rb -= f;
-  };
-  // Legacy arguments bind with the pre-redesign T*-everywhere typing.
-  const auto legacy_init_k = [](double* c, double* v) {
-    *v = 1.0 + 0.01 * c[0] + 0.02 * c[1];
-  };
-  const auto legacy_flux_k = [](double* xa, double* xb, double* ra, double* rb) {
-    const double f = 0.5 * (*xb - *xa);
-    *ra += f;
-    *rb -= f;
-  };
-
-  Result out;
-  if constexpr (UseLegacy) {
-    op2::par_loop("init_x", nodes, legacy_init_k,
-                  op2::arg(coords, Access::Read), op2::arg(x, Access::Write));
-  } else {
-    op2::par_loop("init_x", nodes, init_k, op2::read(coords), op2::write(x));
+  op2::par_loop("init", nodes, [](double* v) { *v = 0.0; }, op2::write(x));
+  for (op2::index_t n = 0; n < mesh.nnode; ++n) {
+    x.data()[n] = 1.0 + 0.01 * mesh.coords[static_cast<std::size_t>(n) * 2] +
+                  0.02 * mesh.coords[static_cast<std::size_t>(n) * 2 + 1];
   }
-  for (int it = 0; it < 3; ++it) {
-    auto rms = ctx.decl_global<double>("rms", 1);
-    auto lo = ctx.decl_global<double>("lo", 1, {1e30});
-    auto hi = ctx.decl_global<double>("hi", 1, {-1e30});
-    if constexpr (UseLegacy) {
-      op2::par_loop("zero", nodes, [](double* r) { *r = 0.0; },
-                    op2::arg(res, Access::Write));
-      op2::par_loop("flux", edges, legacy_flux_k,
-                    op2::arg(x, 0, e2n, Access::Read), op2::arg(x, 1, e2n, Access::Read),
-                    op2::arg(res, 0, e2n, Access::Inc), op2::arg(res, 1, e2n, Access::Inc));
-      op2::par_loop("update", nodes,
-                    [](double* r, double* v, double* s, double* mn, double* mx) {
-                      *v += 0.1 * *r;
-                      *s += *r * *r;
-                      *mn = *v < *mn ? *v : *mn;
-                      *mx = *v > *mx ? *v : *mx;
-                    },
-                    op2::arg(res, Access::Read), op2::arg(x, Access::ReadWrite),
-                    op2::arg(rms, Access::Inc), op2::arg(lo, Access::Min),
-                    op2::arg(hi, Access::Max));
-    } else {
-      op2::par_loop("zero", nodes, [](double* r) { *r = 0.0; },
-                    op2::write(res));
-      op2::par_loop("flux", edges, flux_k,
-                    op2::read(x, e2n, 0), op2::read(x, e2n, 1),
-                    op2::inc(res, e2n, 0), op2::inc(res, e2n, 1));
-      op2::par_loop("update", nodes,
-                    [](const double* r, double* v, double* s, double* mn, double* mx) {
-                      *v += 0.1 * *r;
-                      *s += *r * *r;
-                      *mn = *v < *mn ? *v : *mn;
-                      *mx = *v > *mx ? *v : *mx;
-                    },
-                    op2::read(res), op2::rw(x), op2::reduce_sum(rms),
-                    op2::reduce_min(lo), op2::reduce_max(hi));
-    }
-    out.rms = std::sqrt(rms.value());
-    out.lo = lo.value();
-    out.hi = hi.value();
-  }
-  out.x = ctx.fetch_global(x);
-  return out;
-}
+  op2::par_loop("zero", nodes, [](double* r) { *r = 0.0; }, op2::write(res));
+  op2::par_loop("flux", edges,
+                [](const double* xa, const double* xb, double* ra, double* rb) {
+                  const double f = 0.5 * (*xb - *xa);
+                  *ra += f;
+                  *rb -= f;
+                },
+                op2::read(x, e2n, 0), op2::read(x, e2n, 1), op2::inc(res, e2n, 0),
+                op2::inc(res, e2n, 1));
 
-template <bool UseLegacy>
-Result run(const test::GridMesh& mesh) {
-  op2::Context ctx;
-  return run_body<UseLegacy>(ctx, mesh);
-}
-
-/// The same pseudo-solver under a distributed context with the requested
-/// halo strategy; fetch_global is collective, so every rank sees the full
-/// array and rank 0's copy is returned.
-template <bool UseLegacy>
-Result run_dist(const test::GridMesh& mesh, int nranks, bool partial_halos,
-                bool grouped_halos) {
-  Result out;
-  minimpi::World::run(nranks, [&](minimpi::Comm& comm) {
-    op2::Config cfg;
-    cfg.partial_halos = partial_halos;
-    cfg.grouped_halos = grouped_halos;
-    op2::Context ctx(comm, cfg);
-    const auto local = run_body<UseLegacy>(ctx, mesh);
-    if (ctx.rank() == 0) out = local;
-  });
-  return out;
-}
-
-TEST(LegacyArg, BuilderTypesCarryAccessTags) { static_checks(); }
-
-TEST(LegacyArg, MatchesTypedBuildersBitForBit) {
-  const auto mesh = test::make_grid(10, 8);
-  const auto typed = run<false>(mesh);
-  const auto legacy = run<true>(mesh);
-  ASSERT_EQ(legacy.x.size(), typed.x.size());
-  for (std::size_t i = 0; i < typed.x.size(); ++i) {
-    EXPECT_EQ(legacy.x[i], typed.x[i]) << "node " << i;
-  }
-  EXPECT_EQ(legacy.rms, typed.rms);
-  EXPECT_EQ(legacy.lo, typed.lo);
-  EXPECT_EQ(legacy.hi, typed.hi);
-}
-
-// Legacy descriptors feed the same ArgInfo as the typed builders, so under
-// a distributed context with any halo strategy the two spellings build the
-// same plans, exchange the same halos and must agree bit-for-bit; both stay
-// within round-off of the serial reference.
-struct HaloCase {
-  int nranks;
-  bool partial_halos;
-  bool grouped_halos;
-};
-
-class LegacyArgDist : public testing::TestWithParam<HaloCase> {};
-
-TEST_P(LegacyArgDist, MatchesTypedBuildersUnderPHGH) {
-  const auto c = GetParam();
-  const auto mesh = test::make_grid(11, 7);
-  const auto serial = run<false>(mesh);
-  const auto typed = run_dist<false>(mesh, c.nranks, c.partial_halos, c.grouped_halos);
-  const auto legacy = run_dist<true>(mesh, c.nranks, c.partial_halos, c.grouped_halos);
-
-  ASSERT_EQ(legacy.x.size(), typed.x.size());
-  for (std::size_t i = 0; i < typed.x.size(); ++i) {
-    EXPECT_EQ(legacy.x[i], typed.x[i]) << "node " << i;
-  }
-  EXPECT_EQ(legacy.rms, typed.rms);
-  EXPECT_EQ(legacy.lo, typed.lo);
-  EXPECT_EQ(legacy.hi, typed.hi);
-
-  ASSERT_EQ(legacy.x.size(), serial.x.size());
-  for (std::size_t i = 0; i < serial.x.size(); ++i) {
-    EXPECT_NEAR(legacy.x[i], serial.x[i], 1e-12) << "node " << i;
-  }
-  EXPECT_NEAR(legacy.rms, serial.rms, 1e-10);
-  EXPECT_EQ(legacy.lo, serial.lo);  // min/max folds are order-invariant
-  EXPECT_EQ(legacy.hi, serial.hi);
-}
-
-INSTANTIATE_TEST_SUITE_P(Sweep, LegacyArgDist,
-                         testing::Values(HaloCase{2, false, false},
-                                         HaloCase{2, true, false},
-                                         HaloCase{3, false, true},
-                                         HaloCase{3, true, true},
-                                         HaloCase{4, true, true}),
-                         [](const testing::TestParamInfo<HaloCase>& info) {
-                           const auto& c = info.param;
-                           return "r" + std::to_string(c.nranks) +
-                                  (c.partial_halos ? "_ph" : "") +
-                                  (c.grouped_halos ? "_gh" : "");
-                         });
-
-TEST(LegacyArg, WorksUnderNonDefaultLayouts) {
-  // The legacy path stages through the same scratch machinery; a SoA dat
-  // driven through op2::arg must match the AoS/typed result.
-  const auto mesh = test::make_grid(7, 6);
-  auto run_layout = [&](op2::Layout layout) {
-    op2::Config cfg;
-    cfg.default_layout = layout;
-    cfg.aosoa_block = 4;
-    op2::Context ctx(cfg);
-    auto& nodes = ctx.decl_set("nodes", mesh.nnode);
-    auto& edges = ctx.decl_set("edges", mesh.nedge);
-    auto& e2n = ctx.decl_map("e2n", edges, nodes, 2, mesh.edge2node);
-    auto& coords = ctx.decl_dat<double>(nodes, 2, "coords", mesh.coords);
-    auto& v = ctx.decl_dat<double>(nodes, 2, "v");
-    ctx.partition(op2::Partitioner::Rcb, coords);
-    op2::par_loop("init", nodes,
-                  [](double* c, double* d) {
-                    d[0] = c[0] + 1.0;
-                    d[1] = c[1] - 1.0;
-                  },
-                  op2::arg(coords, Access::Read), op2::arg(v, Access::Write));
-    op2::par_loop("smooth", edges,
-                  [](double* a, double* b) {
-                    const double m0 = 0.5 * (a[0] + b[0]);
-                    a[1] += 0.01 * m0;
-                    b[1] += 0.01 * m0;
-                  },
-                  op2::arg(v, 0, e2n, Access::ReadWrite),
-                  op2::arg(v, 1, e2n, Access::ReadWrite));
-    return ctx.fetch_global(v);
-  };
-  const auto aos = run_layout(op2::Layout::AoS);
-  const auto soa = run_layout(op2::Layout::SoA);
-  const auto aosoa = run_layout(op2::Layout::AoSoA);
-  ASSERT_EQ(soa.size(), aos.size());
-  ASSERT_EQ(aosoa.size(), aos.size());
-  for (std::size_t i = 0; i < aos.size(); ++i) {
-    EXPECT_EQ(soa[i], aos[i]) << i;
-    EXPECT_EQ(aosoa[i], aos[i]) << i;
-  }
+  auto sum = ctx.decl_global<double>("sum", 1);
+  op2::par_loop("reduce", nodes,
+                [](const double* r, double* s) { *s += *r * *r; }, op2::read(res),
+                op2::reduce_sum(sum));
+  // Antisymmetric fluxes cancel globally but not pointwise.
+  EXPECT_GT(sum.value(), 0.0);
+  auto tot = ctx.decl_global<double>("tot", 1);
+  op2::par_loop("total", nodes, [](const double* r, double* s) { *s += *r; },
+                op2::read(res), op2::reduce_sum(tot));
+  EXPECT_NEAR(tot.value(), 0.0, 1e-12);
 }
 
 }  // namespace

@@ -1,0 +1,104 @@
+// vcgt::serve under fault injection (label "chaos"): a killed worker must
+// fail its job with a structured per-rank error, never hang, never poison
+// the shared plan cache, and the rebuilt world must serve the next job.
+#include <gtest/gtest.h>
+
+#include "src/minimpi/fault.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/session_spec.hpp"
+#include "src/serve/storm.hpp"
+
+namespace {
+
+using namespace vcgt;
+
+serve::SessionSpec coupled_spec() {
+  serve::SessionSpec spec;
+  spec.nrows = 2;
+  spec.tier = "tiny";
+  spec.hs_ranks = {1, 1};
+  spec.cus_per_interface = 1;
+  spec.nsteps = 2;
+  spec.flow.inner_iters = 3;
+  return spec;
+}
+
+TEST(ServeChaos, KilledWorkerFailsCleanlyWithoutPoisoningCache) {
+  serve::ServerOptions opts;
+  opts.stall_timeout = 10.0;
+  serve::Server server(opts);
+
+  // Seed the cache with a clean run of the same setup.
+  const auto clean = coupled_spec();
+  const auto t0 = server.submit(clean);
+  ASSERT_TRUE(t0.accepted);
+  const auto warmup = server.wait(t0.job_id);
+  ASSERT_TRUE(warmup.ok) << warmup.error;
+  const auto cache_seeded = server.plan_cache().stats();
+  ASSERT_GT(cache_seeded.insertions, 0u);
+
+  // Same setup, scheduled rank death early in the job (its own world).
+  auto killer = clean;
+  killer.fault.seed = 77;
+  killer.fault.schedule.push_back({1, 5, minimpi::FaultKind::KillRank});
+  const auto t1 = server.submit(killer);
+  ASSERT_TRUE(t1.accepted);
+  const auto dead = server.wait(t1.job_id);
+  EXPECT_FALSE(dead.ok);
+  EXPECT_NE(dead.error.find("rank"), std::string::npos) << dead.error;
+  ASSERT_EQ(dead.rank_errors.size(), static_cast<std::size_t>(clean.world_size()));
+  EXPECT_FALSE(dead.rank_errors[1].empty());
+  EXPECT_TRUE(dead.world_rebuilt);
+
+  // The kill fired before export: the cache holds exactly what the clean
+  // run deposited — nothing invalidated, nothing half-written.
+  const auto cache_after = server.plan_cache().stats();
+  EXPECT_EQ(cache_after.insertions, cache_seeded.insertions);
+  EXPECT_EQ(cache_after.entries, cache_seeded.entries);
+
+  // The scheduled kill is one-shot (op counters persist across the world
+  // rebuild): the next job on the chaos world completes, cold (its slot
+  // died with the poisoned world) but fed from the intact cache.
+  const auto t2 = server.submit(killer);
+  ASSERT_TRUE(t2.accepted);
+  const auto revived = server.wait(t2.job_id);
+  EXPECT_TRUE(revived.ok) << revived.error;
+  EXPECT_FALSE(revived.warm);
+  EXPECT_TRUE(revived.plans_cached);
+  EXPECT_GT(server.plan_cache().stats().hits, cache_seeded.hits);
+
+  // The clean world's warm session was never disturbed by the chaos world.
+  const auto t3 = server.submit(clean);
+  ASSERT_TRUE(t3.accepted);
+  const auto warm = server.wait(t3.job_id);
+  EXPECT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.warm);
+}
+
+TEST(ServeChaos, StormWithTransientFaultsNeverHangs) {
+  serve::ServerOptions opts;
+  opts.queue_capacity = 3;
+  opts.stall_timeout = 10.0;
+  serve::Server server(opts);
+
+  auto flaky = coupled_spec();
+  flaky.fault.seed = 4321;
+  flaky.fault.p_delay = 0.02;
+  flaky.fault.p_duplicate = 0.01;
+  flaky.fault.p_reorder = 0.01;
+
+  serve::StormConfig storm;
+  storm.jobs = 6;
+  storm.rate_hz = 20.0;
+  storm.seed = 9;
+  storm.specs = {flaky, coupled_spec()};
+  const auto res = serve::run_storm(server, storm);
+  EXPECT_EQ(res.hung, 0);
+  EXPECT_GT(res.completed, 0);
+  EXPECT_EQ(res.accepted, res.completed + res.failed);
+  // Transient faults (delay/dup/reorder) are masked by the transport: they
+  // must not fail jobs, only slow them.
+  EXPECT_EQ(res.failed, 0) << (res.errors.empty() ? "" : res.errors.front());
+}
+
+}  // namespace

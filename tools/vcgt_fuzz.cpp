@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/env_config.hpp"
 #include "src/verify/verify.hpp"
 
 namespace {
@@ -77,6 +78,12 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    if (arg == "--print-config") {
+      // The effective VCGT_* environment as the typed loader sees it —
+      // what a campaign actually ran under (DESIGN.md; util::env_config).
+      std::fputs(vcgt::util::env_config().describe().c_str(), stdout);
+      return 0;
+    }
     if (arg == "--cases") {
       opts.cases = std::strtoull(next("--cases").c_str(), nullptr, 10);
       have_cases = true;

@@ -1,0 +1,112 @@
+// vcgt_serve — the simulation-as-a-service daemon (DESIGN.md §12).
+//
+// Runs a vcgt::serve::Server in-process and drives it with a synthetic
+// open-loop client storm (there is no real network listener in this
+// repository; the wire protocol is exercised by writing the framed byte
+// streams to --frames=<path>, which a FrameSplitter-based client reads
+// back). Useful forms:
+//
+//   vcgt_serve --print-config            dump the effective VCGT_* env knobs
+//   vcgt_serve --jobs=16 --rate=10       storm: arrivals, admission, latency
+//   vcgt_serve --chaos --jobs=16         same, with a seeded fault plan
+//   vcgt_serve --frames=out.bin          also dump every job's frame stream
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "src/serve/server.hpp"
+#include "src/serve/session_spec.hpp"
+#include "src/serve/storm.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/env_config.hpp"
+#include "src/util/fmt.hpp"
+#include "src/util/table.hpp"
+
+using namespace vcgt;
+
+namespace {
+
+serve::SessionSpec spec_from_cli(const util::Cli& cli) {
+  serve::SessionSpec spec;
+  spec.nrows = static_cast<int>(cli.get_int("nrows", 2));
+  spec.tier = cli.get("tier", "tiny");
+  spec.hs_ranks.assign(static_cast<std::size_t>(spec.nrows),
+                       static_cast<int>(cli.get_int("ranks-per-row", 1)));
+  spec.nsteps = static_cast<int>(cli.get_int("steps", 2));
+  spec.flow.inner_iters = static_cast<int>(cli.get_int("inner", 4));
+  if (cli.get_bool("chaos", false)) {
+    spec.fault.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 7));
+    spec.fault.p_delay = cli.get_double("p-delay", 0.01);
+    spec.fault.p_drop = cli.get_double("p-drop", 0.005);
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.has("print-config")) {
+    std::cout << util::env_config().describe();
+    return 0;
+  }
+  if (cli.has("help")) {
+    std::cout << "usage: vcgt_serve [--print-config] [--jobs=N] [--rate=HZ] "
+                 "[--seed=S]\n"
+                 "                  [--nrows=R] [--ranks-per-row=K] [--tier=T] "
+                 "[--steps=N] [--inner=N]\n"
+                 "                  [--queue=N] [--chaos] [--frames=PATH]\n";
+    return 0;
+  }
+
+  serve::ServerOptions opts;
+  opts.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 8));
+  opts.stall_timeout = cli.get_double("stall-timeout", 30.0);
+  serve::Server server(opts);
+
+  serve::StormConfig storm;
+  storm.jobs = static_cast<int>(cli.get_int("jobs", 8));
+  storm.rate_hz = cli.get_double("rate", 10.0);
+  storm.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  storm.specs.push_back(spec_from_cli(cli));
+
+  const std::string frames_path = cli.get("frames", "");
+  if (!frames_path.empty()) {
+    // Frame-dump mode exercises the full wire path for one job: submit,
+    // stream the lifecycle frames, write them for an external client.
+    std::ofstream os(frames_path, std::ios::binary);
+    if (!os) {
+      std::cerr << "cannot open " << frames_path << "\n";
+      return 1;
+    }
+    const auto hello = serve::encode(serve::HelloFrame{});
+    os.write(reinterpret_cast<const char*>(hello.data()),
+             static_cast<std::streamsize>(hello.size()));
+    const auto ticket = server.submit(storm.specs.front());
+    const auto stream = ticket.accepted
+                            ? server.wait_stream(ticket.job_id)
+                            : serve::Server::rejection_stream(ticket);
+    os.write(reinterpret_cast<const char*>(stream.data()),
+             static_cast<std::streamsize>(stream.size()));
+    std::cout << util::fmt("frame stream written to {} ({} bytes)\n", frames_path,
+                           hello.size() + stream.size());
+  }
+
+  const auto res = serve::run_storm(server, storm);
+  util::Table t({"metric", "value"});
+  t.add_row({"submitted", std::to_string(res.submitted)});
+  t.add_row({"accepted", std::to_string(res.accepted)});
+  t.add_row({"rejected (backpressure)", std::to_string(res.rejected)});
+  t.add_row({"completed", std::to_string(res.completed)});
+  t.add_row({"failed (structured)", std::to_string(res.failed)});
+  t.add_row({"worlds rebuilt", std::to_string(res.rebuilt)});
+  t.add_row({"hung", std::to_string(res.hung)});
+  t.add_row({"sessions/s", util::Table::num(res.sessions_per_second, 2)});
+  t.add_row({"p50 latency [ms]", util::Table::num(res.p50_ms, 2)});
+  t.add_row({"p99 latency [ms]", util::Table::num(res.p99_ms, 2)});
+  t.print_text(std::cout, "vcgt_serve storm");
+  const auto cache = server.plan_cache().stats();
+  std::cout << util::fmt("plan cache: {} hits, {} misses, {} entries, {} bytes\n",
+                         cache.hits, cache.misses, cache.entries, cache.bytes);
+  return res.hung == 0 ? 0 : 1;
+}
