@@ -2,6 +2,7 @@
 // ARCHER2 (the mesh exceeds the Cirrus cluster's total GPU memory; the
 // 122-node Cirrus point is the paper's projection, included via the model).
 #include "bench/fig_scaling_common.hpp"
+#include "src/perf/shardproj.hpp"
 
 int main(int argc, char** argv) {
   const vcgt::util::Cli cli(argc, argv);
@@ -21,6 +22,13 @@ int main(int argc, char** argv) {
   vcgt::perf::ScalingModel gpu(vcgt::perf::cirrus(), vcgt::perf::w458b());
   std::cout << "\nGPU memory gate: minimum Cirrus nodes for 4.58B = " << gpu.min_gpu_nodes()
             << " (paper: 122; the 36-node cluster cannot hold it)\n";
+
+  // Sharded-setup projection (DESIGN.md §13): per-rank shard windows of the
+  // 4.58B mesh over two-level node x core rank counts, 64-bit throughout.
+  const auto proj = vcgt::perf::project_sharded_scaling(
+      vcgt::perf::archer2(), vcgt::perf::w458b(), vcgt::perf::fig9_row_resolution(),
+      {8, 16, 32, 64, 128, 256, 512});
+  std::cout << "\n" << vcgt::perf::format_shard_table(proj);
   std::cout << "Paper shape check: 82% efficiency 107->512 nodes, coupling overhead\n"
                "8-15%; 1 revolution in < 6 h at 512 nodes; projected 4.7 h on 122\n"
                "Cirrus nodes (>3x over the power-equivalent 166 ARCHER2 nodes).\n";

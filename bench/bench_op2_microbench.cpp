@@ -295,7 +295,7 @@ struct LayoutCtx {
     // measurement drifts into denormals regardless of how many passes the
     // adaptive timer runs.
     op2::par_loop("init", cells,
-                  [](const index_t* gid, double* xv, double* yv, double* qv) {
+                  [](const op2::gindex_t* gid, double* xv, double* yv, double* qv) {
                     *xv = 1.0 + 0.5 * static_cast<double>(*gid % 17);
                     *yv = 0.5;
                     qv[0] = 1.0;

@@ -1,0 +1,198 @@
+// bench_shard — sharded-setup memory and timing (DESIGN.md §13).
+//
+// Three parts, the first enforced by exit status (the ISSUE's CI gate):
+//
+//  1. Per-rank mesh-synthesis memory: bytes materialized by
+//     rig::generate_row_shard (shard arrays + gid lists, max over ranks)
+//     vs the monolithic rig::generate_row_mesh every rank pays today.
+//     ASSERTS the 4-rank shard is <= 0.6x the monolithic footprint — the
+//     whole point of the sharded path is that per-rank setup memory falls
+//     with the rank count instead of staying flat.
+//
+//  2. Coupled setup + short run, monolithic vs sharded, on one world;
+//     reports wall time and ASSERTS the final flow states are bit-equal
+//     (the cheap end-to-end echo of the tests/test_shard.cpp matrix).
+//
+//  3. The fig. 9 4.58B projection: per-rank shard windows over two-level
+//     node x core rank counts, 64-bit throughout. ASSERTS every modeled
+//     window fits op2::index_t and the sweep reaches >= 1024 ranks.
+//
+// --quick shrinks part 1's resolution and part 2's step count for CI.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/jm76/coupled.hpp"
+#include "src/minimpi/minimpi.hpp"
+#include "src/perf/shardproj.hpp"
+#include "src/rig/annulus.hpp"
+#include "src/rig/shard.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+using namespace vcgt;
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) {
+    std::cout << "  [ok] " << what << "\n";
+  } else {
+    std::cout << "  [FAIL] " << what << "\n";
+    ++failures;
+  }
+}
+
+template <class T>
+std::size_t vec_bytes(const std::vector<T>& v) {
+  return v.size() * sizeof(T);
+}
+
+/// Bytes materialized by one rank for a row mesh's flat arrays.
+std::size_t mesh_bytes(const rig::AnnulusMesh& m) {
+  return vec_bytes(m.face2cell) + vec_bytes(m.bface2cell) + vec_bytes(m.cell_center) +
+         vec_bytes(m.cell_vol) + vec_bytes(m.cell_rtheta) + vec_bytes(m.face_normal) +
+         vec_bytes(m.face_center) + vec_bytes(m.bface_normal) +
+         vec_bytes(m.bface_center) + vec_bytes(m.bface_rtheta) +
+         vec_bytes(m.bface_group);
+}
+
+/// Shard arrays plus the gid lists tying them to the global numbering.
+std::size_t shard_bytes(const rig::RowShard& s) {
+  std::size_t b = mesh_bytes(s.local) + vec_bytes(s.cell_gids) + vec_bytes(s.face_gids);
+  for (const auto& g : s.bface_gids) b += vec_bytes(g);
+  return b;
+}
+
+hydra::FlowConfig bench_flow() {
+  hydra::FlowConfig cfg;
+  cfg.inner_iters = 2;
+  cfg.dt_phys = 5e-5;
+  cfg.rotor_swirl_frac = 0.05;
+  cfg.stator_swirl_frac = 0.02;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.has("quick");
+  bench::header("sharded setup — per-rank memory, setup time & 4.58B projection",
+                "DESIGN.md §13; paper Fig. 9, SS IV-B2 (billion-node path)");
+
+  std::vector<std::pair<std::string, double>> metrics;
+
+  // --- part 1: per-rank mesh-synthesis memory ------------------------------
+  bench::section("per-rank mesh synthesis memory (monolithic vs sharded)");
+  double ratio_r4 = 0.0;
+  {
+    const auto spec = rig::rig250_spec(1);
+    const auto res = rig::resolution_tier(quick ? "medium" : "fine");
+    const auto mono = rig::generate_row_mesh(spec.rows[0], res);
+    const auto mono_b = mesh_bytes(mono);
+
+    util::Table t({"setup", "cells (max/rank)", "bytes (max/rank)", "vs monolithic"});
+    t.add_row({"monolithic", std::to_string(mono.ncell),
+               std::to_string(mono_b), "1.00"});
+    for (const int nranks : {2, 4}) {
+      std::size_t max_b = 0;
+      op2::index_t max_cells = 0;
+      for (int r = 0; r < nranks; ++r) {
+        const auto shard = rig::generate_row_shard(spec.rows[0], res, {r, nranks});
+        max_b = std::max(max_b, shard_bytes(shard));
+        max_cells = std::max(max_cells, shard.local.ncell);
+      }
+      const double ratio = static_cast<double>(max_b) / static_cast<double>(mono_b);
+      t.add_row({util::fmt("sharded, {} ranks", nranks), std::to_string(max_cells),
+                 std::to_string(max_b), util::Table::num(ratio, 3)});
+      metrics.emplace_back(util::fmt("shard_bytes_r{}_max", nranks),
+                           static_cast<double>(max_b));
+      metrics.emplace_back(util::fmt("shard_mem_ratio_r{}", nranks), ratio);
+      if (nranks == 4) ratio_r4 = ratio;
+    }
+    t.print_text(std::cout);
+    metrics.emplace_back("mono_mesh_bytes", static_cast<double>(mono_b));
+    check(ratio_r4 <= 0.6,
+          "4-rank shard memory <= 0.6x monolithic (ISSUE acceptance floor)");
+  }
+
+  // --- part 2: coupled setup + run, monolithic vs sharded ------------------
+  bench::section("coupled setup + run wall time (2 rows x 2 HS ranks, tiny tier)");
+  {
+    jm76::CoupledConfig cfg;
+    cfg.rig = rig::rig250_spec(2);
+    cfg.res = rig::resolution_tier("tiny");
+    cfg.flow = bench_flow();
+    cfg.hs_ranks = {2, 2};
+    cfg.cus_per_interface = 1;
+    cfg.pipelined = false;
+    cfg.partitioner = op2::Partitioner::Block;
+    const int nsteps = quick ? 2 : 5;
+
+    // fetch_global is collective over the solver's row communicator, so
+    // every HS rank participates; the comparison uses all ranks' copies.
+    const auto run_once = [&](bool sharded, std::vector<std::vector<double>>* q) {
+      auto c = cfg;
+      c.sharded_setup = sharded;
+      q->assign(static_cast<std::size_t>(c.layout().world_size()), {});
+      util::Timer timer;
+      minimpi::World::run(c.layout().world_size(), [&](minimpi::Comm& world) {
+        jm76::CoupledRig rigrun(world, c);
+        rigrun.run(nsteps);
+        if (auto* solver = rigrun.solver()) {
+          (*q)[static_cast<std::size_t>(world.rank())] =
+              solver->context().fetch_global(solver->q());
+        }
+      });
+      return timer.elapsed();
+    };
+
+    std::vector<std::vector<double>> q_mono, q_shard;
+    const double t_mono = run_once(false, &q_mono);
+    const double t_shard = run_once(true, &q_shard);
+    util::Table t({"setup path", "wall [ms]"});
+    t.add_row({"monolithic", util::Table::num(t_mono * 1e3, 1)});
+    t.add_row({"sharded", util::Table::num(t_shard * 1e3, 1)});
+    t.print_text(std::cout);
+    check(!q_mono.empty() && q_mono == q_shard,
+          "sharded final flow state bit-equal to monolithic");
+    metrics.emplace_back("mono_setup_run_seconds", t_mono);
+    metrics.emplace_back("shard_setup_run_seconds", t_shard);
+  }
+
+  // --- part 3: fig. 9 4.58B sharded projection -----------------------------
+  bench::section("fig. 9 4.58B sharded-setup projection (two-level node x core)");
+  {
+    const auto proj = perf::project_sharded_scaling(
+        perf::archer2(), perf::w458b(), perf::fig9_row_resolution(),
+        {8, 16, 32, 64, 128, 256, 512});
+    std::cout << perf::format_shard_table(proj);
+    bool all_fit = true;
+    int max_ranks = 0;
+    for (const auto& p : proj.points) {
+      all_fit = all_fit && p.fits_index_t;
+      max_ranks = std::max(max_ranks, p.ranks);
+    }
+    check(proj.ncell_total > op2::kMaxMonolithicSetSize,
+          "modeled mesh exceeds index_t (the monolithic path cannot hold it)");
+    check(all_fit, "every per-rank shard window fits op2::index_t");
+    check(max_ranks >= 1024, "projection sweeps >= 1024 modeled ranks");
+    metrics.emplace_back("proj_ncell_total", static_cast<double>(proj.ncell_total));
+    metrics.emplace_back("proj_max_ranks", max_ranks);
+    metrics.emplace_back("proj_all_fit_index_t", all_fit ? 1.0 : 0.0);
+  }
+
+  metrics.emplace_back("failures", failures);
+  bench::write_bench_json("shard", metrics);
+  if (failures != 0) {
+    std::cout << "\n" << failures << " acceptance check(s) FAILED\n";
+    return 1;
+  }
+  std::cout << "\nall acceptance checks passed\n";
+  return 0;
+}

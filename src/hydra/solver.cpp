@@ -33,7 +33,13 @@ const char* group_tag(BoundaryGroup g) {
 RowSolver::RowSolver(op2::Context& ctx, const rig::AnnulusMesh& mesh,
                      const rig::RowSpec& row, double omega, const FlowConfig& cfg)
     : ctx_(ctx), row_(row), cfg_(cfg), omega_(omega), pfx_(row.name + ":") {
-  declare(mesh);
+  declare(mesh, nullptr);
+}
+
+RowSolver::RowSolver(op2::Context& ctx, const rig::RowShard& shard,
+                     const rig::RowSpec& row, double omega, const FlowConfig& cfg)
+    : ctx_(ctx), row_(row), cfg_(cfg), omega_(omega), pfx_(row.name + ":") {
+  declare(shard.local, &shard);
 }
 
 void RowSolver::set_coupled(rig::BoundaryGroup group, bool coupled) {
@@ -49,10 +55,31 @@ op2::Dat<double>& RowSolver::ghost(rig::BoundaryGroup g) {
   return *d;
 }
 
-void RowSolver::declare(const rig::AnnulusMesh& mesh) {
-  ncell_global_ = mesh.ncell;
-  cells_ = &ctx_.decl_set(pfx_ + "cells", mesh.ncell);
-  faces_ = &ctx_.decl_set(pfx_ + "faces", mesh.nface);
+void RowSolver::declare(const rig::AnnulusMesh& mesh, const rig::RowShard* shard) {
+  // In sharded mode `mesh` is the shard-local view (shard->local): its
+  // arrays hold only this rank's rows and its map tables hold shard-local
+  // cell rows, exactly what decl_map expects after decl_set_sharded. The
+  // geometry/BC code below is identical in both modes because every loop
+  // here runs over whichever rows the mesh view carries.
+  if (shard) {
+    if (cfg_.sort_faces) {
+      throw std::logic_error(
+          "RowSolver: sort_faces requires the full face table on every rank "
+          "and is not supported with sharded setup (row '" + row_.name + "')");
+    }
+    if (cfg_.implicit_dual_time) {
+      throw std::logic_error(
+          "RowSolver: implicit_dual_time builds a whole-mesh Krylov stencil "
+          "and is not supported with sharded setup (row '" + row_.name + "')");
+    }
+  }
+  ncell_global_ = shard ? shard->ncell_global : mesh.ncell;
+  cells_ = shard ? &ctx_.decl_set_sharded(pfx_ + "cells", shard->ncell_global,
+                                          shard->cell_gids)
+                 : &ctx_.decl_set(pfx_ + "cells", mesh.ncell);
+  faces_ = shard ? &ctx_.decl_set_sharded(pfx_ + "faces", shard->nface_global,
+                                          shard->face_gids)
+                 : &ctx_.decl_set(pfx_ + "faces", mesh.nface);
 
   f2c_ = &ctx_.decl_map(pfx_ + "f2c", *faces_, *cells_, 2, mesh.face2cell);
 
@@ -119,7 +146,9 @@ void RowSolver::declare(const rig::AnnulusMesh& mesh) {
     const index_t begin = mesh.group_begin[g];
     const index_t end = mesh.group_end[g];
     const index_t n = end - begin;
-    auto& set = ctx_.decl_set(pfx_ + std::string(group_tag(group)), n);
+    auto& set = shard ? ctx_.decl_set_sharded(pfx_ + std::string(group_tag(group)),
+                                              shard->nbface_global[g], shard->bface_gids[g])
+                      : ctx_.decl_set(pfx_ + std::string(group_tag(group)), n);
     bsets_[g] = &set;
 
     std::vector<index_t> b2c(static_cast<std::size_t>(n));
@@ -1040,7 +1069,7 @@ bool RowSolver::load_state(const std::string& prefix) {
 }
 
 void RowSolver::gather_owned_face_states(rig::BoundaryGroup g,
-                                         std::vector<op2::index_t>* gids,
+                                         std::vector<op2::gindex_t>* gids,
                                          std::vector<double>* payload) {
   gids->clear();
   payload->clear();
@@ -1054,7 +1083,7 @@ void RowSolver::gather_owned_face_states(rig::BoundaryGroup g,
   }
 }
 
-void RowSolver::scatter_ghosts(rig::BoundaryGroup g, std::span<const op2::index_t> gids,
+void RowSolver::scatter_ghosts(rig::BoundaryGroup g, std::span<const op2::gindex_t> gids,
                                std::span<const double> payload) {
   if (gids.size() * static_cast<std::size_t>(kPayload) != payload.size()) {
     throw std::invalid_argument("scatter_ghosts: payload size mismatch");

@@ -29,6 +29,7 @@
 #include "src/op2/op2.hpp"
 #include "src/rig/annulus.hpp"
 #include "src/rig/rowspec.hpp"
+#include "src/rig/shard.hpp"
 
 namespace vcgt::hydra {
 
@@ -40,6 +41,14 @@ class RowSolver {
   /// initialize(). `omega` is the shaft speed [rad/s] (applied to rotor
   /// rows' blade force and the interface rotation handled by the coupler).
   RowSolver(op2::Context& ctx, const rig::AnnulusMesh& mesh, const rig::RowSpec& row,
+            double omega, const FlowConfig& cfg);
+
+  /// Sharded construction (DESIGN.md §13): declares only this rank's shard
+  /// of the row via decl_set_sharded, from a generate_row_shard() result.
+  /// The caller must afterwards call ctx.partition_sharded({&solver.cells(),
+  /// ...}) and then initialize(). sort_faces and implicit_dual_time are
+  /// whole-mesh setups and throw std::logic_error in this mode.
+  RowSolver(op2::Context& ctx, const rig::RowShard& shard, const rig::RowSpec& row,
             double omega, const FlowConfig& cfg);
 
   /// Marks the inlet/outlet group as a sliding-plane interface; its ghost
@@ -98,18 +107,19 @@ class RowSolver {
   static constexpr int kPayload = kNState + 1;
 
   /// Collects (face gid, payload) for the locally owned faces of a sliding
-  /// group. Local (non-collective).
-  void gather_owned_face_states(rig::BoundaryGroup g, std::vector<op2::index_t>* gids,
+  /// group. Local (non-collective). Gids are 64-bit: interface sets at the
+  /// paper's mesh scale exceed the index_t range.
+  void gather_owned_face_states(rig::BoundaryGroup g, std::vector<op2::gindex_t>* gids,
                                 std::vector<double>* payload);
   /// Writes interpolated exterior payloads into the ghost dat for the faces
   /// (by gid) present and owned on this rank; entries for faces owned
   /// elsewhere are ignored. Collective (all ranks of the session must call,
   /// even with empty spans) because it bumps the dat write epoch.
-  void scatter_ghosts(rig::BoundaryGroup g, std::span<const op2::index_t> gids,
+  void scatter_ghosts(rig::BoundaryGroup g, std::span<const op2::gindex_t> gids,
                       std::span<const double> payload);
 
  private:
-  void declare(const rig::AnnulusMesh& mesh);
+  void declare(const rig::AnnulusMesh& mesh, const rig::RowShard* shard);
   /// Emits the residual-assembly loops: into `chain` when given (the RK
   /// stage pipeline declared as a LoopChain), else as immediate par_loops.
   void flux_and_sources(int stage, op2::LoopChain* chain = nullptr);
@@ -129,7 +139,7 @@ class RowSolver {
   double time_ = 0.0;  ///< physical time [s]
   long inner_count_ = 0;  ///< total pseudo-iterations (drives the CFL ramp)
 
-  op2::index_t ncell_global_ = 0;
+  op2::gindex_t ncell_global_ = 0;
 
   op2::Set* cells_ = nullptr;
   op2::Set* faces_ = nullptr;

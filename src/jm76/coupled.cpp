@@ -13,6 +13,7 @@
 namespace vcgt::jm76 {
 
 using hydra::RowSolver;
+using op2::gindex_t;
 using op2::index_t;
 using rig::BoundaryGroup;
 
@@ -32,7 +33,7 @@ int tag_ghost(int iface, int dir) { return 9000 + iface * 2 + dir; }
 /// unstaged sends the gid list plus one message per field component,
 /// modelling the per-dat device-to-host copies GG eliminates (Table III).
 void send_donor(minimpi::Comm& world, int dst, int iface, int dir,
-                std::span<const index_t> gids, std::span<const double> payload,
+                std::span<const gindex_t> gids, std::span<const double> payload,
                 bool staged) {
   if (staged) {
     std::vector<std::byte> buf(sizeof(std::uint64_t) + gids.size_bytes() +
@@ -58,7 +59,7 @@ void send_donor(minimpi::Comm& world, int dst, int iface, int dir,
 }
 
 void recv_donor(minimpi::Comm& world, int src, int iface, int dir,
-                std::vector<index_t>* gids, std::vector<double>* payload, bool staged) {
+                std::vector<gindex_t>* gids, std::vector<double>* payload, bool staged) {
   if (staged) {
     const auto buf = world.recv_bytes(src, tag_donor(iface, dir, 0));
     std::uint64_t n = 0;
@@ -66,13 +67,13 @@ void recv_donor(minimpi::Comm& world, int src, int iface, int dir,
     std::memcpy(&n, buf.data() + off, sizeof(n));
     off += sizeof(n);
     gids->resize(n);
-    std::memcpy(gids->data(), buf.data() + off, n * sizeof(index_t));
-    off += n * sizeof(index_t);
+    std::memcpy(gids->data(), buf.data() + off, n * sizeof(gindex_t));
+    off += n * sizeof(gindex_t);
     payload->resize(n * static_cast<std::size_t>(kPayload));
     std::memcpy(payload->data(), buf.data() + off, payload->size() * sizeof(double));
     return;
   }
-  *gids = world.recv<index_t>(src, tag_donor(iface, dir, 0));
+  *gids = world.recv<gindex_t>(src, tag_donor(iface, dir, 0));
   payload->assign(gids->size() * static_cast<std::size_t>(kPayload), 0.0);
   for (int c = 0; c < kPayload; ++c) {
     const auto comp = world.recv<double>(src, tag_donor(iface, dir, 1 + c));
@@ -85,7 +86,7 @@ void recv_donor(minimpi::Comm& world, int src, int iface, int dir,
 
 /// Ghost return message: gids + interpolated payload in one packed buffer.
 void send_ghost(minimpi::Comm& world, int dst, int iface, int dir,
-                std::span<const index_t> gids, std::span<const double> payload) {
+                std::span<const gindex_t> gids, std::span<const double> payload) {
   std::vector<std::byte> buf(sizeof(std::uint64_t) + gids.size_bytes() +
                              payload.size_bytes());
   const std::uint64_t n = gids.size();
@@ -117,15 +118,15 @@ decltype(auto) guarded_transfer(const char* role, int iface, int dir, int peer, 
 }
 
 void recv_ghost(minimpi::Comm& world, int src, int iface, int dir,
-                std::vector<index_t>* gids, std::vector<double>* payload) {
+                std::vector<gindex_t>* gids, std::vector<double>* payload) {
   const auto buf = world.recv_bytes(src, tag_ghost(iface, dir));
   std::uint64_t n = 0;
   std::size_t off = 0;
   std::memcpy(&n, buf.data() + off, sizeof(n));
   off += sizeof(n);
   gids->resize(n);
-  std::memcpy(gids->data(), buf.data() + off, n * sizeof(index_t));
-  off += n * sizeof(index_t);
+  std::memcpy(gids->data(), buf.data() + off, n * sizeof(gindex_t));
+  off += n * sizeof(gindex_t);
   payload->resize(n * static_cast<std::size_t>(kPayload));
   std::memcpy(payload->data(), buf.data() + off, payload->size() * sizeof(double));
 }
@@ -158,7 +159,6 @@ CoupledRig::CoupledRig(minimpi::Comm& world, const CoupledConfig& cfg)
     stats_.is_cu = 0;
     stats_.row_or_iface = role_.row;
     const auto& row = cfg_.rig.rows[static_cast<std::size_t>(role_.row)];
-    const auto mesh = row_mesh(role_.row);
     ctx_ = std::make_unique<op2::Context>(row_comm, cfg_.op2cfg);
     if (cfg_.plan_cache != nullptr) {
       // Per-row discriminator: every row's context shares the spec hash but
@@ -167,10 +167,24 @@ CoupledRig::CoupledRig(minimpi::Comm& world, const CoupledConfig& cfg)
                            cfg_.spec_hash ^
                                (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(role_.row + 1)));
     }
-    solver_ = std::make_unique<RowSolver>(*ctx_, *mesh, row, cfg_.rig.omega(), cfg_.flow);
-    if (role_.row > 0) solver_->set_coupled(BoundaryGroup::Inlet, true);
-    if (role_.row < layout_.nrows() - 1) solver_->set_coupled(BoundaryGroup::Outlet, true);
-    ctx_->partition(cfg_.partitioner, solver_->cell_center());
+    if (cfg_.sharded_setup) {
+      // Billion-node path: this rank synthesizes only its shard of the row
+      // and the shard-aware partitioner reproduces the monolithic Block
+      // setup bit-identically (DESIGN.md §13). No whole-row mesh exists on
+      // any HS rank.
+      const rig::ShardSpec sspec{row_comm.rank(), row_comm.size()};
+      const rig::RowShard shard = rig::generate_row_shard(row, cfg_.res, sspec);
+      solver_ = std::make_unique<RowSolver>(*ctx_, shard, row, cfg_.rig.omega(), cfg_.flow);
+      if (role_.row > 0) solver_->set_coupled(BoundaryGroup::Inlet, true);
+      if (role_.row < layout_.nrows() - 1) solver_->set_coupled(BoundaryGroup::Outlet, true);
+      ctx_->partition_sharded({&solver_->cells()});
+    } else {
+      const auto mesh = row_mesh(role_.row);
+      solver_ = std::make_unique<RowSolver>(*ctx_, *mesh, row, cfg_.rig.omega(), cfg_.flow);
+      if (role_.row > 0) solver_->set_coupled(BoundaryGroup::Inlet, true);
+      if (role_.row < layout_.nrows() - 1) solver_->set_coupled(BoundaryGroup::Outlet, true);
+      ctx_->partition(cfg_.partitioner, solver_->cell_center());
+    }
     // Adopt cached plans before the first par_loop (initialize() below
     // already runs loops): a warm spec skips every plan build, a cold one
     // proceeds normally. Collective across the row.
@@ -236,13 +250,13 @@ void CoupledRig::run_hs(int nsteps, int inner, const StepFn& on_step) {
   const bool outlet_coupled = row < layout_.nrows() - 1;
 
   // Setup: announce owned target gids to the CUs of the adjacent interfaces.
-  std::vector<index_t> gids;
+  std::vector<gindex_t> gids;
   std::vector<double> payload;
   if (inlet_coupled) {
     std::vector<double> dummy;
     solver.gather_owned_face_states(BoundaryGroup::Inlet, &gids, &dummy);
     for (int u = 0; u < K; ++u) {
-      world_.send(std::span<const index_t>(gids), layout_.cu_world_rank(row - 1, u),
+      world_.send(std::span<const gindex_t>(gids), layout_.cu_world_rank(row - 1, u),
                   tag_setup(row - 1, 0));
     }
   }
@@ -250,7 +264,7 @@ void CoupledRig::run_hs(int nsteps, int inner, const StepFn& on_step) {
     std::vector<double> dummy;
     solver.gather_owned_face_states(BoundaryGroup::Outlet, &gids, &dummy);
     for (int u = 0; u < K; ++u) {
-      world_.send(std::span<const index_t>(gids), layout_.cu_world_rank(row, u),
+      world_.send(std::span<const gindex_t>(gids), layout_.cu_world_rank(row, u),
                   tag_setup(row, 1));
     }
   }
@@ -287,7 +301,7 @@ void CoupledRig::run_hs(int nsteps, int inner, const StepFn& on_step) {
     const util::ScopedTimer st(wait_sw);
     // Target roles: my Inlet receives from interface `row-1` dir 0; my
     // Outlet from interface `row` dir 1.
-    std::vector<index_t> all_gids;
+    std::vector<gindex_t> all_gids;
     std::vector<double> all_payload;
     if (inlet_coupled) {
       all_gids.clear();
@@ -366,7 +380,7 @@ void CoupledRig::run_cu(int nsteps) {
     std::unique_ptr<MixingPlane> mixing;
     std::vector<double> donor_payload;  ///< indexed by donor gid
     std::vector<int> tgt_ranks;                    ///< world ranks (target HS)
-    std::vector<std::vector<index_t>> tgt_gids;    ///< per target HS rank, sector-filtered
+    std::vector<std::vector<gindex_t>> tgt_gids;   ///< per target HS rank, sector-filtered
   };
   Direction dirs[2];
   dirs[0] = {&side_u, &side_d, iface, iface + 1, nullptr, nullptr, {}, {}, {}};
@@ -388,10 +402,10 @@ void CoupledRig::run_cu(int nsteps) {
     for (int h = 0; h < nhs; ++h) {
       const int wrank = layout_.hs_world_rank(dir.target_row, h);
       const auto owned = guarded_transfer("CU", iface, d, wrank, [&] {
-        return world_.recv<index_t>(wrank, tag_setup(iface, d));
+        return world_.recv<gindex_t>(wrank, tag_setup(iface, d));
       });
-      std::vector<index_t> mine;
-      for (const index_t g : owned) {
+      std::vector<gindex_t> mine;
+      for (const gindex_t g : owned) {
         bool take;
         if (cfg_.cu_partition == CoupledConfig::CuPartition::Sector) {
           const double th = dir.target->rtheta[static_cast<std::size_t>(g) * 2 + 1];
@@ -409,7 +423,7 @@ void CoupledRig::run_cu(int nsteps) {
   util::Stopwatch idle_sw, search_sw;
   const double omega = cfg_.rig.omega();
   const double dt = cfg_.flow.dt_phys;
-  std::vector<index_t> gids;
+  std::vector<gindex_t> gids;
   std::vector<double> payload;
 
   const double base_time = base_time_;

@@ -71,6 +71,15 @@ struct CoupledConfig {
   op2::Config op2cfg;
   op2::Partitioner partitioner = op2::Partitioner::Rcb;
 
+  /// Billion-node setup path (DESIGN.md §13): each HS rank synthesizes only
+  /// its shard of the row mesh (rig::generate_row_shard), declares it via
+  /// decl_set_sharded and partitions with partition_sharded. Ownership is
+  /// then block_owner() by construction — `partitioner` is ignored on the
+  /// HS side — and the resulting setup is bit-identical to the monolithic
+  /// Partitioner::Block path. Requires flow.sort_faces and
+  /// flow.implicit_dual_time off (whole-mesh setups).
+  bool sharded_setup = false;
+
   /// Shared setup-artifact cache (vcgt::serve; DESIGN.md §12). When set,
   /// row meshes, partitions and loop/chain plans are looked up / deposited
   /// under keys derived from `spec_hash`, which must cover everything above

@@ -10,6 +10,7 @@
 namespace vcgt::jm76 {
 
 using hydra::RowSolver;
+using op2::gindex_t;
 using op2::index_t;
 using rig::BoundaryGroup;
 
@@ -83,7 +84,7 @@ void MonolithicRig::transfer_interfaces(int step) {
   const double time = solvers_.front()->physical_time();
   double search_elapsed = 0.0;
 
-  std::vector<index_t> gids;
+  std::vector<gindex_t> gids;
   std::vector<double> payload;
   for (auto& dir : dirs_) {
     RowSolver& donor_solver = *solvers_[static_cast<std::size_t>(dir.donor_row)];
@@ -93,10 +94,10 @@ void MonolithicRig::transfer_interfaces(int step) {
     // interface faces, every rank receives the full surface. This is the
     // monolithic "trapped sliding plane" cost the paper describes.
     donor_solver.gather_owned_face_states(dir.donor_group, &gids, &payload);
-    std::vector<index_t> all_gids;
+    std::vector<gindex_t> all_gids;
     std::vector<double> all_payload;
     if (ctx_->distributed()) {
-      all_gids = ctx_->comm().allgatherv(std::span<const index_t>(gids));
+      all_gids = ctx_->comm().allgatherv(std::span<const gindex_t>(gids));
       all_payload = ctx_->comm().allgatherv(std::span<const double>(payload));
     } else {
       all_gids = gids;
@@ -121,14 +122,14 @@ void MonolithicRig::transfer_interfaces(int step) {
     const double cr = std::cos(rotation), sr = std::sin(rotation);
 
     const op2::Set& tset = target_solver.group_set(dir.target_group);
-    std::vector<index_t> tgids;
+    std::vector<gindex_t> tgids;
     std::vector<double> tvalues;
     if (dir.mixing) {
       // Mixing plane: circumferential ring averages, rotation-independent.
       static_assert(MixingPlane::kPayload == kPayload);
       dir.mixing->average(donor_values);
       for (index_t b = 0; b < tset.n_owned(); ++b) {
-        const index_t g = tset.global_id(b);
+        const gindex_t g = tset.global_id(b);
         const double th = dir.target_side.rtheta[static_cast<std::size_t>(g) * 2 + 1];
         tgids.push_back(g);
         const std::size_t off = tvalues.size();
@@ -138,7 +139,7 @@ void MonolithicRig::transfer_interfaces(int step) {
       }
     } else {
       for (index_t b = 0; b < tset.n_owned(); ++b) {
-        const index_t g = tset.global_id(b);
+        const gindex_t g = tset.global_id(b);
         const double r = dir.target_side.rtheta[static_cast<std::size_t>(g) * 2 + 0];
         const double th = dir.target_side.rtheta[static_cast<std::size_t>(g) * 2 + 1];
         const Stencil st = dir.interp->stencil(r, th, rotation);

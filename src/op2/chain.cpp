@@ -30,6 +30,7 @@
 // side folds in flat order too.
 #include <algorithm>
 #include <cstdint>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -159,6 +160,18 @@ void Context::build_chain_plan(ChainPlan& plan, const std::vector<ChainLoopDecl>
       }
     }
   }
+  // The per-member use maps iterate in pointer order, so the emission order
+  // of same-(src,dst) edges is allocation-dependent. Sort into declaration
+  // order: downstream passes are order-insensitive, but plan_fingerprint
+  // folds the list as-is and must be reproducible across processes (the
+  // plan cache revalidates imports against it).
+  std::sort(plan.deps.begin(), plan.deps.end(),
+            [](const ChainDep& a, const ChainDep& b) {
+              return std::tie(a.src, a.dst) < std::tie(b.src, b.dst) ||
+                     (a.src == b.src && a.dst == b.dst &&
+                      (a.dat->id() < b.dat->id() ||
+                       (a.dat->id() == b.dat->id() && a.kind < b.kind)));
+            });
 
   // --- halo regions each indirect read actually touches --------------------
   // Scanned over the member's natural executed range; agreed collectively

@@ -60,7 +60,24 @@ class Context {
   Context& operator=(const Context&) = delete;
 
   // --- declaration (pre-partition) ----------------------------------------
-  Set& decl_set(std::string name, index_t global_size);
+  /// Monolithic set declaration: every rank declares the full global set.
+  /// Throws SetSizeError when `global_size` exceeds index_t range —
+  /// monolithic declarations materialize identity numberings and full
+  /// tables, so every gid must narrow losslessly; billion-element sets go
+  /// through decl_set_sharded instead.
+  Set& decl_set(std::string name, gindex_t global_size);
+  /// Sharded set declaration (DESIGN.md §13): this rank declares only its
+  /// shard rows — the owned block plus a ghost rind — identified by
+  /// strictly ascending global ids. `global_size` may exceed 32 bits; only
+  /// shard_gids.size() must fit index_t. Map tables and dats on a sharded
+  /// set are indexed by *shard row*, not global id. Partition with
+  /// partition_sharded().
+  Set& decl_set_sharded(std::string name, gindex_t global_size,
+                        std::vector<gindex_t> shard_gids);
+  /// Declares a map. Monolithic from/to: `table` holds global target ids,
+  /// one row per global from-element. Sharded from/to (modes must match):
+  /// `table` holds shard-local target row indices, one row per shard row
+  /// of `from` — every target must be present in the to-set's shard.
   Map& decl_map(std::string name, Set& from, Set& to, int dim,
                 std::vector<index_t> global_table);
   template <class T>
@@ -117,7 +134,22 @@ class Context {
   /// per blade row in a single context), each partitioned over all ranks.
   void partition(Partitioner p, const std::vector<const Dat<double>*>& primaries);
 
+  /// Collective: partitions sharded declarations (decl_set_sharded).
+  /// Ownership is deterministic from global ids alone — primary sets use
+  /// block_owner(gid, global_size, nranks), exactly the monolithic Block
+  /// partitioner's formula, and every other set inherits ownership through
+  /// its maps (owner of the first map target, declaration order, to a
+  /// fixpoint) exactly as compute_owners() propagates. The resulting local
+  /// numbering, halo schedules and plan fingerprints are bit-identical to a
+  /// monolithic partition(Partitioner::Block, ...) of the same declaration
+  /// — the shard-vs-monolithic equivalence contract (DESIGN.md §13).
+  /// Throws std::logic_error when the shard ghost rind is insufficient to
+  /// reproduce the monolithic halos.
+  void partition_sharded(const std::vector<const Set*>& primaries);
+
   [[nodiscard]] bool partitioned() const { return partitioned_; }
+  /// True when any set was declared via decl_set_sharded.
+  [[nodiscard]] bool sharded() const { return any_sharded_; }
   [[nodiscard]] bool distributed() const { return comm_.valid() && comm_.size() > 1; }
   [[nodiscard]] int rank() const { return comm_.valid() ? comm_.rank() : 0; }
   [[nodiscard]] int nranks() const { return comm_.valid() ? comm_.size() : 1; }
@@ -175,10 +207,16 @@ class Context {
   template <class T>
   std::vector<T> fetch_global(const Dat<T>& d) {
     const Set& s = d.set();
+    if (s.global_size() > kMaxMonolithicSetSize) {
+      throw SetSizeError("op2: fetch_global on set '" + s.name() + "' of " +
+                             std::to_string(s.global_size()) +
+                             " elements exceeds the replicated-array range",
+                         s.name(), s.global_size());
+    }
     const auto dim = static_cast<std::size_t>(d.dim());
     std::vector<T> out(static_cast<std::size_t>(s.global_size()) * dim);
-    if (!distributed()) {
-      for (index_t e = 0; e < s.global_size(); ++e) {
+    if (!distributed() && !s.sharded()) {
+      for (index_t e = 0; e < static_cast<index_t>(s.global_size()); ++e) {
         for (std::size_t c = 0; c < dim; ++c) {
           out[static_cast<std::size_t>(e) * dim + c] = d.at(e, static_cast<int>(c));
         }
@@ -191,10 +229,17 @@ class Context {
     for (index_t e = 0; e < s.n_owned(); ++e) {
       for (std::size_t c = 0; c < dim; ++c) packed.push_back(d.at(e, static_cast<int>(c)));
     }
-    std::vector<index_t> gids(s.local_to_global().begin(),
-                              s.local_to_global().begin() + s.n_owned());
+    std::vector<gindex_t> gids(s.local_to_global().begin(),
+                               s.local_to_global().begin() + s.n_owned());
+    if (!distributed()) {
+      for (std::size_t i = 0; i < gids.size(); ++i) {
+        const auto g = static_cast<std::size_t>(gids[i]);
+        for (std::size_t c = 0; c < dim; ++c) out[g * dim + c] = packed[i * dim + c];
+      }
+      return out;
+    }
     const auto all_vals = comm_.allgatherv(std::span<const T>(packed));
-    const auto all_gids = comm_.allgatherv(std::span<const index_t>(gids));
+    const auto all_gids = comm_.allgatherv(std::span<const gindex_t>(gids));
     for (std::size_t i = 0; i < all_gids.size(); ++i) {
       const auto g = static_cast<std::size_t>(all_gids[i]);
       for (std::size_t c = 0; c < dim; ++c) out[g * dim + c] = all_vals[i * dim + c];
@@ -288,7 +333,7 @@ class Context {
   /// global's dim() values at `offset`.
   template <class T>
   void finalize_global_det(Global<T>& g, std::span<const T> initial,
-                           std::span<const index_t> gids, std::span<const double> deltas,
+                           std::span<const gindex_t> gids, std::span<const double> deltas,
                            std::size_t stride, std::size_t offset) {
     const auto d = static_cast<std::size_t>(g.dim());
     std::vector<double> mine(gids.size() * d);
@@ -361,6 +406,7 @@ class Context {
   Config cfg_;
   std::unique_ptr<util::ThreadPool> pool_;
   bool partitioned_ = false;
+  bool any_sharded_ = false;
 
   std::vector<std::unique_ptr<Set>> sets_;
   std::vector<std::unique_ptr<Map>> maps_;
@@ -384,13 +430,13 @@ class Context {
   // Kept from partitioning for plan construction: per set, global->owner and
   // per-rank global exec/nonexec import lists are discarded; only the local
   // views (l2g, halos) are retained. g2l maps survive for coupler lookups.
-  std::vector<std::map<index_t, index_t>> g2l_;  // per set: global -> local
+  std::vector<std::map<gindex_t, index_t>> g2l_;  // per set: global -> local
 
  public:
   /// Global-to-local lookup (post-partition); returns -1 when the element is
   /// not present on this rank. Used by the coupler to address interface
-  /// nodes.
-  [[nodiscard]] index_t global_to_local(const Set& s, index_t gid) const {
+  /// nodes. 64-bit gids: round-trips exactly for ids above 2^31.
+  [[nodiscard]] index_t global_to_local(const Set& s, gindex_t gid) const {
     const auto& m = g2l_[static_cast<std::size_t>(s.id())];
     const auto it = m.find(gid);
     return it == m.end() ? index_t{-1} : it->second;

@@ -89,8 +89,10 @@ class DatBase {
 
   friend class Context;
   /// Re-lays out storage for the local window after partitioning:
-  /// new_local[l] = old_global[l2g[l]] for l in [0, total).
-  virtual void localize(std::span<const index_t> l2g) = 0;
+  /// new_local[l] = old[src[l]] for l in [0, total), where `src` indexes the
+  /// *pre-partition rows* of this dat (global ids in monolithic mode — they
+  /// fit index_t by the decl_set guard — shard rows in sharded mode).
+  virtual void localize(std::span<const index_t> src) = 0;
   /// Converts storage to the given layout, preserving every element's value.
   virtual void set_layout_storage(Layout layout, int block) = 0;
 
@@ -185,7 +187,7 @@ class Dat final : public DatBase {
   Dat(Set* set, int id, std::string name, int dim, std::vector<T> global_data)
       : DatBase(set, id, std::move(name), dim, sizeof(T) * static_cast<std::size_t>(dim)),
         data_(std::move(global_data)) {
-    nelem_ = set->global_size();
+    nelem_ = set->decl_rows();
     cap_ = nelem_;  // constructed AoS; Context applies the configured layout
     data_.resize(static_cast<std::size_t>(nelem_) * static_cast<std::size_t>(dim));
   }

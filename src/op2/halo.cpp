@@ -40,6 +40,9 @@ constexpr int kTagPlanBase = 1 << 22;   // partial-list setup
 constexpr int kTagChainBase = 1 << 23;  // + set id (fused chain epochs)
 
 /// Per-set, per-rank global import lists (identical on every rank).
+/// Monolithic-only (replicated tables), so gids fit index_t by the
+/// decl_set size guard; the sharded path computes imports shard-locally
+/// in partition_sharded() instead.
 struct ImportTables {
   // [set][rank] -> sorted-unique global ids
   std::vector<std::vector<std::vector<index_t>>> exec;
@@ -63,7 +66,8 @@ ImportTables compute_imports(const std::vector<std::unique_ptr<Set>>& sets,
     const auto from_id = static_cast<std::size_t>(map->from().id());
     const auto to_id = static_cast<std::size_t>(map->to().id());
     const int dim = map->dim();
-    for (index_t e = 0; e < map->from().global_size(); ++e) {
+    const auto nfrom = static_cast<index_t>(map->from().global_size());
+    for (index_t e = 0; e < nfrom; ++e) {
       const int oe = owners[from_id][static_cast<std::size_t>(e)];
       for (int i = 0; i < dim; ++i) {
         const int ot = owners[to_id][static_cast<std::size_t>((*map)(e, i))];
@@ -80,7 +84,8 @@ ImportTables compute_imports(const std::vector<std::unique_ptr<Set>>& sets,
     const auto to_id = static_cast<std::size_t>(map->to().id());
     const int dim = map->dim();
     std::vector<int> executors;
-    for (index_t e = 0; e < map->from().global_size(); ++e) {
+    const auto nfrom = static_cast<index_t>(map->from().global_size());
+    for (index_t e = 0; e < nfrom; ++e) {
       executors.clear();
       executors.push_back(owners[from_id][static_cast<std::size_t>(e)]);
       for (int q = 0; q < nranks; ++q) {
@@ -123,14 +128,15 @@ void Context::build_halos_and_localize(const std::vector<std::vector<int>>& owne
   g2l_.resize(sets_.size());
 
   if (!distributed()) {
-    // Serial: owned == global, identity numbering; nothing to localize but
-    // the g2l lookup (used by the coupler) must still exist.
+    // Serial: every declared row is owned (identity numbering monolithic,
+    // the shard's gid list sharded); nothing to localize but the g2l
+    // lookup (used by the coupler) must still exist.
     for (auto& set : sets_) {
-      set->n_owned_ = set->global_size();
+      set->n_owned_ = set->decl_rows();
       set->n_exec_ = 0;
       set->n_nonexec_ = 0;
       auto& g2l = g2l_[static_cast<std::size_t>(set->id())];
-      for (index_t g = 0; g < set->global_size(); ++g) g2l.emplace(g, g);
+      for (index_t l = 0; l < set->decl_rows(); ++l) g2l.emplace(set->global_id(l), l);
     }
     return;
   }
@@ -142,8 +148,9 @@ void Context::build_halos_and_localize(const std::vector<std::vector<int>>& owne
   for (auto& set : sets_) {
     const auto sid = static_cast<std::size_t>(set->id());
     const auto& own = owners[sid];
-    std::vector<index_t> l2g;
-    for (index_t g = 0; g < set->global_size(); ++g) {
+    const auto nglobal = static_cast<index_t>(set->global_size());
+    std::vector<gindex_t> l2g;
+    for (index_t g = 0; g < nglobal; ++g) {
       if (own[static_cast<std::size_t>(g)] == me) l2g.push_back(g);
     }
     set->n_owned_ = static_cast<index_t>(l2g.size());
@@ -245,7 +252,7 @@ void Context::build_halos_and_localize(const std::vector<std::vector<int>>& owne
     std::vector<index_t> local(static_cast<std::size_t>(n_executed) *
                                static_cast<std::size_t>(dim));
     for (index_t e = 0; e < n_executed; ++e) {
-      const index_t ge = from.global_id(e);
+      const gindex_t ge = from.global_id(e);
       for (int i = 0; i < dim; ++i) {
         const index_t gt =
             map->table_[static_cast<std::size_t>(ge) * static_cast<std::size_t>(dim) +
@@ -264,8 +271,13 @@ void Context::build_halos_and_localize(const std::vector<std::vector<int>>& owne
   }
 
   // Localize dats (copies owned + initial halo values — halos start clean).
+  // Monolithic: the pre-partition source row of local l IS its gid, which
+  // narrows losslessly (decl_set guard).
   for (auto& dat : dats_) {
-    dat->localize(dat->set().local_to_global());
+    const auto l2g = dat->set().local_to_global();
+    std::vector<index_t> src(l2g.size());
+    for (std::size_t i = 0; i < l2g.size(); ++i) src[i] = static_cast<index_t>(l2g[i]);
+    dat->localize(src);
   }
 }
 
@@ -303,7 +315,7 @@ void Context::build_partial_lists(LoopPlan& plan, const std::vector<ArgInfo>& ar
     const auto needed = needed_halo_slots(plan, s, args, sc.covers_exec_direct);
 
     // Group needed slots by source rank; sort by gid within a source.
-    std::vector<std::vector<index_t>> want_gids(static_cast<std::size_t>(nr));
+    std::vector<std::vector<gindex_t>> want_gids(static_cast<std::size_t>(nr));
     std::vector<std::vector<index_t>> want_slots(static_cast<std::size_t>(nr));
     for (const index_t slot : needed) {
       const int src = halo.slot_src[static_cast<std::size_t>(slot - s.n_owned())];
@@ -317,7 +329,8 @@ void Context::build_partial_lists(LoopPlan& plan, const std::vector<ArgInfo>& ar
       for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
       std::sort(order.begin(), order.end(),
                 [&](std::size_t a, std::size_t b) { return g[a] < g[b]; });
-      std::vector<index_t> gs(g.size()), ss(sl.size());
+      std::vector<gindex_t> gs(g.size());
+      std::vector<index_t> ss(sl.size());
       for (std::size_t i = 0; i < order.size(); ++i) {
         gs[i] = g[order[i]];
         ss[i] = sl[order[i]];
@@ -358,7 +371,7 @@ void Context::build_partial_lists(LoopPlan& plan, const std::vector<ArgInfo>& ar
       if (req.empty()) continue;
       std::vector<index_t> idx;
       idx.reserve(req.size());
-      for (const index_t g : req) {
+      for (const gindex_t g : req) {
         const auto it = g2l.find(g);
         if (it == g2l.end() || it->second >= s.n_owned()) {
           throw std::logic_error(vcgt::util::fmt(

@@ -85,7 +85,7 @@ struct GblArg {
 /// element-dependent coefficients, deterministic per-element randomness and
 /// debugging output.
 struct IdxArg {
-  const index_t* l2g = nullptr;  ///< filled by par_loop from the iteration set
+  const gindex_t* l2g = nullptr;  ///< filled by par_loop from the iteration set
 };
 
 // --- access-tagged builders -------------------------------------------------
@@ -152,8 +152,8 @@ template <class T>
   return {&g};
 }
 
-/// Element-id argument: the kernel receives a const index_t* to the
-/// element's global id.
+/// Element-id argument: the kernel receives a const gindex_t* to the
+/// element's 64-bit global id.
 [[nodiscard]] inline IdxArg arg_idx() { return {}; }
 
 // --- gather-free row access (CSR/stencil pattern, DESIGN.md §11) ------------
@@ -256,7 +256,7 @@ struct BoundDat {
   Access acc;
 };
 struct BoundIdx {
-  const index_t* l2g;  ///< local -> global of the iteration set
+  const gindex_t* l2g;  ///< local -> global of the iteration set
 };
 template <class T>
 struct BoundSpan {
@@ -350,7 +350,7 @@ template <class T, Access A>
   using P = std::conditional_t<A == Access::Read, const T*, T*>;
   return static_cast<P>(b.ptr);
 }
-[[nodiscard]] inline const index_t* pre(BoundIdx& b, index_t e) { return b.l2g + e; }
+[[nodiscard]] inline const gindex_t* pre(BoundIdx& b, index_t e) { return b.l2g + e; }
 template <class T>
 [[nodiscard]] inline DatSpan<T> pre(BoundSpan<T>& b, index_t) {
   return b.view;
@@ -647,7 +647,7 @@ void finalize_arg(Context&, const A&, std::span<const double>, std::size_t&) {}
 template <class T>
 void gbl_finalize_det(Context& ctx, Global<T>& g, Access acc,
                       std::span<const double> initial, std::size_t& cursor,
-                      std::span<const index_t> gids, std::span<const double> deltas,
+                      std::span<const gindex_t> gids, std::span<const double> deltas,
                       std::size_t stride, std::size_t& off) {
   std::vector<T> init(static_cast<std::size_t>(g.dim()));
   for (int c = 0; c < g.dim(); ++c) {
@@ -664,14 +664,14 @@ void gbl_finalize_det(Context& ctx, Global<T>& g, Access acc,
 }
 template <class T, Access A>
 void finalize_arg_det(Context& ctx, const GblArg<T, A>& a, std::span<const double> initial,
-                      std::size_t& cursor, std::span<const index_t> gids,
+                      std::size_t& cursor, std::span<const gindex_t> gids,
                       std::span<const double> deltas, std::size_t stride,
                       std::size_t& off) {
   gbl_finalize_det(ctx, *a.g, A, initial, cursor, gids, deltas, stride, off);
 }
 template <class A>
 void finalize_arg_det(Context&, const A&, std::span<const double>, std::size_t&,
-                      std::span<const index_t>, std::span<const double>, std::size_t,
+                      std::span<const gindex_t>, std::span<const double>, std::size_t,
                       std::size_t&) {}
 
 // par_loop wires the iteration set's numbering into IdxArgs.
@@ -773,7 +773,7 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
   std::apply([&](const auto&... a) { (detail::count_inc_dims(a, inc_gbl_dims), ...); },
              args);
   const bool det_capture = det_run && ctx.distributed() && inc_gbl_dims > 0;
-  std::vector<index_t> delta_gids;
+  std::vector<gindex_t> delta_gids;
   std::vector<double> delta_vals;
 
   const bool simt_on = ctx.config().simt;
@@ -911,7 +911,7 @@ void par_loop(const char* name, const Set& set, Kernel&& kernel, As... as) {
     std::size_t off = 0;
     [&]<std::size_t... I>(std::index_sequence<I...>) {
       (detail::finalize_arg_det(ctx, std::get<I>(args), std::span<const double>(initial),
-                                cursor, std::span<const index_t>(delta_gids),
+                                cursor, std::span<const gindex_t>(delta_gids),
                                 std::span<const double>(delta_vals), inc_gbl_dims, off),
        ...);
     }(idx_seq);

@@ -146,9 +146,9 @@ std::vector<std::vector<int>> Context::compute_owners(
     if (nranks > 1) {
       switch (p) {
         case Partitioner::Block: {
-          const auto n = static_cast<std::size_t>(primary.global_size());
-          for (std::size_t g = 0; g < n; ++g) {
-            pown[g] = static_cast<int>((g * static_cast<std::size_t>(nranks)) / n);
+          const gindex_t n = primary.global_size();
+          for (gindex_t g = 0; g < n; ++g) {
+            pown[static_cast<std::size_t>(g)] = block_owner(g, n, nranks);
           }
           break;
         }
@@ -176,7 +176,8 @@ std::vector<std::vector<int>> Context::compute_owners(
       if (resolved[from_id] || !resolved[to_id]) continue;
       auto& own = owners[from_id];
       own.resize(static_cast<std::size_t>(map->from().global_size()));
-      for (index_t e = 0; e < map->from().global_size(); ++e) {
+      const auto nfrom = static_cast<index_t>(map->from().global_size());
+      for (index_t e = 0; e < nfrom; ++e) {
         own[static_cast<std::size_t>(e)] =
             owners[to_id][static_cast<std::size_t>((*map)(e, 0))];
       }
@@ -191,8 +192,9 @@ std::vector<std::vector<int>> Context::compute_owners(
     const auto n = static_cast<std::size_t>(sets_[s]->global_size());
     owners[s].assign(n, 0);
     if (nranks > 1 && n > 0) {
-      for (std::size_t g = 0; g < n; ++g) {
-        owners[s][g] = static_cast<int>((g * static_cast<std::size_t>(nranks)) / n);
+      for (gindex_t g = 0; g < static_cast<gindex_t>(n); ++g) {
+        owners[s][static_cast<std::size_t>(g)] =
+            block_owner(g, static_cast<gindex_t>(n), nranks);
       }
       util::warn("op2: set '{}' has no map path to the primary set; block-partitioned",
                  sets_[s]->name());

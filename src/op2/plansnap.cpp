@@ -414,7 +414,11 @@ std::string Context::cache_key(const char* kind) const {
                              (cfg_.partial_halos ? 4u : 0u) | (cfg_.grouped_halos ? 8u : 0u) |
                              (cfg_.simt ? 16u : 0u) |
                              (static_cast<std::uint64_t>(cfg_.chain_tile) << 5);
-  return vcgt::util::fmt("{}:{}:m{}:n{}", kind, spec_key_, mode, nranks());
+  // Sharded and monolithic declarations of the same spec produce identical
+  // plans by the equivalence contract, but their setup paths differ (e.g.
+  // owner snapshots are monolithic-only), so the keyspace separates them.
+  return vcgt::util::fmt("{}:{}:m{}:s{}:n{}", kind, spec_key_, mode,
+                         any_sharded_ ? 1 : 0, nranks());
 }
 
 bool Context::export_plans_to_cache() {

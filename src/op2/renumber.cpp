@@ -100,6 +100,13 @@ std::vector<index_t> Context::reverse_cuthill_mckee(const Set& s) const {
 
 void Context::renumber_set(Set& s, std::span<const index_t> perm) {
   require_not_partitioned("renumber_set");
+  if (s.sharded()) {
+    // A permutation of the global numbering cannot be applied shard-locally
+    // (it would need the full table on every rank, which sharding exists to
+    // avoid); sharded setups keep the generator's numbering.
+    throw std::logic_error(
+        "op2: renumber_set on sharded set '" + s.name() + "' is not supported");
+  }
   const auto n = static_cast<std::size_t>(s.global_size());
   if (perm.size() != n) {
     throw std::invalid_argument("op2: renumber_set permutation size mismatch");

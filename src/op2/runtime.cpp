@@ -189,11 +189,48 @@ void Context::require_not_partitioned(const char* what) const {
   }
 }
 
-Set& Context::decl_set(std::string name, index_t global_size) {
+Set& Context::decl_set(std::string name, gindex_t global_size) {
   require_not_partitioned("decl_set");
   if (global_size < 0) throw std::invalid_argument("op2: negative set size");
+  if (global_size > kMaxMonolithicSetSize) {
+    throw SetSizeError(
+        vcgt::util::fmt("op2: monolithic set '{}' of {} elements exceeds the "
+                        "index_t range ({}); declare billion-element sets with "
+                        "decl_set_sharded",
+                        name, global_size, kMaxMonolithicSetSize),
+        name, global_size);
+  }
   sets_.push_back(std::unique_ptr<Set>(
       new Set(this, static_cast<int>(sets_.size()), std::move(name), global_size)));
+  return *sets_.back();
+}
+
+Set& Context::decl_set_sharded(std::string name, gindex_t global_size,
+                               std::vector<gindex_t> shard_gids) {
+  require_not_partitioned("decl_set_sharded");
+  if (global_size < 0) throw std::invalid_argument("op2: negative set size");
+  if (static_cast<gindex_t>(shard_gids.size()) > kMaxMonolithicSetSize) {
+    throw SetSizeError(
+        vcgt::util::fmt("op2: shard of set '{}' has {} rows, exceeding the "
+                        "index_t range ({})",
+                        name, shard_gids.size(), kMaxMonolithicSetSize),
+        name, static_cast<gindex_t>(shard_gids.size()));
+  }
+  for (std::size_t i = 0; i < shard_gids.size(); ++i) {
+    const gindex_t g = shard_gids[i];
+    if (g < 0 || g >= global_size) {
+      throw std::out_of_range(vcgt::util::fmt(
+          "op2: shard gid {} of set '{}' outside [0, {})", g, name, global_size));
+    }
+    if (i > 0 && shard_gids[i - 1] >= g) {
+      throw std::invalid_argument(vcgt::util::fmt(
+          "op2: shard gids of set '{}' must be strictly ascending", name));
+    }
+  }
+  any_sharded_ = true;
+  sets_.push_back(std::unique_ptr<Set>(new Set(this, static_cast<int>(sets_.size()),
+                                               std::move(name), global_size,
+                                               std::move(shard_gids))));
   return *sets_.back();
 }
 
@@ -201,14 +238,20 @@ Map& Context::decl_map(std::string name, Set& from, Set& to, int dim,
                        std::vector<index_t> global_table) {
   require_not_partitioned("decl_map");
   if (dim <= 0) throw std::invalid_argument("op2: map dim must be positive");
+  if (from.sharded() != to.sharded()) {
+    throw std::logic_error(vcgt::util::fmt(
+        "op2: map '{}' mixes declaration modes: from-set '{}' is {}, to-set '{}' is {}",
+        name, from.name(), from.sharded() ? "sharded" : "monolithic", to.name(),
+        to.sharded() ? "sharded" : "monolithic"));
+  }
   if (global_table.size() !=
-      static_cast<std::size_t>(from.global_size()) * static_cast<std::size_t>(dim)) {
+      static_cast<std::size_t>(from.decl_rows()) * static_cast<std::size_t>(dim)) {
     throw std::invalid_argument(
-        vcgt::util::fmt("op2: map '{}' table size {} != from.size {} * dim {}", name,
-                    global_table.size(), from.global_size(), dim));
+        vcgt::util::fmt("op2: map '{}' table size {} != from.rows {} * dim {}", name,
+                    global_table.size(), from.decl_rows(), dim));
   }
   for (const index_t t : global_table) {
-    if (t < 0 || t >= to.global_size()) {
+    if (t < 0 || t >= to.decl_rows()) {
       throw std::out_of_range(vcgt::util::fmt("op2: map '{}' entry {} out of range", name, t));
     }
   }
@@ -238,6 +281,10 @@ void Context::partition(Partitioner p, const Dat<double>& coords) {
 void Context::partition(Partitioner p, const std::vector<const Dat<double>*>& primaries) {
   if (partitioned_) throw std::logic_error("op2: partition() called twice");
   if (primaries.empty()) throw std::invalid_argument("op2: partition() needs a primary set");
+  if (any_sharded_) {
+    throw std::logic_error(
+        "op2: partition() on a context with sharded declarations; use partition_sharded()");
+  }
   // Fingerprint-keyed owner reuse: owners are computed from replicated
   // global data and are identical on every rank, so one cached copy (keyed
   // by spec + partitioner + world size + primary sets) serves the whole

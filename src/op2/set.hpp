@@ -12,6 +12,13 @@
 //                    from locally executed elements.
 // Halo regions are grouped by source rank and sorted by global id so that
 // sender and receiver agree on message ordering without negotiation.
+//
+// Declaration modes (DESIGN.md §13):
+//   * monolithic — every rank declares the full global set (identity
+//     numbering, replicated tables); global size capped at index_t range;
+//   * sharded    — each rank declares only its shard rows (owned block plus
+//     a ghost rind), identified by strictly ascending 64-bit global ids.
+//     Global sizes may exceed 32 bits; only the local window must fit.
 #include <span>
 #include <string>
 #include <vector>
@@ -25,40 +32,66 @@ class Context;
 class Set {
  public:
   [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] index_t global_size() const { return global_size_; }
+  [[nodiscard]] gindex_t global_size() const { return global_size_; }
 
-  /// Locally owned element count (== global_size before partitioning and in
-  /// serial contexts).
+  /// True for sets declared via decl_set_sharded: the pre-partition rows are
+  /// a shard (owned block + ghost rind), not the whole global set.
+  [[nodiscard]] bool sharded() const { return sharded_; }
+
+  /// Pre-partition local row count: the number of elements this rank
+  /// declared data/tables for. Monolithic: the (index_t-ranged) global
+  /// size. Sharded: the shard row count. Dats and map tables are sized by
+  /// this, never by global_size().
+  [[nodiscard]] index_t decl_rows() const { return decl_rows_; }
+
+  /// Locally owned element count (== decl_rows before partitioning in
+  /// monolithic mode and in serial contexts).
   [[nodiscard]] index_t n_owned() const { return n_owned_; }
   [[nodiscard]] index_t n_exec() const { return n_exec_; }
   [[nodiscard]] index_t n_nonexec() const { return n_nonexec_; }
   /// owned + exec + nonexec; all dats on the set store this many elements.
   [[nodiscard]] index_t total() const { return n_owned_ + n_exec_ + n_nonexec_; }
 
-  /// local index -> global id (identity before partitioning).
-  [[nodiscard]] std::span<const index_t> local_to_global() const { return l2g_; }
-  [[nodiscard]] index_t global_id(index_t local) const { return l2g_[static_cast<std::size_t>(local)]; }
+  /// local index -> global id (identity before partitioning in monolithic
+  /// mode; the shard's ascending gid list in sharded mode).
+  [[nodiscard]] std::span<const gindex_t> local_to_global() const { return l2g_; }
+  [[nodiscard]] gindex_t global_id(index_t local) const {
+    return l2g_[static_cast<std::size_t>(local)];
+  }
 
   [[nodiscard]] Context& context() const { return *ctx_; }
   [[nodiscard]] int id() const { return id_; }
 
  private:
   friend class Context;
-  Set(Context* ctx, int id, std::string name, index_t global_size)
+  /// Monolithic: identity numbering over the full global set.
+  Set(Context* ctx, int id, std::string name, gindex_t global_size)
       : ctx_(ctx), id_(id), name_(std::move(name)), global_size_(global_size),
-        n_owned_(global_size) {
+        decl_rows_(static_cast<index_t>(global_size)),
+        n_owned_(static_cast<index_t>(global_size)) {
     l2g_.resize(static_cast<std::size_t>(global_size));
-    for (index_t i = 0; i < global_size; ++i) l2g_[static_cast<std::size_t>(i)] = i;
+    for (gindex_t i = 0; i < global_size; ++i) {
+      l2g_[static_cast<std::size_t>(i)] = i;
+    }
   }
+  /// Sharded: this rank's rows are `shard_gids` (strictly ascending).
+  Set(Context* ctx, int id, std::string name, gindex_t global_size,
+      std::vector<gindex_t> shard_gids)
+      : ctx_(ctx), id_(id), name_(std::move(name)), global_size_(global_size),
+        decl_rows_(static_cast<index_t>(shard_gids.size())),
+        n_owned_(static_cast<index_t>(shard_gids.size())), sharded_(true),
+        l2g_(std::move(shard_gids)) {}
 
   Context* ctx_;
   int id_;
   std::string name_;
-  index_t global_size_;
+  gindex_t global_size_;
+  index_t decl_rows_ = 0;
   index_t n_owned_ = 0;
   index_t n_exec_ = 0;
   index_t n_nonexec_ = 0;
-  std::vector<index_t> l2g_;
+  bool sharded_ = false;
+  std::vector<gindex_t> l2g_;
 };
 
 }  // namespace vcgt::op2

@@ -1,0 +1,346 @@
+// Sharded partitioning (DESIGN.md §13) — the billion-node setup path.
+//
+// Monolithic setup replicates every set's full table on every rank and runs
+// compute_imports() over the global topology. Sharded setup starts from the
+// opposite premise: each rank declared only its shard — the rows it will own
+// plus a ghost rind wide enough to see every element that interacts with
+// them — identified by 64-bit global ids. Ownership must therefore be a
+// pure function of the gid:
+//   * primary sets:  owner(g) = block_owner(g, global_size, nranks) — the
+//     monolithic Block partitioner's exact formula (types.hpp);
+//   * other sets:    owner inherited through the first resolving map
+//     (owner of map target 0), declaration order, to a fixpoint — exactly
+//     compute_owners()'s propagation, evaluated shard-locally.
+// With identical ownership, the shard-local halo computation below provably
+// reproduces compute_imports() restricted to this rank:
+//   exec(S)    = foreign shard rows of S with some target owned by me;
+//   nonexec(T) = foreign targets of my executed rows not already exec.
+// The local numbering [owned asc-gid | exec by (owner,gid) | nonexec by
+// (owner,gid)] and the per-peer send orderings (exec requests asc-gid, then
+// nonexec requests asc-gid) then match the monolithic construction element
+// for element, so halo schedules and plan fingerprints are bit-identical —
+// the shard-vs-monolithic equivalence contract, enforced structurally here
+// (exec cross-check) and end-to-end by tests/test_shard.cpp.
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "src/op2/context.hpp"
+#include "src/util/log.hpp"
+
+namespace vcgt::op2 {
+
+void Context::partition_sharded(const std::vector<const Set*>& primaries) {
+  if (partitioned_) throw std::logic_error("op2: partition_sharded() called twice");
+  if (primaries.empty()) {
+    throw std::invalid_argument("op2: partition_sharded() needs a primary set");
+  }
+  if (!any_sharded_) {
+    throw std::logic_error(
+        "op2: partition_sharded() on a context without sharded declarations");
+  }
+  for (const auto& s : sets_) {
+    if (!s->sharded()) {
+      throw std::logic_error(vcgt::util::fmt(
+          "op2: partition_sharded() with monolithic set '{}' in the context",
+          s->name()));
+    }
+  }
+  for (const Set* p : primaries) {
+    if (p == nullptr || &p->context() != this) {
+      throw std::invalid_argument("op2: partition_sharded() primary not of this context");
+    }
+  }
+
+  const int me = rank();
+  const int nr = nranks();
+  halos_.resize(sets_.size());
+  g2l_.resize(sets_.size());
+  partition_cached_ = false;  // owner snapshots are a monolithic-only shortcut
+
+  if (!distributed()) {
+    // Single rank: the shard must be the whole set; every row is owned.
+    for (auto& set : sets_) {
+      if (static_cast<gindex_t>(set->decl_rows()) != set->global_size()) {
+        throw std::logic_error(vcgt::util::fmt(
+            "op2: serial sharded set '{}' declares {} of {} rows", set->name(),
+            set->decl_rows(), set->global_size()));
+      }
+      set->n_owned_ = set->decl_rows();
+      set->n_exec_ = 0;
+      set->n_nonexec_ = 0;
+      auto& g2l = g2l_[static_cast<std::size_t>(set->id())];
+      for (index_t l = 0; l < set->decl_rows(); ++l) g2l.emplace(set->global_id(l), l);
+    }
+    partitioned_ = true;
+    return;
+  }
+
+  // --- ownership of every shard row (pure function of gid) ------------------
+  std::vector<std::vector<int>> owners(sets_.size());
+  std::vector<bool> resolved(sets_.size(), false);
+  for (const Set* p : primaries) {
+    const auto sid = static_cast<std::size_t>(p->id());
+    auto& own = owners[sid];
+    own.resize(static_cast<std::size_t>(p->decl_rows()));
+    for (index_t r = 0; r < p->decl_rows(); ++r) {
+      own[static_cast<std::size_t>(r)] = block_owner(p->global_id(r), p->global_size(), nr);
+    }
+    resolved[sid] = true;
+  }
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const auto& map : maps_) {
+      const auto from_id = static_cast<std::size_t>(map->from().id());
+      const auto to_id = static_cast<std::size_t>(map->to().id());
+      if (resolved[from_id] || !resolved[to_id]) continue;
+      auto& own = owners[from_id];
+      own.resize(static_cast<std::size_t>(map->from().decl_rows()));
+      for (index_t e = 0; e < map->from().decl_rows(); ++e) {
+        own[static_cast<std::size_t>(e)] =
+            owners[to_id][static_cast<std::size_t>((*map)(e, 0))];
+      }
+      resolved[from_id] = true;
+      progressed = true;
+    }
+  }
+  for (std::size_t s = 0; s < sets_.size(); ++s) {
+    if (resolved[s]) continue;
+    auto& own = owners[s];
+    own.resize(static_cast<std::size_t>(sets_[s]->decl_rows()));
+    for (index_t r = 0; r < sets_[s]->decl_rows(); ++r) {
+      own[static_cast<std::size_t>(r)] =
+          block_owner(sets_[s]->global_id(r), sets_[s]->global_size(), nr);
+    }
+    util::warn("op2: set '{}' has no map path to the primary set; block-partitioned",
+               sets_[s]->name());
+  }
+
+  // --- shard-local halo computation (compute_imports restricted to me) ------
+  const auto nsets = sets_.size();
+  std::vector<std::unordered_set<index_t>> exec_rows(nsets), nonexec_rows(nsets);
+
+  // Pass 1: exec — foreign shard rows with some map target owned by me.
+  for (const auto& map : maps_) {
+    const auto from_id = static_cast<std::size_t>(map->from().id());
+    const auto to_id = static_cast<std::size_t>(map->to().id());
+    const int dim = map->dim();
+    for (index_t e = 0; e < map->from().decl_rows(); ++e) {
+      if (owners[from_id][static_cast<std::size_t>(e)] == me) continue;
+      for (int i = 0; i < dim; ++i) {
+        if (owners[to_id][static_cast<std::size_t>((*map)(e, i))] == me) {
+          exec_rows[from_id].insert(e);
+          break;
+        }
+      }
+    }
+  }
+
+  // Pass 2: nonexec — foreign targets of my executed rows not already exec.
+  for (const auto& map : maps_) {
+    const auto from_id = static_cast<std::size_t>(map->from().id());
+    const auto to_id = static_cast<std::size_t>(map->to().id());
+    const int dim = map->dim();
+    for (index_t e = 0; e < map->from().decl_rows(); ++e) {
+      const bool executed = owners[from_id][static_cast<std::size_t>(e)] == me ||
+                            exec_rows[from_id].count(e) != 0;
+      if (!executed) continue;
+      for (int i = 0; i < dim; ++i) {
+        const index_t t = (*map)(e, i);
+        if (owners[to_id][static_cast<std::size_t>(t)] == me) continue;
+        if (exec_rows[to_id].count(t)) continue;
+        nonexec_rows[to_id].insert(t);
+      }
+    }
+  }
+
+  // --- local numbering, recv schedules, per-peer import requests ------------
+  // rows_new[s][l] = shard row at new local index l (consumed by map/dat
+  // localization); shard gid lists stay in place until then.
+  std::vector<std::vector<index_t>> rows_new(nsets);
+  std::vector<std::vector<gindex_t>> l2g_new(nsets);
+  // Per set, per owner peer: my exec / nonexec import gids, ascending.
+  std::vector<std::vector<std::vector<gindex_t>>> want_exec(nsets), want_nonexec(nsets);
+
+  for (auto& set : sets_) {
+    const auto sid = static_cast<std::size_t>(set->id());
+    const auto& own = owners[sid];
+    auto& rows = rows_new[sid];
+    auto& l2g = l2g_new[sid];
+
+    for (index_t r = 0; r < set->decl_rows(); ++r) {
+      if (own[static_cast<std::size_t>(r)] == me) rows.push_back(r);
+    }
+    set->n_owned_ = static_cast<index_t>(rows.size());
+
+    SetHalo& halo = halos_[sid];
+    auto append_halo = [&](const std::unordered_set<index_t>& import_rows) {
+      std::vector<index_t> sorted(import_rows.begin(), import_rows.end());
+      std::sort(sorted.begin(), sorted.end(), [&](index_t a, index_t b) {
+        const int oa = own[static_cast<std::size_t>(a)];
+        const int ob = own[static_cast<std::size_t>(b)];
+        const gindex_t ga = set->global_id(a);
+        const gindex_t gb = set->global_id(b);
+        return std::tie(oa, ga) < std::tie(ob, gb);
+      });
+      for (const index_t r : sorted) {
+        rows.push_back(r);
+        halo.slot_src.push_back(own[static_cast<std::size_t>(r)]);
+      }
+      return sorted.size();
+    };
+    set->n_exec_ = static_cast<index_t>(append_halo(exec_rows[sid]));
+    set->n_nonexec_ = static_cast<index_t>(append_halo(nonexec_rows[sid]));
+
+    for (const index_t r : rows) l2g.push_back(set->global_id(r));
+
+    std::map<int, std::vector<index_t>> recv_by_src;
+    for (index_t h = 0; h < set->n_exec_ + set->n_nonexec_; ++h) {
+      const index_t slot = set->n_owned_ + h;
+      recv_by_src[halo.slot_src[static_cast<std::size_t>(h)]].push_back(slot);
+    }
+    for (auto& [src, slots] : recv_by_src) {
+      halo.nbr_recv.push_back(src);
+      halo.recv_slots.push_back(std::move(slots));
+    }
+
+    // Import requests to each owner: the (owner,gid)-sorted halo segments
+    // restricted to one owner are ascending-gid runs — exactly the
+    // monolithic per-peer ordering.
+    auto& we = want_exec[sid];
+    auto& wn = want_nonexec[sid];
+    we.resize(static_cast<std::size_t>(nr));
+    wn.resize(static_cast<std::size_t>(nr));
+    for (index_t h = 0; h < set->n_exec_; ++h) {
+      const auto src = static_cast<std::size_t>(halo.slot_src[static_cast<std::size_t>(h)]);
+      we[src].push_back(l2g[static_cast<std::size_t>(set->n_owned_ + h)]);
+    }
+    for (index_t h = set->n_exec_; h < set->n_exec_ + set->n_nonexec_; ++h) {
+      const auto src = static_cast<std::size_t>(halo.slot_src[static_cast<std::size_t>(h)]);
+      wn[src].push_back(l2g[static_cast<std::size_t>(set->n_owned_ + h)]);
+    }
+  }
+
+  // --- exchange requests; owners build send lists and cross-check exec ------
+  for (auto& set : sets_) {
+    const auto sid = static_cast<std::size_t>(set->id());
+    const auto& own = owners[sid];
+    SetHalo& halo = halos_[sid];
+
+    const auto exec_req = comm_.alltoallv(want_exec[sid]);
+    const auto nonexec_req = comm_.alltoallv(want_nonexec[sid]);
+
+    // Cross-check: q's exec request must equal the list I compute from my
+    // own shard — {my owned rows with some target owned by q}, ascending
+    // gid. A mismatch means some rank's ghost rind was too narrow to see an
+    // interaction the owner sees (or saw one the owner doesn't).
+    std::vector<std::vector<gindex_t>> expected(static_cast<std::size_t>(nr));
+    {
+      std::vector<bool> foreign_owner(static_cast<std::size_t>(nr));
+      for (index_t e = 0; e < set->decl_rows(); ++e) {
+        if (own[static_cast<std::size_t>(e)] != me) continue;
+        std::fill(foreign_owner.begin(), foreign_owner.end(), false);
+        for (const auto& map : maps_) {
+          if (&map->from() != set.get()) continue;
+          const auto to_id = static_cast<std::size_t>(map->to().id());
+          for (int i = 0; i < map->dim(); ++i) {
+            const int ot = owners[to_id][static_cast<std::size_t>((*map)(e, i))];
+            if (ot != me) foreign_owner[static_cast<std::size_t>(ot)] = true;
+          }
+        }
+        const gindex_t ge = set->global_id(e);
+        for (int q = 0; q < nr; ++q) {
+          if (foreign_owner[static_cast<std::size_t>(q)]) {
+            expected[static_cast<std::size_t>(q)].push_back(ge);
+          }
+        }
+      }
+    }
+    for (int q = 0; q < nr; ++q) {
+      if (q == me) continue;
+      if (exec_req[static_cast<std::size_t>(q)] != expected[static_cast<std::size_t>(q)]) {
+        throw std::logic_error(vcgt::util::fmt(
+            "op2: shard rind insufficient on set '{}': rank {} expects {} exec exports "
+            "to rank {} but rank {} requested {}",
+            set->name(), me, expected[static_cast<std::size_t>(q)].size(), q, q,
+            exec_req[static_cast<std::size_t>(q)].size()));
+      }
+    }
+
+    // Send lists: per peer, exec requests then nonexec requests, localized
+    // to my new owned numbering (owned gids ascending -> binary search).
+    const auto& l2g = l2g_new[sid];
+    auto owned_local = [&](gindex_t g, int q) {
+      const auto end = l2g.begin() + set->n_owned_;
+      const auto it = std::lower_bound(l2g.begin(), end, g);
+      if (it == end || *it != g) {
+        throw std::logic_error(vcgt::util::fmt(
+            "op2: shard import request from rank {} for non-owned global {} (set '{}')",
+            q, g, set->name()));
+      }
+      return static_cast<index_t>(it - l2g.begin());
+    };
+    for (int q = 0; q < nr; ++q) {
+      if (q == me) continue;
+      std::vector<index_t> send;
+      for (const gindex_t g : exec_req[static_cast<std::size_t>(q)]) {
+        send.push_back(owned_local(g, q));
+      }
+      for (const gindex_t g : nonexec_req[static_cast<std::size_t>(q)]) {
+        send.push_back(owned_local(g, q));
+      }
+      if (!send.empty()) {
+        halo.nbr_send.push_back(q);
+        halo.send_idx.push_back(std::move(send));
+      }
+    }
+
+    auto& g2l = g2l_[sid];
+    for (std::size_t l = 0; l < l2g.size(); ++l) {
+      g2l.emplace(l2g[l], static_cast<index_t>(l));
+    }
+  }
+
+  // --- localize map tables (shard rows -> new local indices) ----------------
+  for (auto& map : maps_) {
+    const Set& from = map->from();
+    const Set& to = map->to();
+    const auto& from_rows = rows_new[static_cast<std::size_t>(from.id())];
+    const auto& g2l_to = g2l_[static_cast<std::size_t>(to.id())];
+    const int dim = map->dim();
+    const index_t n_executed = from.n_owned() + from.n_exec();
+    std::vector<index_t> local(static_cast<std::size_t>(n_executed) *
+                               static_cast<std::size_t>(dim));
+    for (index_t e = 0; e < n_executed; ++e) {
+      const auto row = static_cast<std::size_t>(from_rows[static_cast<std::size_t>(e)]);
+      for (int i = 0; i < dim; ++i) {
+        const index_t t_row = map->table_[row * static_cast<std::size_t>(dim) +
+                                          static_cast<std::size_t>(i)];
+        const gindex_t gt = to.global_id(t_row);
+        const auto it = g2l_to.find(gt);
+        if (it == g2l_to.end()) {
+          throw std::logic_error(vcgt::util::fmt(
+              "op2: map '{}' references global {} of set '{}' missing from rank {}'s halo",
+              map->name(), gt, to.name(), me));
+        }
+        local[static_cast<std::size_t>(e) * static_cast<std::size_t>(dim) +
+              static_cast<std::size_t>(i)] = it->second;
+      }
+    }
+    map->table_ = std::move(local);
+  }
+
+  // --- localize dats (source rows are shard rows) and install numberings ----
+  for (auto& dat : dats_) {
+    dat->localize(rows_new[static_cast<std::size_t>(dat->set().id())]);
+  }
+  for (auto& set : sets_) {
+    set->l2g_ = std::move(l2g_new[static_cast<std::size_t>(set->id())]);
+  }
+
+  partitioned_ = true;
+}
+
+}  // namespace vcgt::op2

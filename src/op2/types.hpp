@@ -27,9 +27,48 @@ class HaloError : public std::runtime_error {
   bool sending;     ///< true: packing/sending; false: receiving/scattering
 };
 
-/// Local/global element index. 32-bit is enough for the scaled-down meshes
-/// (the paper's 4.58B-node mesh would need 64-bit; see DESIGN.md §5).
+/// Local element index. A rank's local window (owned + halos) always fits
+/// in 32 bits — plans, map tables and halo slot lists stay compact.
 using index_t = std::int32_t;
+
+/// Global element id. 64-bit: the paper's 4.58B-node mesh (fig. 9) exceeds
+/// the 32-bit range, so every gid-carrying surface — local_to_global,
+/// halo/partition exchange payloads, deterministic-reduction records —
+/// uses this type (DESIGN.md §13).
+using gindex_t = std::int64_t;
+
+/// Largest global size a *monolithic* (replicated-declaration) set may
+/// have: every global id must narrow losslessly to a local index, because
+/// monolithic declarations materialize identity numberings and full tables.
+/// Sharded declarations (decl_set_sharded) are exempt — only the per-rank
+/// window must fit index_t there.
+inline constexpr gindex_t kMaxMonolithicSetSize =
+    static_cast<gindex_t>(2147483647);  // INT32_MAX
+
+/// A set declaration (or a mesh builder feeding one) was asked for more
+/// elements than the declaration mode supports: monolithic sets cap at
+/// index_t range; sharded sets cap the per-rank window. Structured (not
+/// UB, not a silent narrowing) so billion-element requests fail loudly.
+class SetSizeError : public std::invalid_argument {
+ public:
+  SetSizeError(std::string what, std::string set, gindex_t requested)
+      : std::invalid_argument(std::move(what)), set(std::move(set)),
+        requested(requested) {}
+  std::string set;     ///< set (or mesh) being declared
+  gindex_t requested;  ///< element count that overflowed
+};
+
+/// Owner of global id `g` under block partitioning of `n` elements over
+/// `nranks` ranks. The single source of truth shared by the monolithic
+/// Block partitioner and the sharded setup path: both must assign bit-
+/// identical ownership for the shard-vs-monolithic equivalence contract
+/// (DESIGN.md §13). 64-bit intermediate: g*nranks stays < 2^63 for any
+/// realistic (n, nranks).
+[[nodiscard]] constexpr int block_owner(gindex_t g, gindex_t n, int nranks) {
+  return static_cast<int>((static_cast<std::uint64_t>(g) *
+                           static_cast<std::uint64_t>(nranks)) /
+                          static_cast<std::uint64_t>(n));
+}
 
 /// How a parallel-loop argument accesses its data. Mirrors OP2's
 /// OP_READ / OP_WRITE / OP_RW / OP_INC (+ OP_MIN/OP_MAX for globals).

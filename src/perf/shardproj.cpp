@@ -1,0 +1,86 @@
+#include "src/perf/shardproj.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace vcgt::perf {
+
+using op2::gindex_t;
+
+ShardResolution fig9_row_resolution() {
+  // 250 x 160 x 11450 = 458,000,000 cells per row; ten rows give the
+  // paper's 4.58B exactly. The full-annulus circumferential count carries
+  // the mesh's bulk, as in the paper's fine grid.
+  return {250, 160, 11450};
+}
+
+ShardProjection project_sharded_scaling(const MachineSpec& machine,
+                                        const WorkloadSpec& workload,
+                                        const ShardResolution& res,
+                                        const std::vector<int>& node_counts,
+                                        const ModelOptions& opt) {
+  if (res.nx < 1 || res.nr < 1 || res.ntheta < 3) {
+    throw std::invalid_argument("project_sharded_scaling: bad resolution");
+  }
+  ShardProjection p;
+  p.res = res;
+  p.ncell_row = res.ncell();
+  p.ncell_total = p.ncell_row * workload.nrows;
+
+  // Ghost rind of a contiguous gid block in the ((k*nr + j)*nx + i)
+  // numbering: at most two theta-slabs (k +- 1, the +-nx*nr neighbors of the
+  // block ends, wrap included), two radial lines (j +- 1) and two axial
+  // cells (i +- 1). Matches rig::generate_row_shard's closure.
+  const gindex_t rind_upper =
+      2 * static_cast<gindex_t>(res.nx) * res.nr + 2 * res.nx + 2;
+
+  const ScalingModel model(machine, workload);
+  for (const int nodes : node_counts) {
+    ShardScalePoint pt;
+    pt.nodes = nodes;
+    pt.ranks = nodes * machine.cores_per_node;  // two-level node x core
+    // HS ranks divide evenly over the rows (node-major blocks); the model's
+    // coupler ranks ride on top and are costed inside StepCost.
+    const int ranks_row = std::max(1, pt.ranks / workload.nrows);
+
+    gindex_t sum = 0;
+    pt.owned_min = p.ncell_row;
+    pt.owned_max = 0;
+    for (int r = 0; r < ranks_row; ++r) {
+      const gindex_t lo = (static_cast<gindex_t>(r) * p.ncell_row + ranks_row - 1) / ranks_row;
+      const gindex_t hi =
+          (static_cast<gindex_t>(r + 1) * p.ncell_row + ranks_row - 1) / ranks_row;
+      const gindex_t owned = hi - lo;
+      sum += owned;
+      pt.owned_min = std::min(pt.owned_min, owned);
+      pt.owned_max = std::max(pt.owned_max, owned);
+    }
+    if (sum != p.ncell_row) {
+      throw std::logic_error("project_sharded_scaling: owned blocks do not tile the row");
+    }
+    pt.window_max = pt.owned_max + rind_upper;
+    // The cell window and the face closure (< 3 faces per window cell plus
+    // one rind slab) must both narrow to index_t on every rank.
+    pt.fits_index_t = pt.window_max <= op2::kMaxMonolithicSetSize &&
+                      3 * pt.window_max <= op2::kMaxMonolithicSetSize;
+    pt.cost = model.step_cost(nodes, opt);
+    p.points.push_back(pt);
+  }
+  return p;
+}
+
+std::string format_shard_table(const ShardProjection& p) {
+  std::ostringstream os;
+  os << "sharded-setup projection: " << p.ncell_total << " cells ("
+     << p.res.nx << "x" << p.res.nr << "x" << p.res.ntheta << " per row)\n";
+  os << "  nodes   ranks   owned/rank(max)   window(max)   fits32   s/step   coupling\n";
+  for (const auto& pt : p.points) {
+    os << "  " << pt.nodes << "\t" << pt.ranks << "\t" << pt.owned_max << "\t"
+       << pt.window_max << "\t" << (pt.fits_index_t ? "yes" : "NO") << "\t"
+       << pt.cost.total() << "\t" << pt.cost.coupling_fraction() * 100.0 << "%\n";
+  }
+  return os.str();
+}
+
+}  // namespace vcgt::perf

@@ -1,0 +1,78 @@
+#pragma once
+// Sharded-setup scaling projection for the grand-challenge mesh (fig. 9,
+// DESIGN.md §13). The analytic counterpart of rig::generate_row_shard +
+// op2::partition_sharded: given an exact 64-bit annulus resolution and a
+// machine, it computes every modeled rank's owned block and ghost-rind
+// window with the same block_owner() arithmetic the runtime uses, checks
+// that each per-rank window fits op2::index_t (the whole point of the
+// billion-node path: only *global* counts need 64 bits), and attaches the
+// ScalingModel step cost at each node count.
+//
+// Rank decomposition is two-level node x core, as in "Towards Exascale
+// Computation for Turbomachinery Flows" (PAPERS.md): ranks = nodes *
+// cores_per_node, with the block numbering laid out node-major so a node's
+// ranks own contiguous gid blocks.
+#include <vector>
+
+#include "src/op2/types.hpp"
+#include "src/perf/costmodel.hpp"
+#include "src/perf/machine.hpp"
+#include "src/perf/workload.hpp"
+
+namespace vcgt::perf {
+
+/// Exact integer resolution of a modeled annulus row (the WorkloadSpec
+/// carries only an approximate double cell count; the overflow analysis
+/// needs exact 64-bit arithmetic).
+struct ShardResolution {
+  int nx = 0, nr = 0, ntheta = 0;
+  [[nodiscard]] op2::gindex_t ncell() const {
+    return static_cast<op2::gindex_t>(nx) * nr * ntheta;
+  }
+  [[nodiscard]] op2::gindex_t nface() const {
+    return static_cast<op2::gindex_t>(ntheta) * nr * (nx - 1) +
+           static_cast<op2::gindex_t>(ntheta) * (nr - 1) * nx +
+           static_cast<op2::gindex_t>(ntheta) * nr * nx;
+  }
+};
+
+/// Per-row resolution of the fig. 9 1-10_4.58B configuration: 4.58B cells
+/// over 10 rows, full annulus. 64-bit global counts by construction.
+[[nodiscard]] ShardResolution fig9_row_resolution();
+
+/// One node count of the projected scaling table.
+struct ShardScalePoint {
+  int nodes = 0;
+  int ranks = 0;  ///< nodes * cores_per_node (two-level decomposition)
+  op2::gindex_t owned_min = 0;  ///< smallest per-rank owned block
+  op2::gindex_t owned_max = 0;  ///< largest per-rank owned block
+  /// Upper bound on a rank's shard window (owned + ghost rind): the rind of
+  /// a contiguous gid block is at most two k-slabs + two j-lines + two
+  /// i-cells of the lattice.
+  op2::gindex_t window_max = 0;
+  bool fits_index_t = false;  ///< window_max <= op2::kMaxMonolithicSetSize
+  StepCost cost;              ///< modeled per-step cost at this node count
+};
+
+struct ShardProjection {
+  ShardResolution res;        ///< per-row resolution
+  op2::gindex_t ncell_row = 0;
+  op2::gindex_t ncell_total = 0;  ///< all rows
+  std::vector<ShardScalePoint> points;
+};
+
+/// Projects the sharded setup of `workload` (per-row resolution `res`,
+/// `workload.nrows` rows) over the given node counts on `machine`. Every
+/// arithmetic step is 64-bit; per-rank owned blocks are exact (they sum to
+/// ncell_row over each row's ranks), the rind is an analytic upper bound.
+/// Ranks per row = nodes * cores_per_node / nrows (HS ranks; the model's
+/// coupler ranks are accounted inside StepCost).
+[[nodiscard]] ShardProjection project_sharded_scaling(
+    const MachineSpec& machine, const WorkloadSpec& workload, const ShardResolution& res,
+    const std::vector<int>& node_counts, const ModelOptions& opt = {});
+
+/// Formats the projection as the scaling table the fig. 9 bench prints
+/// (one row per node count).
+[[nodiscard]] std::string format_shard_table(const ShardProjection& p);
+
+}  // namespace vcgt::perf

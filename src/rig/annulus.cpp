@@ -1,8 +1,13 @@
 #include "src/rig/annulus.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <numbers>
 #include <stdexcept>
+#include <string>
+
+#include "src/rig/shard.hpp"
 
 namespace vcgt::rig {
 
@@ -30,15 +35,188 @@ void quad_geom(const Vec3& p0, const Vec3& p1, const Vec3& p2, const Vec3& p3, V
   *center = 0.25 * (p0 + p1 + p2 + p3);
 }
 
+/// Per-element geometry of the structured annulus lattice. Both generators
+/// (monolithic generate_row_mesh and per-rank generate_row_shard) emit every
+/// cell/face value through these functions, so a shard's arrays are
+/// bit-identical to the monolithic arrays at the corresponding global ids —
+/// the floating-point half of the shard equivalence contract (DESIGN.md §13).
+struct Lattice {
+  const RowSpec& row;
+  int nx, nr, nt;
+  double dx, dth;
+
+  Lattice(const RowSpec& r, const MeshResolution& res)
+      : row(r), nx(res.nx), nr(res.nr), nt(res.ntheta),
+        dx((r.x_max - r.x_min) / res.nx),
+        dth(2.0 * std::numbers::pi / res.ntheta) {}
+
+  /// Lattice node coordinates: node(i, j, k) with k wrapping mod nt. Hub and
+  /// casing radii follow the row's (possibly contracting) flow path.
+  [[nodiscard]] Vec3 node(int i, int j, int k) const {
+    const double x = row.x_min + i * dx;
+    const double rh = row.hub_at(x);
+    const double r = rh + j * (row.casing_at(x) - rh) / nr;
+    const double th = (k % nt) * dth;
+    return {x, r * std::cos(th), r * std::sin(th)};
+  }
+
+  /// Cell centroid (average of 8 corners), volume via the divergence
+  /// theorem, and cylindrical helper coordinates, written to row `c` of the
+  /// mesh's cell arrays.
+  void emit_cell(int i, int j, int k, std::size_t c, AnnulusMesh* m) const {
+    const Vec3 corners[8] = {node(i, j, k),         node(i + 1, j, k),
+                             node(i + 1, j + 1, k), node(i, j + 1, k),
+                             node(i, j, k + 1),     node(i + 1, j, k + 1),
+                             node(i + 1, j + 1, k + 1), node(i, j + 1, k + 1)};
+    Vec3 centroid{};
+    for (const auto& p : corners) centroid = centroid + p;
+    centroid = (1.0 / 8.0) * centroid;
+
+    // Outward faces of the hex (standard corner ordering above):
+    // indices into `corners`, oriented so the area vector points out.
+    static constexpr int kFaces[6][4] = {
+        {0, 4, 7, 3},  // x-min (outward -x)
+        {1, 2, 6, 5},  // x-max (outward +x)
+        {0, 1, 5, 4},  // r-min (outward -r)
+        {3, 7, 6, 2},  // r-max (outward +r)
+        {0, 3, 2, 1},  // theta-min (outward -theta)
+        {4, 5, 6, 7},  // theta-max (outward +theta)
+    };
+    double vol = 0.0;
+    for (const auto& f : kFaces) {
+      Vec3 area, fc;
+      quad_geom(corners[f[0]], corners[f[1]], corners[f[2]], corners[f[3]], &area, &fc);
+      vol += dot(fc - centroid, area);
+    }
+    vol /= 3.0;
+    m->cell_vol[c] = vol;
+    m->cell_center[c * 3 + 0] = centroid.x;
+    m->cell_center[c * 3 + 1] = centroid.y;
+    m->cell_center[c * 3 + 2] = centroid.z;
+    m->cell_rtheta[c * 2 + 0] = std::hypot(centroid.y, centroid.z);
+    double th = std::atan2(centroid.z, centroid.y);
+    if (th < 0) th += 2.0 * std::numbers::pi;
+    m->cell_rtheta[c * 2 + 1] = th;
+  }
+
+  /// Corner quads of the three interior-face families. `i`/`j`/`k` name the
+  /// owner cell's lattice position; the face sits between it and its +x /
+  /// +r / +theta neighbor, with the area vector along the + direction.
+  void xface_corners(int i, int j, int k, Vec3 p[4]) const {
+    p[0] = node(i + 1, j, k);
+    p[1] = node(i + 1, j + 1, k);
+    p[2] = node(i + 1, j + 1, k + 1);
+    p[3] = node(i + 1, j, k + 1);
+  }
+  void rface_corners(int i, int j, int k, Vec3 p[4]) const {
+    p[0] = node(i, j + 1, k);
+    p[1] = node(i, j + 1, k + 1);
+    p[2] = node(i + 1, j + 1, k + 1);
+    p[3] = node(i + 1, j + 1, k);
+  }
+  void tface_corners(int i, int j, int k, Vec3 p[4]) const {
+    p[0] = node(i, j, k + 1);
+    p[1] = node(i + 1, j, k + 1);
+    p[2] = node(i + 1, j + 1, k + 1);
+    p[3] = node(i, j + 1, k + 1);
+  }
+
+  /// Corner quads of the boundary groups, outward-oriented. `a` is the
+  /// within-slab lattice index (j for Inlet/Outlet, i for Hub/Casing).
+  void bface_corners(BoundaryGroup g, int a, int k, Vec3 p[4]) const {
+    switch (g) {
+      case BoundaryGroup::Inlet:  // x-min, outward = -x
+        p[0] = node(0, a, k);
+        p[1] = node(0, a, k + 1);
+        p[2] = node(0, a + 1, k + 1);
+        p[3] = node(0, a + 1, k);
+        return;
+      case BoundaryGroup::Outlet:  // x-max, outward = +x
+        p[0] = node(nx, a, k);
+        p[1] = node(nx, a + 1, k);
+        p[2] = node(nx, a + 1, k + 1);
+        p[3] = node(nx, a, k + 1);
+        return;
+      case BoundaryGroup::Hub:  // r-min, outward = -r
+        p[0] = node(a, 0, k);
+        p[1] = node(a + 1, 0, k);
+        p[2] = node(a + 1, 0, k + 1);
+        p[3] = node(a, 0, k + 1);
+        return;
+      case BoundaryGroup::Casing:  // r-max, outward = +r
+        p[0] = node(a, nr, k);
+        p[1] = node(a, nr, k + 1);
+        p[2] = node(a + 1, nr, k + 1);
+        p[3] = node(a + 1, nr, k);
+        return;
+    }
+  }
+};
+
+/// Appends one interior face's geometry (owner/neighbor rows supplied by the
+/// caller in whichever numbering it builds).
+void push_face(const Vec3 p[4], index_t owner, index_t nbr, AnnulusMesh* m) {
+  Vec3 area, fc;
+  quad_geom(p[0], p[1], p[2], p[3], &area, &fc);
+  m->face2cell.push_back(owner);
+  m->face2cell.push_back(nbr);
+  m->face_normal.insert(m->face_normal.end(), {area.x, area.y, area.z});
+  m->face_center.insert(m->face_center.end(), {fc.x, fc.y, fc.z});
+}
+
+/// Appends one boundary face's geometry.
+void push_bface(const Vec3 p[4], index_t cell, BoundaryGroup g, AnnulusMesh* m) {
+  Vec3 area, fc;
+  quad_geom(p[0], p[1], p[2], p[3], &area, &fc);
+  m->bface2cell.push_back(cell);
+  m->bface_normal.insert(m->bface_normal.end(), {area.x, area.y, area.z});
+  m->bface_center.insert(m->bface_center.end(), {fc.x, fc.y, fc.z});
+  const double r = std::hypot(fc.y, fc.z);
+  double th = std::atan2(fc.z, fc.y);
+  if (th < 0) th += 2.0 * std::numbers::pi;
+  m->bface_rtheta.insert(m->bface_rtheta.end(), {r, th});
+  m->bface_group.push_back(static_cast<int>(g));
+}
+
+void validate_row(const RowSpec& row, const MeshResolution& res, const char* who) {
+  if (res.nx < 1 || res.nr < 1 || res.ntheta < 3) {
+    throw std::invalid_argument(std::string(who) + ": need nx,nr >= 1 and ntheta >= 3");
+  }
+  if (row.x_max <= row.x_min || row.r_casing <= row.r_hub) {
+    throw std::invalid_argument(std::string(who) + ": degenerate row extents");
+  }
+}
+
 }  // namespace
 
 AnnulusMesh generate_row_mesh(const RowSpec& row, const MeshResolution& res) {
+  validate_row(row, res, "generate_row_mesh");
   const int nx = res.nx, nr = res.nr, nt = res.ntheta;
-  if (nx < 1 || nr < 1 || nt < 3) {
-    throw std::invalid_argument("generate_row_mesh: need nx,nr >= 1 and ntheta >= 3");
-  }
-  if (row.x_max <= row.x_min || row.r_casing <= row.r_hub) {
-    throw std::invalid_argument("generate_row_mesh: degenerate row extents");
+
+  // Monolithic emission materializes full identity numberings, so every
+  // global count must narrow losslessly to index_t (DESIGN.md §13). Counts
+  // are computed in 64-bit *first* — the overflow is detected, not committed.
+  {
+    const auto ncell = static_cast<op2::gindex_t>(nx) * nr * nt;
+    const auto nface = static_cast<op2::gindex_t>(nt) * nr * (nx - 1) +
+                       static_cast<op2::gindex_t>(nt) * (nr - 1) * nx +
+                       static_cast<op2::gindex_t>(nt) * nr * nx;
+    if (ncell > op2::kMaxMonolithicSetSize) {
+      throw op2::SetSizeError(
+          "generate_row_mesh: monolithic row mesh of " + std::to_string(ncell) +
+              " cells exceeds the index_t range (" +
+              std::to_string(op2::kMaxMonolithicSetSize) +
+              "); generate per-rank shards with generate_row_shard",
+          "cells", ncell);
+    }
+    if (nface > op2::kMaxMonolithicSetSize) {
+      throw op2::SetSizeError(
+          "generate_row_mesh: monolithic row mesh of " + std::to_string(nface) +
+              " faces exceeds the index_t range (" +
+              std::to_string(op2::kMaxMonolithicSetSize) +
+              "); generate per-rank shards with generate_row_shard",
+          "faces", nface);
+    }
   }
 
   AnnulusMesh m;
@@ -47,18 +225,7 @@ AnnulusMesh generate_row_mesh(const RowSpec& row, const MeshResolution& res) {
   m.ntheta = nt;
   m.ncell = static_cast<index_t>(nx) * nr * nt;
 
-  const double dx = (row.x_max - row.x_min) / nx;
-  const double dth = 2.0 * std::numbers::pi / nt;
-
-  // Lattice node coordinates: node(i, j, k) with k wrapping mod nt. Hub and
-  // casing radii follow the row's (possibly contracting) flow path.
-  auto node = [&](int i, int j, int k) -> Vec3 {
-    const double x = row.x_min + i * dx;
-    const double rh = row.hub_at(x);
-    const double r = rh + j * (row.casing_at(x) - rh) / nr;
-    const double th = (k % nt) * dth;
-    return {x, r * std::cos(th), r * std::sin(th)};
-  };
+  const Lattice lat(row, res);
   auto cell_id = [&](int i, int j, int k) -> index_t {
     return static_cast<index_t>(((k % nt + nt) % nt) * nr + j) * nx + i;
   };
@@ -70,62 +237,19 @@ AnnulusMesh generate_row_mesh(const RowSpec& row, const MeshResolution& res) {
   for (int k = 0; k < nt; ++k) {
     for (int j = 0; j < nr; ++j) {
       for (int i = 0; i < nx; ++i) {
-        const index_t c = cell_id(i, j, k);
-        const Vec3 corners[8] = {node(i, j, k),         node(i + 1, j, k),
-                                 node(i + 1, j + 1, k), node(i, j + 1, k),
-                                 node(i, j, k + 1),     node(i + 1, j, k + 1),
-                                 node(i + 1, j + 1, k + 1), node(i, j + 1, k + 1)};
-        Vec3 centroid{};
-        for (const auto& p : corners) centroid = centroid + p;
-        centroid = (1.0 / 8.0) * centroid;
-
-        // Outward faces of the hex (standard corner ordering above):
-        // indices into `corners`, oriented so the area vector points out.
-        static constexpr int kFaces[6][4] = {
-            {0, 4, 7, 3},  // x-min (outward -x)
-            {1, 2, 6, 5},  // x-max (outward +x)
-            {0, 1, 5, 4},  // r-min (outward -r)
-            {3, 7, 6, 2},  // r-max (outward +r)
-            {0, 3, 2, 1},  // theta-min (outward -theta)
-            {4, 5, 6, 7},  // theta-max (outward +theta)
-        };
-        double vol = 0.0;
-        for (const auto& f : kFaces) {
-          Vec3 area, fc;
-          quad_geom(corners[f[0]], corners[f[1]], corners[f[2]], corners[f[3]], &area, &fc);
-          vol += dot(fc - centroid, area);
-        }
-        vol /= 3.0;
-        m.cell_vol[static_cast<std::size_t>(c)] = vol;
-        m.cell_center[static_cast<std::size_t>(c) * 3 + 0] = centroid.x;
-        m.cell_center[static_cast<std::size_t>(c) * 3 + 1] = centroid.y;
-        m.cell_center[static_cast<std::size_t>(c) * 3 + 2] = centroid.z;
-        m.cell_rtheta[static_cast<std::size_t>(c) * 2 + 0] =
-            std::hypot(centroid.y, centroid.z);
-        double th = std::atan2(centroid.z, centroid.y);
-        if (th < 0) th += 2.0 * std::numbers::pi;
-        m.cell_rtheta[static_cast<std::size_t>(c) * 2 + 1] = th;
+        lat.emit_cell(i, j, k, static_cast<std::size_t>(cell_id(i, j, k)), &m);
       }
     }
   }
 
-  auto push_face = [&](const Vec3& p0, const Vec3& p1, const Vec3& p2, const Vec3& p3,
-                       index_t owner, index_t nbr) {
-    Vec3 area, fc;
-    quad_geom(p0, p1, p2, p3, &area, &fc);
-    m.face2cell.push_back(owner);
-    m.face2cell.push_back(nbr);
-    m.face_normal.insert(m.face_normal.end(), {area.x, area.y, area.z});
-    m.face_center.insert(m.face_center.end(), {fc.x, fc.y, fc.z});
-  };
-
   // --- interior faces -------------------------------------------------------
+  Vec3 p[4];
   // x-direction faces between cell(i) and cell(i+1); normal along +x.
   for (int k = 0; k < nt; ++k) {
     for (int j = 0; j < nr; ++j) {
       for (int i = 0; i + 1 < nx; ++i) {
-        push_face(node(i + 1, j, k), node(i + 1, j + 1, k), node(i + 1, j + 1, k + 1),
-                  node(i + 1, j, k + 1), cell_id(i, j, k), cell_id(i + 1, j, k));
+        lat.xface_corners(i, j, k, p);
+        push_face(p, cell_id(i, j, k), cell_id(i + 1, j, k), &m);
       }
     }
   }
@@ -133,8 +257,8 @@ AnnulusMesh generate_row_mesh(const RowSpec& row, const MeshResolution& res) {
   for (int k = 0; k < nt; ++k) {
     for (int j = 0; j + 1 < nr; ++j) {
       for (int i = 0; i < nx; ++i) {
-        push_face(node(i, j + 1, k), node(i, j + 1, k + 1), node(i + 1, j + 1, k + 1),
-                  node(i + 1, j + 1, k), cell_id(i, j, k), cell_id(i, j + 1, k));
+        lat.rface_corners(i, j, k, p);
+        push_face(p, cell_id(i, j, k), cell_id(i, j + 1, k), &m);
       }
     }
   }
@@ -142,28 +266,14 @@ AnnulusMesh generate_row_mesh(const RowSpec& row, const MeshResolution& res) {
   for (int k = 0; k < nt; ++k) {
     for (int j = 0; j < nr; ++j) {
       for (int i = 0; i < nx; ++i) {
-        push_face(node(i, j, k + 1), node(i + 1, j, k + 1), node(i + 1, j + 1, k + 1),
-                  node(i, j + 1, k + 1), cell_id(i, j, k), cell_id(i, j, k + 1));
+        lat.tface_corners(i, j, k, p);
+        push_face(p, cell_id(i, j, k), cell_id(i, j, k + 1), &m);
       }
     }
   }
   m.nface = static_cast<index_t>(m.face2cell.size() / 2);
 
   // --- boundary faces, group-contiguous ------------------------------------
-  auto push_bface = [&](const Vec3& p0, const Vec3& p1, const Vec3& p2, const Vec3& p3,
-                        index_t cell, BoundaryGroup g) {
-    Vec3 area, fc;
-    quad_geom(p0, p1, p2, p3, &area, &fc);
-    m.bface2cell.push_back(cell);
-    m.bface_normal.insert(m.bface_normal.end(), {area.x, area.y, area.z});
-    m.bface_center.insert(m.bface_center.end(), {fc.x, fc.y, fc.z});
-    const double r = std::hypot(fc.y, fc.z);
-    double th = std::atan2(fc.z, fc.y);
-    if (th < 0) th += 2.0 * std::numbers::pi;
-    m.bface_rtheta.insert(m.bface_rtheta.end(), {r, th});
-    m.bface_group.push_back(static_cast<int>(g));
-  };
-
   auto begin_group = [&](BoundaryGroup g) {
     m.group_begin[static_cast<std::size_t>(g)] = static_cast<index_t>(m.bface2cell.size());
   };
@@ -171,44 +281,246 @@ AnnulusMesh generate_row_mesh(const RowSpec& row, const MeshResolution& res) {
     m.group_end[static_cast<std::size_t>(g)] = static_cast<index_t>(m.bface2cell.size());
   };
 
-  begin_group(BoundaryGroup::Inlet);  // x-min, outward = -x
+  begin_group(BoundaryGroup::Inlet);
   for (int k = 0; k < nt; ++k) {
     for (int j = 0; j < nr; ++j) {
-      push_bface(node(0, j, k), node(0, j, k + 1), node(0, j + 1, k + 1), node(0, j + 1, k),
-                 cell_id(0, j, k), BoundaryGroup::Inlet);
+      lat.bface_corners(BoundaryGroup::Inlet, j, k, p);
+      push_bface(p, cell_id(0, j, k), BoundaryGroup::Inlet, &m);
     }
   }
   end_group(BoundaryGroup::Inlet);
 
-  begin_group(BoundaryGroup::Outlet);  // x-max, outward = +x
+  begin_group(BoundaryGroup::Outlet);
   for (int k = 0; k < nt; ++k) {
     for (int j = 0; j < nr; ++j) {
-      push_bface(node(nx, j, k), node(nx, j + 1, k), node(nx, j + 1, k + 1),
-                 node(nx, j, k + 1), cell_id(nx - 1, j, k), BoundaryGroup::Outlet);
+      lat.bface_corners(BoundaryGroup::Outlet, j, k, p);
+      push_bface(p, cell_id(nx - 1, j, k), BoundaryGroup::Outlet, &m);
     }
   }
   end_group(BoundaryGroup::Outlet);
 
-  begin_group(BoundaryGroup::Hub);  // r-min, outward = -r
+  begin_group(BoundaryGroup::Hub);
   for (int k = 0; k < nt; ++k) {
     for (int i = 0; i < nx; ++i) {
-      push_bface(node(i, 0, k), node(i + 1, 0, k), node(i + 1, 0, k + 1), node(i, 0, k + 1),
-                 cell_id(i, 0, k), BoundaryGroup::Hub);
+      lat.bface_corners(BoundaryGroup::Hub, i, k, p);
+      push_bface(p, cell_id(i, 0, k), BoundaryGroup::Hub, &m);
     }
   }
   end_group(BoundaryGroup::Hub);
 
-  begin_group(BoundaryGroup::Casing);  // r-max, outward = +r
+  begin_group(BoundaryGroup::Casing);
   for (int k = 0; k < nt; ++k) {
     for (int i = 0; i < nx; ++i) {
-      push_bface(node(i, nr, k), node(i, nr, k + 1), node(i + 1, nr, k + 1),
-                 node(i + 1, nr, k), cell_id(i, nr - 1, k), BoundaryGroup::Casing);
+      lat.bface_corners(BoundaryGroup::Casing, i, k, p);
+      push_bface(p, cell_id(i, nr - 1, k), BoundaryGroup::Casing, &m);
     }
   }
   end_group(BoundaryGroup::Casing);
 
   m.nbface = static_cast<index_t>(m.bface2cell.size());
   return m;
+}
+
+RowShard generate_row_shard(const RowSpec& row, const MeshResolution& res,
+                            const ShardSpec& shard) {
+  validate_row(row, res, "generate_row_shard");
+  if (shard.nranks < 1 || shard.rank < 0 || shard.rank >= shard.nranks) {
+    throw std::invalid_argument("generate_row_shard: shard rank out of range");
+  }
+  const int nx = res.nx, nr = res.nr, nt = res.ntheta;
+  using op2::gindex_t;
+
+  // Global element counts, 64-bit throughout — this is the path that exists
+  // so a 4.58B-cell row never needs a 32-bit-indexable whole-mesh array.
+  const gindex_t ncell = static_cast<gindex_t>(nx) * nr * nt;
+  const gindex_t nxf = static_cast<gindex_t>(nt) * nr * (nx - 1);
+  const gindex_t nrf = static_cast<gindex_t>(nt) * (nr - 1) * nx;
+  const gindex_t ntf = static_cast<gindex_t>(nt) * nr * nx;
+
+  RowShard s;
+  s.ncell_global = ncell;
+  s.nface_global = nxf + nrf + ntf;
+  s.nbface_global = {static_cast<gindex_t>(nt) * nr, static_cast<gindex_t>(nt) * nr,
+                     static_cast<gindex_t>(nt) * nx, static_cast<gindex_t>(nt) * nx};
+
+  // Owned cells: the contiguous gid range block_owner() assigns this rank,
+  // [ceil(rank*n/nranks), ceil((rank+1)*n/nranks)).
+  const gindex_t lo =
+      (static_cast<gindex_t>(shard.rank) * ncell + shard.nranks - 1) / shard.nranks;
+  const gindex_t hi =
+      (static_cast<gindex_t>(shard.rank + 1) * ncell + shard.nranks - 1) / shard.nranks;
+
+  // Oversized shards are rejected *before* the face scan: the owned block
+  // alone bounds the closure from below, and scanning a >2^31-cell block
+  // would commit tens of gigabytes just to discover the overflow later.
+  if (hi - lo > op2::kMaxMonolithicSetSize) {
+    throw op2::SetSizeError("generate_row_shard: shard of " + std::to_string(hi - lo) +
+                                " cells exceeds the index_t range; increase nranks",
+                            "cells", hi - lo);
+  }
+
+  // Monolithic global numbering of the annulus lattice (matches
+  // generate_row_mesh's emission order exactly):
+  //   cell  (i,j,k): (k*nr + j)*nx + i
+  //   x-face between (i,j,k) and (i+1,j,k):        (k*nr + j)*(nx-1) + i
+  //   r-face between (i,j,k) and (i,j+1,k):  nxf + (k*(nr-1) + j)*nx + i
+  //   t-face between (i,j,k) and (i,j,k+1):  nxf + nrf + (k*nr + j)*nx + i
+  const auto cell_ijk = [&](gindex_t g, int* i, int* j, int* k) {
+    *i = static_cast<int>(g % nx);
+    *j = static_cast<int>((g / nx) % nr);
+    *k = static_cast<int>(g / (static_cast<gindex_t>(nx) * nr));
+  };
+  const auto gcell = [&](int i, int j, int k) -> gindex_t {
+    return (static_cast<gindex_t>((k % nt + nt) % nt) * nr + j) * nx + i;
+  };
+
+  // --- shard face closure: every interior face touching an owned cell ------
+  std::vector<gindex_t>& faces = s.face_gids;
+  faces.reserve(static_cast<std::size_t>(hi - lo) * 6);
+  for (gindex_t g = lo; g < hi; ++g) {
+    int i, j, k;
+    cell_ijk(g, &i, &j, &k);
+    if (i > 0) faces.push_back((static_cast<gindex_t>(k) * nr + j) * (nx - 1) + (i - 1));
+    if (i + 1 < nx) faces.push_back((static_cast<gindex_t>(k) * nr + j) * (nx - 1) + i);
+    if (j > 0) faces.push_back(nxf + (static_cast<gindex_t>(k) * (nr - 1) + (j - 1)) * nx + i);
+    if (j + 1 < nr) faces.push_back(nxf + (static_cast<gindex_t>(k) * (nr - 1) + j) * nx + i);
+    faces.push_back(nxf + nrf + (static_cast<gindex_t>((k - 1 + nt) % nt) * nr + j) * nx + i);
+    faces.push_back(nxf + nrf + (static_cast<gindex_t>(k) * nr + j) * nx + i);
+  }
+  std::sort(faces.begin(), faces.end());
+  faces.erase(std::unique(faces.begin(), faces.end()), faces.end());
+
+  // Decode a face gid back to its family, owner-cell lattice position and
+  // endpoint cell gids (owner first — the monolithic face2cell order).
+  struct FaceInfo {
+    int family;  ///< 0 = x, 1 = r, 2 = theta
+    int i, j, k;
+    gindex_t c0, c1;
+  };
+  const auto face_info = [&](gindex_t f) -> FaceInfo {
+    FaceInfo fi{};
+    if (f < nxf) {
+      fi.family = 0;
+      fi.i = static_cast<int>(f % (nx - 1));
+      fi.j = static_cast<int>((f / (nx - 1)) % nr);
+      fi.k = static_cast<int>(f / (static_cast<gindex_t>(nx - 1) * nr));
+      fi.c0 = gcell(fi.i, fi.j, fi.k);
+      fi.c1 = gcell(fi.i + 1, fi.j, fi.k);
+    } else if (f < nxf + nrf) {
+      const gindex_t r = f - nxf;
+      fi.family = 1;
+      fi.i = static_cast<int>(r % nx);
+      fi.j = static_cast<int>((r / nx) % (nr - 1));
+      fi.k = static_cast<int>(r / (static_cast<gindex_t>(nx) * (nr - 1)));
+      fi.c0 = gcell(fi.i, fi.j, fi.k);
+      fi.c1 = gcell(fi.i, fi.j + 1, fi.k);
+    } else {
+      const gindex_t t = f - nxf - nrf;
+      fi.family = 2;
+      fi.i = static_cast<int>(t % nx);
+      fi.j = static_cast<int>((t / nx) % nr);
+      fi.k = static_cast<int>(t / (static_cast<gindex_t>(nx) * nr));
+      fi.c0 = gcell(fi.i, fi.j, fi.k);
+      fi.c1 = gcell(fi.i, fi.j, fi.k + 1);
+    }
+    return fi;
+  };
+
+  // --- shard cells: owned block plus foreign endpoints of shard faces ------
+  std::vector<gindex_t>& cells = s.cell_gids;
+  cells.reserve(static_cast<std::size_t>(hi - lo) + faces.size() / 2);
+  for (gindex_t g = lo; g < hi; ++g) cells.push_back(g);
+  for (const gindex_t f : faces) {
+    const FaceInfo fi = face_info(f);
+    if (fi.c0 < lo || fi.c0 >= hi) cells.push_back(fi.c0);
+    if (fi.c1 < lo || fi.c1 >= hi) cells.push_back(fi.c1);
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+
+  const auto guard = [&](std::size_t n, const char* what) {
+    if (static_cast<gindex_t>(n) > op2::kMaxMonolithicSetSize) {
+      throw op2::SetSizeError("generate_row_shard: shard of " + std::to_string(n) + " " +
+                                  what + " exceeds the index_t range; increase nranks",
+                              what, static_cast<gindex_t>(n));
+    }
+  };
+  guard(cells.size(), "cells");
+  guard(faces.size(), "faces");
+
+  const auto cell_row = [&](gindex_t g) -> index_t {
+    return static_cast<index_t>(
+        std::lower_bound(cells.begin(), cells.end(), g) - cells.begin());
+  };
+
+  // --- geometry emission through the shared per-element path ---------------
+  const Lattice lat(row, res);
+  AnnulusMesh& m = s.local;
+  m.nx = nx;
+  m.nr = nr;
+  m.ntheta = nt;
+  m.ncell = static_cast<index_t>(cells.size());
+
+  m.cell_center.resize(cells.size() * 3);
+  m.cell_vol.resize(cells.size());
+  m.cell_rtheta.resize(cells.size() * 2);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    int i, j, k;
+    cell_ijk(cells[c], &i, &j, &k);
+    lat.emit_cell(i, j, k, c, &m);
+  }
+
+  Vec3 p[4];
+  for (const gindex_t f : faces) {
+    const FaceInfo fi = face_info(f);
+    switch (fi.family) {
+      case 0: lat.xface_corners(fi.i, fi.j, fi.k, p); break;
+      case 1: lat.rface_corners(fi.i, fi.j, fi.k, p); break;
+      default: lat.tface_corners(fi.i, fi.j, fi.k, p); break;
+    }
+    push_face(p, cell_row(fi.c0), cell_row(fi.c1), &m);
+  }
+  m.nface = static_cast<index_t>(m.face2cell.size() / 2);
+
+  // --- boundary faces of owned cells, group-contiguous ---------------------
+  // In-group gids follow the monolithic within-group emission order:
+  // Inlet/Outlet k*nr + j, Hub/Casing k*nx + i.
+  for (gindex_t g = lo; g < hi; ++g) {
+    int i, j, k;
+    cell_ijk(g, &i, &j, &k);
+    if (i == 0) s.bface_gids[0].push_back(static_cast<gindex_t>(k) * nr + j);
+    if (i == nx - 1) s.bface_gids[1].push_back(static_cast<gindex_t>(k) * nr + j);
+    if (j == 0) s.bface_gids[2].push_back(static_cast<gindex_t>(k) * nx + i);
+    if (j == nr - 1) s.bface_gids[3].push_back(static_cast<gindex_t>(k) * nx + i);
+  }
+  for (int g = 0; g < 4; ++g) {
+    auto& bg = s.bface_gids[static_cast<std::size_t>(g)];
+    std::sort(bg.begin(), bg.end());
+    guard(bg.size(), "bfaces");
+    const auto group = static_cast<BoundaryGroup>(g);
+    m.group_begin[static_cast<std::size_t>(g)] = static_cast<index_t>(m.bface2cell.size());
+    for (const gindex_t b : bg) {
+      int i, j, k;
+      index_t cell;
+      if (g < 2) {  // Inlet / Outlet: b = k*nr + j
+        j = static_cast<int>(b % nr);
+        k = static_cast<int>(b / nr);
+        i = (g == 0) ? 0 : nx - 1;
+        lat.bface_corners(group, j, k, p);
+        cell = cell_row(gcell(i, j, k));
+      } else {  // Hub / Casing: b = k*nx + i
+        i = static_cast<int>(b % nx);
+        k = static_cast<int>(b / nx);
+        j = (g == 2) ? 0 : nr - 1;
+        lat.bface_corners(group, i, k, p);
+        cell = cell_row(gcell(i, j, k));
+      }
+      push_bface(p, cell, group, &m);
+    }
+    m.group_end[static_cast<std::size_t>(g)] = static_cast<index_t>(m.bface2cell.size());
+  }
+  m.nbface = static_cast<index_t>(m.bface2cell.size());
+  return s;
 }
 
 double max_closure_error(const AnnulusMesh& mesh) {

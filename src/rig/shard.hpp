@@ -1,0 +1,67 @@
+#pragma once
+// Sharded row-mesh generation (DESIGN.md §13). Each rank deterministically
+// synthesizes only its block of the annulus — the cells it will own under
+// op2's Block partitioner — plus a one-cell ghost rind, instead of every
+// rank materializing the full row (which caps at index_t elements and, at
+// the paper's 4.58B-node scale, at memory). The shard carries the *global*
+// numbering of the monolithic generator, so a sharded declaration followed
+// by Context::partition_sharded() reproduces the monolithic Block setup
+// bit-identically: same ownership, same halo contents, same local
+// numbering, same plan fingerprints.
+#include <array>
+#include <vector>
+
+#include "src/op2/types.hpp"
+#include "src/rig/annulus.hpp"
+#include "src/rig/rowspec.hpp"
+
+namespace vcgt::rig {
+
+/// Which block of the row this rank synthesizes.
+struct ShardSpec {
+  int rank = 0;
+  int nranks = 1;
+};
+
+/// One rank's shard of a row mesh: a shard-local AnnulusMesh (owned cells
+/// plus the ghost rind needed to execute every face touching an owned
+/// cell) together with the global ids that tie the shard back into the
+/// monolithic numbering.
+///
+/// Contents and ordering contract:
+///  - cells  = { owned cells } ∪ { foreign endpoints of shard faces },
+///    ascending global id;
+///  - faces  = every interior face with at least one owned endpoint,
+///    ascending global id (== monolithic emission order restricted to the
+///    shard);
+///  - bfaces = boundary faces of *owned* cells only, group-contiguous
+///    (Inlet, Outlet, Hub, Casing) and ascending within each group.
+///
+/// `local.face2cell` / `local.bface2cell` hold shard-local cell rows (the
+/// positions in `cell_gids`), ready for op2::Context::decl_map after
+/// decl_set_sharded. Geometry arrays are emitted by the same per-element
+/// code as generate_row_mesh, so every value is bit-identical to the
+/// monolithic array entry at the corresponding global id.
+struct RowShard {
+  AnnulusMesh local;
+
+  op2::gindex_t ncell_global = 0;
+  op2::gindex_t nface_global = 0;
+  std::array<op2::gindex_t, 4> nbface_global{};  ///< per BoundaryGroup
+
+  std::vector<op2::gindex_t> cell_gids;  ///< ascending, one per local cell
+  std::vector<op2::gindex_t> face_gids;  ///< ascending, one per local face
+  /// Per-group in-group global ids (the monolithic within-group emission
+  /// index), ascending; concatenated they parallel the bface arrays.
+  std::array<std::vector<op2::gindex_t>, 4> bface_gids;
+};
+
+/// Generates rank `shard.rank`'s shard of the row mesh. The union of all
+/// ranks' owned cells tiles the row exactly; the per-rank ghost rind is the
+/// minimal closure for owner-compute + redundant-halo execution of the
+/// annulus face loops. Global counts are computed in 64-bit and only the
+/// per-rank window is bounded by index_t (op2::SetSizeError otherwise).
+RowShard generate_row_shard(const RowSpec& row, const MeshResolution& res,
+                            const ShardSpec& shard);
+
+}  // namespace vcgt::rig

@@ -11,7 +11,7 @@ namespace {
 
 // Wire format version for the spec blob itself (the frame protocol carries
 // its own version; this one guards the spec encoding inside a frame).
-constexpr std::uint16_t kSpecVersion = 1;
+constexpr std::uint16_t kSpecVersion = 2;  // v2: + sharded_setup
 
 void put_flow(util::ByteWriter& w, const hydra::FlowConfig& f) {
   w.put_f64(f.gamma);
@@ -186,6 +186,7 @@ void put_setup(util::ByteWriter& w, const SessionSpec& s) {
   w.put_bool(s.staged_gather);
   put_op2(w, s.op2cfg);
   w.put_u8(static_cast<std::uint8_t>(s.partitioner));
+  w.put_bool(s.sharded_setup);
 }
 
 void get_setup(util::ByteReader& r, SessionSpec& s) {
@@ -209,6 +210,7 @@ void get_setup(util::ByteReader& r, SessionSpec& s) {
   s.staged_gather = r.get_bool();
   s.op2cfg = get_op2(r);
   s.partitioner = static_cast<op2::Partitioner>(r.get_u8());
+  s.sharded_setup = r.get_bool();
 }
 
 }  // namespace
@@ -278,6 +280,7 @@ jm76::CoupledConfig SessionSpec::coupled_config(op2::PlanCache* plan_cache) cons
   cfg.staged_gather = staged_gather;
   cfg.op2cfg = op2cfg;
   cfg.partitioner = partitioner;
+  cfg.sharded_setup = sharded_setup;
   // Served sessions stream a frame per step and may run short segments; the
   // pipelined one-step ghost lag is wrong for both (see header).
   cfg.pipelined = false;

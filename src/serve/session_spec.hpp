@@ -61,6 +61,10 @@ struct SessionSpec {
   // --- op2 execution ------------------------------------------------------
   op2::Config op2cfg{};
   op2::Partitioner partitioner = op2::Partitioner::Rcb;
+  /// Billion-node setup path: per-rank shard synthesis + partition_sharded
+  /// (CoupledConfig::sharded_setup). Setup-determining: sharded contexts key
+  /// their plan-cache entries separately (op2 plansnap `s` discriminator).
+  bool sharded_setup = false;
 
   // --- per-job (excluded from setup_hash) ---------------------------------
   int nsteps = 1;

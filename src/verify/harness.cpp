@@ -115,6 +115,43 @@ std::vector<MatrixGroup> default_matrix() {
     g.variants[0].partial_halos = true;
     m.push_back(std::move(g));
   }
+  {  // Sharded setup (DESIGN.md §13): the same universe declared through
+    // decl_set_sharded — per-rank block-owned rows plus a map-closure ghost
+    // rind, shard-local map tables, sliced dats — and partitioned with
+    // partition_sharded. The base must match the serial oracle under the
+    // standard policy; layout and fault variants must match the sharded
+    // base bit-for-bit with identical fingerprints.
+    MatrixGroup g;
+    g.base = cell("shard-dist2-aos", 2, 1, Layout::AoS);
+    g.base.sharded = true;
+    g.base.partitioner = op2::Partitioner::Block;
+    g.variants = {cell("shard-dist2-soa", 2, 1, Layout::SoA),
+                  cell("shard-dist2-aosoa4", 2, 1, Layout::AoSoA, 4),
+                  cell("shard-dist2-aos-chaos", 2, 1, Layout::AoS)};
+    for (auto& v : g.variants) {
+      v.sharded = true;
+      v.partitioner = op2::Partitioner::Block;
+    }
+    g.variants[2].faults = true;
+    m.push_back(std::move(g));
+  }
+  {  // Sharded setup over 3 ranks with the PH/GH halo options.
+    MatrixGroup g;
+    g.base = cell("shard-dist3-phgh-aos", 3, 1, Layout::AoS);
+    g.base.sharded = true;
+    g.base.partitioner = op2::Partitioner::Block;
+    g.base.partial_halos = true;
+    g.base.grouped_halos = true;
+    g.variants = {cell("shard-dist3-phgh-soa", 3, 1, Layout::SoA),
+                  cell("shard-dist3-phgh-aosoa8", 3, 1, Layout::AoSoA, 8)};
+    for (auto& v : g.variants) {
+      v.sharded = true;
+      v.partitioner = op2::Partitioner::Block;
+      v.partial_halos = true;
+      v.grouped_halos = true;
+    }
+    m.push_back(std::move(g));
+  }
   {  // K-way graph-growing partitioner (exercises ownership propagation).
     MatrixGroup g;
     g.base = cell("dist2-kway-aos", 2, 1, Layout::AoS);
@@ -158,6 +195,25 @@ std::vector<MatrixGroup> default_matrix() {
       v.chained = true;
       v.partial_halos = true;
       v.grouped_halos = true;
+    }
+    m.push_back(std::move(g));
+  }
+  {  // Chained on sharded setup: chain planning over a context built through
+    // decl_set_sharded/partition_sharded. The base replays under the oracle
+    // policy; the layout variant must match it bit-exactly with equal chain
+    // fingerprints — which requires the chain planner's dependence-edge
+    // emission order to be deterministic across contexts with different
+    // allocation histories (the dep list is folded into the fingerprint).
+    MatrixGroup g;
+    g.base = cell("shard-chain-dist2-aos", 2, 1, Layout::AoS);
+    g.base.chained = true;
+    g.base.sharded = true;
+    g.base.partitioner = op2::Partitioner::Block;
+    g.variants = {cell("shard-chain-dist2-soa", 2, 1, Layout::SoA)};
+    for (auto& v : g.variants) {
+      v.chained = true;
+      v.sharded = true;
+      v.partitioner = op2::Partitioner::Block;
     }
     m.push_back(std::move(g));
   }

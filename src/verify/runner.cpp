@@ -2,6 +2,7 @@
 // the generated loop program through the production typed par_loop
 // builders, once per ExecConfig matrix cell. The same function body serves
 // the serial oracle and every distributed backend (inside World::run).
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -75,7 +76,7 @@ void emit_op(const Emit& emit, const LoopOp& op, const char* name, op2::Set& set
       auto& a = *dats[entry(op.set, op.a)];
       const int ad = a.dim();
       emit(name, set,
-           [=](double* av, const index_t* gid) {
+           [=](double* av, const op2::gindex_t* gid) {
              const auto g = static_cast<double>(*gid);
              for (int c = 0; c < ad; ++c) {
                av[c] = k1 * (std::fmod(g, 19.0) + 1.0) +
@@ -214,28 +215,176 @@ void emit_op(const Emit& emit, const LoopOp& op, const char* name, op2::Set& set
   }
 }
 
+/// Per-rank shard rows for the sharded-setup path (DESIGN.md §13): each
+/// set's block-owned rows plus a ghost rind wide enough for
+/// partition_sharded() to reproduce the monolithic halos. Ownership mirrors
+/// partition_sharded's rule exactly — nodes (the primary) by block_owner,
+/// every other set through the owner of its first map target, declaration
+/// order to a fixpoint — and the rind is the map closure of the owned rows:
+/// first every foreign from-row seeing a locally owned target (the exec
+/// candidates), then all targets of every kept from-row so the shard-local
+/// map tables are closed. Extra rind rows beyond the true halo are dropped
+/// by partition_sharded; a *missing* row trips its exec cross-check, which
+/// is precisely the defect class this group hunts.
+std::vector<std::vector<op2::gindex_t>> build_shards(const MeshTables& tables, int me,
+                                                     int nranks) {
+  const auto nsets = tables.set_sizes.size();
+  std::vector<std::vector<int>> owners(nsets);
+  std::vector<bool> resolved(nsets, false);
+  owners[0].resize(static_cast<std::size_t>(tables.set_sizes[0]));
+  for (index_t g = 0; g < tables.set_sizes[0]; ++g) {
+    owners[0][static_cast<std::size_t>(g)] =
+        op2::block_owner(g, tables.set_sizes[0], nranks);
+  }
+  resolved[0] = true;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t m = 0; m < tables.map_tables.size(); ++m) {
+      const auto f = static_cast<std::size_t>(tables.map_from[m]);
+      const auto t = static_cast<std::size_t>(tables.map_to[m]);
+      if (resolved[f] || !resolved[t]) continue;
+      const auto dim = static_cast<std::size_t>(tables.map_dims[m]);
+      owners[f].resize(static_cast<std::size_t>(tables.set_sizes[f]));
+      for (std::size_t e = 0; e < owners[f].size(); ++e) {
+        owners[f][e] =
+            owners[t][static_cast<std::size_t>(tables.map_tables[m][e * dim])];
+      }
+      resolved[f] = true;
+      progressed = true;
+    }
+  }
+  // Every universe map targets nodes, so everything resolves above; a set
+  // that somehow didn't falls back to block ownership like partition_sharded.
+  for (std::size_t s = 0; s < nsets; ++s) {
+    if (resolved[s]) continue;
+    owners[s].resize(static_cast<std::size_t>(tables.set_sizes[s]));
+    for (index_t g = 0; g < tables.set_sizes[s]; ++g) {
+      owners[s][static_cast<std::size_t>(g)] =
+          op2::block_owner(g, tables.set_sizes[s], nranks);
+    }
+  }
+
+  std::vector<std::vector<char>> keep(nsets);
+  for (std::size_t s = 0; s < nsets; ++s) {
+    keep[s].assign(owners[s].size(), 0);
+    for (std::size_t e = 0; e < owners[s].size(); ++e) {
+      if (owners[s][e] == me) keep[s][e] = 1;
+    }
+  }
+  for (std::size_t m = 0; m < tables.map_tables.size(); ++m) {
+    const auto f = static_cast<std::size_t>(tables.map_from[m]);
+    const auto t = static_cast<std::size_t>(tables.map_to[m]);
+    const auto dim = static_cast<std::size_t>(tables.map_dims[m]);
+    for (std::size_t e = 0; e < owners[f].size(); ++e) {
+      if (owners[f][e] == me) continue;
+      for (std::size_t i = 0; i < dim; ++i) {
+        if (owners[t][static_cast<std::size_t>(tables.map_tables[m][e * dim + i])] ==
+            me) {
+          keep[f][e] = 1;
+          break;
+        }
+      }
+    }
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (std::size_t m = 0; m < tables.map_tables.size(); ++m) {
+      const auto f = static_cast<std::size_t>(tables.map_from[m]);
+      const auto t = static_cast<std::size_t>(tables.map_to[m]);
+      const auto dim = static_cast<std::size_t>(tables.map_dims[m]);
+      for (std::size_t e = 0; e < keep[f].size(); ++e) {
+        if (!keep[f][e]) continue;
+        for (std::size_t i = 0; i < dim; ++i) {
+          const auto tgt = static_cast<std::size_t>(tables.map_tables[m][e * dim + i]);
+          if (!keep[t][tgt]) {
+            keep[t][tgt] = 1;
+            grew = true;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<op2::gindex_t>> shard(nsets);
+  for (std::size_t s = 0; s < nsets; ++s) {
+    for (std::size_t e = 0; e < keep[s].size(); ++e) {
+      if (keep[s][e]) shard[s].push_back(static_cast<op2::gindex_t>(e));
+    }
+  }
+  return shard;
+}
+
+/// Shard row index of global id `g` (gids ascending; must be present).
+index_t shard_row(const std::vector<op2::gindex_t>& gids, op2::gindex_t g) {
+  const auto it = std::lower_bound(gids.begin(), gids.end(), g);
+  return static_cast<index_t>(it - gids.begin());
+}
+
 /// Builds the universe, runs the program, and (on rank 0 / serial) fills
 /// `out`. Collective: every rank executes identically.
 void exec_program(op2::Context& ctx, const CaseSpec& spec, const MeshTables& tables,
                   const ExecConfig& cfg, RunResult* out) {
   const int dps = spec.mesh.dats_per_set;
+  std::vector<std::vector<op2::gindex_t>> shard;
+  if (cfg.sharded) shard = build_shards(tables, ctx.rank(), ctx.nranks());
+
+  const char* set_names[kNumSets] = {"nodes", "edges", "cells", "bnd"};
   std::vector<op2::Set*> sets;
-  sets.push_back(&ctx.decl_set("nodes", tables.set_sizes[0]));
-  sets.push_back(&ctx.decl_set("edges", tables.set_sizes[1]));
-  sets.push_back(&ctx.decl_set("cells", tables.set_sizes[2]));
-  sets.push_back(&ctx.decl_set("bnd", tables.set_sizes[3]));
+  for (int s = 0; s < kNumSets; ++s) {
+    const auto sz = tables.set_sizes[static_cast<std::size_t>(s)];
+    sets.push_back(cfg.sharded
+                       ? &ctx.decl_set_sharded(set_names[s], sz,
+                                               shard[static_cast<std::size_t>(s)])
+                       : &ctx.decl_set(set_names[s], sz));
+  }
 
   std::vector<op2::Map*> maps;
   for (std::size_t m = 0; m < tables.map_tables.size(); ++m) {
+    std::vector<index_t> table;
+    if (cfg.sharded) {
+      // Shard-local target rows: the global rows of this rank's from-shard,
+      // each target translated to its row in the to-set's shard (present by
+      // the closure in build_shards).
+      const auto& sf = shard[static_cast<std::size_t>(tables.map_from[m])];
+      const auto& st = shard[static_cast<std::size_t>(tables.map_to[m])];
+      const auto dim = static_cast<std::size_t>(tables.map_dims[m]);
+      table.reserve(sf.size() * dim);
+      for (const op2::gindex_t e : sf) {
+        for (std::size_t i = 0; i < dim; ++i) {
+          table.push_back(shard_row(
+              st, tables.map_tables[m][static_cast<std::size_t>(e) * dim + i]));
+        }
+      }
+    } else {
+      table = tables.map_tables[m];
+    }
     maps.push_back(&ctx.decl_map(util::fmt("map{}", m),
                                  *sets[static_cast<std::size_t>(tables.map_from[m])],
                                  *sets[static_cast<std::size_t>(tables.map_to[m])],
-                                 tables.map_dims[m], tables.map_tables[m]));
+                                 tables.map_dims[m], std::move(table)));
   }
+
+  // Sharded dats hold only the shard's rows (AoS source order either way).
+  const auto slice_rows = [&](const std::vector<double>& global, int dim, int set) {
+    if (!cfg.sharded) return global;
+    const auto& rows = shard[static_cast<std::size_t>(set)];
+    std::vector<double> local;
+    local.reserve(rows.size() * static_cast<std::size_t>(dim));
+    for (const op2::gindex_t g : rows) {
+      for (int c = 0; c < dim; ++c) {
+        local.push_back(global[static_cast<std::size_t>(g) * static_cast<std::size_t>(dim) +
+                               static_cast<std::size_t>(c)]);
+      }
+    }
+    return local;
+  };
 
   // Coordinates get the configured default layout too, so partitioning
   // itself runs under every layout (the PR 3 RCB regression's shape).
-  auto& coords = ctx.decl_dat<double>(*sets[0], 2, "coords", tables.coords);
+  auto& coords = ctx.decl_dat<double>(*sets[0], 2, "coords",
+                                      slice_rows(tables.coords, 2, 0));
 
   std::vector<op2::Dat<double>*> dats(static_cast<std::size_t>(kNumSets * dps));
   for (int s = 0; s < kNumSets; ++s) {
@@ -243,11 +392,15 @@ void exec_program(op2::Context& ctx, const CaseSpec& spec, const MeshTables& tab
       const auto e = static_cast<std::size_t>(s * dps + k);
       dats[e] = &ctx.decl_dat<double>(*sets[static_cast<std::size_t>(s)],
                                       tables.dat_dims[e], util::fmt("d{}_{}", s, k),
-                                      tables.dat_init[e]);
+                                      slice_rows(tables.dat_init[e], tables.dat_dims[e], s));
     }
   }
 
-  if (ctx.distributed()) ctx.partition(cfg.partitioner, coords);
+  if (cfg.sharded) {
+    ctx.partition_sharded({sets[0]});
+  } else if (ctx.distributed()) {
+    ctx.partition(cfg.partitioner, coords);
+  }
 
   std::vector<Reduction> reds(spec.loops.size());
   for (std::size_t l = 0; l < spec.loops.size(); ++l) {

@@ -173,6 +173,16 @@ struct ExecConfig {
   /// untainted dats); layout variants of a chained base must match it
   /// bit-exactly with equal chain fingerprints.
   bool chained = false;
+  /// Declare the universe through the sharded-setup path (DESIGN.md §13):
+  /// each rank declares only its block-owned rows plus a map-closure ghost
+  /// rind via decl_set_sharded, with shard-local map tables and sliced dat
+  /// rows, and partitions with partition_sharded (nodes primary; ownership
+  /// of the other sets inherited through their first map target). The
+  /// `partitioner` field is ignored — sharded ownership is always the
+  /// monolithic Block formula. Results obey the same tolerance policy as
+  /// any distributed backend; layout variants of a sharded base must match
+  /// it bit-exactly with equal fingerprints.
+  bool sharded = false;
   /// op2::Config::chain_tile for chained runs (small, so the tiny fuzz
   /// meshes actually produce multi-tile segments).
   int chain_tile = 16;

@@ -254,7 +254,7 @@ TEST(HydraSolver, PlanDiagnosticsDescribeLoops) {
 // bit for bit, under every layout.
 TEST(HydraSolver, BoundaryExchangeLayoutAgnostic) {
   struct Result {
-    std::vector<op2::index_t> gids;
+    std::vector<op2::gindex_t> gids;
     std::vector<double> payload;
     std::vector<double> q;
   };
@@ -279,7 +279,7 @@ TEST(HydraSolver, BoundaryExchangeLayoutAgnostic) {
     solver.gather_owned_face_states(BoundaryGroup::Outlet, &r.gids, &r.payload);
     // Feed the outlet states back in as inlet ghosts (a self-coupled rig):
     // exercises the scatter path and lets its effect propagate into q.
-    std::vector<op2::index_t> igids;
+    std::vector<op2::gindex_t> igids;
     std::vector<double> ipayload;
     solver.gather_owned_face_states(BoundaryGroup::Inlet, &igids, &ipayload);
     solver.scatter_ghosts(BoundaryGroup::Inlet, igids, ipayload);

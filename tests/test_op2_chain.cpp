@@ -39,7 +39,7 @@ TEST(ChainDeps, ClassifiesRawWarWaw) {
 
   op2::LoopChain chain(ctx, "dep_chain");
   chain.add("stamp1", nodes,
-            [](double* av, const index_t* gid) {
+            [](double* av, const op2::gindex_t* gid) {
               *av = 0.5 * static_cast<double>(*gid) + 1.0;
             },
             op2::write(a), op2::arg_idx());
@@ -219,7 +219,7 @@ std::map<std::string, std::uint64_t> run_fp_chain(op2::Layout layout, int block)
   auto& f = ctx.decl_dat<double>(edges, 1, "f");
   op2::LoopChain chain(ctx, "fp_chain");
   chain.add("stamp", nodes,
-            [](double* v, const index_t* gid) {
+            [](double* v, const op2::gindex_t* gid) {
               v[0] = static_cast<double>(*gid);
               v[1] = 0.25 * static_cast<double>(*gid);
             },
@@ -416,7 +416,7 @@ TEST(Simt, PartialWarpPredicationAndBitIdentity) {
     auto& a = ctx.decl_dat<double>(nodes, 2, "a");
     auto& b = ctx.decl_dat<double>(nodes, 1, "b");
     op2::par_loop("stamp", nodes,
-                  [](double* av, const index_t* gid) {
+                  [](double* av, const op2::gindex_t* gid) {
                     const auto g = static_cast<double>(*gid);
                     av[0] = std::sin(0.1 * g) + g;
                     av[1] = std::cos(0.1 * g);
@@ -507,7 +507,7 @@ TEST(Simt, ChainedSimtMatchesScalarChain) {
     auto& r = ctx.decl_dat<double>(nodes, 1, "r");
     op2::LoopChain chain(ctx, "simt_chain");
     chain.add("stamp", nodes,
-              [](double* xv, const index_t* gid) {
+              [](double* xv, const op2::gindex_t* gid) {
                 *xv = 0.01 * static_cast<double>(*gid * *gid % 97);
               },
               op2::write(x), op2::arg_idx());

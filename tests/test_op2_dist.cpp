@@ -272,7 +272,7 @@ TEST(Op2Dist, ArgIdxGivesGlobalIdsOnEveryLayout) {
     auto& v = ctx.decl_dat<double>(nodes, 1, "v");
     ctx.partition(op2::Partitioner::Rcb, coords);
     op2::par_loop("stamp", nodes,
-                  [](const op2::index_t* gid, double* x) {
+                  [](const op2::gindex_t* gid, double* x) {
                     *x = 3.0 * static_cast<double>(*gid) + 1.0;
                   },
                   op2::arg_idx(), op2::write(v));

@@ -62,7 +62,7 @@ TEST(Op2Edge, IntDatHaloExchange) {
     auto& cnt = ctx.decl_dat<int>(nodes, 1, "cnt");
     ctx.partition(op2::Partitioner::Rcb, coords);
     op2::par_loop("stamp", nodes,
-                  [](const op2::index_t* g, int* t) { *t = static_cast<int>(*g % 5); },
+                  [](const op2::gindex_t* g, int* t) { *t = static_cast<int>(*g % 5); },
                   op2::arg_idx(), op2::write(tag));
     op2::par_loop("zero", nodes, [](int* c) { *c = 0; }, op2::write(cnt));
     // Indirect read of the int dat (exercises byte-level halo exchange of a

@@ -264,7 +264,7 @@ TEST(Op2Layout, HaloSlotsOwnerConsistentUnderEveryLayout) {
       ctx.partition(op2::Partitioner::Rcb, coords);
 
       op2::par_loop("fill", nodes,
-                    [](const op2::index_t* gid, double* d) {
+                    [](const op2::gindex_t* gid, double* d) {
                       d[0] = 7.0 * static_cast<double>(*gid);
                       d[1] = 1.0 - static_cast<double>(*gid);
                       d[2] = 0.125 * static_cast<double>(*gid) + 3.0;
@@ -492,7 +492,7 @@ TEST(Op2Layout, IoRoundTripNormalizesToAoS) {
     auto& d = ctx.decl_dat<double>(nodes, 3, "d");
     ctx.partition(op2::Partitioner::Block, coords);
     op2::par_loop("fill", nodes,
-                  [](const op2::index_t* gid, double* v) {
+                  [](const op2::gindex_t* gid, double* v) {
                     v[0] = static_cast<double>(*gid) * 1.5;
                     v[1] = static_cast<double>(*gid) - 100.0;
                     v[2] = 42.0;

@@ -42,6 +42,7 @@ TEST(SessionSpec, RoundTripPreservesEverything) {
   spec.op2cfg.default_layout = op2::Layout::SoA;
   spec.op2cfg.partial_halos = true;
   spec.search = jm76::SearchKind::Bins;
+  spec.sharded_setup = true;
   spec.inner = 7;
   spec.fault.seed = 9;
   spec.fault.p_drop = 0.25;
@@ -55,6 +56,7 @@ TEST(SessionSpec, RoundTripPreservesEverything) {
   EXPECT_EQ(back.fault.schedule.size(), 1u);
   EXPECT_EQ(back.fault.schedule[0].op, 33u);
   EXPECT_EQ(back.res.ntheta, 9);
+  EXPECT_TRUE(back.sharded_setup);
 }
 
 TEST(SessionSpec, SetupHashIgnoresPerJobKnobs) {
@@ -82,6 +84,12 @@ TEST(SessionSpec, SetupHashCoversStructuralFields) {
   auto ranks = base;
   ranks.hs_ranks = {2};
   EXPECT_NE(ranks.setup_hash(), base.setup_hash());
+  // Sharded contexts key separate plan-cache/warm-slot entries: the setup
+  // path shapes the declared sets even though results are bit-identical.
+  auto sharded = base;
+  sharded.sharded_setup = true;
+  EXPECT_NE(sharded.setup_hash(), base.setup_hash());
+  EXPECT_TRUE(sharded.coupled_config(nullptr).sharded_setup);
 }
 
 TEST(SessionSpec, DeserializeRejectsGarbage) {
