@@ -29,23 +29,57 @@ int tag_donor(int iface, int dir, int component) {
 }
 int tag_ghost(int iface, int dir) { return 9000 + iface * 2 + dir; }
 
+/// Packs the (count, gids, payload) wire format the staged-donor and ghost
+/// messages share into a pooled buffer and ships it zero-copy — or, with the
+/// transport disabled, into a plain vector plus send_bytes' payload copy.
+void send_packed(minimpi::Comm& world, int dst, int tag, std::span<const gindex_t> gids,
+                 std::span<const double> payload, bool zero_copy) {
+  const std::size_t need =
+      sizeof(std::uint64_t) + gids.size_bytes() + payload.size_bytes();
+  const std::uint64_t n = gids.size();
+  const auto pack = [&](std::byte* out) {
+    std::size_t off = 0;
+    std::memcpy(out + off, &n, sizeof(n));
+    off += sizeof(n);
+    std::memcpy(out + off, gids.data(), gids.size_bytes());
+    off += gids.size_bytes();
+    std::memcpy(out + off, payload.data(), payload.size_bytes());
+  };
+  if (zero_copy) {
+    minimpi::Buffer buf = world.lease(need);
+    pack(buf.data());
+    world.send_owned(std::move(buf), dst, tag);
+    return;
+  }
+  std::vector<std::byte> buf(need);
+  pack(buf.data());
+  world.send_bytes(buf, dst, tag);
+}
+
+/// Inverse of send_packed: receives the slab (owned — it recycles on return)
+/// and unpacks into the caller's typed arrays.
+void recv_packed(minimpi::Comm& world, int src, int tag, std::vector<gindex_t>* gids,
+                 std::vector<double>* payload) {
+  const minimpi::Buffer buf = world.recv_owned(src, tag);
+  std::uint64_t n = 0;
+  std::size_t off = 0;
+  std::memcpy(&n, buf.data() + off, sizeof(n));
+  off += sizeof(n);
+  gids->resize(n);
+  std::memcpy(gids->data(), buf.data() + off, n * sizeof(gindex_t));
+  off += n * sizeof(gindex_t);
+  payload->resize(n * static_cast<std::size_t>(kPayload));
+  std::memcpy(payload->data(), buf.data() + off, payload->size() * sizeof(double));
+}
+
 /// Donor payload send: staged (GG on) packs gids+values into one message;
 /// unstaged sends the gid list plus one message per field component,
 /// modelling the per-dat device-to-host copies GG eliminates (Table III).
 void send_donor(minimpi::Comm& world, int dst, int iface, int dir,
                 std::span<const gindex_t> gids, std::span<const double> payload,
-                bool staged) {
+                bool staged, bool zero_copy) {
   if (staged) {
-    std::vector<std::byte> buf(sizeof(std::uint64_t) + gids.size_bytes() +
-                               payload.size_bytes());
-    const std::uint64_t n = gids.size();
-    std::size_t off = 0;
-    std::memcpy(buf.data() + off, &n, sizeof(n));
-    off += sizeof(n);
-    std::memcpy(buf.data() + off, gids.data(), gids.size_bytes());
-    off += gids.size_bytes();
-    std::memcpy(buf.data() + off, payload.data(), payload.size_bytes());
-    world.send_bytes(buf, dst, tag_donor(iface, dir, 0));
+    send_packed(world, dst, tag_donor(iface, dir, 0), gids, payload, zero_copy);
     return;
   }
   world.send(gids, dst, tag_donor(iface, dir, 0));
@@ -61,16 +95,7 @@ void send_donor(minimpi::Comm& world, int dst, int iface, int dir,
 void recv_donor(minimpi::Comm& world, int src, int iface, int dir,
                 std::vector<gindex_t>* gids, std::vector<double>* payload, bool staged) {
   if (staged) {
-    const auto buf = world.recv_bytes(src, tag_donor(iface, dir, 0));
-    std::uint64_t n = 0;
-    std::size_t off = 0;
-    std::memcpy(&n, buf.data() + off, sizeof(n));
-    off += sizeof(n);
-    gids->resize(n);
-    std::memcpy(gids->data(), buf.data() + off, n * sizeof(gindex_t));
-    off += n * sizeof(gindex_t);
-    payload->resize(n * static_cast<std::size_t>(kPayload));
-    std::memcpy(payload->data(), buf.data() + off, payload->size() * sizeof(double));
+    recv_packed(world, src, tag_donor(iface, dir, 0), gids, payload);
     return;
   }
   *gids = world.recv<gindex_t>(src, tag_donor(iface, dir, 0));
@@ -86,17 +111,9 @@ void recv_donor(minimpi::Comm& world, int src, int iface, int dir,
 
 /// Ghost return message: gids + interpolated payload in one packed buffer.
 void send_ghost(minimpi::Comm& world, int dst, int iface, int dir,
-                std::span<const gindex_t> gids, std::span<const double> payload) {
-  std::vector<std::byte> buf(sizeof(std::uint64_t) + gids.size_bytes() +
-                             payload.size_bytes());
-  const std::uint64_t n = gids.size();
-  std::size_t off = 0;
-  std::memcpy(buf.data() + off, &n, sizeof(n));
-  off += sizeof(n);
-  std::memcpy(buf.data() + off, gids.data(), gids.size_bytes());
-  off += gids.size_bytes();
-  std::memcpy(buf.data() + off, payload.data(), payload.size_bytes());
-  world.send_bytes(buf, dst, tag_ghost(iface, dir));
+                std::span<const gindex_t> gids, std::span<const double> payload,
+                bool zero_copy) {
+  send_packed(world, dst, tag_ghost(iface, dir), gids, payload, zero_copy);
 }
 
 /// Runs one transfer (send or receive), converting the structured minimpi
@@ -119,16 +136,7 @@ decltype(auto) guarded_transfer(const char* role, int iface, int dir, int peer, 
 
 void recv_ghost(minimpi::Comm& world, int src, int iface, int dir,
                 std::vector<gindex_t>* gids, std::vector<double>* payload) {
-  const auto buf = world.recv_bytes(src, tag_ghost(iface, dir));
-  std::uint64_t n = 0;
-  std::size_t off = 0;
-  std::memcpy(&n, buf.data() + off, sizeof(n));
-  off += sizeof(n);
-  gids->resize(n);
-  std::memcpy(gids->data(), buf.data() + off, n * sizeof(gindex_t));
-  off += n * sizeof(gindex_t);
-  payload->resize(n * static_cast<std::size_t>(kPayload));
-  std::memcpy(payload->data(), buf.data() + off, payload->size() * sizeof(double));
+  recv_packed(world, src, tag_ghost(iface, dir), gids, payload);
 }
 
 }  // namespace
@@ -281,7 +289,8 @@ void CoupledRig::run_hs(int nsteps, int inner, const StepFn& on_step) {
       for (int u = 0; u < K; ++u) {
         const int cu = layout_.cu_world_rank(row, u);
         guarded_transfer("HS", row, 0, cu, [&] {
-          send_donor(world_, cu, row, 0, gids, payload, cfg_.staged_gather);
+          send_donor(world_, cu, row, 0, gids, payload, cfg_.staged_gather,
+                     cfg_.op2cfg.zero_copy_transport);
         });
       }
     }
@@ -290,7 +299,8 @@ void CoupledRig::run_hs(int nsteps, int inner, const StepFn& on_step) {
       for (int u = 0; u < K; ++u) {
         const int cu = layout_.cu_world_rank(row - 1, u);
         guarded_transfer("HS", row - 1, 1, cu, [&] {
-          send_donor(world_, cu, row - 1, 1, gids, payload, cfg_.staged_gather);
+          send_donor(world_, cu, row - 1, 1, gids, payload, cfg_.staged_gather,
+                     cfg_.op2cfg.zero_copy_transport);
         });
       }
     }
@@ -508,7 +518,8 @@ void CoupledRig::run_cu(int nsteps) {
             dst[3] = sr * my + cr * mz;
           }
           guarded_transfer("CU", iface, d, dir.tgt_ranks[h], [&] {
-            send_ghost(world_, dir.tgt_ranks[h], iface, d, tgids, payload);
+            send_ghost(world_, dir.tgt_ranks[h], iface, d, tgids, payload,
+                       cfg_.op2cfg.zero_copy_transport);
           });
         }
       }

@@ -1,0 +1,107 @@
+#include "src/minimpi/buffer.hpp"
+
+#include <bit>
+
+namespace vcgt::minimpi {
+
+std::size_t BufferPool::class_for_size(std::size_t nbytes) {
+  const std::size_t min_size = std::size_t{1} << kMinClassLog2;
+  const std::size_t rounded = std::bit_ceil(nbytes < min_size ? min_size : nbytes);
+  std::size_t c = static_cast<std::size_t>(std::bit_width(rounded) - 1) - kMinClassLog2;
+  return c < kClasses ? c : kClasses - 1;
+}
+
+std::size_t BufferPool::class_for_capacity(std::size_t capacity) {
+  // Floor class: a slab in bucket b has capacity >= 2^(b+kMinClassLog2), so
+  // any lease routed to bucket b fits without reallocation (grow-only).
+  if (capacity < (std::size_t{1} << kMinClassLog2)) return 0;
+  std::size_t c = static_cast<std::size_t>(std::bit_width(capacity) - 1) - kMinClassLog2;
+  return c < kClasses ? c : kClasses - 1;
+}
+
+Buffer BufferPool::lease(std::size_t nbytes) {
+  Buffer b;
+  const std::size_t c = class_for_size(nbytes);
+  {
+    std::scoped_lock lock(mutex_);
+    // Exact class first, then fall back to larger classes: a bigger recycled
+    // slab legally serves a smaller lease (capacity only ever grows), and
+    // reusing it beats allocating a fresh slab while the exact class is
+    // transiently drained by concurrent in-flight messages.
+    for (std::size_t k = c; k < kClasses; ++k) {
+      auto& bucket = free_[k];
+      if (!bucket.empty()) {
+        b.v_ = std::move(bucket.back());
+        bucket.pop_back();
+        break;
+      }
+    }
+  }
+  if (b.v_.capacity() == 0) {
+    // Freelist miss: allocate a fresh slab at the full class size so every
+    // future lease in this class fits its capacity (grow-only contract).
+    b.v_.reserve(std::size_t{1} << (c + kMinClassLog2));
+    b.fresh_ = true;
+    slab_allocs_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // The recycled region was poisoned while parked in the freelist; lift
+    // the poison before any vector op touches the bytes.
+    VCGT_POOL_UNPOISON(b.v_.data(), b.v_.capacity());
+  }
+  b.v_.resize(nbytes);
+  b.pool_ = shared_from_this();
+  leases_.fetch_add(1, std::memory_order_relaxed);
+  bytes_leased_.fetch_add(nbytes, std::memory_order_relaxed);
+  live_.fetch_add(1, std::memory_order_relaxed);
+  return b;
+}
+
+void BufferPool::recycle(std::vector<std::byte>&& slab) {
+  recycles_.fetch_add(1, std::memory_order_relaxed);
+  live_.fetch_sub(1, std::memory_order_relaxed);
+  // Poison the parked slab: any read/write through a stale pointer into a
+  // recycled payload becomes a hard ASan report instead of silent corruption.
+  VCGT_POOL_POISON(slab.data(), slab.capacity());
+  const std::size_t c = class_for_capacity(slab.capacity());
+  std::scoped_lock lock(mutex_);
+  free_[c].push_back(std::move(slab));
+}
+
+void BufferPool::note_escape() {
+  escaped_.fetch_add(1, std::memory_order_relaxed);
+  live_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+PoolStats BufferPool::stats() const {
+  PoolStats s;
+  s.leases = leases_.load(std::memory_order_relaxed);
+  s.slab_allocs = slab_allocs_.load(std::memory_order_relaxed);
+  s.recycles = recycles_.load(std::memory_order_relaxed);
+  s.escaped = escaped_.load(std::memory_order_relaxed);
+  s.dup_copies = dup_copies_.load(std::memory_order_relaxed);
+  s.bytes_leased = bytes_leased_.load(std::memory_order_relaxed);
+  s.copies_avoided = copies_avoided_.load(std::memory_order_relaxed);
+  s.bytes_zero_copied = bytes_zero_copied_.load(std::memory_order_relaxed);
+  s.live = live_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<std::byte> Buffer::release() && {
+  if (pool_) {
+    pool_->note_escape();
+    pool_.reset();
+  }
+  fresh_ = false;
+  return std::move(v_);
+}
+
+void Buffer::reset() {
+  if (pool_) {
+    auto pool = std::move(pool_);
+    pool->recycle(std::move(v_));
+  }
+  v_.clear();
+  fresh_ = false;
+}
+
+}  // namespace vcgt::minimpi

@@ -1,0 +1,179 @@
+#pragma once
+// minimpi::Buffer / minimpi::BufferPool — pooled message payloads for the
+// zero-copy transport.
+//
+// Ranks are threads in one address space, so a message payload never needs to
+// cross a memory boundary: a sender leases a Buffer from the per-world pool,
+// packs into it, and send_owned() moves the slab into the receiver's mailbox.
+// recv_owned() hands the same slab to the receiver; dropping the Buffer
+// returns the slab to the pool's freelist, so steady-state traffic performs
+// zero per-message heap allocations and zero payload copies. Only the
+// Duplicate fault-injection path — which genuinely needs a second payload in
+// flight — pays a copy (an unpooled clone, so a recycled slab can never
+// corrupt an in-flight duplicate).
+//
+// Ownership/lifetime contract (DESIGN.md §14):
+//   - A Buffer owns its slab exclusively from lease() until it is destroyed,
+//     released, or moved into send_owned().
+//   - send_owned(std::move(b)) transfers ownership to the transport; the
+//     receiver's recv_owned() re-acquires it. The sender must not touch the
+//     slab after the call (under VCGT_ASAN a recycled slab is poisoned, so a
+//     use-after-send that races a recycle becomes a hard ASan report).
+//   - release() steals the underlying vector out of the pool ("escape"):
+//     the legacy byte-vector API (recv_bytes) is implemented this way, so
+//     mixed pooled/legacy traffic is correct but forfeits recycling.
+//   - The pool is grow-only: slabs are bucketed by power-of-two capacity
+//     class and never shrink or free until the pool itself dies. Worlds die
+//     with their pool; Buffers keep the pool alive via shared_ptr, so a
+//     payload that outlives its world (worker-pool rebuild) stays valid.
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#if defined(VCGT_ASAN)
+#include <sanitizer/asan_interface.h>
+#define VCGT_POOL_POISON(ptr, n) ASAN_POISON_MEMORY_REGION((ptr), (n))
+#define VCGT_POOL_UNPOISON(ptr, n) ASAN_UNPOISON_MEMORY_REGION((ptr), (n))
+#else
+#define VCGT_POOL_POISON(ptr, n) ((void)(ptr), (void)(n))
+#define VCGT_POOL_UNPOISON(ptr, n) ((void)(ptr), (void)(n))
+#endif
+
+namespace vcgt::minimpi {
+
+class BufferPool;
+
+/// Pool counters, sampled atomically (relaxed) via BufferPool::stats().
+/// `copies_avoided`/`bytes_zero_copied` are transport-level: one per
+/// send_owned() message that moved its payload instead of copying it.
+struct PoolStats {
+  std::uint64_t leases = 0;        ///< lease() calls served
+  std::uint64_t slab_allocs = 0;   ///< leases that allocated a fresh slab (freelist miss)
+  std::uint64_t recycles = 0;      ///< slabs returned to the freelist
+  std::uint64_t escaped = 0;       ///< slabs stolen out of the pool via release()
+  std::uint64_t dup_copies = 0;    ///< Duplicate-fault payload clones (the only copying path)
+  std::uint64_t bytes_leased = 0;  ///< payload bytes over all leases
+  std::uint64_t copies_avoided = 0;     ///< send_owned messages moved with no copy
+  std::uint64_t bytes_zero_copied = 0;  ///< payload bytes of those messages
+  std::uint64_t live = 0;          ///< currently leased (not yet recycled/escaped)
+};
+
+/// A message payload slab, leased from a BufferPool (or adopted unpooled).
+/// Move-only; the destructor returns a pooled slab to its freelist.
+class Buffer {
+ public:
+  Buffer() = default;
+  Buffer(Buffer&& other) noexcept
+      : v_(std::move(other.v_)), pool_(std::move(other.pool_)), fresh_(other.fresh_) {
+    other.fresh_ = false;
+  }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      v_ = std::move(other.v_);
+      pool_ = std::move(other.pool_);
+      fresh_ = other.fresh_;
+      other.fresh_ = false;
+    }
+    return *this;
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  ~Buffer() { reset(); }
+
+  [[nodiscard]] std::byte* data() { return v_.data(); }
+  [[nodiscard]] const std::byte* data() const { return v_.data(); }
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+  [[nodiscard]] std::span<std::byte> span() { return {v_.data(), v_.size()}; }
+  [[nodiscard]] std::span<const std::byte> span() const { return {v_.data(), v_.size()}; }
+
+  /// Leased from a pool (destructor recycles)? False for adopted buffers.
+  [[nodiscard]] bool pooled() const { return pool_ != nullptr; }
+  /// Did this lease allocate a fresh slab (freelist miss)? Steady-state
+  /// traffic must see fresh() == false; callers meter warm-up growth by it.
+  [[nodiscard]] bool fresh() const { return fresh_; }
+
+  /// Wraps an ordinary byte vector as an unpooled Buffer (no recycling).
+  static Buffer adopt(std::vector<std::byte> v) {
+    Buffer b;
+    b.v_ = std::move(v);
+    return b;
+  }
+
+  /// Steals the underlying vector. A pooled slab escapes the pool for good
+  /// (metered); the Buffer is empty afterwards.
+  [[nodiscard]] std::vector<std::byte> release() &&;
+
+  /// Unpooled deep copy, for fault paths that need a second payload in
+  /// flight (Duplicate). Never shares the slab: recycling the original
+  /// cannot corrupt the clone.
+  [[nodiscard]] Buffer clone() const {
+    return adopt(std::vector<std::byte>(v_.begin(), v_.end()));
+  }
+
+ private:
+  friend class BufferPool;
+  void reset();
+
+  std::vector<std::byte> v_;
+  std::shared_ptr<BufferPool> pool_;
+  bool fresh_ = false;
+};
+
+/// Per-world slab allocator: freelists bucketed by power-of-two capacity
+/// class, grow-only (slabs recycle forever, never shrink). Thread-safe —
+/// every rank thread of a world leases from the same pool. Held via
+/// shared_ptr so in-flight Buffers keep it alive past world teardown.
+class BufferPool : public std::enable_shared_from_this<BufferPool> {
+ public:
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Leases a buffer of exactly `nbytes`, reusing a freelist slab of a
+  /// sufficient capacity class when one exists (no allocation), else
+  /// allocating a fresh slab (Buffer::fresh() reports which).
+  [[nodiscard]] Buffer lease(std::size_t nbytes);
+
+  [[nodiscard]] PoolStats stats() const;
+
+  /// Transport-level metering hooks (called by Comm::send_owned and the
+  /// Duplicate fault path; here so the stats live with the pool).
+  void note_zero_copy(std::size_t nbytes) {
+    copies_avoided_.fetch_add(1, std::memory_order_relaxed);
+    bytes_zero_copied_.fetch_add(nbytes, std::memory_order_relaxed);
+  }
+  void note_dup_copy() { dup_copies_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  friend class Buffer;
+  static constexpr std::size_t kMinClassLog2 = 6;  ///< smallest slab: 64 B
+  static constexpr std::size_t kClasses = 48;
+
+  static std::size_t class_for_size(std::size_t nbytes);
+  static std::size_t class_for_capacity(std::size_t capacity);
+
+  void recycle(std::vector<std::byte>&& slab);
+  void note_escape();
+
+  mutable std::mutex mutex_;
+  std::array<std::vector<std::vector<std::byte>>, kClasses> free_;
+
+  std::atomic<std::uint64_t> leases_{0};
+  std::atomic<std::uint64_t> slab_allocs_{0};
+  std::atomic<std::uint64_t> recycles_{0};
+  std::atomic<std::uint64_t> escaped_{0};
+  std::atomic<std::uint64_t> dup_copies_{0};
+  std::atomic<std::uint64_t> bytes_leased_{0};
+  std::atomic<std::uint64_t> copies_avoided_{0};
+  std::atomic<std::uint64_t> bytes_zero_copied_{0};
+  std::atomic<std::uint64_t> live_{0};
+};
+
+}  // namespace vcgt::minimpi

@@ -209,7 +209,13 @@ bool Comm::aborted() const {
   return state_->root_state()->poisoned.load(std::memory_order_relaxed);
 }
 
-void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
+BufferPool& Comm::world_pool() const { return *state_->root_state()->buffer_pool; }
+
+Buffer Comm::lease(std::size_t nbytes) { return world_pool().lease(nbytes); }
+
+PoolStats Comm::pool_stats() const { return world_pool().stats(); }
+
+void Comm::send_message(Buffer&& payload, int dst, int tag) {
   if (dst < 0 || dst >= size()) throw std::out_of_range("minimpi::send: bad destination rank");
   detail::CommState* root = state_->root_state();
   const int wrank = detail::current_world_rank();
@@ -226,10 +232,10 @@ void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   // carries the original seq, so per-(src, tag) FIFO survives drop+retry.
   msg.seq = state_->send_seq[static_cast<std::size_t>(rank_)].fetch_add(
                 1, std::memory_order_relaxed) + 1;
-  msg.payload.assign(data.begin(), data.end());
+  msg.payload = std::move(payload);
   const auto r = static_cast<std::size_t>(rank_);
   state_->rank_messages[r].fetch_add(1, std::memory_order_relaxed);
-  state_->rank_bytes[r].fetch_add(data.size(), std::memory_order_relaxed);
+  state_->rank_bytes[r].fetch_add(msg.payload.size(), std::memory_order_relaxed);
 
   if (fault.kind == FaultKind::Delay) detail::sleep_seconds(fault.delay_seconds);
 
@@ -251,12 +257,39 @@ void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   }
 
   auto& box = *state_->mailboxes[static_cast<std::size_t>(dst)];
-  if (fault.kind == FaultKind::Duplicate) box.push(msg, /*defer=*/false);  // extra copy, same seq
+  if (fault.kind == FaultKind::Duplicate) {
+    // The one copying path in the transport: a duplicate genuinely needs a
+    // second payload in flight. The clone is unpooled and carries the same
+    // seq, so (a) the dedup watermark suppresses whichever arrives second
+    // and (b) recycling the original's slab can never corrupt the duplicate.
+    detail::Message dup;
+    dup.src = msg.src;
+    dup.tag = msg.tag;
+    dup.seq = msg.seq;
+    dup.payload = msg.payload.clone();
+    world_pool().note_dup_copy();
+    box.push(std::move(dup), /*defer=*/false);
+  }
   box.push(std::move(msg), /*defer=*/fault.kind == FaultKind::Reorder);
   state_->note_progress(wrank);
 }
 
+void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
+  // Legacy byte-vector path: one payload copy into an adopted (unpooled)
+  // buffer, then the common zero-copy delivery path.
+  send_message(Buffer::adopt(std::vector<std::byte>(data.begin(), data.end())), dst, tag);
+}
+
+void Comm::send_owned(Buffer&& payload, int dst, int tag) {
+  world_pool().note_zero_copy(payload.size());
+  send_message(std::move(payload), dst, tag);
+}
+
 std::vector<std::byte> Comm::recv_bytes(int src, int tag, int* actual_src) {
+  return std::move(recv_owned(src, tag, actual_src)).release();
+}
+
+Buffer Comm::recv_owned(int src, int tag, int* actual_src) {
   detail::CommState* root = state_->root_state();
   const int wrank = detail::current_world_rank();
   if (wrank >= 0 && root->opts.fault) root->opts.fault->on_op(wrank, src, tag);
@@ -312,7 +345,7 @@ bool Comm::try_recv_bytes(int src, int tag, std::vector<std::byte>* out, int* ac
   detail::Message msg;
   if (!state_->mailboxes[static_cast<std::size_t>(rank_)]->try_pop(src, tag, &msg)) return false;
   if (actual_src) *actual_src = msg.src;
-  *out = std::move(msg.payload);
+  *out = std::move(msg.payload).release();
   return true;
 }
 
@@ -384,13 +417,15 @@ void Comm::barrier() {
   state_->note_progress(wrank);
 }
 
-std::vector<std::byte> Comm::bcast_bytes(std::vector<std::byte> data, int root) {
+std::vector<std::byte> Comm::bcast_bytes(std::span<const std::byte> data, int root) {
+  // Span-in so non-roots stage nothing: only the root's bytes are read
+  // (non-roots used to pay a full staging copy just to have it overwritten).
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
       send_bytes(data, r, kTagBcast);
     }
-    return data;
+    return {data.begin(), data.end()};
   }
   return recv_bytes(root, kTagBcast);
 }

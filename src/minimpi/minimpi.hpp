@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "src/minimpi/buffer.hpp"
+
 namespace vcgt::minimpi {
 
 /// Wildcard source for recv, like MPI_ANY_SOURCE.
@@ -145,7 +147,11 @@ struct Message {
   /// communicator). Restores FIFO-per-(src, tag) under reordering and makes
   /// retransmissions/duplicates idempotent: a retry reuses its seq.
   std::uint64_t seq = 0;
-  std::vector<std::byte> payload;
+  /// Owned payload slab (move-only): pooled for send_owned traffic, adopted
+  /// for the legacy byte-vector API. Messages therefore never copy their
+  /// payload inside the transport — the Duplicate fault path clones
+  /// explicitly (see Comm::send_owned).
+  Buffer payload;
 };
 
 /// Selective-receive queue: pop matches on (src, tag) with kAnySource
@@ -212,6 +218,27 @@ class Comm {
   bool try_recv_bytes(int src, int tag, std::vector<std::byte>* out,
                       int* actual_src = nullptr);
 
+  // --- zero-copy transport -------------------------------------------------
+  // Ranks share one address space, so an owned payload moves sender → mailbox
+  // → receiver with no copy and no per-message allocation: lease a Buffer
+  // from the per-world pool, pack into it, send_owned. The legacy byte-vector
+  // API above is layered on the same message path (send_bytes adopts a copy;
+  // recv_bytes releases the slab out of the pool). See buffer.hpp for the
+  // ownership/lifetime contract and DESIGN.md §14 for the design.
+
+  /// Leases a payload buffer from this world's pool (recycled across
+  /// messages; Buffer::fresh() flags a warm-up allocation).
+  [[nodiscard]] Buffer lease(std::size_t nbytes);
+  /// Moves `payload` into the receiver's mailbox — zero copies on the clean
+  /// path. Only an injected Duplicate fault clones the payload (unpooled),
+  /// so recycling the original can never corrupt the in-flight duplicate.
+  void send_owned(Buffer&& payload, int dst, int tag);
+  /// Receives one message matching (src, tag) as an owned Buffer; dropping
+  /// it returns a pooled slab to the sender world's pool.
+  Buffer recv_owned(int src, int tag, int* actual_src = nullptr);
+  /// Counters of this world's buffer pool (shared by all ranks).
+  [[nodiscard]] PoolStats pool_stats() const;
+
   template <class T>
   void send(std::span<const T> data, int dst, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -258,16 +285,17 @@ class Comm {
 
   // --- collectives ---------------------------------------------------------
   void barrier();
-  /// Broadcast: root's buffer replaces everyone's; returns the data.
-  std::vector<std::byte> bcast_bytes(std::vector<std::byte> data, int root);
+  /// Broadcast: root's buffer replaces everyone's; returns the data. Only
+  /// the root's span is read — non-roots may (and should) pass empty.
+  std::vector<std::byte> bcast_bytes(std::span<const std::byte> data, int root);
   template <class T>
   std::vector<T> bcast(std::vector<T> data, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> raw(data.size() * sizeof(T));
-    if (rank_ == root) std::memcpy(raw.data(), data.data(), raw.size());
-    raw = bcast_bytes(std::move(raw), root);
-    std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
+    std::span<const std::byte> raw;
+    if (rank_ == root) raw = std::as_bytes(std::span<const T>(data));
+    auto out_raw = bcast_bytes(raw, root);
+    std::vector<T> out(out_raw.size() / sizeof(T));
+    std::memcpy(out.data(), out_raw.data(), out_raw.size());
     return out;
   }
   template <class T>
@@ -423,6 +451,11 @@ class Comm {
   friend class WorkerPool;
   Comm(std::shared_ptr<detail::CommState> state, int rank)
       : state_(std::move(state)), rank_(rank) {}
+
+  /// Common delivery path for send_bytes and send_owned: fault consultation,
+  /// sequencing, retry loop, mailbox push. Takes ownership of the payload.
+  void send_message(Buffer&& payload, int dst, int tag);
+  [[nodiscard]] BufferPool& world_pool() const;
 
   // Internal tags for collectives; user tags must be < kTagCollectiveBase.
   static constexpr int kTagCollectiveBase = 1 << 24;

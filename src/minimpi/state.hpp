@@ -104,6 +104,12 @@ struct CommState {
   std::vector<std::unique_ptr<BlockedSlot>> slots;
   std::atomic<std::uint64_t> ops_total{0};
 
+  /// Per-world payload pool for the zero-copy transport (buffer.hpp). Every
+  /// communicator in the world — root and split children — leases from the
+  /// root state's pool, so slabs recycle across sub-communicators too.
+  /// In-flight Buffers hold it via shared_ptr, surviving world teardown.
+  std::shared_ptr<BufferPool> buffer_pool = std::make_shared<BufferPool>();
+
   CommState* root_state() {
     CommState* r = root.load(std::memory_order_acquire);
     return r ? r : this;

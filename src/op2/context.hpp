@@ -401,6 +401,16 @@ class Context {
   std::vector<index_t> needed_halo_slots(const LoopPlan& plan, const Set& target,
                                          const std::vector<ArgInfo>& args,
                                          bool include_exec_direct) const;
+  /// The single pack+send site for every halo message (grouped, ungrouped
+  /// and fused chain epochs): gathers `dats` over `idx` — concatenated in
+  /// AoS order — and ships the message to `peer`. Zero-copy mode leases a
+  /// pooled buffer and moves it (send_owned); legacy mode reuses the
+  /// persistent per-neighbor pack buffer and pays send_bytes' copy. Growth
+  /// (fresh slab / capacity bump) is metered into halo_buf_allocs_.
+  void halo_pack_send(PlanSetComm& sc, std::size_t nbrs, std::size_t i,
+                      const std::vector<index_t>& idx,
+                      const std::vector<DatBase*>& dats, int peer, int tag,
+                      const Set& s);
 
   minimpi::Comm comm_;
   Config cfg_;

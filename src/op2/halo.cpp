@@ -403,9 +403,9 @@ void halo_send(minimpi::Comm& comm, std::span<const std::byte> buf, int peer, in
   }
 }
 
-/// Persistent per-neighbor pack buffer: capacity survives across exchanges
-/// (send_bytes copies, so the buffer is reusable the moment the call
-/// returns). Steady state allocates nothing; `allocs` meters growth.
+/// Legacy-mode persistent per-neighbor pack buffer: capacity survives across
+/// exchanges (send_bytes copies, so the buffer is reusable the moment the
+/// call returns). Steady state allocates nothing; `allocs` meters growth.
 std::vector<std::byte>& pack_buf(PlanSetComm& sc, std::size_t nbrs, std::size_t i,
                                  std::size_t need, std::uint64_t& allocs) {
   if (sc.send_bufs.size() < nbrs) sc.send_bufs.resize(nbrs);
@@ -415,7 +415,58 @@ std::vector<std::byte>& pack_buf(PlanSetComm& sc, std::size_t nbrs, std::size_t 
   return buf;
 }
 
+/// Pool counters onto the trace (halo epochs sample them after completing
+/// receives, so counter tracks line up with the halo spans).
+void trace_pool_counters(minimpi::Comm& comm) {
+  if (!trace::enabled() || !comm.valid()) return;
+  const minimpi::PoolStats ps = comm.pool_stats();
+  trace::counter("pool:leases", static_cast<double>(ps.leases));
+  trace::counter("pool:recycles", static_cast<double>(ps.recycles));
+  trace::counter("pool:copies_avoided", static_cast<double>(ps.copies_avoided));
+  trace::counter("pool:bytes_zero_copied", static_cast<double>(ps.bytes_zero_copied));
+}
+
 }  // namespace
+
+void Context::halo_pack_send(PlanSetComm& sc, std::size_t nbrs, std::size_t i,
+                             const std::vector<index_t>& idx,
+                             const std::vector<DatBase*>& dats, int peer, int tag,
+                             const Set& s) {
+  std::size_t need = 0;
+  for (const DatBase* d : dats) need += idx.size() * d->elem_bytes();
+  if (cfg_.zero_copy_transport) {
+    // Zero-copy: gather straight into a pooled slab and move it into the
+    // receiver's mailbox. The alloc meter counts per-site payload growth —
+    // the deterministic analogue of the legacy capacity bump; pool-level
+    // slab allocations are exposed separately via Comm::pool_stats().
+    if (sc.send_watermark.size() < nbrs) sc.send_watermark.resize(nbrs, 0);
+    if (need > sc.send_watermark[i]) {
+      ++halo_buf_allocs_;
+      sc.send_watermark[i] = need;
+    }
+    minimpi::Buffer buf = comm_.lease(need);
+    std::size_t off = 0;
+    for (DatBase* d : dats) {
+      d->gather_elems(idx, buf.data() + off);
+      off += idx.size() * d->elem_bytes();
+    }
+    try {
+      comm_.send_owned(std::move(buf), peer, tag);
+    } catch (const minimpi::TransientSendError& e) {
+      throw HaloError(util::fmt("op2: halo send for set '{}' to rank {} failed: {}",
+                                s.name(), peer, e.what()),
+                      s.name(), peer, /*sending=*/true);
+    }
+    return;
+  }
+  auto& buf = pack_buf(sc, nbrs, i, need, halo_buf_allocs_);
+  std::size_t off = 0;
+  for (DatBase* d : dats) {
+    d->gather_elems(idx, buf.data() + off);
+    off += idx.size() * d->elem_bytes();
+  }
+  halo_send(comm_, buf, peer, tag, s);
+}
 
 Context::PendingExchange Context::exchange_begin(LoopPlan& plan,
                                                  const std::vector<ArgInfo>& args) {
@@ -463,15 +514,9 @@ Context::PendingExchange Context::exchange_begin(LoopPlan& plan,
       std::size_t group_eb = 0;
       for (const DatBase* d : dirty) group_eb += d->elem_bytes();
       for (std::size_t i = 0; i < nbr_send.size(); ++i) {
-        auto& buf = pack_buf(sc, nbr_send.size(), i, send_idx[i].size() * group_eb,
-                             halo_buf_allocs_);
-        std::size_t off = 0;
-        for (DatBase* d : dirty) {
-          d->gather_elems(send_idx[i], buf.data() + off);
-          off += send_idx[i].size() * d->elem_bytes();
-        }
-        halo_send(comm_, buf, nbr_send[i], kTagGroupBase + s.id(), s);
-        plan.halo_bytes += buf.size();
+        halo_pack_send(sc, nbr_send.size(), i, send_idx[i], dirty, nbr_send[i],
+                       kTagGroupBase + s.id(), s);
+        plan.halo_bytes += send_idx[i].size() * group_eb;
         ++plan.halo_msgs;
       }
       for (std::size_t i = 0; i < nbr_recv.size(); ++i) {
@@ -479,13 +524,11 @@ Context::PendingExchange Context::exchange_begin(LoopPlan& plan,
       }
     } else {
       for (DatBase* d : dirty) {
-        const std::size_t eb = d->elem_bytes();
+        const std::vector<DatBase*> one{d};
         for (std::size_t i = 0; i < nbr_send.size(); ++i) {
-          auto& buf =
-              pack_buf(sc, nbr_send.size(), i, send_idx[i].size() * eb, halo_buf_allocs_);
-          d->gather_elems(send_idx[i], buf.data());
-          halo_send(comm_, buf, nbr_send[i], kTagHaloBase + d->id(), s);
-          plan.halo_bytes += buf.size();
+          halo_pack_send(sc, nbr_send.size(), i, send_idx[i], one, nbr_send[i],
+                         kTagHaloBase + d->id(), s);
+          plan.halo_bytes += send_idx[i].size() * d->elem_bytes();
           ++plan.halo_msgs;
         }
         for (std::size_t i = 0; i < nbr_recv.size(); ++i) {
@@ -517,9 +560,11 @@ void Context::exchange_end(LoopPlan& plan, PendingExchange& pending) {
   trace::Span tspan("halo:wait");
   std::uint64_t bytes_in = 0;
   for (auto& recv : pending.recvs) {
-    std::vector<std::byte> buf;
+    // Owned receive: scatter_elems unpacks directly from the sender's slab,
+    // which returns to the pool when `buf` drops at the end of the iteration.
+    minimpi::Buffer buf;
     try {
-      buf = comm_.recv_bytes(recv.from, recv.tag);
+      buf = comm_.recv_owned(recv.from, recv.tag);
     } catch (const minimpi::RecvTimeout& e) {
       const std::string set = recv.dats.empty() ? "?" : recv.dats.front()->set().name();
       throw HaloError(util::fmt("op2: halo receive for set '{}' from rank {} timed out: {}",
@@ -542,6 +587,7 @@ void Context::exchange_end(LoopPlan& plan, PendingExchange& pending) {
     tspan.arg("bytes", static_cast<double>(bytes_in));
     tspan.arg("msgs", static_cast<double>(pending.recvs.size()));
   }
+  trace_pool_counters(comm_);
   plan.halo_seconds += t.elapsed();
   pending.recvs.clear();
 }
@@ -585,21 +631,15 @@ void Context::chain_exchange(ChainPlan& plan, const ChainSegment& seg) {
     std::size_t group_eb = 0;
     for (const DatBase* d : dirty) group_eb += d->elem_bytes();
     for (std::size_t i = 0; i < halo.nbr_send.size(); ++i) {
-      auto& buf = pack_buf(*sc, halo.nbr_send.size(), i,
-                           halo.send_idx[i].size() * group_eb, halo_buf_allocs_);
-      std::size_t off = 0;
-      for (DatBase* d : dirty) {
-        d->gather_elems(halo.send_idx[i], buf.data() + off);
-        off += halo.send_idx[i].size() * d->elem_bytes();
-      }
-      halo_send(comm_, buf, halo.nbr_send[i], kTagChainBase + sid, s);
-      plan.halo_bytes += buf.size();
+      halo_pack_send(*sc, halo.nbr_send.size(), i, halo.send_idx[i], dirty,
+                     halo.nbr_send[i], kTagChainBase + sid, s);
+      plan.halo_bytes += halo.send_idx[i].size() * group_eb;
       ++plan.halo_msgs;
     }
     for (std::size_t i = 0; i < halo.nbr_recv.size(); ++i) {
-      std::vector<std::byte> buf;
+      minimpi::Buffer buf;
       try {
-        buf = comm_.recv_bytes(halo.nbr_recv[i], kTagChainBase + sid);
+        buf = comm_.recv_owned(halo.nbr_recv[i], kTagChainBase + sid);
       } catch (const minimpi::RecvTimeout& e) {
         throw HaloError(
             util::fmt("op2: chain epoch receive for set '{}' from rank {} timed out: {}",
@@ -625,6 +665,7 @@ void Context::chain_exchange(ChainPlan& plan, const ChainSegment& seg) {
     tspan.arg("msgs", static_cast<double>(plan.halo_msgs - msgs0));
     tspan.arg("dats", static_cast<double>(seg.epoch_needs.size()));
   }
+  trace_pool_counters(comm_);
 }
 
 }  // namespace vcgt::op2

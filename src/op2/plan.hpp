@@ -54,6 +54,12 @@ struct PlanSetComm {
   /// across invocations instead of allocating fresh ones (steady-state
   /// allocation count is zero; Context::halo_buffer_allocs() meters growth).
   std::vector<std::vector<std::byte>> send_bufs;
+  /// Zero-copy mode: per-neighbor payload high-water marks. The alloc meter
+  /// counts growth events against these rather than pool freelist misses —
+  /// whether a lease hits the shared pool's freelist depends on cross-rank
+  /// timing (a receiver may still hold last epoch's slab), so freelist
+  /// misses are not deterministic; payload sizes per site are.
+  std::vector<std::size_t> send_watermark;
 };
 
 struct LoopPlan {

@@ -166,6 +166,7 @@ Context::Context(minimpi::Comm comm, Config cfg)
     }
   }
   if (env.op2_simt) cfg_.simt = *env.op2_simt;
+  if (env.op2_zero_copy) cfg_.zero_copy_transport = *env.op2_zero_copy;
   if (env.op2_chain_tile) {
     if (*env.op2_chain_tile > 0) {
       cfg_.chain_tile = *env.op2_chain_tile;

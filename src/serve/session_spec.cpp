@@ -11,7 +11,7 @@ namespace {
 
 // Wire format version for the spec blob itself (the frame protocol carries
 // its own version; this one guards the spec encoding inside a frame).
-constexpr std::uint16_t kSpecVersion = 2;  // v2: + sharded_setup
+constexpr std::uint16_t kSpecVersion = 3;  // v3: + op2 zero_copy_transport
 
 void put_flow(util::ByteWriter& w, const hydra::FlowConfig& f) {
   w.put_f64(f.gamma);
@@ -111,6 +111,7 @@ void put_op2(util::ByteWriter& w, const op2::Config& c) {
   w.put_bool(c.deterministic_reductions);
   w.put_bool(c.simt);
   w.put_i32(c.chain_tile);
+  w.put_bool(c.zero_copy_transport);
 }
 
 op2::Config get_op2(util::ByteReader& r) {
@@ -126,6 +127,7 @@ op2::Config get_op2(util::ByteReader& r) {
   c.deterministic_reductions = r.get_bool();
   c.simt = r.get_bool();
   c.chain_tile = r.get_i32();
+  c.zero_copy_transport = r.get_bool();
   return c;
 }
 

@@ -85,6 +85,7 @@ EnvConfig env_config() {
   parse_string(cfg, "VCGT_OP2_LAYOUT", &cfg.op2_layout);
   parse_bool(cfg, "VCGT_OP2_SIMT", &cfg.op2_simt);
   parse_int(cfg, "VCGT_OP2_CHAIN_TILE", &cfg.op2_chain_tile);
+  parse_bool(cfg, "VCGT_OP2_ZERO_COPY", &cfg.op2_zero_copy);
   parse_double(cfg, "VCGT_RECV_TIMEOUT", &cfg.recv_timeout);
   parse_int(cfg, "VCGT_RECV_RETRIES", &cfg.recv_retries);
   parse_double(cfg, "VCGT_STALL_TIMEOUT", &cfg.stall_timeout);
@@ -103,6 +104,7 @@ std::string EnvConfig::describe() const {
   out += show("VCGT_OP2_LAYOUT", op2_layout);
   out += show("VCGT_OP2_SIMT", op2_simt);
   out += show("VCGT_OP2_CHAIN_TILE", op2_chain_tile);
+  out += show("VCGT_OP2_ZERO_COPY", op2_zero_copy);
   out += show("VCGT_RECV_TIMEOUT", recv_timeout);
   out += show("VCGT_RECV_RETRIES", recv_retries);
   out += show("VCGT_STALL_TIMEOUT", stall_timeout);

@@ -26,6 +26,7 @@ struct EnvConfig {
   std::optional<std::string> op2_layout;  ///< VCGT_OP2_LAYOUT: aos|soa|aosoa[<W>]
   std::optional<bool> op2_simt;           ///< VCGT_OP2_SIMT
   std::optional<int> op2_chain_tile;      ///< VCGT_OP2_CHAIN_TILE (> 0)
+  std::optional<bool> op2_zero_copy;      ///< VCGT_OP2_ZERO_COPY
 
   // --- minimpi robustness ---------------------------------------------------
   std::optional<double> recv_timeout;   ///< VCGT_RECV_TIMEOUT [s]
